@@ -1,0 +1,85 @@
+// Ablations of the design constants the paper fixes by argument rather
+// than by experiment (DESIGN.md §7):
+//   * bucket count b      — §3.2 picks 64 = min(L1 lines, TLB entries)
+//   * block capacity sb   — the linked-block bucket layout
+//   * B+-tree fanout β    — the consolidation-phase tree
+//   * budget fraction     — t_budget as a share of t_scan
+// Each sweep reports convergence and cumulative time so the chosen
+// default can be compared against its neighbors.
+
+#include "bench/bench_util.h"
+#include "eval/report.h"
+
+namespace progidx {
+namespace {
+
+void RunSweep(const char* title, const bench::SkyServerBench& bench,
+              const std::string& index_id,
+              const std::vector<ProgressiveOptions>& variants,
+              const std::vector<std::string>& labels,
+              const std::vector<BudgetSpec>& budgets) {
+  std::printf("\n--- %s (%s) ---\n", title, index_id.c_str());
+  TableReport report({"variant", "first_q_s", "convergence_q",
+                      "cumulative_s"});
+  for (size_t i = 0; i < variants.size(); i++) {
+    auto index = MakeIndex(index_id, bench.column, budgets[i], variants[i]);
+    const Metrics metrics = RunWorkload(index.get(), bench.queries);
+    report.AddRow({labels[i],
+                   TableReport::FormatSecs(metrics.FirstQuerySecs()),
+                   TableReport::FormatCount(metrics.ConvergenceQuery()),
+                   TableReport::FormatSecs(metrics.CumulativeSecs())});
+  }
+  report.Print();
+}
+
+int Run(int argc, char** argv) {
+  CommandLine cli;
+  bench::AddCommonFlags(&cli);
+  if (!cli.Parse(argc, argv)) return 0;
+  const bench::SkyServerBench bench = bench::MakeSkyServerBench(cli);
+  std::printf("=== Ablations (SkyServer, n=%zu, %zu queries) ===\n",
+              bench.column.size(), bench.queries.size());
+
+  const BudgetSpec adaptive = BudgetSpec::Adaptive(0.2);
+
+  {
+    std::vector<ProgressiveOptions> variants(3);
+    variants[0].bucket_count = 16;
+    variants[1].bucket_count = 64;
+    variants[2].bucket_count = 256;
+    RunSweep("bucket count b", bench, "pmsd", variants,
+             {"b=16", "b=64 (paper)", "b=256"},
+             {adaptive, adaptive, adaptive});
+  }
+  {
+    std::vector<ProgressiveOptions> variants(3);
+    variants[0].block_capacity = 512;
+    variants[1].block_capacity = 4096;
+    variants[2].block_capacity = 32768;
+    RunSweep("block capacity sb", bench, "pmsd", variants,
+             {"sb=512", "sb=4096 (default)", "sb=32768"},
+             {adaptive, adaptive, adaptive});
+  }
+  {
+    std::vector<ProgressiveOptions> variants(3);
+    variants[0].btree_fanout = 16;
+    variants[1].btree_fanout = 64;
+    variants[2].btree_fanout = 256;
+    RunSweep("B+-tree fanout beta", bench, "pq", variants,
+             {"beta=16", "beta=64 (default)", "beta=256"},
+             {adaptive, adaptive, adaptive});
+  }
+  {
+    std::vector<ProgressiveOptions> variants(3);
+    RunSweep("budget fraction", bench, "pq", variants,
+             {"0.1*t_scan", "0.2*t_scan (paper)", "0.4*t_scan"},
+             {BudgetSpec::Adaptive(0.1), BudgetSpec::Adaptive(0.2),
+              BudgetSpec::Adaptive(0.4)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace progidx
+
+int main(int argc, char** argv) { return progidx::Run(argc, argv); }

@@ -1,0 +1,107 @@
+// The §6 future-work extensions in action:
+//   * Progressive Hash Table vs Progressive Radixsort (LSD) on point
+//     queries (both accelerate points long before convergence);
+//   * Progressive Column Imprints vs Full Scan on clustered data
+//     (imprints filter cachelines without ever reordering the column);
+//   * approximate query processing: estimate quality while the index
+//     builds.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "core/progressive_quicksort.h"
+#include "eval/report.h"
+
+namespace progidx {
+namespace {
+
+int Run(int argc, char** argv) {
+  CommandLine cli;
+  bench::AddCommonFlags(&cli);
+  if (!cli.Parse(argc, argv)) return 0;
+  const size_t n = static_cast<size_t>(cli.GetInt("n"));
+  const size_t nq = static_cast<size_t>(cli.GetInt("queries"));
+  const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed"));
+
+  std::printf("=== Extensions (n=%zu, %zu queries) ===\n", n, nq);
+
+  {
+    std::printf("\n--- Point queries: P. Hash Table vs P. Radixsort (LSD) "
+                "vs Full Scan ---\n");
+    const Column column = MakeUniformColumn(n, seed);
+    auto queries = WorkloadGenerator::Generate(
+        WorkloadPattern::kPoint, column.min_value(), column.max_value(), nq,
+        0.1, seed + 1);
+    TableReport report({"index", "first_q_s", "convergence_q",
+                        "cumulative_s"});
+    for (const std::string& id :
+         {std::string("phash"), std::string("plsd"), std::string("fs")}) {
+      auto index = MakeIndex(id, column, BudgetSpec::Adaptive(0.2));
+      const Metrics metrics = RunWorkload(index.get(), queries);
+      report.AddRow({index->name(),
+                     TableReport::FormatSecs(metrics.FirstQuerySecs()),
+                     TableReport::FormatCount(metrics.ConvergenceQuery()),
+                     TableReport::FormatSecs(metrics.CumulativeSecs())});
+    }
+    report.Print();
+  }
+
+  {
+    std::printf("\n--- Range queries on clustered data: P. Column Imprints "
+                "vs Full Scan ---\n");
+    const Column column = MakeSkyServerColumn(n, seed);
+    auto queries = MakeSkyServerWorkload(nq, seed + 1);
+    TableReport report({"index", "first_q_s", "convergence_q",
+                        "cumulative_s"});
+    for (const std::string& id :
+         {std::string("pimprints"), std::string("fs")}) {
+      auto index = MakeIndex(id, column, BudgetSpec::Adaptive(0.2));
+      const Metrics metrics = RunWorkload(index.get(), queries);
+      report.AddRow({index->name(),
+                     TableReport::FormatSecs(metrics.FirstQuerySecs()),
+                     TableReport::FormatCount(metrics.ConvergenceQuery()),
+                     TableReport::FormatSecs(metrics.CumulativeSecs())});
+    }
+    report.Print();
+  }
+
+  {
+    std::printf("\n--- Approximate query processing on P. Quicksort "
+                "(2000 samples/query) ---\n");
+    const Column column = MakeUniformColumn(n, seed);
+    ProgressiveQuicksort index(column, BudgetSpec::FixedDelta(0.02));
+    const RangeQuery q{static_cast<value_t>(n / 10),
+                       static_cast<value_t>(n / 2)};
+    // Ground truth.
+    int64_t truth = 0;
+    for (size_t i = 0; i < column.size(); i++) {
+      const value_t v = column[i];
+      if (v >= q.low && v <= q.high) truth += v;
+    }
+    TableReport report({"query", "estimate", "rel_error", "stderr/|sum|",
+                        "exact"});
+    for (int i = 1; i <= 64; i *= 2) {
+      ApproximateResult approx;
+      for (int j = 0; j < i - i / 2; j++) {
+        approx = index.QueryApproximate(q, 2000, seed + i + j);
+      }
+      const double rel =
+          std::abs(approx.sum - static_cast<double>(truth)) /
+          std::abs(static_cast<double>(truth));
+      report.AddRow({TableReport::FormatCount(i),
+                     TableReport::FormatSecs(approx.sum),
+                     TableReport::FormatSci(rel),
+                     TableReport::FormatSci(
+                         approx.sum_stderr /
+                         std::abs(static_cast<double>(truth))),
+                     approx.exact ? "yes" : "no"});
+    }
+    report.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace progidx
+
+int main(int argc, char** argv) { return progidx::Run(argc, argv); }

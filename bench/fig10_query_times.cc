@@ -1,0 +1,64 @@
+// Figure 10: per-query execution time on SkyServer — Progressive
+// Quicksort (adaptive budget) vs the best adaptive-indexing baselines
+// (Adaptive Adaptive for cumulative time, Progressive Stochastic 10%
+// for first-query cost/robustness). Progressive Quicksort holds a flat
+// 1.2x-scan line until convergence, then drops to index cost; the
+// adaptive baselines start high and keep spiking.
+
+#include "bench/bench_util.h"
+#include "eval/report.h"
+
+namespace progidx {
+namespace {
+
+bool LogSampled(size_t query_number) {
+  size_t scale = 1;
+  while (query_number > 10 * scale) scale *= 10;
+  return query_number % scale == 0;
+}
+
+int Run(int argc, char** argv) {
+  CommandLine cli;
+  bench::AddCommonFlags(&cli);
+  if (!cli.Parse(argc, argv)) return 0;
+
+  const bench::SkyServerBench bench = bench::MakeSkyServerBench(cli);
+  const double scan_secs = bench::MeasuredScanSecs(bench.column);
+  std::printf("=== Figure 10: P. Quicksort vs adaptive indexing "
+              "(SkyServer, n=%zu; 1.2x scan = %s) ===\n",
+              bench.column.size(),
+              TableReport::FormatSecs(1.2 * scan_secs).c_str());
+
+  TableReport report({"algorithm", "query", "time_s"});
+  for (const std::string& id : {std::string("pq"), std::string("aa"),
+                                std::string("pstc")}) {
+    auto index = MakeIndex(id, bench.column, BudgetSpec::Adaptive(0.2));
+    const Metrics metrics = RunWorkload(index.get(), bench.queries);
+    double max_after_first = 0;
+    for (size_t i = 0; i < metrics.records().size(); i++) {
+      if (LogSampled(i + 1)) {
+        report.AddRow({index->name(),
+                       TableReport::FormatCount(static_cast<int64_t>(i) + 1),
+                       TableReport::FormatSecs(metrics.records()[i].secs)});
+      }
+      if (i > 0) {
+        max_after_first =
+            std::max(max_after_first, metrics.records()[i].secs);
+      }
+    }
+    std::printf("%-24s first=%s max_after_first=%s cumulative=%s\n",
+                index->name().c_str(),
+                TableReport::FormatSecs(metrics.FirstQuerySecs()).c_str(),
+                TableReport::FormatSecs(max_after_first).c_str(),
+                TableReport::FormatSecs(metrics.CumulativeSecs()).c_str());
+  }
+  report.Print();
+  const std::string csv = cli.GetString("csv");
+  if (!csv.empty()) report.WriteCsv(csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace progidx
+
+int main(int argc, char** argv) { return progidx::Run(argc, argv); }

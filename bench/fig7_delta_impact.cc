@@ -1,0 +1,60 @@
+// Figure 7: impact of δ on the four progressive algorithms, SkyServer
+// workload, fixed-delta budgets.
+//   7a first-query time   7b queries until pay-off
+//   7c queries until convergence   7d cumulative time
+
+#include "bench/bench_util.h"
+#include "eval/report.h"
+
+namespace progidx {
+namespace {
+
+int Run(int argc, char** argv) {
+  CommandLine cli;
+  bench::AddCommonFlags(&cli);
+  cli.AddFlag("deltas", "0.005,0.01,0.025,0.05,0.1,0.25,0.5,1.0",
+              "comma-separated delta sweep");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  const bench::SkyServerBench bench = bench::MakeSkyServerBench(cli);
+  const double scan_secs = bench::MeasuredScanSecs(bench.column);
+
+  std::vector<double> deltas;
+  {
+    const std::string spec = cli.GetString("deltas");
+    size_t pos = 0;
+    while (pos < spec.size()) {
+      size_t next = spec.find(',', pos);
+      if (next == std::string::npos) next = spec.size();
+      deltas.push_back(std::stod(spec.substr(pos, next - pos)));
+      pos = next + 1;
+    }
+  }
+
+  std::printf("=== Figure 7: delta impact (SkyServer, n=%zu, %zu queries) "
+              "===\n",
+              bench.column.size(), bench.queries.size());
+  TableReport report({"algorithm", "delta", "first_query_s",
+                      "payoff_query", "convergence_query", "cumulative_s"});
+  for (const std::string& id : ProgressiveIndexIds()) {
+    for (const double delta : deltas) {
+      auto index =
+          MakeIndex(id, bench.column, BudgetSpec::FixedDelta(delta));
+      const Metrics metrics = RunWorkload(index.get(), bench.queries);
+      report.AddRow({index->name(), TableReport::FormatSecs(delta),
+                     TableReport::FormatSecs(metrics.FirstQuerySecs()),
+                     TableReport::FormatCount(metrics.PayoffQuery(scan_secs)),
+                     TableReport::FormatCount(metrics.ConvergenceQuery()),
+                     TableReport::FormatSecs(metrics.CumulativeSecs())});
+    }
+  }
+  report.Print();
+  const std::string csv = cli.GetString("csv");
+  if (!csv.empty()) report.WriteCsv(csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace progidx
+
+int main(int argc, char** argv) { return progidx::Run(argc, argv); }

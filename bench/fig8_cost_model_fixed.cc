@@ -1,0 +1,80 @@
+// Figure 8: cost-model validation with a fixed indexing budget
+// (δ = 0.25) on the SkyServer workload. Prints measured vs predicted
+// per-query times for each progressive algorithm (log-sampled query
+// numbers, as in the paper's log-log plots) plus the mean relative
+// error; full series go to CSV with --csv.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "eval/report.h"
+
+namespace progidx {
+namespace {
+
+bool LogSampled(size_t query_number) {
+  // 1, 2, ..., 10, 20, ..., 100, 200, ... (paper plots are log-x).
+  size_t scale = 1;
+  while (query_number > 10 * scale) scale *= 10;
+  return query_number % scale == 0;
+}
+
+int Run(int argc, char** argv) {
+  CommandLine cli;
+  bench::AddCommonFlags(&cli);
+  cli.AddFlag("delta", "0.25", "fixed delta");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  const bench::SkyServerBench bench = bench::MakeSkyServerBench(cli);
+  const double delta = cli.GetDouble("delta");
+
+  std::printf("=== Figure 8: cost model, fixed delta=%.2f (SkyServer, "
+              "n=%zu) ===\n",
+              delta, bench.column.size());
+  TableReport report({"algorithm", "query", "measured_s", "predicted_s"});
+  for (const std::string& id : ProgressiveIndexIds()) {
+    auto index = MakeIndex(id, bench.column, BudgetSpec::FixedDelta(delta));
+    const Metrics metrics = RunWorkload(index.get(), bench.queries);
+    for (size_t i = 0; i < metrics.records().size(); i++) {
+      if (!LogSampled(i + 1)) continue;
+      const QueryRecord& r = metrics.records()[i];
+      report.AddRow({index->name(), TableReport::FormatCount(
+                                        static_cast<int64_t>(i) + 1),
+                     TableReport::FormatSecs(r.secs),
+                     TableReport::FormatSecs(r.predicted)});
+    }
+    // Report the model error separately for the build-up (where the
+    // absolute times matter) and the post-convergence tail (micro-
+    // second lookups, where small absolute offsets dominate the
+    // relative error).
+    double pre_err = 0;
+    double post_err = 0;
+    size_t pre_n = 0;
+    size_t post_n = 0;
+    for (const QueryRecord& r : metrics.records()) {
+      if (r.predicted <= 0 || r.secs <= 0) continue;
+      const double err = std::abs(r.secs - r.predicted) / r.secs;
+      if (r.converged) {
+        post_err += err;
+        post_n++;
+      } else {
+        pre_err += err;
+        pre_n++;
+      }
+    }
+    std::printf("%-22s rel.err pre-convergence=%.2f (%zu q) "
+                "post=%.2f (%zu q)\n",
+                index->name().c_str(),
+                pre_n ? pre_err / static_cast<double>(pre_n) : 0, pre_n,
+                post_n ? post_err / static_cast<double>(post_n) : 0, post_n);
+  }
+  report.Print();
+  const std::string csv = cli.GetString("csv");
+  if (!csv.empty()) report.WriteCsv(csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace progidx
+
+int main(int argc, char** argv) { return progidx::Run(argc, argv); }

@@ -1,0 +1,85 @@
+// Figure 9: cost-model validation with the adaptive indexing budget
+// (t_budget = 0.2 * t_scan) on the SkyServer workload. The signature
+// result: total per-query time stays ~flat at 1.2x scan until the
+// index converges, then drops to index-lookup cost.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "eval/report.h"
+
+namespace progidx {
+namespace {
+
+bool LogSampled(size_t query_number) {
+  size_t scale = 1;
+  while (query_number > 10 * scale) scale *= 10;
+  return query_number % scale == 0;
+}
+
+int Run(int argc, char** argv) {
+  CommandLine cli;
+  bench::AddCommonFlags(&cli);
+  cli.AddFlag("budget", "0.2", "indexing budget as fraction of scan cost");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  const bench::SkyServerBench bench = bench::MakeSkyServerBench(cli);
+  const double budget = cli.GetDouble("budget");
+  const double scan_secs = bench::MeasuredScanSecs(bench.column);
+
+  std::printf("=== Figure 9: cost model, adaptive budget=%.2f*t_scan "
+              "(SkyServer, n=%zu; t_scan=%s, target=%s) ===\n",
+              budget, bench.column.size(),
+              TableReport::FormatSecs(scan_secs).c_str(),
+              TableReport::FormatSecs((1 + budget) * scan_secs).c_str());
+  TableReport report(
+      {"algorithm", "query", "measured_s", "predicted_s", "converged"});
+  for (const std::string& id : ProgressiveIndexIds()) {
+    auto index = MakeIndex(id, bench.column, BudgetSpec::Adaptive(budget));
+    const Metrics metrics = RunWorkload(index.get(), bench.queries);
+    for (size_t i = 0; i < metrics.records().size(); i++) {
+      if (!LogSampled(i + 1)) continue;
+      const QueryRecord& r = metrics.records()[i];
+      report.AddRow({index->name(),
+                     TableReport::FormatCount(static_cast<int64_t>(i) + 1),
+                     TableReport::FormatSecs(r.secs),
+                     TableReport::FormatSecs(r.predicted),
+                     r.converged ? "yes" : "no"});
+    }
+    // Report the model error separately for the build-up (where the
+    // absolute times matter) and the post-convergence tail (micro-
+    // second lookups, where small absolute offsets dominate the
+    // relative error).
+    double pre_err = 0;
+    double post_err = 0;
+    size_t pre_n = 0;
+    size_t post_n = 0;
+    for (const QueryRecord& r : metrics.records()) {
+      if (r.predicted <= 0 || r.secs <= 0) continue;
+      const double err = std::abs(r.secs - r.predicted) / r.secs;
+      if (r.converged) {
+        post_err += err;
+        post_n++;
+      } else {
+        pre_err += err;
+        pre_n++;
+      }
+    }
+    std::printf("%-22s rel.err pre-convergence=%.2f (%zu q) "
+                "post=%.2f (%zu q)\n",
+                index->name().c_str(),
+                pre_n ? pre_err / static_cast<double>(pre_n) : 0, pre_n,
+                post_n ? post_err / static_cast<double>(post_n) : 0, post_n);
+    std::printf("%-22s converged at query %s\n", index->name().c_str(),
+                TableReport::FormatCount(metrics.ConvergenceQuery()).c_str());
+  }
+  report.Print();
+  const std::string csv = cli.GetString("csv");
+  if (!csv.empty()) report.WriteCsv(csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace progidx
+
+int main(int argc, char** argv) { return progidx::Run(argc, argv); }

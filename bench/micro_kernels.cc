@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark) for the kernels behind the cost
+// model's Table 1 constants: scan kernels, crack kernels, bucket
+// appends, AVL inserts, and B+-tree lookups.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/avl_tree.h"
+#include "baselines/cracking_kernels.h"
+#include "btree/btree.h"
+#include "common/predication.h"
+#include "common/rng.h"
+#include "storage/bucket_chain.h"
+
+namespace progidx {
+namespace {
+
+std::vector<value_t> RandomData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<value_t> data(n);
+  for (value_t& v : data) {
+    v = static_cast<value_t>(rng.NextBounded(static_cast<uint64_t>(n)));
+  }
+  return data;
+}
+
+void BM_PredicatedRangeSum(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<value_t> data = RandomData(n, 1);
+  const RangeQuery q{static_cast<value_t>(n / 4),
+                     static_cast<value_t>(3 * n / 4)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PredicatedRangeSum(data.data(), n, q));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_PredicatedRangeSum)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BranchedRangeSum(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<value_t> data = RandomData(n, 1);
+  const RangeQuery q{static_cast<value_t>(n / 4),
+                     static_cast<value_t>(3 * n / 4)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BranchedRangeSum(data.data(), n, q));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_BranchedRangeSum)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_CrackInTwoPredicated(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<value_t> original = RandomData(n, 2);
+  std::vector<value_t> data = original;
+  for (auto _ : state) {
+    state.PauseTiming();
+    data = original;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(CrackInTwoPredicated(
+        data.data(), 0, n, static_cast<value_t>(n / 2)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_CrackInTwoPredicated)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_CrackInTwoBranched(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<value_t> original = RandomData(n, 2);
+  std::vector<value_t> data = original;
+  for (auto _ : state) {
+    state.PauseTiming();
+    data = original;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(CrackInTwoBranched(
+        data.data(), 0, n, static_cast<value_t>(n / 2)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_CrackInTwoBranched)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BucketChainAppend(benchmark::State& state) {
+  const size_t n = 1 << 16;
+  const std::vector<value_t> data = RandomData(n, 3);
+  for (auto _ : state) {
+    BucketChain chain(static_cast<size_t>(state.range(0)));
+    for (const value_t v : data) chain.Append(v);
+    benchmark::DoNotOptimize(chain.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_BucketChainAppend)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_AvlInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<value_t> data = RandomData(n, 4);
+  for (auto _ : state) {
+    AvlTree tree;
+    for (size_t i = 0; i < n; i++) {
+      tree.Insert(data[i], static_cast<size_t>(data[i]));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_AvlInsert)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  const size_t n = 1 << 20;
+  std::vector<value_t> data = RandomData(n, 5);
+  std::sort(data.begin(), data.end());
+  BPlusTree tree(data.data(), n, static_cast<size_t>(state.range(0)));
+  tree.BuildAll();
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.LowerBound(static_cast<value_t>(rng.NextBounded(n))));
+  }
+}
+BENCHMARK(BM_BTreeLookup)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BinarySearchBaseline(benchmark::State& state) {
+  const size_t n = 1 << 20;
+  std::vector<value_t> data = RandomData(n, 5);
+  std::sort(data.begin(), data.end());
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        std::lower_bound(data.begin(), data.end(),
+                         static_cast<value_t>(rng.NextBounded(n))));
+  }
+}
+BENCHMARK(BM_BinarySearchBaseline);
+
+}  // namespace
+}  // namespace progidx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Table 2: the full SkyServer comparison — baselines (FS, FI), adaptive
+// indexing (STD, STC, PSTC, CGI, AA) and progressive indexing (PQ,
+// PMSD, PLSD, PB) — on first-query cost, convergence, robustness
+// (variance of the first 100 queries) and cumulative time.
+
+#include "bench/bench_util.h"
+#include "eval/report.h"
+
+namespace progidx {
+namespace {
+
+int Run(int argc, char** argv) {
+  CommandLine cli;
+  bench::AddCommonFlags(&cli);
+  if (!cli.Parse(argc, argv)) return 0;
+
+  const bench::SkyServerBench bench = bench::MakeSkyServerBench(cli);
+  std::printf("=== Table 2: SkyServer results (n=%zu, %zu queries, "
+              "t_budget=0.2*t_scan) ===\n",
+              bench.column.size(), bench.queries.size());
+  TableReport report({"index", "first_q_s", "convergence", "robustness",
+                      "cumulative_s"});
+  for (const std::string& id : AllIndexIds()) {
+    auto index = MakeIndex(id, bench.column, BudgetSpec::Adaptive(0.2));
+    const Metrics metrics = RunWorkload(index.get(), bench.queries);
+    report.AddRow(
+        {index->name(), TableReport::FormatSecs(metrics.FirstQuerySecs()),
+         TableReport::FormatCount(metrics.ConvergenceQuery()),
+         TableReport::FormatSci(metrics.RobustnessVariance(100)),
+         TableReport::FormatSecs(metrics.CumulativeSecs())});
+  }
+  report.Print();
+  const std::string csv = cli.GetString("csv");
+  if (!csv.empty()) report.WriteCsv(csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace progidx
+
+int main(int argc, char** argv) { return progidx::Run(argc, argv); }

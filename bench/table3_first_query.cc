@@ -1,0 +1,40 @@
+// Table 3: first-query cost over the synthetic grid (uniform, skewed,
+// point-query, large blocks x workload patterns) for PQ, PB, PLSD,
+// PMSD vs Adaptive Adaptive. Expected shape: all progressive
+// techniques ~1.2x scan; AA roughly an order of magnitude higher.
+
+#include "bench/bench_util.h"
+#include "eval/report.h"
+
+namespace progidx {
+namespace {
+
+int Run(int argc, char** argv) {
+  CommandLine cli;
+  bench::AddCommonFlags(&cli);
+  if (!cli.Parse(argc, argv)) return 0;
+
+  std::printf("=== Table 3: first query cost (s) ===\n");
+  std::vector<bench::GridCase> grid = bench::MakeSyntheticGrid(cli);
+  std::vector<std::string> headers = {"block", "workload"};
+  for (const std::string& id : bench::GridIndexIds()) headers.push_back(id);
+  TableReport report(headers);
+  for (const bench::GridCase& c : grid) {
+    std::vector<std::string> row = {c.block, WorkloadPatternName(c.pattern)};
+    for (const std::string& id : bench::GridIndexIds()) {
+      auto index = MakeIndex(id, c.column, BudgetSpec::Adaptive(0.2));
+      const Metrics metrics = RunWorkload(index.get(), c.queries);
+      row.push_back(TableReport::FormatSecs(metrics.FirstQuerySecs()));
+    }
+    report.AddRow(std::move(row));
+  }
+  report.Print();
+  const std::string csv = cli.GetString("csv");
+  if (!csv.empty()) report.WriteCsv(csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace progidx
+
+int main(int argc, char** argv) { return progidx::Run(argc, argv); }

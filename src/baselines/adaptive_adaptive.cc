@@ -1,0 +1,68 @@
+#include "baselines/adaptive_adaptive.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "baselines/cracking_kernels.h"
+
+namespace progidx {
+
+void AdaptiveAdaptiveIndexing::RangePartition(size_t start, size_t end,
+                                              size_t fanout) {
+  if (end - start < 2 || fanout < 2) return;
+  value_t* data = cracker_.data();
+  value_t lo = data[start];
+  value_t hi = data[start];
+  for (size_t i = start; i < end; i++) {
+    lo = std::min(lo, data[i]);
+    hi = std::max(hi, data[i]);
+  }
+  if (lo == hi) return;
+  // Equal-width value partition, materialized out of place (AA's
+  // radix-partition step with software-managed buffers reduces to this
+  // on a value domain).
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  const uint64_t width = (range + fanout - 1) / fanout;
+  std::vector<std::vector<value_t>> parts(fanout);
+  const size_t expected = (end - start) / fanout + 1;
+  for (auto& part : parts) part.reserve(expected);
+  for (size_t i = start; i < end; i++) {
+    parts[static_cast<size_t>(static_cast<uint64_t>(data[i] - lo) / width)]
+        .push_back(data[i]);
+  }
+  size_t pos = start;
+  for (size_t p = 0; p < fanout; p++) {
+    if (p > 0 && pos > start && pos < end) {
+      cracker_.index().Insert(lo + static_cast<value_t>(p * width), pos);
+    }
+    for (const value_t v : parts[p]) data[pos++] = v;
+  }
+}
+
+void AdaptiveAdaptiveIndexing::CrackAt(value_t v) {
+  if (cracker_.index().Contains(v)) return;
+  const AvlTree::Piece piece = cracker_.PieceFor(v);
+  // Eagerly sub-partition large touched pieces (AA invests extra work
+  // per query to converge quickly), then crack exactly.
+  if (piece.end - piece.start > l2_elements_) {
+    RangePartition(piece.start, piece.end, refine_fanout_);
+  }
+  const AvlTree::Piece refined = cracker_.PieceFor(v);
+  const size_t boundary = CrackInTwoPredicated(cracker_.data(),
+                                               refined.start, refined.end, v);
+  cracker_.index().Insert(v, boundary);
+}
+
+QueryResult AdaptiveAdaptiveIndexing::Query(const RangeQuery& q) {
+  if (!initialized_) {
+    cracker_.EnsureMaterialized();
+    RangePartition(0, cracker_.size(), first_fanout_);
+    initialized_ = true;
+  }
+  CrackAt(q.low);
+  if (q.high != std::numeric_limits<value_t>::max()) CrackAt(q.high + 1);
+  return cracker_.Answer(q);
+}
+
+}  // namespace progidx

@@ -1,0 +1,49 @@
+#ifndef PROGIDX_BASELINES_ADAPTIVE_ADAPTIVE_H_
+#define PROGIDX_BASELINES_ADAPTIVE_ADAPTIVE_H_
+
+#include <string>
+
+#include "baselines/cracker_column.h"
+#include "core/index_base.h"
+
+namespace progidx {
+
+/// Adaptive Adaptive Indexing (Schuhknecht et al. [23]), re-implemented
+/// from its published description (the authors' binary is not
+/// available; see DESIGN.md §5). First query: a full out-of-place
+/// range partition into `first_fanout` pieces (the radix-partitioned
+/// copy that gives AA its expensive first query and fast convergence).
+/// Later queries: exact cracks at the predicates, plus eager
+/// sub-partitioning of any touched piece still larger than L2.
+class AdaptiveAdaptiveIndexing : public IndexBase {
+ public:
+  AdaptiveAdaptiveIndexing(const Column& column, size_t first_fanout = 1024,
+                           size_t refine_fanout = 64,
+                           size_t l2_elements = 32768)
+      : cracker_(column),
+        first_fanout_(first_fanout),
+        refine_fanout_(refine_fanout),
+        l2_elements_(l2_elements) {}
+
+  QueryResult Query(const RangeQuery& q) override;
+  bool converged() const override { return false; }
+  std::string name() const override { return "Adaptive Adaptive"; }
+
+  const CrackerColumn& cracker() const { return cracker_; }
+
+ private:
+  /// Equal-width partition of piece [start, end) into `fanout` value
+  /// ranges; inserts boundaries.
+  void RangePartition(size_t start, size_t end, size_t fanout);
+  void CrackAt(value_t v);
+
+  CrackerColumn cracker_;
+  size_t first_fanout_;
+  size_t refine_fanout_;
+  size_t l2_elements_;
+  bool initialized_ = false;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_BASELINES_ADAPTIVE_ADAPTIVE_H_

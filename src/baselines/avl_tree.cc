@@ -1,0 +1,131 @@
+#include "baselines/avl_tree.h"
+
+#include <algorithm>
+
+namespace progidx {
+
+void AvlTree::Update(Node* node) {
+  node->height = 1 + std::max(Height(node->left.get()),
+                              Height(node->right.get()));
+}
+
+void AvlTree::RotateLeft(std::unique_ptr<Node>* slot) {
+  std::unique_ptr<Node> node = std::move(*slot);
+  std::unique_ptr<Node> pivot = std::move(node->right);
+  node->right = std::move(pivot->left);
+  Update(node.get());
+  pivot->left = std::move(node);
+  Update(pivot.get());
+  *slot = std::move(pivot);
+}
+
+void AvlTree::RotateRight(std::unique_ptr<Node>* slot) {
+  std::unique_ptr<Node> node = std::move(*slot);
+  std::unique_ptr<Node> pivot = std::move(node->left);
+  node->left = std::move(pivot->right);
+  Update(node.get());
+  pivot->right = std::move(node);
+  Update(pivot.get());
+  *slot = std::move(pivot);
+}
+
+void AvlTree::Rebalance(std::unique_ptr<Node>* slot) {
+  Node* node = slot->get();
+  Update(node);
+  const int balance = Height(node->left.get()) - Height(node->right.get());
+  if (balance > 1) {
+    if (Height(node->left->left.get()) < Height(node->left->right.get())) {
+      RotateLeft(&node->left);
+    }
+    RotateRight(slot);
+  } else if (balance < -1) {
+    if (Height(node->right->right.get()) < Height(node->right->left.get())) {
+      RotateRight(&node->right);
+    }
+    RotateLeft(slot);
+  }
+}
+
+bool AvlTree::InsertAt(std::unique_ptr<Node>* slot, value_t key, size_t pos) {
+  Node* node = slot->get();
+  if (node == nullptr) {
+    *slot = std::make_unique<Node>();
+    (*slot)->key = key;
+    (*slot)->pos = pos;
+    return true;
+  }
+  bool inserted = false;
+  if (key < node->key) {
+    inserted = InsertAt(&node->left, key, pos);
+  } else if (key > node->key) {
+    inserted = InsertAt(&node->right, key, pos);
+  } else {
+    return false;  // duplicate boundary
+  }
+  if (inserted) Rebalance(slot);
+  return inserted;
+}
+
+void AvlTree::Insert(value_t key, size_t pos) {
+  if (InsertAt(&root_, key, pos)) size_++;
+}
+
+bool AvlTree::Contains(value_t key) const {
+  const Node* node = root_.get();
+  while (node != nullptr) {
+    if (key < node->key) {
+      node = node->left.get();
+    } else if (key > node->key) {
+      node = node->right.get();
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t AvlTree::LowerPos(value_t v) const {
+  const Node* node = root_.get();
+  size_t pos = 0;
+  while (node != nullptr) {
+    if (node->key <= v) {
+      pos = node->pos;
+      node = node->right.get();
+    } else {
+      node = node->left.get();
+    }
+  }
+  return pos;
+}
+
+size_t AvlTree::UpperPos(value_t v, size_t n) const {
+  const Node* node = root_.get();
+  size_t pos = n;
+  while (node != nullptr) {
+    if (node->key > v) {
+      pos = node->pos;
+      node = node->left.get();
+    } else {
+      node = node->right.get();
+    }
+  }
+  return pos;
+}
+
+AvlTree::Piece AvlTree::PieceFor(value_t v, size_t n) const {
+  return Piece{LowerPos(v), UpperPos(v, n)};
+}
+
+void AvlTree::InOrderAt(const Node* node,
+                        const std::function<void(value_t, size_t)>& fn) {
+  if (node == nullptr) return;
+  InOrderAt(node->left.get(), fn);
+  fn(node->key, node->pos);
+  InOrderAt(node->right.get(), fn);
+}
+
+void AvlTree::InOrder(const std::function<void(value_t, size_t)>& fn) const {
+  InOrderAt(root_.get(), fn);
+}
+
+}  // namespace progidx

@@ -1,0 +1,77 @@
+#ifndef PROGIDX_BASELINES_AVL_TREE_H_
+#define PROGIDX_BASELINES_AVL_TREE_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "common/types.h"
+
+namespace progidx {
+
+/// The cracker index of Idreos et al. [16]: a self-balancing binary
+/// search tree mapping crack values to positions in the cracker
+/// column. A node (key, pos) records the invariant that every element
+/// left of `pos` is < `key` and every element at or right of `pos` is
+/// >= `key`. Implemented from scratch as an AVL tree, the structure
+/// used by the original database-cracking work.
+class AvlTree {
+ public:
+  AvlTree() = default;
+
+  /// Inserts the boundary (key, pos); a duplicate key is ignored.
+  void Insert(value_t key, size_t pos);
+
+  /// True if `key` is already a crack boundary.
+  bool Contains(value_t key) const;
+
+  /// Number of boundaries stored.
+  size_t size() const { return size_; }
+
+  /// Tree height (0 for an empty tree); exposed for balance tests.
+  size_t height() const { return Height(root_.get()); }
+
+  /// Half-open position interval of the piece that would contain value
+  /// `v` in a cracker column of `n` elements: [pos of the greatest
+  /// boundary key <= v, pos of the smallest boundary key > v).
+  struct Piece {
+    size_t start = 0;
+    size_t end = 0;
+  };
+  Piece PieceFor(value_t v, size_t n) const;
+
+  /// Position of the greatest boundary with key <= v, or 0.
+  size_t LowerPos(value_t v) const;
+  /// Position of the smallest boundary with key > v, or `n`.
+  size_t UpperPos(value_t v, size_t n) const;
+
+  /// In-order traversal of all (key, pos) boundaries.
+  void InOrder(const std::function<void(value_t, size_t)>& fn) const;
+
+ private:
+  struct Node {
+    value_t key;
+    size_t pos;
+    int height = 1;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  static int Height(const Node* node) {
+    return node == nullptr ? 0 : node->height;
+  }
+  static void Update(Node* node);
+  static void RotateLeft(std::unique_ptr<Node>* slot);
+  static void RotateRight(std::unique_ptr<Node>* slot);
+  static void Rebalance(std::unique_ptr<Node>* slot);
+  static bool InsertAt(std::unique_ptr<Node>* slot, value_t key, size_t pos);
+  static void InOrderAt(const Node* node,
+                        const std::function<void(value_t, size_t)>& fn);
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_BASELINES_AVL_TREE_H_

@@ -1,0 +1,25 @@
+#include "baselines/cracker_column.h"
+
+#include "common/predication.h"
+
+namespace progidx {
+
+bool CrackerColumn::EnsureMaterialized() {
+  if (materialized_) return false;
+  data_ = column_.values();
+  materialized_ = true;
+  return true;
+}
+
+QueryResult CrackerColumn::Answer(const RangeQuery& q) const {
+  const size_t n = column_.size();
+  if (!materialized_) {
+    return PredicatedRangeSum(column_.data(), n, q);
+  }
+  const size_t start = index_.LowerPos(q.low);
+  const size_t end = index_.UpperPos(q.high, n);
+  if (start >= end) return {};
+  return PredicatedRangeSum(data_.data() + start, end - start, q);
+}
+
+}  // namespace progidx

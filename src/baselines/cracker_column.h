@@ -1,0 +1,55 @@
+#ifndef PROGIDX_BASELINES_CRACKER_COLUMN_H_
+#define PROGIDX_BASELINES_CRACKER_COLUMN_H_
+
+#include <vector>
+
+#include "baselines/avl_tree.h"
+#include "common/types.h"
+#include "storage/column.h"
+
+namespace progidx {
+
+/// The shared substrate of all adaptive-indexing baselines: a private
+/// copy of the base column that queries physically reorder, plus the
+/// AVL cracker index of piece boundaries.
+///
+/// The copy is materialized lazily on first use so that the copy cost
+/// lands on the first query, as in the paper's measurements (adaptive
+/// techniques "perform a significant amount of work copying the data
+/// ... on the first query").
+class CrackerColumn {
+ public:
+  explicit CrackerColumn(const Column& column) : column_(column) {}
+
+  /// Copies the base column if not done yet. Returns true if the copy
+  /// happened now.
+  bool EnsureMaterialized();
+  bool materialized() const { return materialized_; }
+
+  size_t size() const { return column_.size(); }
+  value_t* data() { return data_.data(); }
+  const value_t* data() const { return data_.data(); }
+
+  AvlTree& index() { return index_; }
+  const AvlTree& index() const { return index_; }
+
+  /// Piece containing value v.
+  AvlTree::Piece PieceFor(value_t v) const {
+    return index_.PieceFor(v, column_.size());
+  }
+
+  /// Answers q with a predicated scan of the smallest piece-aligned
+  /// region covering [q.low, q.high]. Correct for exact and inexact
+  /// (stochastic) boundaries alike.
+  QueryResult Answer(const RangeQuery& q) const;
+
+ private:
+  const Column& column_;
+  std::vector<value_t> data_;
+  AvlTree index_;
+  bool materialized_ = false;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_BASELINES_CRACKER_COLUMN_H_

@@ -1,0 +1,113 @@
+#include "baselines/cracking_kernels.h"
+
+#include <algorithm>
+
+namespace progidx {
+
+size_t CrackInTwoBranched(value_t* data, size_t start, size_t end,
+                          value_t pivot) {
+  if (start >= end) return start;
+  size_t lo = start;
+  size_t hi = end - 1;
+  while (lo < hi) {
+    while (lo < hi && data[lo] < pivot) lo++;
+    while (lo < hi && data[hi] >= pivot) hi--;
+    if (lo < hi) std::swap(data[lo], data[hi]);
+  }
+  return lo + (data[lo] < pivot ? 1 : 0);
+}
+
+size_t CrackInTwoPredicated(value_t* data, size_t start, size_t end,
+                            value_t pivot) {
+  if (start >= end) return start;
+  size_t lo = start;
+  size_t hi = end - 1;
+  while (lo < hi) {
+    const value_t a = data[lo];
+    const value_t b = data[hi];
+    const bool stay = a < pivot;
+    data[lo] = stay ? a : b;
+    data[hi] = stay ? b : a;
+    lo += stay ? 1 : 0;
+    hi -= stay ? 0 : 1;
+  }
+  return lo + (data[lo] < pivot ? 1 : 0);
+}
+
+size_t CrackInTwoAdaptive(value_t* data, size_t start, size_t end,
+                          value_t pivot, double split_estimate) {
+  // Lopsided splits mispredict rarely, so the cheaper branched loop
+  // wins; balanced splits mispredict half the time, so predication
+  // wins (Haffner et al.'s decision tree, reduced to its dominant
+  // dimension).
+  const bool lopsided = split_estimate < 0.1 || split_estimate > 0.9;
+  return lopsided ? CrackInTwoBranched(data, start, end, pivot)
+                  : CrackInTwoPredicated(data, start, end, pivot);
+}
+
+CrackInThreeResult CrackInThree(value_t* data, size_t start, size_t end,
+                                value_t lo_pivot, value_t hi_pivot) {
+  PROGIDX_CHECK(lo_pivot <= hi_pivot);
+  // Dutch national flag: lt = frontier of the < region, gt = frontier
+  // of the >= hi region, i = scan cursor over the unknown middle.
+  size_t lt = start;
+  size_t gt = end;
+  size_t i = start;
+  while (i < gt) {
+    const value_t v = data[i];
+    if (v < lo_pivot) {
+      std::swap(data[i], data[lt]);
+      lt++;
+      i++;
+    } else if (v >= hi_pivot) {
+      gt--;
+      std::swap(data[i], data[gt]);
+    } else {
+      i++;
+    }
+  }
+  return CrackInThreeResult{lt, gt};
+}
+
+PartialCrack BeginPartialCrack(size_t start, size_t end, value_t pivot) {
+  PartialCrack crack;
+  crack.pivot = pivot;
+  crack.start = start;
+  crack.end = end;
+  crack.lo = start;
+  crack.hi = end > start ? end - 1 : start;
+  if (start >= end) {
+    crack.done = true;
+    crack.boundary = start;
+  }
+  return crack;
+}
+
+size_t AdvancePartialCrack(value_t* data, PartialCrack* crack,
+                           size_t max_swaps) {
+  if (crack->done) return 0;
+  size_t steps = 0;
+  size_t lo = crack->lo;
+  size_t hi = crack->hi;
+  const value_t pivot = crack->pivot;
+  while (lo < hi && steps < max_swaps) {
+    const value_t a = data[lo];
+    const value_t b = data[hi];
+    const bool stay = a < pivot;
+    data[lo] = stay ? a : b;
+    data[hi] = stay ? b : a;
+    lo += stay ? 1 : 0;
+    hi -= stay ? 0 : 1;
+    steps++;
+  }
+  crack->lo = lo;
+  crack->hi = hi;
+  if (lo == hi && steps < max_swaps) {
+    crack->boundary = lo + (data[lo] < pivot ? 1 : 0);
+    crack->done = true;
+    steps++;
+  }
+  return steps;
+}
+
+}  // namespace progidx

@@ -1,0 +1,70 @@
+#ifndef PROGIDX_BASELINES_CRACKING_KERNELS_H_
+#define PROGIDX_BASELINES_CRACKING_KERNELS_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace progidx {
+
+// Crack-in-two kernels: partition data[start, end) so that values
+// < pivot precede values >= pivot; return the boundary position.
+// Branched and predicated variants follow Haffner et al. [11]; the
+// adaptive kernel applies their decision-tree insight that branching
+// wins when the split is very lopsided (few mispredictions) and
+// predication wins near 50/50 splits.
+
+/// Hoare-style branched crack-in-two.
+size_t CrackInTwoBranched(value_t* data, size_t start, size_t end,
+                          value_t pivot);
+
+/// Branch-free crack-in-two (both frontiers written each step, one
+/// cursor advances).
+size_t CrackInTwoPredicated(value_t* data, size_t start, size_t end,
+                            value_t pivot);
+
+/// Picks a kernel from an estimate of the split fraction (fraction of
+/// the piece expected to fall below the pivot, in [0, 1]; pass 0.5 when
+/// unknown).
+size_t CrackInTwoAdaptive(value_t* data, size_t start, size_t end,
+                          value_t pivot, double split_estimate);
+
+/// Result of a three-way crack: data[start, lo_boundary) < lo_pivot,
+/// data[lo_boundary, hi_boundary) in [lo_pivot, hi_pivot),
+/// data[hi_boundary, end) >= hi_pivot.
+struct CrackInThreeResult {
+  size_t lo_boundary = 0;
+  size_t hi_boundary = 0;
+};
+
+/// Three-way partition (Dutch-national-flag style), the kernel standard
+/// cracking uses when both query bounds fall into the same piece.
+/// Requires lo_pivot <= hi_pivot.
+CrackInThreeResult CrackInThree(value_t* data, size_t start, size_t end,
+                                value_t lo_pivot, value_t hi_pivot);
+
+/// Resumable crack state for budget-limited cracking (Progressive
+/// Stochastic Cracking): [start, lo) holds values < pivot, (hi, end-1]
+/// holds values >= pivot, [lo, hi] is unpartitioned.
+struct PartialCrack {
+  value_t pivot = 0;
+  size_t start = 0;
+  size_t end = 0;
+  size_t lo = 0;
+  size_t hi = 0;  // inclusive
+  bool done = false;
+  size_t boundary = 0;  // valid when done
+};
+
+/// Starts a crack of data[start, end); call AdvancePartialCrack to make
+/// progress.
+PartialCrack BeginPartialCrack(size_t start, size_t end, value_t pivot);
+
+/// Advances the crack by at most `max_swaps` steps; returns steps
+/// consumed. Sets `crack->done` and `crack->boundary` on completion.
+size_t AdvancePartialCrack(value_t* data, PartialCrack* crack,
+                           size_t max_swaps);
+
+}  // namespace progidx
+
+#endif  // PROGIDX_BASELINES_CRACKING_KERNELS_H_

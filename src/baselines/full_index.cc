@@ -1,0 +1,18 @@
+#include "baselines/full_index.h"
+
+#include <algorithm>
+
+namespace progidx {
+
+QueryResult FullIndex::Query(const RangeQuery& q) {
+  if (!built_) {
+    sorted_ = column_.values();
+    std::sort(sorted_.begin(), sorted_.end());
+    btree_ = BPlusTree(sorted_.data(), sorted_.size(), fanout_);
+    btree_.BuildAll();
+    built_ = true;
+  }
+  return btree_.RangeSum(q);
+}
+
+}  // namespace progidx

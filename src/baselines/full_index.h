@@ -1,0 +1,35 @@
+#ifndef PROGIDX_BASELINES_FULL_INDEX_H_
+#define PROGIDX_BASELINES_FULL_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "core/index_base.h"
+
+namespace progidx {
+
+/// Baseline FI: the first query pays for a complete copy + sort +
+/// B+-tree bulk load; every later query is an index lookup. The other
+/// extreme of Table 2: worst first query, best cumulative time.
+class FullIndex : public IndexBase {
+ public:
+  /// `fanout` is the B+-tree fanout β.
+  explicit FullIndex(const Column& column, size_t fanout = 64)
+      : column_(column), fanout_(fanout) {}
+
+  QueryResult Query(const RangeQuery& q) override;
+  bool converged() const override { return built_; }
+  std::string name() const override { return "Full Index"; }
+
+ private:
+  const Column& column_;
+  size_t fanout_;
+  bool built_ = false;
+  std::vector<value_t> sorted_;
+  BPlusTree btree_;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_BASELINES_FULL_INDEX_H_

@@ -1,0 +1,11 @@
+#include "baselines/full_scan.h"
+
+#include "common/predication.h"
+
+namespace progidx {
+
+QueryResult FullScan::Query(const RangeQuery& q) {
+  return PredicatedRangeSum(column_.data(), column_.size(), q);
+}
+
+}  // namespace progidx

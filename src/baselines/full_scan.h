@@ -1,0 +1,26 @@
+#ifndef PROGIDX_BASELINES_FULL_SCAN_H_
+#define PROGIDX_BASELINES_FULL_SCAN_H_
+
+#include <string>
+
+#include "core/index_base.h"
+
+namespace progidx {
+
+/// Baseline FS: every query is a predicated full scan; no index is ever
+/// built. The most robust and the slowest technique in Table 2.
+class FullScan : public IndexBase {
+ public:
+  explicit FullScan(const Column& column) : column_(column) {}
+
+  QueryResult Query(const RangeQuery& q) override;
+  bool converged() const override { return false; }
+  std::string name() const override { return "Full Scan"; }
+
+ private:
+  const Column& column_;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_BASELINES_FULL_SCAN_H_

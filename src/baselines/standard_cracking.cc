@@ -1,0 +1,41 @@
+#include "baselines/standard_cracking.h"
+
+#include <limits>
+
+#include "baselines/cracking_kernels.h"
+
+namespace progidx {
+
+void StandardCracking::CrackAt(value_t v) {
+  if (cracker_.index().Contains(v)) return;
+  const AvlTree::Piece piece = cracker_.PieceFor(v);
+  const size_t boundary =
+      CrackInTwoPredicated(cracker_.data(), piece.start, piece.end, v);
+  cracker_.index().Insert(v, boundary);
+}
+
+QueryResult StandardCracking::Query(const RangeQuery& q) {
+  cracker_.EnsureMaterialized();
+  const value_t lo = q.low;
+  const bool has_hi = q.high != std::numeric_limits<value_t>::max();
+  const value_t hi = has_hi ? q.high + 1 : q.high;
+  const bool lo_known = cracker_.index().Contains(lo);
+  const bool hi_known = !has_hi || cracker_.index().Contains(hi);
+  if (!lo_known && !hi_known &&
+      cracker_.PieceFor(lo).start == cracker_.PieceFor(hi).start) {
+    // Both predicate values fall into the same piece: one three-way
+    // crack instead of two two-way passes (the classic crack-in-three
+    // of Idreos et al. [16]).
+    const AvlTree::Piece piece = cracker_.PieceFor(lo);
+    const CrackInThreeResult r =
+        CrackInThree(cracker_.data(), piece.start, piece.end, lo, hi);
+    cracker_.index().Insert(lo, r.lo_boundary);
+    cracker_.index().Insert(hi, r.hi_boundary);
+  } else {
+    CrackAt(lo);
+    if (has_hi) CrackAt(hi);
+  }
+  return cracker_.Answer(q);
+}
+
+}  // namespace progidx

@@ -1,0 +1,35 @@
+#ifndef PROGIDX_BASELINES_STANDARD_CRACKING_H_
+#define PROGIDX_BASELINES_STANDARD_CRACKING_H_
+
+#include <string>
+
+#include "baselines/cracker_column.h"
+#include "core/index_base.h"
+
+namespace progidx {
+
+/// Standard Cracking (Idreos et al. [16]): each query physically cracks
+/// the column at its two predicate values and records the boundaries in
+/// the AVL cracker index. Refinement happens only where the workload
+/// looks, so convergence is workload-dependent.
+class StandardCracking : public IndexBase {
+ public:
+  explicit StandardCracking(const Column& column) : cracker_(column) {}
+
+  QueryResult Query(const RangeQuery& q) override;
+  bool converged() const override { return false; }
+  std::string name() const override { return "Std. Cracking"; }
+
+  const CrackerColumn& cracker() const { return cracker_; }
+
+ private:
+  /// Cracks the piece containing `v` at `v` (no-op if already a
+  /// boundary).
+  void CrackAt(value_t v);
+
+  CrackerColumn cracker_;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_BASELINES_STANDARD_CRACKING_H_

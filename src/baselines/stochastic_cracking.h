@@ -1,0 +1,42 @@
+#ifndef PROGIDX_BASELINES_STOCHASTIC_CRACKING_H_
+#define PROGIDX_BASELINES_STOCHASTIC_CRACKING_H_
+
+#include <string>
+
+#include "baselines/cracker_column.h"
+#include "common/rng.h"
+#include "core/index_base.h"
+
+namespace progidx {
+
+/// Stochastic Cracking (Halim et al. [12], MDD1R flavor): instead of
+/// cracking at the query predicates, each query performs one crack per
+/// touched piece around a *random element* of that piece. Random pivots
+/// decouple index refinement from the workload, trading slightly more
+/// scanning (boundary pieces must be filtered) for robustness against
+/// adversarial (e.g., sequential) workloads.
+class StochasticCracking : public IndexBase {
+ public:
+  explicit StochasticCracking(const Column& column, uint64_t seed = 7,
+                              size_t min_piece_size = 128)
+      : cracker_(column), rng_(seed), min_piece_size_(min_piece_size) {}
+
+  QueryResult Query(const RangeQuery& q) override;
+  bool converged() const override { return false; }
+  std::string name() const override { return "Stochastic Cracking"; }
+
+  const CrackerColumn& cracker() const { return cracker_; }
+
+ private:
+  /// One random crack of the piece containing `v` (no-op when the
+  /// piece is already smaller than min_piece_size_).
+  void RandomCrackAt(value_t v);
+
+  CrackerColumn cracker_;
+  Rng rng_;
+  size_t min_piece_size_;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_BASELINES_STOCHASTIC_CRACKING_H_

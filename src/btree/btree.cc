@@ -1,0 +1,118 @@
+#include "btree/btree.h"
+
+#include <algorithm>
+
+namespace progidx {
+
+BPlusTree::BPlusTree(const value_t* sorted, size_t n, size_t fanout)
+    : sorted_(sorted), n_(n), fanout_(fanout) {
+  PROGIDX_CHECK(fanout_ >= 2);
+  // A column that fits in a single node needs no internal levels.
+  if (n_ <= fanout_) complete_ = true;
+}
+
+void BPlusTree::BuildAll() {
+  ProgressiveBTreeBuilder builder(this);
+  while (!builder.done()) builder.DoWork(n_ + 1);
+}
+
+size_t BPlusTree::TotalInternalKeys() const {
+  size_t total = 0;
+  size_t level = n_;
+  while (level > fanout_) {
+    level = (level + fanout_ - 1) / fanout_;
+    total += level;
+  }
+  return total;
+}
+
+size_t BPlusTree::LowerBound(value_t v) const {
+  if (n_ == 0) return 0;
+  if (!complete_ || levels_.empty()) {
+    return static_cast<size_t>(
+        std::lower_bound(sorted_, sorted_ + n_, v) - sorted_);
+  }
+  // Descend from the root level. At each level, keys[i] is the first
+  // element of node i one level below, so with idx = lower_bound(keys,
+  // v): keys[idx-1] < v <= keys[idx], and the target position lies in
+  // ((idx-1)·β, idx·β]. We carry that window down.
+  size_t lo = 0;
+  size_t hi = levels_.back().size();
+  for (size_t li = levels_.size(); li-- > 0;) {
+    const std::vector<value_t>& keys = levels_[li];
+    const size_t idx = static_cast<size_t>(
+        std::lower_bound(keys.begin() + lo, keys.begin() + hi, v) -
+        keys.begin());
+    const size_t next_size = (li == 0) ? n_ : levels_[li - 1].size();
+    const size_t prev = (idx == 0) ? 0 : idx - 1;
+    lo = prev * fanout_;
+    hi = std::min(next_size, idx * fanout_ + 1);
+  }
+  return static_cast<size_t>(
+      std::lower_bound(sorted_ + lo, sorted_ + hi, v) - sorted_);
+}
+
+QueryResult BPlusTree::RangeSum(const RangeQuery& q) const {
+  const size_t begin = LowerBound(q.low);
+  int64_t sum = 0;
+  int64_t count = 0;
+  for (size_t i = begin; i < n_ && sorted_[i] <= q.high; i++) {
+    sum += sorted_[i];
+    count++;
+  }
+  return {sum, count};
+}
+
+ProgressiveBTreeBuilder::ProgressiveBTreeBuilder(BPlusTree* tree)
+    : tree_(tree) {
+  remaining_ = tree_->TotalInternalKeys();
+  if (remaining_ == 0) tree_->complete_ = true;
+}
+
+const value_t* ProgressiveBTreeBuilder::CurrentSource(
+    size_t* source_size) const {
+  // The source of the level under construction (levels_.back()) is the
+  // level below it, or the base sorted array for the first level.
+  if (tree_->levels_.size() <= 1) {
+    *source_size = tree_->n_;
+    return tree_->sorted_;
+  }
+  const std::vector<value_t>& below =
+      tree_->levels_[tree_->levels_.size() - 2];
+  *source_size = below.size();
+  return below.data();
+}
+
+size_t ProgressiveBTreeBuilder::DoWork(size_t max_keys) {
+  if (tree_->complete_) return 0;
+  size_t copied = 0;
+  if (tree_->levels_.empty()) {
+    tree_->levels_.emplace_back();
+    source_pos_ = 0;
+  }
+  while (copied < max_keys) {
+    size_t source_size = 0;
+    const value_t* source = CurrentSource(&source_size);
+    std::vector<value_t>& building = tree_->levels_.back();
+    // Copy every fanout-th key of the source into the level being
+    // built: the random read + sequential write of the cost model.
+    while (copied < max_keys && source_pos_ < source_size) {
+      building.push_back(source[source_pos_]);
+      source_pos_ += tree_->fanout_;
+      copied++;
+      remaining_ = remaining_ > 0 ? remaining_ - 1 : 0;
+    }
+    if (source_pos_ < source_size) break;  // budget exhausted mid-level
+    // Level finished: either it is the root or we start its parent.
+    if (building.size() <= tree_->fanout_) {
+      tree_->complete_ = true;
+      remaining_ = 0;
+      break;
+    }
+    tree_->levels_.emplace_back();
+    source_pos_ = 0;
+  }
+  return copied;
+}
+
+}  // namespace progidx

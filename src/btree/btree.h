@@ -1,0 +1,92 @@
+#ifndef PROGIDX_BTREE_BTREE_H_
+#define PROGIDX_BTREE_BTREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace progidx {
+
+/// A read-only B+-tree over an externally owned *sorted* array, in the
+/// implicit layout of the paper's consolidation phase (§3.1,
+/// "Consolidation Phase"): level k+1 holds every β-th key of level k,
+/// so node boundaries are implicit and the structure is three flat
+/// arrays at most a few MB in size.
+///
+/// The tree is built progressively by ProgressiveBTreeBuilder; before
+/// the build completes, callers fall back to binary search over the
+/// sorted array (the builder exposes `done()`).
+class BPlusTree {
+ public:
+  BPlusTree() = default;
+
+  /// Creates an empty tree over `sorted[0, n)` with the given fanout β.
+  /// The caller keeps ownership of the array, which must outlive the
+  /// tree and stay sorted.
+  BPlusTree(const value_t* sorted, size_t n, size_t fanout);
+
+  /// Bulk-builds all levels at once (used by the Full Index baseline,
+  /// which pays the whole construction cost on the first query).
+  void BuildAll();
+
+  /// True when all levels have been built and lookups descend the tree.
+  bool complete() const { return complete_; }
+
+  size_t fanout() const { return fanout_; }
+  size_t height() const { return levels_.size(); }
+
+  /// Total number of keys copied into internal levels by a full build:
+  /// Ncopy = Σ_{i≥1} n/β^i. Used by the consolidation cost model.
+  size_t TotalInternalKeys() const;
+
+  /// Index of the first element >= v in the underlying sorted array
+  /// (equivalent to std::lower_bound, but via tree descent when the
+  /// tree is complete).
+  size_t LowerBound(value_t v) const;
+
+  /// SUM/COUNT of elements in [q.low, q.high].
+  QueryResult RangeSum(const RangeQuery& q) const;
+
+ private:
+  friend class ProgressiveBTreeBuilder;
+
+  const value_t* sorted_ = nullptr;
+  size_t n_ = 0;
+  size_t fanout_ = 64;
+  /// levels_[0] is built from the base array; levels_.back() is the
+  /// root level (size <= fanout_).
+  std::vector<std::vector<value_t>> levels_;
+  bool complete_ = false;
+};
+
+/// Incrementally constructs the internal levels of a BPlusTree, copying
+/// at most a caller-chosen number of keys per step — the consolidation
+/// phase's unit of budgeted work.
+class ProgressiveBTreeBuilder {
+ public:
+  /// `tree` must outlive the builder. The tree must be freshly
+  /// constructed (no levels built).
+  explicit ProgressiveBTreeBuilder(BPlusTree* tree);
+
+  /// Copies up to `max_keys` keys into internal levels; returns the
+  /// number actually copied (0 when already done).
+  size_t DoWork(size_t max_keys);
+
+  bool done() const { return tree_->complete_; }
+
+  /// Keys remaining to copy until the tree is complete.
+  size_t remaining() const { return remaining_; }
+
+ private:
+  /// Source array of the level currently being built.
+  const value_t* CurrentSource(size_t* source_size) const;
+
+  BPlusTree* tree_;
+  size_t source_pos_ = 0;  ///< next key index to sample in the source
+  size_t remaining_ = 0;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_BTREE_BTREE_H_

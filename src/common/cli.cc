@@ -1,0 +1,68 @@
+#include "common/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/types.h"
+
+namespace progidx {
+
+void CommandLine::AddFlag(const std::string& name,
+                          const std::string& default_value,
+                          const std::string& help) {
+  flags_[name] = Flag{default_value, help};
+}
+
+bool CommandLine::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("Flags:\n");
+      for (const auto& [name, flag] : flags_) {
+        std::printf("  --%s=<value>   %s (default: %s)\n", name.c_str(),
+                    flag.help.c_str(), flag.value.c_str());
+      }
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::exit(1);
+    }
+    arg = arg.substr(2);
+    std::string key = arg;
+    std::string value = "true";
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+    auto it = flags_.find(key);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s (try --help)\n", key.c_str());
+      std::exit(1);
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string CommandLine::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  PROGIDX_CHECK(it != flags_.end());
+  return it->second.value;
+}
+
+int64_t CommandLine::GetInt(const std::string& name) const {
+  return std::strtoll(GetString(name).c_str(), nullptr, 10);
+}
+
+double CommandLine::GetDouble(const std::string& name) const {
+  return std::strtod(GetString(name).c_str(), nullptr);
+}
+
+bool CommandLine::GetBool(const std::string& name) const {
+  const std::string v = GetString(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+}  // namespace progidx

@@ -1,0 +1,39 @@
+#ifndef PROGIDX_COMMON_CLI_H_
+#define PROGIDX_COMMON_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace progidx {
+
+/// Minimal `--key=value` / `--flag` command-line parser shared by the
+/// benchmark drivers and examples. Unknown keys are rejected so typos
+/// in experiment sweeps fail loudly.
+class CommandLine {
+ public:
+  /// Declares a flag with a default value and a help string. Must be
+  /// called before Parse().
+  void AddFlag(const std::string& name, const std::string& default_value,
+               const std::string& help);
+
+  /// Parses argv; on `--help` prints usage and returns false. Aborts on
+  /// unknown flags.
+  bool Parse(int argc, char** argv);
+
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_COMMON_CLI_H_

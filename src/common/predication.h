@@ -1,0 +1,34 @@
+#ifndef PROGIDX_COMMON_PREDICATION_H_
+#define PROGIDX_COMMON_PREDICATION_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace progidx {
+
+// Branch-free scan kernels in the style of Ross [22] / MonetDB-X100 [3].
+// The paper relies on predication for robust, selectivity-independent
+// query times ("we avoid branches in the code and use predication");
+// these kernels are shared by the full-scan baseline and by every
+// progressive/adaptive index when scanning unrefined data.
+
+/// Predicated SUM + COUNT of values in [q.low, q.high] over
+/// data[0, n). Cost is independent of selectivity.
+QueryResult PredicatedRangeSum(const value_t* data, size_t n,
+                               const RangeQuery& q);
+
+/// Branched variant of PredicatedRangeSum; used by the cracking-kernel
+/// decision tree when selectivity is extreme, and by tests as a second
+/// implementation of the same contract.
+QueryResult BranchedRangeSum(const value_t* data, size_t n,
+                             const RangeQuery& q);
+
+/// SUM + COUNT over a *sorted* run: binary-searches the boundaries and
+/// accumulates only the qualifying slice.
+QueryResult SortedRangeSum(const value_t* data, size_t n,
+                           const RangeQuery& q);
+
+}  // namespace progidx
+
+#endif  // PROGIDX_COMMON_PREDICATION_H_

@@ -1,0 +1,71 @@
+#ifndef PROGIDX_COMMON_RNG_H_
+#define PROGIDX_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace progidx {
+
+/// Deterministic xorshift128+ generator. We use our own generator (not
+/// <random>) so that workloads and stochastic algorithms are exactly
+/// reproducible across standard-library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 88172645463325252ull) {
+    // SplitMix64 expansion of the seed into two non-zero words.
+    s_[0] = SplitMix(&seed);
+    s_[1] = SplitMix(&seed);
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform value in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in the closed interval [lo, hi].
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Standard-normal variate (Box–Muller, one value per call).
+  double NextGaussian();
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+inline double Rng::NextGaussian() {
+  // Box–Muller transform; we deliberately drop the second variate to
+  // keep the generator state trivially restartable.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  constexpr double kTwoPi = 6.283185307179586;
+  return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+         __builtin_cos(kTwoPi * u2);
+}
+
+}  // namespace progidx
+
+#endif  // PROGIDX_COMMON_RNG_H_

@@ -1,0 +1,32 @@
+#ifndef PROGIDX_COMMON_TIMER_H_
+#define PROGIDX_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace progidx {
+
+/// Monotonic wall-clock timer with second resolution results, used by
+/// the experiment harness and the hardware-calibration pass.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Nanoseconds elapsed since construction or the last Reset().
+  double ElapsedNanos() const { return ElapsedSeconds() * 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_COMMON_TIMER_H_

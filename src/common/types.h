@@ -1,0 +1,48 @@
+#ifndef PROGIDX_COMMON_TYPES_H_
+#define PROGIDX_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstdio>
+
+namespace progidx {
+
+/// Element type of all indexed columns. The paper evaluates on 8-byte
+/// integers; every algorithm in this library operates on `value_t`.
+using value_t = int64_t;
+
+/// A closed-interval range predicate `low <= A <= high`, matching the
+/// paper's `SELECT SUM(R.A) FROM R WHERE R.A BETWEEN V1 AND V2`.
+/// A point query is expressed as `low == high`.
+struct RangeQuery {
+  value_t low = 0;
+  value_t high = 0;
+
+  /// True when this query selects a single value.
+  bool IsPoint() const { return low == high; }
+};
+
+/// Result of a range-aggregate query: the SUM of qualifying values and
+/// the number of qualifying tuples (used by tests as a second oracle).
+struct QueryResult {
+  int64_t sum = 0;
+  int64_t count = 0;
+
+  friend bool operator==(const QueryResult&, const QueryResult&) = default;
+};
+
+/// Lightweight assertion used across the library; active in all build
+/// types because index-structure invariants guard correctness of query
+/// answers, not just debugging.
+#define PROGIDX_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "PROGIDX_CHECK failed: %s at %s:%d\n", #cond, \
+                   __FILE__, __LINE__);                                  \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+}  // namespace progidx
+
+#endif  // PROGIDX_COMMON_TYPES_H_

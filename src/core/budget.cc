@@ -1,0 +1,48 @@
+#include "core/budget.h"
+
+#include "common/types.h"
+
+namespace progidx {
+
+BudgetController::BudgetController(const BudgetSpec& spec,
+                                   const CostModel& model)
+    : spec_(spec), model_(model) {
+  budget_secs_ = spec.budget_secs > 0
+                     ? spec.budget_secs
+                     : spec.scan_fraction * model_.ScanSecs();
+}
+
+double BudgetController::adaptive_target_secs() const {
+  return model_.ScanSecs() + budget_secs_;
+}
+
+double BudgetController::DeltaForQuery(double op_secs, double answer_secs) {
+  switch (spec_.mode) {
+    case BudgetMode::kFixedDelta:
+      return spec_.delta;
+    case BudgetMode::kFixedBudget: {
+      if (pinned_delta_ < 0) {
+        pinned_delta_ = model_.DeltaForBudget(budget_secs_, op_secs);
+        if (pinned_delta_ <= 0) pinned_delta_ = 1e-4;
+      }
+      return pinned_delta_;
+    }
+    case BudgetMode::kAdaptive: {
+      // Spend whatever t_adaptive leaves after answering the query.
+      const double available = adaptive_target_secs() - answer_secs;
+      double delta = model_.DeltaForBudget(available, op_secs);
+      // Deterministic convergence requires forward progress even when a
+      // query is more expensive than the target; keep a floor of 10% of
+      // the nominal budget-derived delta.
+      const double floor_delta =
+          0.1 * model_.DeltaForBudget(budget_secs_, op_secs);
+      if (delta < floor_delta) delta = floor_delta;
+      if (delta <= 0) delta = 1e-4;
+      return delta;
+    }
+  }
+  PROGIDX_CHECK(false);
+  return 0;
+}
+
+}  // namespace progidx

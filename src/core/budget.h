@@ -1,0 +1,92 @@
+#ifndef PROGIDX_CORE_BUDGET_H_
+#define PROGIDX_CORE_BUDGET_H_
+
+#include <cstddef>
+
+#include "cost/cost_model.h"
+
+namespace progidx {
+
+/// How much indexing work each query may perform (§3, "Indexing
+/// Budget").
+enum class BudgetMode {
+  /// A fixed fraction δ of the column is processed per query; δ is
+  /// given directly. Used by the Figure 7/8 experiments.
+  kFixedDelta,
+  /// The user gives a time budget for the *first* query; δ is derived
+  /// from it once via the cost model and then pinned.
+  kFixedBudget,
+  /// δ is re-derived every query so that the total query time stays at
+  /// t_adaptive = t_scan + t_budget until convergence. Used by the
+  /// Figure 9 / Table 2–5 experiments.
+  kAdaptive,
+};
+
+/// User-facing budget specification.
+struct BudgetSpec {
+  BudgetMode mode = BudgetMode::kAdaptive;
+  /// For kFixedDelta: the δ fraction in (0, 1].
+  double delta = 0.25;
+  /// For kFixedBudget / kAdaptive: absolute budget in seconds; if <= 0,
+  /// `scan_fraction` is used instead.
+  double budget_secs = 0;
+  /// Budget expressed as a fraction of the full-scan cost (the paper
+  /// uses t_budget = 0.2 · t_scan throughout §4.4).
+  double scan_fraction = 0.2;
+
+  static BudgetSpec FixedDelta(double delta) {
+    BudgetSpec spec;
+    spec.mode = BudgetMode::kFixedDelta;
+    spec.delta = delta;
+    return spec;
+  }
+  static BudgetSpec FixedBudget(double scan_fraction = 0.2) {
+    BudgetSpec spec;
+    spec.mode = BudgetMode::kFixedBudget;
+    spec.scan_fraction = scan_fraction;
+    return spec;
+  }
+  static BudgetSpec Adaptive(double scan_fraction = 0.2) {
+    BudgetSpec spec;
+    spec.mode = BudgetMode::kAdaptive;
+    spec.scan_fraction = scan_fraction;
+    return spec;
+  }
+};
+
+/// Turns a BudgetSpec into a per-query δ, given the cost model and the
+/// per-phase indexing operation cost. Owned by each progressive index.
+class BudgetController {
+ public:
+  BudgetController(const BudgetSpec& spec, const CostModel& model);
+
+  /// δ for the current query.
+  ///
+  /// `op_secs`       — whole-column cost of this phase's indexing
+  ///                   operation (t_pivot, t_swap, t_bucket, t_copy...).
+  /// `answer_secs`   — estimated cost of answering the query with the
+  ///                   *current* structure (adaptive mode spends
+  ///                   whatever is left under t_adaptive on indexing;
+  ///                   §3: "so more expensive queries spend less extra
+  ///                   time on indexing while cheaper queries spend
+  ///                   more").
+  double DeltaForQuery(double op_secs, double answer_secs);
+
+  /// The resolved time budget in seconds (t_budget).
+  double budget_secs() const { return budget_secs_; }
+
+  /// t_adaptive = t_scan + t_budget.
+  double adaptive_target_secs() const;
+
+  BudgetMode mode() const { return spec_.mode; }
+
+ private:
+  BudgetSpec spec_;
+  const CostModel& model_;
+  double budget_secs_ = 0;
+  double pinned_delta_ = -1;  // kFixedBudget: resolved on first query
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_CORE_BUDGET_H_

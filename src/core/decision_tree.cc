@@ -1,0 +1,74 @@
+#include "core/decision_tree.h"
+
+namespace progidx {
+
+ProgressiveTechnique Recommend(const Scenario& scenario) {
+  if (scenario.query_type == QueryType::kPoint) {
+    // Table 4 (point-query block): the LSD intermediate index answers
+    // point queries from a single bucket chain long before convergence.
+    return ProgressiveTechnique::kRadixsortLSD;
+  }
+  switch (scenario.distribution) {
+    case DataDistribution::kSkewed:
+      // Table 4 (skewed block): equi-height buckets keep partitions
+      // balanced under skew.
+      return ProgressiveTechnique::kBucketsort;
+    case DataDistribution::kUniform:
+      // Table 4 (uniform block): radix partitioning converges fastest
+      // and wins cumulative time on uniform data.
+      return ProgressiveTechnique::kRadixsortMSD;
+    case DataDistribution::kUnknown:
+      // Quicksort's midpoint pivots make no distribution assumptions
+      // and its first-query overhead is the least sensitive to δ
+      // (Fig. 7a).
+      return ProgressiveTechnique::kQuicksort;
+  }
+  return ProgressiveTechnique::kQuicksort;
+}
+
+std::string TechniqueName(ProgressiveTechnique technique) {
+  switch (technique) {
+    case ProgressiveTechnique::kQuicksort:
+      return "P. Quicksort";
+    case ProgressiveTechnique::kRadixsortMSD:
+      return "P. Radixsort (MSD)";
+    case ProgressiveTechnique::kRadixsortLSD:
+      return "P. Radixsort (LSD)";
+    case ProgressiveTechnique::kBucketsort:
+      return "P. Bucketsort";
+  }
+  return "";
+}
+
+std::string TechniqueId(ProgressiveTechnique technique) {
+  switch (technique) {
+    case ProgressiveTechnique::kQuicksort:
+      return "pq";
+    case ProgressiveTechnique::kRadixsortMSD:
+      return "pmsd";
+    case ProgressiveTechnique::kRadixsortLSD:
+      return "plsd";
+    case ProgressiveTechnique::kBucketsort:
+      return "pb";
+  }
+  return "";
+}
+
+std::string RecommendationRationale(const Scenario& scenario) {
+  if (scenario.query_type == QueryType::kPoint) {
+    return "point queries hit a single LSD bucket before convergence";
+  }
+  switch (scenario.distribution) {
+    case DataDistribution::kSkewed:
+      return "equi-height buckets stay balanced under skewed data";
+    case DataDistribution::kUniform:
+      return "radix (MSD) partitions uniform data evenly and converges "
+             "fastest";
+    case DataDistribution::kUnknown:
+      return "quicksort midpoint pivots assume nothing about the "
+             "distribution";
+  }
+  return "";
+}
+
+}  // namespace progidx

@@ -1,0 +1,45 @@
+#ifndef PROGIDX_CORE_DECISION_TREE_H_
+#define PROGIDX_CORE_DECISION_TREE_H_
+
+#include <string>
+
+namespace progidx {
+
+/// The paper's concluding decision tree (Fig. 11): which progressive
+/// technique to use for a given scenario, derived from the §4.4
+/// results (point queries → LSD's single-bucket lookups; skewed data →
+/// Bucketsort's equi-height partitions; uniform data → Radixsort MSD;
+/// unknown distribution → Quicksort, the distribution-agnostic choice).
+
+enum class QueryType { kPoint, kRange };
+
+enum class DataDistribution { kUniform, kSkewed, kUnknown };
+
+enum class ProgressiveTechnique {
+  kQuicksort,
+  kRadixsortMSD,
+  kRadixsortLSD,
+  kBucketsort,
+};
+
+struct Scenario {
+  QueryType query_type = QueryType::kRange;
+  DataDistribution distribution = DataDistribution::kUnknown;
+};
+
+/// Recommends a technique for the scenario.
+ProgressiveTechnique Recommend(const Scenario& scenario);
+
+/// Display name matching IndexBase::name().
+std::string TechniqueName(ProgressiveTechnique technique);
+
+/// Registry id ("pq", "pmsd", "plsd", "pb") for MakeIndex().
+std::string TechniqueId(ProgressiveTechnique technique);
+
+/// One-line rationale for the recommendation (used by the advisor
+/// example).
+std::string RecommendationRationale(const Scenario& scenario);
+
+}  // namespace progidx
+
+#endif  // PROGIDX_CORE_DECISION_TREE_H_

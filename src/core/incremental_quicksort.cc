@@ -1,0 +1,185 @@
+#include "core/incremental_quicksort.h"
+
+#include <algorithm>
+
+namespace progidx {
+
+void IncrementalQuicksort::Init(value_t* data, size_t n, value_t min_v,
+                                value_t max_v, size_t l1_elements) {
+  data_ = data;
+  n_ = n;
+  l1_elements_ = l1_elements > 0 ? l1_elements : 1;
+  height_ = 0;
+  root_ = MakeNode(0, n, min_v, max_v, 1);
+}
+
+void IncrementalQuicksort::InitPrePartitioned(value_t* data, size_t n,
+                                              value_t pivot, size_t boundary,
+                                              value_t min_v, value_t max_v,
+                                              size_t l1_elements) {
+  data_ = data;
+  n_ = n;
+  l1_elements_ = l1_elements > 0 ? l1_elements : 1;
+  height_ = 1;
+  root_ = std::make_unique<Node>();
+  root_->start = 0;
+  root_->end = n;
+  root_->pivot = pivot;
+  root_->min_v = min_v;
+  root_->max_v = max_v;
+  root_->partitioned = true;
+  root_->left = MakeNode(0, boundary, min_v, pivot - 1, 2);
+  root_->right = MakeNode(boundary, n, pivot, max_v, 2);
+  if (root_->left->sorted && root_->right->sorted) {
+    root_->sorted = true;
+    root_->left.reset();
+    root_->right.reset();
+  }
+}
+
+std::unique_ptr<IncrementalQuicksort::Node> IncrementalQuicksort::MakeNode(
+    size_t start, size_t end, value_t min_v, value_t max_v, size_t depth) {
+  auto node = std::make_unique<Node>();
+  node->start = start;
+  node->end = end;
+  node->min_v = min_v;
+  node->max_v = max_v;
+  height_ = std::max(height_, depth);
+  const size_t size = end - start;
+  if (size <= 1 || min_v >= max_v) {
+    // Nothing to do: single element, or all values equal (the value
+    // range has collapsed — happens with heavily duplicated data).
+    node->sorted = true;
+    return node;
+  }
+  // Pivot = value-range midpoint, rounded up so both halves of the
+  // range are non-empty and recursion always terminates.
+  node->pivot = min_v + (max_v - min_v + 1) / 2;
+  node->lo = start;
+  node->hi = end - 1;
+  return node;
+}
+
+size_t IncrementalQuicksort::AdvancePartition(Node* node, size_t budget) {
+  value_t* data = data_;
+  const value_t pivot = node->pivot;
+  size_t lo = node->lo;
+  size_t hi = node->hi;
+  size_t steps = 0;
+  // Predicated partition step: both slots are written every iteration
+  // and exactly one cursor advances, so the loop body has no
+  // data-dependent branch (§3: predication for robust execution times).
+  while (lo < hi && steps < budget) {
+    const value_t a = data[lo];
+    const value_t b = data[hi];
+    const bool stay = a < pivot;
+    data[lo] = stay ? a : b;
+    data[hi] = stay ? b : a;
+    lo += stay ? 1 : 0;
+    hi -= stay ? 0 : 1;
+    steps++;
+  }
+  node->lo = lo;
+  node->hi = hi;
+  if (lo == hi && steps < budget) {
+    // Classify the final unpartitioned element.
+    node->lo = lo + (data[lo] < pivot ? 1 : 0);
+    node->partitioned = true;
+    steps++;
+  }
+  return steps;
+}
+
+void IncrementalQuicksort::FinishPartition(Node* node, size_t depth) {
+  const size_t boundary = node->lo;
+  node->left = MakeNode(node->start, boundary, node->min_v, node->pivot - 1,
+                        depth + 1);
+  node->right =
+      MakeNode(boundary, node->end, node->pivot, node->max_v, depth + 1);
+}
+
+size_t IncrementalQuicksort::WorkOn(Node* node, size_t budget,
+                                    const RangeQuery& hint, bool use_hint,
+                                    size_t depth) {
+  if (node == nullptr || node->sorted || budget == 0) return 0;
+  size_t used = 0;
+  if (!node->partitioned) {
+    const size_t size = node->end - node->start;
+    if (size <= l1_elements_) {
+      // Small nodes are sorted outright — an atomic unit of work that
+      // may overshoot the budget by one leaf. Sorting costs
+      // O(size·log2(size)) element operations, and the budget is
+      // denominated in swap-equivalent units, so charge the log factor
+      // (otherwise per-query times balloon past the indexing budget
+      // whenever refinement reaches the leaves).
+      std::sort(data_ + node->start, data_ + node->end);
+      node->sorted = true;
+      size_t log2_size = 1;
+      while ((size >> log2_size) > 1) log2_size++;
+      return size * log2_size;
+    }
+    used += AdvancePartition(node, budget);
+    if (!node->partitioned) return used;
+    FinishPartition(node, depth);
+  }
+  Node* first = node->left.get();
+  Node* second = node->right.get();
+  if (use_hint) {
+    const bool left_relevant = hint.low < node->pivot;
+    const bool right_relevant = hint.high >= node->pivot;
+    if (right_relevant && !left_relevant) std::swap(first, second);
+  }
+  if (used < budget) used += WorkOn(first, budget - used, hint, use_hint,
+                                    depth + 1);
+  if (used < budget) used += WorkOn(second, budget - used, hint, use_hint,
+                                    depth + 1);
+  if (node->left->sorted && node->right->sorted) {
+    // Both halves done: the whole span is sorted; prune the children
+    // (§3.1: "leaf nodes will keep on being sorted and pruned").
+    node->sorted = true;
+    node->left.reset();
+    node->right.reset();
+  }
+  return used;
+}
+
+size_t IncrementalQuicksort::DoWork(size_t max_elements,
+                                    const RangeQuery& hint) {
+  if (root_ == nullptr || root_->sorted || max_elements == 0) return 0;
+  return WorkOn(root_.get(), max_elements, hint, /*use_hint=*/true, 1);
+}
+
+void IncrementalQuicksort::CollectRangesImpl(
+    const Node* node, const RangeQuery& q, std::vector<ScanRange>* out) const {
+  if (node == nullptr || node->start == node->end) return;
+  // Value-bound pruning: the node can only contain values in
+  // [min_v, max_v].
+  if (q.high < node->min_v || q.low > node->max_v) return;
+  if (node->sorted) {
+    out->push_back({node->start, node->end, /*sorted=*/true});
+    return;
+  }
+  if (!node->partitioned) {
+    // Mid-partition: left and right fringes are classified relative to
+    // the pivot, the middle is unknown and always scanned.
+    if (node->lo > node->start && q.low < node->pivot) {
+      out->push_back({node->start, node->lo, false});
+    }
+    if (node->lo <= node->hi) {
+      out->push_back({node->lo, node->hi + 1, false});
+    }
+    if (node->hi + 1 < node->end && q.high >= node->pivot) {
+      out->push_back({node->hi + 1, node->end, false});
+    }
+    return;
+  }
+  if (q.low < node->pivot) CollectRangesImpl(node->left.get(), q, out);
+  if (q.high >= node->pivot) CollectRangesImpl(node->right.get(), q, out);
+}
+
+void IncrementalQuicksort::CollectRanges(const RangeQuery& q,
+                                         std::vector<ScanRange>* out) const {
+  CollectRangesImpl(root_.get(), q, out);
+}
+
+}  // namespace progidx

@@ -1,0 +1,108 @@
+#ifndef PROGIDX_CORE_INCREMENTAL_QUICKSORT_H_
+#define PROGIDX_CORE_INCREMENTAL_QUICKSORT_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace progidx {
+
+/// A contiguous region of an index array a query must inspect, produced
+/// by IncrementalQuicksort::CollectRanges.
+struct ScanRange {
+  size_t start = 0;  ///< inclusive
+  size_t end = 0;    ///< exclusive
+  /// True when the region is fully sorted, so the caller may binary
+  /// search instead of scanning with the full predicate.
+  bool sorted = false;
+};
+
+/// The refinement-phase engine of Progressive Quicksort (§3.1): an
+/// interruptible in-place quicksort over a span of the index array,
+/// organized as a binary tree of pivot nodes.
+///
+///  * Each node partitions its span around a pivot with predicated
+///    swaps; partitioning can stop mid-way and resume later.
+///  * Nodes smaller than the L1 cache are sorted outright instead of
+///    recursing (§3.1: "we sort the entire node instead of recursing").
+///  * When both children of a node are sorted, the node is marked
+///    sorted and its children pruned.
+///
+/// Progressive Quicksort uses one engine over the whole index array
+/// (with the root pre-partitioned by the creation phase); Progressive
+/// Bucketsort runs one engine per bucket segment during its merge.
+class IncrementalQuicksort {
+ public:
+  IncrementalQuicksort() = default;
+
+  /// Starts a sort of data[0, n) whose values lie in [min_v, max_v].
+  /// Pivots are chosen as value-range midpoints (never from query
+  /// predicates — the paper's robustness argument). `l1_elements` is
+  /// the sort-outright threshold.
+  void Init(value_t* data, size_t n, value_t min_v, value_t max_v,
+            size_t l1_elements);
+
+  /// Like Init, but the root span is already partitioned around
+  /// `pivot` at `boundary` (the creation phase of Progressive Quicksort
+  /// leaves the array in exactly this state).
+  void InitPrePartitioned(value_t* data, size_t n, value_t pivot,
+                          size_t boundary, value_t min_v, value_t max_v,
+                          size_t l1_elements);
+
+  /// Performs up to `max_elements` units of refinement work (one unit ≈
+  /// one element visited by partitioning or sorting). Work on spans
+  /// overlapping [hint.low, hint.high] is performed first, mirroring
+  /// the paper's "focus on refining parts of the index that are
+  /// required for query processing". Returns units consumed; may
+  /// overshoot slightly when finishing an L1-sized node sort.
+  size_t DoWork(size_t max_elements, const RangeQuery& hint);
+
+  /// True once the whole span is a single sorted run.
+  bool done() const { return root_ == nullptr || root_->sorted; }
+
+  /// Appends the regions a query on [q.low, q.high] must inspect.
+  void CollectRanges(const RangeQuery& q, std::vector<ScanRange>* out) const;
+
+  /// Height of the pivot tree (h in the refinement cost model).
+  size_t height() const { return height_; }
+
+ private:
+  struct Node {
+    size_t start = 0;
+    size_t end = 0;  // exclusive
+    value_t pivot = 0;
+    value_t min_v = 0;
+    value_t max_v = 0;
+    // Partition cursors: [start, lo) holds values < pivot, (hi, end)
+    // holds values >= pivot, [lo, hi] is still unpartitioned.
+    size_t lo = 0;
+    size_t hi = 0;  // inclusive
+    bool partitioned = false;
+    bool sorted = false;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  std::unique_ptr<Node> MakeNode(size_t start, size_t end, value_t min_v,
+                                 value_t max_v, size_t depth);
+  /// Budgeted work on one subtree; returns units consumed.
+  size_t WorkOn(Node* node, size_t budget, const RangeQuery& hint,
+                bool use_hint, size_t depth);
+  /// Advances the node's partition by at most `budget` steps.
+  size_t AdvancePartition(Node* node, size_t budget);
+  void FinishPartition(Node* node, size_t depth);
+  void CollectRangesImpl(const Node* node, const RangeQuery& q,
+                         std::vector<ScanRange>* out) const;
+
+  value_t* data_ = nullptr;
+  size_t n_ = 0;
+  size_t l1_elements_ = 4096;
+  std::unique_ptr<Node> root_;
+  size_t height_ = 0;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_CORE_INCREMENTAL_QUICKSORT_H_

@@ -1,0 +1,43 @@
+#ifndef PROGIDX_CORE_INDEX_BASE_H_
+#define PROGIDX_CORE_INDEX_BASE_H_
+
+#include <string>
+
+#include "common/types.h"
+#include "storage/column.h"
+
+namespace progidx {
+
+/// Common interface of every indexing technique in this library — the
+/// four progressive algorithms, all adaptive-indexing baselines, full
+/// scan, and full index. The experiment harness drives all of them
+/// uniformly.
+class IndexBase {
+ public:
+  virtual ~IndexBase() = default;
+
+  /// Executes one range-aggregate query. For incremental techniques
+  /// this call also performs that query's share of indexing work (index
+  /// construction is a side effect of querying, for both progressive
+  /// and adaptive indexing).
+  virtual QueryResult Query(const RangeQuery& q) = 0;
+
+  /// True once the structure has reached its final state and no query
+  /// will perform further indexing work. Full scan never converges;
+  /// full index converges on the first query; cracking techniques
+  /// converge only if the workload happens to fully refine them.
+  virtual bool converged() const = 0;
+
+  /// Human-readable name used in reports ("P. Quicksort", "Std.
+  /// Cracking", ...).
+  virtual std::string name() const = 0;
+
+  /// Cost predicted by the technique's cost model for the most recent
+  /// Query() call, in seconds; 0 for techniques without a cost model.
+  /// Used to regenerate Figures 8 and 9 (measured vs. cost model).
+  virtual double last_predicted_cost() const { return 0; }
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_CORE_INDEX_BASE_H_

@@ -1,0 +1,348 @@
+#include "core/progressive_bucketsort.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/predication.h"
+#include "common/rng.h"
+
+namespace progidx {
+
+ProgressiveBucketsort::ProgressiveBucketsort(const Column& column,
+                                             const BudgetSpec& budget,
+                                             const ProgressiveOptions& options,
+                                             uint64_t sample_seed)
+    : column_(column),
+      options_(options),
+      model_(options.Machine(), column.size(), options.bucket_count,
+             options.block_capacity),
+      budget_(budget, model_) {
+  const size_t n = column_.size();
+  min_ = column_.min_value();
+  max_ = column_.max_value();
+  buckets_.reserve(options_.bucket_count);
+  for (size_t i = 0; i < options_.bucket_count; i++) {
+    buckets_.emplace_back(options_.block_capacity);
+  }
+  final_.resize(n);
+  if (n == 0) {
+    phase_ = Phase::kDone;
+    return;
+  }
+  // Equi-height bounds from a random sample (the paper's "existing
+  // statistics" route; a histogram sampled once at creation).
+  const size_t sample_size = std::min<size_t>(n, 16384);
+  std::vector<value_t> sample(sample_size);
+  Rng rng(sample_seed);
+  for (size_t i = 0; i < sample_size; i++) {
+    sample[i] = column_[rng.NextBounded(n)];
+  }
+  std::sort(sample.begin(), sample.end());
+  boundaries_.reserve(options_.bucket_count - 1);
+  for (size_t b = 1; b < options_.bucket_count; b++) {
+    boundaries_.push_back(sample[b * sample_size / options_.bucket_count]);
+  }
+}
+
+size_t ProgressiveBucketsort::BucketOf(value_t v) const {
+  return static_cast<size_t>(
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), v) -
+      boundaries_.begin());
+}
+
+value_t ProgressiveBucketsort::BucketLo(size_t b) const {
+  return b == 0 ? min_ : boundaries_[b - 1];
+}
+
+value_t ProgressiveBucketsort::BucketHi(size_t b) const {
+  return b == boundaries_.size() ? max_ : boundaries_[b] - 1;
+}
+
+double ProgressiveBucketsort::OpSecsForPhase(Phase phase) const {
+  switch (phase) {
+    case Phase::kCreation: {
+      const double log_b = std::log2(static_cast<double>(buckets_.size()));
+      return log_b * model_.BucketAppendSecs();
+    }
+    case Phase::kRefinement:
+      // §3.3: the refinement cost model is Progressive Quicksort's.
+      return model_.SwapSecs();
+    case Phase::kConsolidation:
+      return model_.ConsolidateSecs(options_.btree_fanout);
+    case Phase::kDone:
+      return 0;
+  }
+  return 0;
+}
+
+double ProgressiveBucketsort::SelectivityEstimate(const RangeQuery& q) const {
+  const double domain = static_cast<double>(max_) -
+                        static_cast<double>(min_) + 1.0;
+  if (domain <= 0) return 1.0;
+  const double width = static_cast<double>(q.high) -
+                       static_cast<double>(q.low) + 1.0;
+  return std::clamp(width / domain, 0.0, 1.0);
+}
+
+double ProgressiveBucketsort::EstimateAnswerSecs(const RangeQuery& q) const {
+  const MachineConstants& mc = model_.constants();
+  const size_t n = column_.size();
+  const double bucket_elem =
+      model_.BucketScanSecs() / static_cast<double>(std::max<size_t>(n, 1));
+  switch (phase_) {
+    case Phase::kCreation: {
+      double elems = 0;
+      for (size_t b = 0; b < buckets_.size(); b++) {
+        if (BucketHi(b) < q.low || BucketLo(b) > q.high) continue;
+        elems += static_cast<double>(buckets_[b].size());
+      }
+      return bucket_elem * elems +
+             mc.seq_read_secs * static_cast<double>(n - copy_pos_);
+    }
+    case Phase::kRefinement: {
+      double elems = 0;
+      for (size_t b = merge_bucket_; b < buckets_.size(); b++) {
+        if (BucketHi(b) < q.low || BucketLo(b) > q.high) continue;
+        elems += static_cast<double>(buckets_[b].size());
+      }
+      if (sorter_active_ && BucketHi(merge_bucket_) >= q.low &&
+          BucketLo(merge_bucket_) <= q.high) {
+        scratch_ranges_.clear();
+        active_sorter_.CollectRanges(q, &scratch_ranges_);
+        for (const ScanRange& r : scratch_ranges_) {
+          if (!r.sorted) elems += static_cast<double>(r.end - r.start);
+        }
+      }
+      const double matched = SelectivityEstimate(q) * static_cast<double>(n);
+      return model_.BinarySearchSecs() + bucket_elem * elems +
+             mc.seq_read_secs * matched;
+    }
+    case Phase::kConsolidation:
+    case Phase::kDone: {
+      const double matched = SelectivityEstimate(q) * static_cast<double>(n);
+      return model_.BinarySearchSecs() + mc.seq_read_secs * matched;
+    }
+  }
+  return 0;
+}
+
+void ProgressiveBucketsort::EnterConsolidation() {
+  btree_ = BPlusTree(final_.data(), final_.size(), options_.btree_fanout);
+  builder_ = std::make_unique<ProgressiveBTreeBuilder>(&btree_);
+  phase_ = Phase::kConsolidation;
+}
+
+void ProgressiveBucketsort::BeginActiveBucket() {
+  // Skip empty buckets outright.
+  while (merge_bucket_ < buckets_.size() &&
+         buckets_[merge_bucket_].empty()) {
+    merge_bucket_++;
+  }
+  if (merge_bucket_ == buckets_.size()) {
+    PROGIDX_CHECK(sorted_end_ == final_.size());
+    EnterConsolidation();
+    return;
+  }
+  filling_ = true;
+  fill_pos_ = sorted_end_;
+  fill_cursor_ = BucketChain::Cursor{};
+  sorter_active_ = false;
+}
+
+void ProgressiveBucketsort::DoWorkSecs(double secs) {
+  const size_t n = column_.size();
+  while (secs > 0 && phase_ != Phase::kDone) {
+    switch (phase_) {
+      case Phase::kCreation: {
+        const double log_b =
+            std::log2(static_cast<double>(buckets_.size()));
+        const double unit =
+            log_b * model_.BucketAppendSecs() / static_cast<double>(n);
+        size_t elems = std::max<size_t>(
+            1, static_cast<size_t>(secs / unit));
+        elems = std::min(elems, n - copy_pos_);
+        const value_t* src = column_.data();
+        for (size_t i = 0; i < elems; i++) {
+          const value_t v = src[copy_pos_ + i];
+          buckets_[BucketOf(v)].Append(v);
+        }
+        copy_pos_ += elems;
+        secs -= static_cast<double>(elems) * unit;
+        if (copy_pos_ == n) {
+          phase_ = Phase::kRefinement;
+          BeginActiveBucket();
+        }
+        break;
+      }
+      case Phase::kRefinement: {
+        const double unit = model_.SwapSecs() / static_cast<double>(n);
+        size_t elems = std::max<size_t>(
+            1, static_cast<size_t>(secs / unit));
+        size_t used = 0;
+        while (used < elems && phase_ == Phase::kRefinement) {
+          BucketChain& chain = buckets_[merge_bucket_];
+          if (filling_) {
+            while (used < elems && !chain.AtEnd(fill_cursor_)) {
+              final_[fill_pos_++] = chain.ReadAndAdvance(&fill_cursor_);
+              used++;
+            }
+            if (chain.AtEnd(fill_cursor_)) {
+              filling_ = false;
+              // The segment now holds the bucket's elements; sort it
+              // progressively (one active Progressive Quicksort at a
+              // time, §3.3).
+              active_sorter_.Init(final_.data() + sorted_end_,
+                                  fill_pos_ - sorted_end_,
+                                  BucketLo(merge_bucket_),
+                                  BucketHi(merge_bucket_),
+                                  model_.constants().l1_cache_elements);
+              sorter_active_ = true;
+            }
+          } else {
+            PROGIDX_CHECK(sorter_active_);
+            const size_t done =
+                active_sorter_.DoWork(elems - used, last_query_hint_);
+            used += std::max(done, size_t{1});
+            if (active_sorter_.done()) {
+              sorter_active_ = false;
+              chain.Clear();
+              sorted_end_ = fill_pos_;
+              merge_bucket_++;
+              BeginActiveBucket();
+            }
+          }
+        }
+        secs -= static_cast<double>(std::max(used, size_t{1})) * unit;
+        break;
+      }
+      case Phase::kConsolidation: {
+        const size_t total_keys =
+            std::max(btree_.TotalInternalKeys(), size_t{1});
+        const double unit = model_.ConsolidateSecs(options_.btree_fanout) /
+                            static_cast<double>(total_keys);
+        const size_t keys = std::max<size_t>(
+            1, static_cast<size_t>(secs / unit));
+        const size_t used = builder_->DoWork(keys);
+        secs -= static_cast<double>(std::max(used, size_t{1})) * unit;
+        if (builder_->done()) phase_ = Phase::kDone;
+        break;
+      }
+      case Phase::kDone:
+        return;
+    }
+  }
+}
+
+QueryResult ProgressiveBucketsort::Answer(const RangeQuery& q) const {
+  QueryResult result;
+  const size_t n = column_.size();
+  auto add = [&result](const QueryResult& part) {
+    result.sum += part.sum;
+    result.count += part.count;
+  };
+  auto scan_chain = [&](const BucketChain& chain) {
+    int64_t sum = 0;
+    int64_t count = 0;
+    chain.ForEach([&](value_t v) {
+      const int64_t match = static_cast<int64_t>(v >= q.low) &
+                            static_cast<int64_t>(v <= q.high);
+      sum += v * match;
+      count += match;
+    });
+    add({sum, count});
+  };
+  switch (phase_) {
+    case Phase::kCreation: {
+      for (size_t b = 0; b < buckets_.size(); b++) {
+        if (BucketHi(b) < q.low || BucketLo(b) > q.high) continue;
+        scan_chain(buckets_[b]);
+      }
+      add(PredicatedRangeSum(column_.data() + copy_pos_, n - copy_pos_, q));
+      return result;
+    }
+    case Phase::kRefinement: {
+      // Fully merged, sorted prefix.
+      add(SortedRangeSum(final_.data(), sorted_end_, q));
+      // Active bucket: either mid-fill or mid-sort.
+      if (merge_bucket_ < buckets_.size() &&
+          BucketHi(merge_bucket_) >= q.low &&
+          BucketLo(merge_bucket_) <= q.high) {
+        if (filling_) {
+          add(PredicatedRangeSum(final_.data() + sorted_end_,
+                                 fill_pos_ - sorted_end_, q));
+          const BucketChain& chain = buckets_[merge_bucket_];
+          int64_t sum = 0;
+          int64_t count = 0;
+          chain.ForEachFrom(fill_cursor_, [&](value_t v) {
+            const int64_t match = static_cast<int64_t>(v >= q.low) &
+                                  static_cast<int64_t>(v <= q.high);
+            sum += v * match;
+            count += match;
+          });
+          add({sum, count});
+        } else if (sorter_active_) {
+          scratch_ranges_.clear();
+          active_sorter_.CollectRanges(q, &scratch_ranges_);
+          const value_t* base = final_.data() + sorted_end_;
+          for (const ScanRange& r : scratch_ranges_) {
+            add(r.sorted ? SortedRangeSum(base + r.start, r.end - r.start, q)
+                         : PredicatedRangeSum(base + r.start,
+                                              r.end - r.start, q));
+          }
+        }
+      }
+      // Pending buckets after the active one.
+      for (size_t b = merge_bucket_ + 1; b < buckets_.size(); b++) {
+        if (BucketHi(b) < q.low || BucketLo(b) > q.high) continue;
+        scan_chain(buckets_[b]);
+      }
+      return result;
+    }
+    case Phase::kConsolidation:
+    case Phase::kDone:
+      return btree_.RangeSum(q);
+  }
+  return result;
+}
+
+QueryResult ProgressiveBucketsort::Query(const RangeQuery& q) {
+  if (column_.empty()) return {};
+  last_query_hint_ = q;
+  const Phase phase_at_start = phase_;
+  const double op_secs = OpSecsForPhase(phase_at_start);
+  const double answer_est = EstimateAnswerSecs(q);
+  double delta = 0;
+  if (phase_at_start != Phase::kDone) {
+    delta = budget_.DeltaForQuery(op_secs, answer_est);
+  }
+  const double n = static_cast<double>(column_.size());
+  switch (phase_at_start) {
+    case Phase::kCreation: {
+      const double rho = static_cast<double>(copy_pos_) / n;
+      const double alpha =
+          answer_est / std::max(model_.BucketScanSecs(), 1e-30);
+      predicted_ = model_.BucketsortCreate(rho, std::min(alpha, 1.0), delta);
+      break;
+    }
+    case Phase::kRefinement: {
+      const double alpha = answer_est / std::max(model_.ScanSecs(), 1e-30);
+      predicted_ = model_.QuicksortRefine(active_sorter_.height(),
+                                          std::min(alpha, 1.0), delta);
+      break;
+    }
+    case Phase::kConsolidation: {
+      predicted_ = model_.Consolidate(options_.btree_fanout,
+                                      SelectivityEstimate(q), delta);
+      break;
+    }
+    case Phase::kDone: {
+      predicted_ = model_.BinarySearchSecs() +
+                   SelectivityEstimate(q) * model_.ScanSecs();
+      break;
+    }
+  }
+  if (delta > 0) DoWorkSecs(delta * op_secs);
+  return Answer(q);
+}
+
+}  // namespace progidx

@@ -1,0 +1,95 @@
+#ifndef PROGIDX_CORE_PROGRESSIVE_BUCKETSORT_H_
+#define PROGIDX_CORE_PROGRESSIVE_BUCKETSORT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "core/budget.h"
+#include "core/incremental_quicksort.h"
+#include "core/index_base.h"
+#include "core/progressive_quicksort.h"
+#include "cost/cost_model.h"
+#include "storage/bucket_chain.h"
+
+namespace progidx {
+
+/// Progressive Bucketsort, equi-height (§3.3).
+///
+/// Like Progressive Radixsort (MSD) but the b = 64 partitions are
+/// value-based equi-height ranges (robust to skew), at the price of a
+/// log2(b) binary search per bucketed element. Bucket bounds come from
+/// a random sample taken when the index is created (the paper obtains
+/// them "in the scan to answer the first query or from existing
+/// statistics"). Refinement merges the buckets in value order into the
+/// final array, sorting each segment with Progressive Quicksort — at
+/// most one segment sorter is active at a time.
+class ProgressiveBucketsort : public IndexBase {
+ public:
+  enum class Phase { kCreation, kRefinement, kConsolidation, kDone };
+
+  ProgressiveBucketsort(const Column& column, const BudgetSpec& budget,
+                        const ProgressiveOptions& options = {},
+                        uint64_t sample_seed = 42);
+
+  QueryResult Query(const RangeQuery& q) override;
+  bool converged() const override { return phase_ == Phase::kDone; }
+  std::string name() const override { return "P. Bucketsort"; }
+  double last_predicted_cost() const override { return predicted_; }
+
+  Phase phase() const { return phase_; }
+  const std::vector<value_t>& final_array() const { return final_; }
+  const std::vector<value_t>& boundaries() const { return boundaries_; }
+  const CostModel& cost_model() const { return model_; }
+
+ private:
+  size_t BucketOf(value_t v) const;
+  /// Inclusive value bounds of bucket `b`.
+  value_t BucketLo(size_t b) const;
+  value_t BucketHi(size_t b) const;
+  double OpSecsForPhase(Phase phase) const;
+  double EstimateAnswerSecs(const RangeQuery& q) const;
+  double SelectivityEstimate(const RangeQuery& q) const;
+  void DoWorkSecs(double secs);
+  /// Starts merging bucket `merge_bucket_` into its final_ segment.
+  void BeginActiveBucket();
+  QueryResult Answer(const RangeQuery& q) const;
+  void EnterConsolidation();
+
+  const Column& column_;
+  ProgressiveOptions options_;
+  CostModel model_;
+  BudgetController budget_;
+
+  Phase phase_ = Phase::kCreation;
+  value_t min_ = 0;
+  value_t max_ = 0;
+  std::vector<value_t> boundaries_;  ///< b − 1 ascending split values
+  std::vector<BucketChain> buckets_;
+  size_t copy_pos_ = 0;
+
+  // Refinement state: buckets [0, merge_bucket_) are merged & sorted in
+  // final_[0, sorted_end_); bucket merge_bucket_ is being copied
+  // (filling_) or sorted (active_sorter_).
+  size_t merge_bucket_ = 0;
+  size_t sorted_end_ = 0;
+  size_t fill_pos_ = 0;  ///< next write position while filling_
+  bool filling_ = false;
+  BucketChain::Cursor fill_cursor_;
+  IncrementalQuicksort active_sorter_;
+  bool sorter_active_ = false;
+
+  std::vector<value_t> final_;
+
+  BPlusTree btree_;
+  std::unique_ptr<ProgressiveBTreeBuilder> builder_;
+
+  double predicted_ = 0;
+  RangeQuery last_query_hint_;
+  mutable std::vector<ScanRange> scratch_ranges_;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_CORE_PROGRESSIVE_BUCKETSORT_H_

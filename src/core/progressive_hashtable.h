@@ -1,0 +1,78 @@
+#ifndef PROGIDX_CORE_PROGRESSIVE_HASHTABLE_H_
+#define PROGIDX_CORE_PROGRESSIVE_HASHTABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/budget.h"
+#include "core/index_base.h"
+#include "core/progressive_quicksort.h"
+#include "cost/cost_model.h"
+
+namespace progidx {
+
+/// Progressive Hash Table — the first future-work extension of §6:
+/// "instead of constructing the complete hash table, we only insert
+/// n·δ elements and scan the remainder of the column. The partial hash
+/// table can be used to answer point queries on the indexed part of
+/// the data."
+///
+/// The substrate is a from-scratch separate-chaining hash table over
+/// (value → count) pairs with Fibonacci hashing. There is a single
+/// (creation) phase: once every element is inserted, point queries are
+/// pure lookups. Range queries cannot use a hash table and fall back
+/// to a predicated scan of the base column, exactly as a real system
+/// would route them.
+class ProgressiveHashTable : public IndexBase {
+ public:
+  ProgressiveHashTable(const Column& column, const BudgetSpec& budget,
+                       const ProgressiveOptions& options = {});
+
+  QueryResult Query(const RangeQuery& q) override;
+  bool converged() const override { return copy_pos_ == column_.size(); }
+  std::string name() const override { return "P. Hash Table"; }
+  double last_predicted_cost() const override { return predicted_; }
+
+  /// Fraction of the column inserted so far (ρ).
+  double indexed_fraction() const;
+  /// Number of hash-table slots (power of two).
+  size_t slot_count() const { return slots_.size(); }
+  /// Total number of chained entries (distinct values inserted).
+  size_t distinct_values() const { return entries_; }
+
+ private:
+  struct Entry {
+    value_t value;
+    int64_t count;
+    int32_t next;  // index into pool_, -1 = end of chain
+  };
+
+  size_t SlotOf(value_t v) const {
+    // Fibonacci (multiplicative) hashing over the value bits.
+    const uint64_t h =
+        static_cast<uint64_t>(v) * 11400714819323198485ull;
+    return shift_ >= 64 ? 0 : static_cast<size_t>(h >> shift_);
+  }
+  void Insert(value_t v);
+  /// count(v) among the inserted prefix.
+  int64_t LookupCount(value_t v) const;
+  void DoWorkSecs(double secs);
+
+  const Column& column_;
+  ProgressiveOptions options_;
+  CostModel model_;
+  BudgetController budget_;
+
+  std::vector<int32_t> slots_;  ///< head entry index per slot, -1 empty
+  std::vector<Entry> pool_;     ///< entry storage (chained)
+  size_t entries_ = 0;
+  int shift_ = 0;
+  size_t copy_pos_ = 0;
+
+  double predicted_ = 0;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_CORE_PROGRESSIVE_HASHTABLE_H_

@@ -1,0 +1,74 @@
+#ifndef PROGIDX_CORE_PROGRESSIVE_IMPRINTS_H_
+#define PROGIDX_CORE_PROGRESSIVE_IMPRINTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/budget.h"
+#include "core/index_base.h"
+#include "core/progressive_quicksort.h"
+#include "cost/cost_model.h"
+
+namespace progidx {
+
+/// Progressive Column Imprints — the second future-work extension of
+/// §6: "instead of immediately building imprints for the entire
+/// column, only build them for the first fraction δ of the data."
+///
+/// Column Imprints (Sidirourgos & Kersten [28]) are a secondary scan
+/// accelerator: for every cacheline of the column, a 64-bit mask
+/// records which of 64 value bins occur in that cacheline. A range
+/// query builds the mask of bins it touches and scans only cachelines
+/// whose imprint intersects it. Unlike the sorting-based progressive
+/// indexes, imprints never reorder data — convergence means "imprint
+/// vector complete", after which every query is an imprint-filtered
+/// scan.
+class ProgressiveImprints : public IndexBase {
+ public:
+  /// Values per imprint line. 8 matches a 64-byte cacheline of int64;
+  /// larger lines trade filtering precision for imprint-vector size.
+  ProgressiveImprints(const Column& column, const BudgetSpec& budget,
+                      const ProgressiveOptions& options = {},
+                      size_t line_elements = 8);
+
+  QueryResult Query(const RangeQuery& q) override;
+  bool converged() const override;
+  std::string name() const override { return "P. Column Imprints"; }
+  double last_predicted_cost() const override { return predicted_; }
+
+  /// Number of imprint lines built so far.
+  size_t lines_built() const { return lines_built_; }
+  size_t total_lines() const { return total_lines_; }
+  /// Fraction of lines a query on [q.low, q.high] would have to scan
+  /// among built lines (the imprint false-positive measure used by the
+  /// ablation bench).
+  double SelectivityOfMask(const RangeQuery& q) const;
+
+ private:
+  size_t BinOf(value_t v) const;
+  /// Bitmask of bins intersecting [q.low, q.high].
+  uint64_t MaskOf(const RangeQuery& q) const;
+  void BuildLines(size_t max_lines);
+
+  const Column& column_;
+  ProgressiveOptions options_;
+  CostModel model_;
+  BudgetController budget_;
+  size_t line_elements_;
+
+  value_t min_ = 0;
+  value_t max_ = 0;
+  /// Equi-width bin boundaries over [min_, max_]; bin i covers
+  /// [min_ + i·width, min_ + (i+1)·width).
+  uint64_t bin_width_ = 1;
+  std::vector<uint64_t> imprints_;
+  size_t total_lines_ = 0;
+  size_t lines_built_ = 0;
+
+  double predicted_ = 0;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_CORE_PROGRESSIVE_IMPRINTS_H_

@@ -1,0 +1,332 @@
+#include "core/progressive_quicksort.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/predication.h"
+#include "common/rng.h"
+
+namespace progidx {
+
+ProgressiveQuicksort::ProgressiveQuicksort(const Column& column,
+                                           const BudgetSpec& budget,
+                                           const ProgressiveOptions& options)
+    : column_(column),
+      options_(options),
+      model_(options.Machine(), column.size(), options.bucket_count,
+             options.block_capacity),
+      budget_(budget, model_) {
+  const size_t n = column_.size();
+  index_.resize(n);
+  low_pos_ = 0;
+  high_pos_ = static_cast<int64_t>(n) - 1;
+  // §3.1: pivot = average of the column's smallest and largest value.
+  pivot_ = column_.min_value() +
+           (column_.max_value() - column_.min_value()) / 2;
+  if (n == 0) phase_ = Phase::kDone;
+}
+
+double ProgressiveQuicksort::OpSecsForPhase(Phase phase) const {
+  switch (phase) {
+    case Phase::kCreation:
+      return model_.PivotSecs();
+    case Phase::kRefinement:
+      return model_.SwapSecs();
+    case Phase::kConsolidation:
+      return model_.ConsolidateSecs(options_.btree_fanout);
+    case Phase::kDone:
+      return 0;
+  }
+  return 0;
+}
+
+double ProgressiveQuicksort::SelectivityEstimate(const RangeQuery& q) const {
+  const double domain = static_cast<double>(column_.max_value()) -
+                        static_cast<double>(column_.min_value()) + 1.0;
+  if (domain <= 0) return 1.0;
+  const double width = static_cast<double>(q.high) -
+                       static_cast<double>(q.low) + 1.0;
+  return std::clamp(width / domain, 0.0, 1.0);
+}
+
+double ProgressiveQuicksort::EstimateAnswerSecs(const RangeQuery& q) const {
+  const MachineConstants& mc = model_.constants();
+  const size_t n = column_.size();
+  switch (phase_) {
+    case Phase::kCreation: {
+      double elems = static_cast<double>(n - copy_pos_);
+      if (q.low < pivot_) elems += static_cast<double>(low_pos_);
+      if (q.high >= pivot_) {
+        elems += static_cast<double>(n) - 1.0 -
+                 static_cast<double>(high_pos_);
+      }
+      return mc.seq_read_secs * elems;
+    }
+    case Phase::kRefinement: {
+      scratch_ranges_.clear();
+      sorter_.CollectRanges(q, &scratch_ranges_);
+      double unsorted = 0;
+      for (const ScanRange& r : scratch_ranges_) {
+        if (!r.sorted) unsorted += static_cast<double>(r.end - r.start);
+      }
+      const double matched = SelectivityEstimate(q) * static_cast<double>(n);
+      return model_.TreeLookupSecs(sorter_.height()) +
+             mc.seq_read_secs * (unsorted + matched);
+    }
+    case Phase::kConsolidation:
+    case Phase::kDone: {
+      const double matched = SelectivityEstimate(q) * static_cast<double>(n);
+      return model_.BinarySearchSecs() + mc.seq_read_secs * matched;
+    }
+  }
+  return 0;
+}
+
+void ProgressiveQuicksort::DoWorkSecs(double secs) {
+  const size_t n = column_.size();
+  while (secs > 0 && phase_ != Phase::kDone) {
+    switch (phase_) {
+      case Phase::kCreation: {
+        const double unit = model_.PivotSecs() / static_cast<double>(n);
+        size_t elems = std::max<size_t>(
+            1, static_cast<size_t>(secs / unit));
+        elems = std::min(elems, n - copy_pos_);
+        const value_t* src = column_.data();
+        value_t* dst = index_.data();
+        const value_t pivot = pivot_;
+        size_t lo = low_pos_;
+        int64_t hi = high_pos_;
+        for (size_t i = 0; i < elems; i++) {
+          // Two-sided predicated write (§3.1): the value is written to
+          // both frontiers, and exactly one frontier advances.
+          const value_t v = src[copy_pos_ + i];
+          const bool below = v < pivot;
+          dst[lo] = v;
+          dst[hi] = v;
+          lo += below ? 1 : 0;
+          hi -= below ? 0 : 1;
+        }
+        copy_pos_ += elems;
+        low_pos_ = lo;
+        high_pos_ = hi;
+        secs -= static_cast<double>(elems) * unit;
+        if (copy_pos_ == n) {
+          // Creation done: index_ is partitioned around pivot_ at
+          // low_pos_; hand it to the refinement engine.
+          sorter_.InitPrePartitioned(index_.data(), n, pivot_, low_pos_,
+                                     column_.min_value(),
+                                     column_.max_value(),
+                                     model_.constants().l1_cache_elements);
+          phase_ = Phase::kRefinement;
+          if (sorter_.done()) {
+            btree_ = BPlusTree(index_.data(), n, options_.btree_fanout);
+            builder_ = std::make_unique<ProgressiveBTreeBuilder>(&btree_);
+            phase_ = Phase::kConsolidation;
+          }
+        }
+        break;
+      }
+      case Phase::kRefinement: {
+        const double unit = model_.SwapSecs() / static_cast<double>(n);
+        const size_t elems = std::max<size_t>(
+            1, static_cast<size_t>(secs / unit));
+        const size_t used = sorter_.DoWork(elems, last_query_hint_);
+        secs -= static_cast<double>(std::max(used, size_t{1})) * unit;
+        if (sorter_.done()) {
+          btree_ = BPlusTree(index_.data(), n, options_.btree_fanout);
+          builder_ = std::make_unique<ProgressiveBTreeBuilder>(&btree_);
+          phase_ = Phase::kConsolidation;
+        }
+        break;
+      }
+      case Phase::kConsolidation: {
+        const size_t total_keys = std::max(btree_.TotalInternalKeys(),
+                                           size_t{1});
+        const double unit = model_.ConsolidateSecs(options_.btree_fanout) /
+                            static_cast<double>(total_keys);
+        const size_t keys = std::max<size_t>(
+            1, static_cast<size_t>(secs / unit));
+        const size_t used = builder_->DoWork(keys);
+        secs -= static_cast<double>(std::max(used, size_t{1})) * unit;
+        if (builder_->done()) phase_ = Phase::kDone;
+        break;
+      }
+      case Phase::kDone:
+        return;
+    }
+  }
+}
+
+QueryResult ProgressiveQuicksort::Answer(const RangeQuery& q) const {
+  const size_t n = column_.size();
+  QueryResult result;
+  switch (phase_) {
+    case Phase::kCreation: {
+      // Indexed fringes of the index array...
+      if (q.low < pivot_ && low_pos_ > 0) {
+        const QueryResult part =
+            PredicatedRangeSum(index_.data(), low_pos_, q);
+        result.sum += part.sum;
+        result.count += part.count;
+      }
+      if (q.high >= pivot_ &&
+          high_pos_ + 1 < static_cast<int64_t>(n)) {
+        const size_t start = static_cast<size_t>(high_pos_ + 1);
+        const QueryResult part =
+            PredicatedRangeSum(index_.data() + start, n - start, q);
+        result.sum += part.sum;
+        result.count += part.count;
+      }
+      // ...plus the not-yet-copied tail of the base column.
+      const QueryResult rest = PredicatedRangeSum(
+          column_.data() + copy_pos_, n - copy_pos_, q);
+      result.sum += rest.sum;
+      result.count += rest.count;
+      return result;
+    }
+    case Phase::kRefinement: {
+      scratch_ranges_.clear();
+      sorter_.CollectRanges(q, &scratch_ranges_);
+      for (const ScanRange& r : scratch_ranges_) {
+        const QueryResult part =
+            r.sorted
+                ? SortedRangeSum(index_.data() + r.start, r.end - r.start, q)
+                : PredicatedRangeSum(index_.data() + r.start,
+                                     r.end - r.start, q);
+        result.sum += part.sum;
+        result.count += part.count;
+      }
+      return result;
+    }
+    case Phase::kConsolidation:
+    case Phase::kDone:
+      return btree_.RangeSum(q);
+  }
+  return result;
+}
+
+QueryResult ProgressiveQuicksort::Query(const RangeQuery& q) {
+  if (column_.empty()) return {};
+  last_query_hint_ = q;
+  const Phase phase_at_start = phase_;
+  const double op_secs = OpSecsForPhase(phase_at_start);
+  const double answer_est = EstimateAnswerSecs(q);
+  double delta = 0;
+  if (phase_at_start != Phase::kDone) {
+    delta = budget_.DeltaForQuery(op_secs, answer_est);
+  }
+  // Cost-model prediction for this query (Figures 8/9), using the
+  // phase formulas of §3.1 with the state at query start.
+  const double n = static_cast<double>(column_.size());
+  switch (phase_at_start) {
+    case Phase::kCreation: {
+      const double rho = static_cast<double>(copy_pos_) / n;
+      double alpha = 0;
+      if (q.low < pivot_) alpha += static_cast<double>(low_pos_) / n;
+      if (q.high >= pivot_) {
+        alpha += (n - 1.0 - static_cast<double>(high_pos_)) / n;
+      }
+      predicted_ = model_.QuicksortCreate(rho, alpha, delta);
+      break;
+    }
+    case Phase::kRefinement: {
+      const double alpha = answer_est / model_.ScanSecs();
+      predicted_ = model_.QuicksortRefine(sorter_.height(), alpha, delta);
+      break;
+    }
+    case Phase::kConsolidation: {
+      const double alpha = SelectivityEstimate(q);
+      predicted_ =
+          model_.Consolidate(options_.btree_fanout, alpha, delta);
+      break;
+    }
+    case Phase::kDone: {
+      predicted_ = model_.BinarySearchSecs() +
+                   SelectivityEstimate(q) * model_.ScanSecs();
+      break;
+    }
+  }
+  if (delta > 0) DoWorkSecs(delta * op_secs);
+  return Answer(q);
+}
+
+
+ApproximateResult ProgressiveQuicksort::QueryApproximate(const RangeQuery& q,
+                                                         size_t samples,
+                                                         uint64_t seed) {
+  ApproximateResult result;
+  if (column_.empty()) {
+    result.exact = true;
+    return result;
+  }
+  // Perform this query's share of indexing work, exactly like Query():
+  // the approximate path still builds the index as a by-product.
+  last_query_hint_ = q;
+  const double op_secs = OpSecsForPhase(phase_);
+  const double answer_est = EstimateAnswerSecs(q);
+  if (phase_ != Phase::kDone) {
+    const double delta = budget_.DeltaForQuery(op_secs, answer_est);
+    if (delta > 0) DoWorkSecs(delta * op_secs);
+  }
+  if (phase_ != Phase::kCreation) {
+    // Refinement onwards: every element is in the index, so the exact
+    // answer is already cheap.
+    const QueryResult exact = Answer(q);
+    result.sum = static_cast<double>(exact.sum);
+    result.count = static_cast<double>(exact.count);
+    result.exact = true;
+    return result;
+  }
+  // Creation phase: exact over the indexed fringes...
+  const size_t n = column_.size();
+  QueryResult indexed;
+  if (q.low < pivot_ && low_pos_ > 0) {
+    const QueryResult part = PredicatedRangeSum(index_.data(), low_pos_, q);
+    indexed.sum += part.sum;
+    indexed.count += part.count;
+  }
+  if (q.high >= pivot_ && high_pos_ + 1 < static_cast<int64_t>(n)) {
+    const size_t start = static_cast<size_t>(high_pos_ + 1);
+    const QueryResult part =
+        PredicatedRangeSum(index_.data() + start, n - start, q);
+    indexed.sum += part.sum;
+    indexed.count += part.count;
+  }
+  result.sum = static_cast<double>(indexed.sum);
+  result.count = static_cast<double>(indexed.count);
+  // ...plus a Horvitz-Thompson estimate of the unindexed remainder from
+  // a uniform with-replacement sample.
+  const size_t remainder = n - copy_pos_;
+  if (remainder == 0) {
+    result.exact = true;
+    return result;
+  }
+  if (samples == 0) samples = 1;
+  Rng rng(seed);
+  const double scale =
+      static_cast<double>(remainder) / static_cast<double>(samples);
+  double sample_sum = 0;
+  double sample_sq = 0;
+  double sample_count = 0;
+  const value_t* base = column_.data() + copy_pos_;
+  for (size_t i = 0; i < samples; i++) {
+    const value_t v = base[rng.NextBounded(remainder)];
+    const bool match = v >= q.low && v <= q.high;
+    const double contribution = match ? static_cast<double>(v) : 0.0;
+    sample_sum += contribution;
+    sample_sq += contribution * contribution;
+    sample_count += match ? 1.0 : 0.0;
+  }
+  result.sum += sample_sum * scale;
+  result.count += sample_count * scale;
+  const double mean = sample_sum / static_cast<double>(samples);
+  const double variance =
+      sample_sq / static_cast<double>(samples) - mean * mean;
+  result.sum_stderr = static_cast<double>(remainder) *
+                      std::sqrt(std::max(variance, 0.0) /
+                                static_cast<double>(samples));
+  result.exact = false;
+  return result;
+}
+
+}  // namespace progidx

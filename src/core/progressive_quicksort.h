@@ -1,0 +1,115 @@
+#ifndef PROGIDX_CORE_PROGRESSIVE_QUICKSORT_H_
+#define PROGIDX_CORE_PROGRESSIVE_QUICKSORT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "core/budget.h"
+#include "core/incremental_quicksort.h"
+#include "core/index_base.h"
+#include "cost/calibration.h"
+#include "cost/cost_model.h"
+
+namespace progidx {
+
+/// Result of an approximate range-aggregate (§6, "Approximate Query
+/// Processing"): an unbiased estimate with a standard error, computed
+/// from the exact indexed part plus a uniform sample of the
+/// not-yet-indexed remainder. Once the index converges the answer is
+/// exact and the error collapses to zero.
+struct ApproximateResult {
+  double sum = 0;
+  double count = 0;
+  /// Standard error of `sum`; a ~95% interval is sum ± 2·sum_stderr.
+  double sum_stderr = 0;
+  /// True when the whole answer came from indexed (exact) data.
+  bool exact = false;
+};
+
+/// Shared configuration of the four progressive indexes.
+struct ProgressiveOptions {
+  /// B+-tree fanout β used by the consolidation phase.
+  size_t btree_fanout = 64;
+  /// Radix/bucket fan-out b (§3.2 uses 64 = min(cache lines, TLB)).
+  size_t bucket_count = 64;
+  /// Linked-block capacity sb of bucket chains.
+  size_t block_capacity = 4096;
+  /// Machine constants; defaults to the process-wide calibration.
+  const MachineConstants* machine = nullptr;
+
+  const MachineConstants& Machine() const {
+    return machine != nullptr ? *machine : GlobalMachineConstants();
+  }
+};
+
+/// Progressive Quicksort (§3.1).
+///
+/// Creation: copies δ·N elements per query from the base column into an
+/// uninitialized index array, partitioned around a data-range midpoint
+/// pivot (two-sided predicated writes). Refinement: budgeted in-place
+/// quicksort via IncrementalQuicksort. Consolidation: progressive
+/// B+-tree build over the sorted result.
+class ProgressiveQuicksort : public IndexBase {
+ public:
+  enum class Phase { kCreation, kRefinement, kConsolidation, kDone };
+
+  ProgressiveQuicksort(const Column& column, const BudgetSpec& budget,
+                       const ProgressiveOptions& options = {});
+
+  QueryResult Query(const RangeQuery& q) override;
+  bool converged() const override { return phase_ == Phase::kDone; }
+  std::string name() const override { return "P. Quicksort"; }
+  double last_predicted_cost() const override { return predicted_; }
+
+  /// §6 extension: answers approximately within the interactivity
+  /// budget. Performs the same per-query indexing work as Query(), then
+  /// answers exactly from the indexed part and estimates the
+  /// contribution of the not-yet-indexed remainder from `samples`
+  /// uniformly drawn elements (so the approximate path costs
+  /// O(indexed + samples) instead of a full scan during the creation
+  /// phase). After the creation phase the result is exact.
+  ApproximateResult QueryApproximate(const RangeQuery& q, size_t samples,
+                                     uint64_t seed = 7);
+
+  Phase phase() const { return phase_; }
+  /// The index array (exposed for invariant tests).
+  const std::vector<value_t>& index_array() const { return index_; }
+  const CostModel& cost_model() const { return model_; }
+
+ private:
+  double OpSecsForPhase(Phase phase) const;
+  /// Estimated cost of answering `q` with the current structure.
+  double EstimateAnswerSecs(const RangeQuery& q) const;
+  /// Fraction of the domain a query selects (cheap selectivity proxy).
+  double SelectivityEstimate(const RangeQuery& q) const;
+  /// Performs `secs` worth of indexing work, cascading across phase
+  /// transitions.
+  void DoWorkSecs(double secs);
+  QueryResult Answer(const RangeQuery& q) const;
+
+  const Column& column_;
+  ProgressiveOptions options_;
+  CostModel model_;
+  BudgetController budget_;
+
+  Phase phase_ = Phase::kCreation;
+  std::vector<value_t> index_;
+  value_t pivot_ = 0;
+  size_t copy_pos_ = 0;   ///< elements of the base column copied so far
+  size_t low_pos_ = 0;    ///< next write slot at the bottom of index_
+  int64_t high_pos_ = -1; ///< next write slot at the top of index_
+
+  IncrementalQuicksort sorter_;
+  BPlusTree btree_;
+  std::unique_ptr<ProgressiveBTreeBuilder> builder_;
+
+  double predicted_ = 0;
+  RangeQuery last_query_hint_;
+  mutable std::vector<ScanRange> scratch_ranges_;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_CORE_PROGRESSIVE_QUICKSORT_H_

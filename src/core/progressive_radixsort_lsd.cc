@@ -1,0 +1,401 @@
+#include "core/progressive_radixsort_lsd.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/predication.h"
+
+namespace progidx {
+namespace {
+
+int BitsForWidth(uint64_t width) {
+  return width == 0 ? 0 : 64 - std::countl_zero(width);
+}
+
+}  // namespace
+
+ProgressiveRadixsortLSD::ProgressiveRadixsortLSD(
+    const Column& column, const BudgetSpec& budget,
+    const ProgressiveOptions& options)
+    : column_(column),
+      options_(options),
+      model_(options.Machine(), column.size(), options.bucket_count,
+             options.block_capacity),
+      budget_(budget, model_) {
+  const size_t n = column_.size();
+  min_ = column_.min_value();
+  max_ = column_.max_value();
+  const int bits = BitsForWidth(static_cast<uint64_t>(max_ - min_));
+  // ⌈log2(domain)/log2(64)⌉ passes (§3.4), and at least one.
+  total_passes_ = static_cast<size_t>((bits + 5) / 6);
+  if (total_passes_ == 0) total_passes_ = 1;
+  source_.reserve(64);
+  dest_.reserve(64);
+  for (size_t i = 0; i < 64; i++) {
+    source_.emplace_back(options_.block_capacity);
+    dest_.emplace_back(options_.block_capacity);
+  }
+  final_.resize(n);
+  if (n == 0) phase_ = Phase::kDone;
+}
+
+bool ProgressiveRadixsortLSD::CandidateDigits(const RangeQuery& q,
+                                              size_t pass, size_t* first,
+                                              size_t* last) const {
+  const value_t lo = std::max(q.low, min_);
+  const value_t hi = std::min(q.high, max_);
+  if (lo > hi) {  // empty intersection: report bucket 0 only
+    *first = 0;
+    *last = 0;
+    return true;
+  }
+  const uint64_t shifted_lo = static_cast<uint64_t>(lo - min_) >> (6 * pass);
+  const uint64_t shifted_hi = static_cast<uint64_t>(hi - min_) >> (6 * pass);
+  if (shifted_hi - shifted_lo >= 63) return false;  // all buckets
+  *first = static_cast<size_t>(shifted_lo & 63u);
+  *last = static_cast<size_t>(shifted_hi & 63u);
+  return true;
+}
+
+double ProgressiveRadixsortLSD::OpSecsForPhase(Phase phase) const {
+  switch (phase) {
+    case Phase::kCreation:
+    case Phase::kRefinement:
+    case Phase::kMerge:
+      return model_.BucketAppendSecs();
+    case Phase::kConsolidation:
+      return model_.ConsolidateSecs(options_.btree_fanout);
+    case Phase::kDone:
+      return 0;
+  }
+  return 0;
+}
+
+double ProgressiveRadixsortLSD::SelectivityEstimate(
+    const RangeQuery& q) const {
+  const double domain = static_cast<double>(max_) -
+                        static_cast<double>(min_) + 1.0;
+  if (domain <= 0) return 1.0;
+  const double width = static_cast<double>(q.high) -
+                       static_cast<double>(q.low) + 1.0;
+  return std::clamp(width / domain, 0.0, 1.0);
+}
+
+template <typename Fn>
+void ProgressiveRadixsortLSD::ForEachRemainingSource(size_t bucket,
+                                                     Fn&& fn) const {
+  if (bucket < drain_bucket_) return;  // already fully drained
+  if (bucket == drain_bucket_) {
+    source_[bucket].ForEachFrom(drain_cursor_, fn);
+  } else {
+    source_[bucket].ForEach(fn);
+  }
+}
+
+double ProgressiveRadixsortLSD::EstimateAnswerSecs(
+    const RangeQuery& q) const {
+  const MachineConstants& mc = model_.constants();
+  const size_t n = column_.size();
+  const double bucket_elem =
+      model_.BucketScanSecs() / static_cast<double>(std::max<size_t>(n, 1));
+  switch (phase_) {
+    case Phase::kCreation: {
+      size_t first = 0;
+      size_t last = 0;
+      double indexed_elems = 0;
+      if (!CandidateDigits(q, 0, &first, &last)) {
+        // All buckets are candidates (α == ρ): fall back to scanning
+        // the copied prefix of the original column.
+        return mc.seq_read_secs * static_cast<double>(n);
+      }
+      for (size_t b = first;; b = (b + 1) & 63u) {
+        indexed_elems += static_cast<double>(source_[b].size());
+        if (b == last) break;
+      }
+      return bucket_elem * indexed_elems +
+             mc.seq_read_secs * static_cast<double>(n - copy_pos_);
+    }
+    case Phase::kRefinement: {
+      size_t of = 0;
+      size_t ol = 0;
+      size_t nf = 0;
+      size_t nl = 0;
+      const bool old_pruned = CandidateDigits(q, pass_ - 1, &of, &ol);
+      const bool new_pruned = CandidateDigits(q, pass_, &nf, &nl);
+      if (!old_pruned && !new_pruned) {
+        return mc.seq_read_secs * static_cast<double>(n);  // fallback
+      }
+      double elems = 0;
+      for (size_t b = 0; b < 64; b++) {
+        const bool old_candidate =
+            !old_pruned || (of <= ol ? (b >= of && b <= ol)
+                                     : (b >= of || b <= ol));
+        if (old_candidate && b >= drain_bucket_) {
+          elems += static_cast<double>(source_[b].size());
+        }
+        const bool new_candidate =
+            !new_pruned || (nf <= nl ? (b >= nf && b <= nl)
+                                     : (b >= nf || b <= nl));
+        if (new_candidate) elems += static_cast<double>(dest_[b].size());
+      }
+      return bucket_elem * elems;
+    }
+    case Phase::kMerge: {
+      size_t first = 0;
+      size_t last = 0;
+      double elems = 0;
+      const bool pruned = CandidateDigits(q, total_passes_ - 1, &first,
+                                          &last);
+      for (size_t b = drain_bucket_; b < 64; b++) {
+        const bool candidate =
+            !pruned || (first <= last ? (b >= first && b <= last)
+                                      : (b >= first || b <= last));
+        if (candidate) elems += static_cast<double>(source_[b].size());
+      }
+      const double matched = SelectivityEstimate(q) * static_cast<double>(n);
+      return model_.BinarySearchSecs() + bucket_elem * elems +
+             mc.seq_read_secs * matched;
+    }
+    case Phase::kConsolidation:
+    case Phase::kDone: {
+      const double matched = SelectivityEstimate(q) * static_cast<double>(n);
+      return model_.BinarySearchSecs() + mc.seq_read_secs * matched;
+    }
+  }
+  return 0;
+}
+
+void ProgressiveRadixsortLSD::EnterConsolidation() {
+  btree_ = BPlusTree(final_.data(), final_.size(), options_.btree_fanout);
+  builder_ = std::make_unique<ProgressiveBTreeBuilder>(&btree_);
+  phase_ = Phase::kConsolidation;
+}
+
+void ProgressiveRadixsortLSD::DoWorkSecs(double secs) {
+  const size_t n = column_.size();
+  const double unit = model_.BucketAppendSecs() / static_cast<double>(n);
+  while (secs > 0 && phase_ != Phase::kDone) {
+    switch (phase_) {
+      case Phase::kCreation: {
+        size_t elems = std::max<size_t>(
+            1, static_cast<size_t>(secs / unit));
+        elems = std::min(elems, n - copy_pos_);
+        const value_t* src = column_.data();
+        for (size_t i = 0; i < elems; i++) {
+          const value_t v = src[copy_pos_ + i];
+          source_[DigitOf(v, 0)].Append(v);
+        }
+        copy_pos_ += elems;
+        secs -= static_cast<double>(elems) * unit;
+        if (copy_pos_ == n) {
+          pass_ = 1;
+          drain_bucket_ = 0;
+          drain_cursor_ = BucketChain::Cursor{};
+          phase_ = pass_ < total_passes_ ? Phase::kRefinement : Phase::kMerge;
+        }
+        break;
+      }
+      case Phase::kRefinement: {
+        size_t elems = std::max<size_t>(
+            1, static_cast<size_t>(secs / unit));
+        size_t moved = 0;
+        while (moved < elems && drain_bucket_ < 64) {
+          BucketChain& bucket = source_[drain_bucket_];
+          while (moved < elems && !bucket.AtEnd(drain_cursor_)) {
+            const value_t v = bucket.ReadAndAdvance(&drain_cursor_);
+            dest_[DigitOf(v, pass_)].Append(v);
+            moved++;
+          }
+          if (bucket.AtEnd(drain_cursor_)) {
+            bucket.Clear();  // free drained blocks eagerly
+            drain_bucket_++;
+            drain_cursor_ = BucketChain::Cursor{};
+          }
+        }
+        secs -= static_cast<double>(std::max(moved, size_t{1})) * unit;
+        if (drain_bucket_ == 64) {
+          // Pass complete: the output becomes the next pass's input.
+          std::swap(source_, dest_);
+          pass_++;
+          drain_bucket_ = 0;
+          drain_cursor_ = BucketChain::Cursor{};
+          if (pass_ >= total_passes_) phase_ = Phase::kMerge;
+        }
+        break;
+      }
+      case Phase::kMerge: {
+        size_t elems = std::max<size_t>(
+            1, static_cast<size_t>(secs / unit));
+        size_t moved = 0;
+        while (moved < elems && drain_bucket_ < 64) {
+          BucketChain& bucket = source_[drain_bucket_];
+          while (moved < elems && !bucket.AtEnd(drain_cursor_)) {
+            final_[merged_++] = bucket.ReadAndAdvance(&drain_cursor_);
+            moved++;
+          }
+          if (bucket.AtEnd(drain_cursor_)) {
+            bucket.Clear();
+            drain_bucket_++;
+            drain_cursor_ = BucketChain::Cursor{};
+          }
+        }
+        secs -= static_cast<double>(std::max(moved, size_t{1})) * unit;
+        if (drain_bucket_ == 64) {
+          PROGIDX_CHECK(merged_ == n);
+          EnterConsolidation();
+        }
+        break;
+      }
+      case Phase::kConsolidation: {
+        const size_t total_keys =
+            std::max(btree_.TotalInternalKeys(), size_t{1});
+        const double kunit = model_.ConsolidateSecs(options_.btree_fanout) /
+                             static_cast<double>(total_keys);
+        const size_t keys = std::max<size_t>(
+            1, static_cast<size_t>(secs / kunit));
+        const size_t used = builder_->DoWork(keys);
+        secs -= static_cast<double>(std::max(used, size_t{1})) * kunit;
+        if (builder_->done()) phase_ = Phase::kDone;
+        break;
+      }
+      case Phase::kDone:
+        return;
+    }
+  }
+}
+
+QueryResult ProgressiveRadixsortLSD::Answer(const RangeQuery& q) const {
+  QueryResult result;
+  const size_t n = column_.size();
+  auto add = [&result](int64_t sum, int64_t count) {
+    result.sum += sum;
+    result.count += count;
+  };
+  auto predicated = [&q](value_t v, int64_t* sum, int64_t* count) {
+    const int64_t match = static_cast<int64_t>(v >= q.low) &
+                          static_cast<int64_t>(v <= q.high);
+    *sum += v * match;
+    *count += match;
+  };
+  switch (phase_) {
+    case Phase::kCreation: {
+      size_t first = 0;
+      size_t last = 0;
+      int64_t sum = 0;
+      int64_t count = 0;
+      if (CandidateDigits(q, 0, &first, &last)) {
+        for (size_t b = first;; b = (b + 1) & 63u) {
+          source_[b].ForEach(
+              [&](value_t v) { predicated(v, &sum, &count); });
+          if (b == last) break;
+        }
+      } else {
+        // α == ρ fallback: the copied prefix of the base column is
+        // cheaper to scan than all 64 bucket chains.
+        const QueryResult part =
+            PredicatedRangeSum(column_.data(), copy_pos_, q);
+        sum = part.sum;
+        count = part.count;
+      }
+      add(sum, count);
+      const QueryResult rest =
+          PredicatedRangeSum(column_.data() + copy_pos_, n - copy_pos_, q);
+      add(rest.sum, rest.count);
+      return result;
+    }
+    case Phase::kRefinement: {
+      size_t of = 0;
+      size_t ol = 0;
+      size_t nf = 0;
+      size_t nl = 0;
+      const bool old_pruned = CandidateDigits(q, pass_ - 1, &of, &ol);
+      const bool new_pruned = CandidateDigits(q, pass_, &nf, &nl);
+      int64_t sum = 0;
+      int64_t count = 0;
+      for (size_t b = 0; b < 64; b++) {
+        const bool old_candidate =
+            !old_pruned || (of <= ol ? (b >= of && b <= ol)
+                                     : (b >= of || b <= ol));
+        if (old_candidate) {
+          ForEachRemainingSource(
+              b, [&](value_t v) { predicated(v, &sum, &count); });
+        }
+        const bool new_candidate =
+            !new_pruned || (nf <= nl ? (b >= nf && b <= nl)
+                                     : (b >= nf || b <= nl));
+        if (new_candidate) {
+          dest_[b].ForEach([&](value_t v) { predicated(v, &sum, &count); });
+        }
+      }
+      add(sum, count);
+      return result;
+    }
+    case Phase::kMerge: {
+      const QueryResult prefix = SortedRangeSum(final_.data(), merged_, q);
+      add(prefix.sum, prefix.count);
+      size_t first = 0;
+      size_t last = 0;
+      const bool pruned =
+          CandidateDigits(q, total_passes_ - 1, &first, &last);
+      int64_t sum = 0;
+      int64_t count = 0;
+      for (size_t b = drain_bucket_; b < 64; b++) {
+        const bool candidate =
+            !pruned || (first <= last ? (b >= first && b <= last)
+                                      : (b >= first || b <= last));
+        if (!candidate) continue;
+        ForEachRemainingSource(
+            b, [&](value_t v) { predicated(v, &sum, &count); });
+      }
+      add(sum, count);
+      return result;
+    }
+    case Phase::kConsolidation:
+    case Phase::kDone:
+      return btree_.RangeSum(q);
+  }
+  return result;
+}
+
+QueryResult ProgressiveRadixsortLSD::Query(const RangeQuery& q) {
+  if (column_.empty()) return {};
+  const Phase phase_at_start = phase_;
+  const double op_secs = OpSecsForPhase(phase_at_start);
+  const double answer_est = EstimateAnswerSecs(q);
+  double delta = 0;
+  if (phase_at_start != Phase::kDone) {
+    delta = budget_.DeltaForQuery(op_secs, answer_est);
+  }
+  const double n = static_cast<double>(column_.size());
+  switch (phase_at_start) {
+    case Phase::kCreation: {
+      const double rho = static_cast<double>(copy_pos_) / n;
+      const double alpha =
+          answer_est / std::max(model_.BucketScanSecs(), 1e-30);
+      predicted_ = model_.RadixCreate(rho, std::min(alpha, 1.0), delta);
+      break;
+    }
+    case Phase::kRefinement:
+    case Phase::kMerge: {
+      const double alpha =
+          answer_est / std::max(model_.BucketScanSecs(), 1e-30);
+      predicted_ = model_.RadixRefine(std::min(alpha, 1.0), delta);
+      break;
+    }
+    case Phase::kConsolidation: {
+      predicted_ = model_.Consolidate(options_.btree_fanout,
+                                      SelectivityEstimate(q), delta);
+      break;
+    }
+    case Phase::kDone: {
+      predicted_ = model_.BinarySearchSecs() +
+                   SelectivityEstimate(q) * model_.ScanSecs();
+      break;
+    }
+  }
+  if (delta > 0) DoWorkSecs(delta * op_secs);
+  return Answer(q);
+}
+
+}  // namespace progidx

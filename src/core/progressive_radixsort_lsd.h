@@ -1,0 +1,93 @@
+#ifndef PROGIDX_CORE_PROGRESSIVE_RADIXSORT_LSD_H_
+#define PROGIDX_CORE_PROGRESSIVE_RADIXSORT_LSD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "core/budget.h"
+#include "core/index_base.h"
+#include "core/progressive_quicksort.h"
+#include "cost/cost_model.h"
+#include "storage/bucket_chain.h"
+
+namespace progidx {
+
+/// Progressive Radixsort, least-significant digits first (§3.4).
+///
+/// Creation: δ·N elements per query are clustered by the *least*
+/// significant 6 bits. Refinement: repeated out-of-place stable passes
+/// move elements from the current bucket set to a new one keyed by the
+/// next 6 bits; after ⌈bits/6⌉ passes, concatenating the buckets yields
+/// the sorted array. The intermediate buckets accelerate point queries
+/// (one candidate bucket) but not wide range queries, for which the
+/// algorithm falls back to scanning the original column (the paper's
+/// "α == ρ" fallback).
+class ProgressiveRadixsortLSD : public IndexBase {
+ public:
+  enum class Phase { kCreation, kRefinement, kMerge, kConsolidation, kDone };
+
+  ProgressiveRadixsortLSD(const Column& column, const BudgetSpec& budget,
+                          const ProgressiveOptions& options = {});
+
+  QueryResult Query(const RangeQuery& q) override;
+  bool converged() const override { return phase_ == Phase::kDone; }
+  std::string name() const override { return "P. Radixsort (LSD)"; }
+  double last_predicted_cost() const override { return predicted_; }
+
+  Phase phase() const { return phase_; }
+  const std::vector<value_t>& final_array() const { return final_; }
+  size_t total_passes() const { return total_passes_; }
+  const CostModel& cost_model() const { return model_; }
+
+ private:
+  /// Digit of v for pass `pass` (6 bits per pass, LSD first).
+  size_t DigitOf(value_t v, size_t pass) const {
+    return static_cast<size_t>(
+        (static_cast<uint64_t>(v - min_) >> (6 * pass)) & 63u);
+  }
+  /// Candidate digit range for query q at `pass`; returns false when
+  /// every bucket is a candidate. Candidates form a wrap-around
+  /// contiguous run [*first, *last] mod 64.
+  bool CandidateDigits(const RangeQuery& q, size_t pass, size_t* first,
+                       size_t* last) const;
+  double OpSecsForPhase(Phase phase) const;
+  double EstimateAnswerSecs(const RangeQuery& q) const;
+  double SelectivityEstimate(const RangeQuery& q) const;
+  void DoWorkSecs(double secs);
+  QueryResult Answer(const RangeQuery& q) const;
+  void EnterConsolidation();
+  /// Sum of elements still in `source_` at or after the drain cursor.
+  template <typename Fn>
+  void ForEachRemainingSource(size_t bucket, Fn&& fn) const;
+
+  const Column& column_;
+  ProgressiveOptions options_;
+  CostModel model_;
+  BudgetController budget_;
+
+  Phase phase_ = Phase::kCreation;
+  value_t min_ = 0;
+  value_t max_ = 0;
+  size_t total_passes_ = 1;
+
+  std::vector<BucketChain> source_;  ///< pass input (64 chains)
+  std::vector<BucketChain> dest_;    ///< pass output (64 chains)
+  size_t copy_pos_ = 0;              ///< creation: base-column cursor
+  size_t pass_ = 1;                  ///< refinement: current pass index
+  size_t drain_bucket_ = 0;          ///< source bucket being drained
+  BucketChain::Cursor drain_cursor_;
+
+  std::vector<value_t> final_;
+  size_t merged_ = 0;
+
+  BPlusTree btree_;
+  std::unique_ptr<ProgressiveBTreeBuilder> builder_;
+
+  double predicted_ = 0;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_CORE_PROGRESSIVE_RADIXSORT_LSD_H_

@@ -1,0 +1,359 @@
+#include "core/progressive_radixsort_msd.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/predication.h"
+
+namespace progidx {
+namespace {
+
+/// Number of bits needed to represent values in [0, width].
+int BitsForWidth(uint64_t width) {
+  return width == 0 ? 0 : 64 - std::countl_zero(width);
+}
+
+}  // namespace
+
+ProgressiveRadixsortMSD::ProgressiveRadixsortMSD(
+    const Column& column, const BudgetSpec& budget,
+    const ProgressiveOptions& options)
+    : column_(column),
+      options_(options),
+      model_(options.Machine(), column.size(), options.bucket_count,
+             options.block_capacity),
+      budget_(budget, model_) {
+  const size_t n = column_.size();
+  min_ = column_.min_value();
+  max_ = column_.max_value();
+  const int bits = BitsForWidth(static_cast<uint64_t>(max_ - min_));
+  // b = 64 root buckets keyed by the top 6 bits of the value domain.
+  const int radix_bits =
+      BitsForWidth(static_cast<uint64_t>(options_.bucket_count) - 1);
+  root_shift_ = bits > radix_bits ? bits - radix_bits : 0;
+  root_buckets_.reserve(options_.bucket_count);
+  for (size_t i = 0; i < options_.bucket_count; i++) {
+    root_buckets_.emplace_back(options_.block_capacity);
+  }
+  final_.resize(n);
+  if (n == 0) phase_ = Phase::kDone;
+}
+
+double ProgressiveRadixsortMSD::OpSecsForPhase(Phase phase) const {
+  switch (phase) {
+    case Phase::kCreation:
+    case Phase::kRefinement:
+      return model_.BucketAppendSecs();
+    case Phase::kConsolidation:
+      return model_.ConsolidateSecs(options_.btree_fanout);
+    case Phase::kDone:
+      return 0;
+  }
+  return 0;
+}
+
+double ProgressiveRadixsortMSD::SelectivityEstimate(
+    const RangeQuery& q) const {
+  const double domain = static_cast<double>(max_) -
+                        static_cast<double>(min_) + 1.0;
+  if (domain <= 0) return 1.0;
+  const double width = static_cast<double>(q.high) -
+                       static_cast<double>(q.low) + 1.0;
+  return std::clamp(width / domain, 0.0, 1.0);
+}
+
+double ProgressiveRadixsortMSD::EstimateAnswerSecs(
+    const RangeQuery& q) const {
+  const MachineConstants& mc = model_.constants();
+  const size_t n = column_.size();
+  // Per-element cost of scanning a linked-block bucket.
+  const double bucket_elem =
+      model_.BucketScanSecs() / static_cast<double>(std::max<size_t>(n, 1));
+  switch (phase_) {
+    case Phase::kCreation: {
+      double elems = 0;
+      if (q.high >= min_ && q.low <= max_) {
+        const size_t b_lo = RootBucketOf(std::max(q.low, min_));
+        const size_t b_hi = RootBucketOf(std::min(q.high, max_));
+        for (size_t b = b_lo; b <= b_hi; b++) {
+          elems += static_cast<double>(root_buckets_[b].size());
+        }
+      }
+      return bucket_elem * elems +
+             mc.seq_read_secs * static_cast<double>(n - copy_pos_);
+    }
+    case Phase::kRefinement: {
+      double elems = 0;
+      for (const PendingBucket& p : pending_) {
+        if (p.hi_value < q.low || p.lo_value > q.high) continue;
+        elems += static_cast<double>(p.chain.size());
+        for (const BucketChain& c : p.children) {
+          elems += static_cast<double>(c.size());
+        }
+      }
+      const double matched = SelectivityEstimate(q) * static_cast<double>(n);
+      return model_.BinarySearchSecs() + bucket_elem * elems +
+             mc.seq_read_secs * matched;
+    }
+    case Phase::kConsolidation:
+    case Phase::kDone: {
+      const double matched = SelectivityEstimate(q) * static_cast<double>(n);
+      return model_.BinarySearchSecs() + mc.seq_read_secs * matched;
+    }
+  }
+  return 0;
+}
+
+void ProgressiveRadixsortMSD::EnterConsolidation() {
+  btree_ = BPlusTree(final_.data(), final_.size(), options_.btree_fanout);
+  builder_ = std::make_unique<ProgressiveBTreeBuilder>(&btree_);
+  phase_ = Phase::kConsolidation;
+}
+
+size_t ProgressiveRadixsortMSD::RefineFront(size_t budget) {
+  PendingBucket& front = pending_.front();
+  const size_t l1 = model_.constants().l1_cache_elements;
+  if (!front.splitting &&
+      (front.shift == 0 || front.chain.size() <= l1)) {
+    // Sort the bucket and merge it into the final array. Atomic unit of
+    // work (bounded by L1 size), as in §3.2: buckets that fit in cache
+    // are "immediately insert[ed] ... in sorted order into the final
+    // sorted array".
+    const size_t size = front.chain.size();
+    front.chain.CopyTo(final_.data() + merged_);
+    std::sort(final_.begin() + static_cast<int64_t>(merged_),
+              final_.begin() + static_cast<int64_t>(merged_ + size));
+    merged_ += size;
+    pending_.pop_front();
+    // Copy is linear but the sort costs O(size·log2(size)); charge the
+    // log factor so budget adherence survives the merge stage.
+    size_t log2_size = 1;
+    while ((size >> log2_size) > 1) log2_size++;
+    return std::max(size * log2_size, size_t{1});
+  }
+  // Split by the next 6 bits into child buckets; resumable mid-drain.
+  const int child_shift = front.shift >= 6 ? front.shift - 6 : 0;
+  const size_t child_count =
+      front.shift >= 6 ? 64 : (size_t{1} << front.shift);
+  if (!front.splitting) {
+    front.splitting = true;
+    front.children.reserve(child_count);
+    for (size_t i = 0; i < child_count; i++) {
+      front.children.emplace_back(options_.block_capacity);
+    }
+    front.cursor = BucketChain::Cursor{};
+  }
+  size_t moved = 0;
+  while (moved < budget && !front.chain.AtEnd(front.cursor)) {
+    const value_t v = front.chain.ReadAndAdvance(&front.cursor);
+    const size_t child = static_cast<size_t>(
+        (v - front.lo_value) >> child_shift);
+    front.children[child].Append(v);
+    moved++;
+  }
+  if (front.chain.AtEnd(front.cursor)) {
+    // Split complete: replace the front bucket by its non-empty
+    // children, preserving value order.
+    std::vector<PendingBucket> children;
+    children.reserve(child_count);
+    for (size_t i = 0; i < child_count; i++) {
+      if (front.children[i].empty()) continue;
+      PendingBucket child;
+      child.lo_value =
+          front.lo_value + static_cast<value_t>(i) *
+                               (static_cast<value_t>(1) << child_shift);
+      child.hi_value =
+          child.lo_value + (static_cast<value_t>(1) << child_shift) - 1;
+      child.shift = child_shift;
+      child.chain = std::move(front.children[i]);
+      children.push_back(std::move(child));
+    }
+    pending_.pop_front();
+    for (size_t i = children.size(); i-- > 0;) {
+      pending_.push_front(std::move(children[i]));
+    }
+  }
+  return std::max(moved, size_t{1});
+}
+
+void ProgressiveRadixsortMSD::DoWorkSecs(double secs) {
+  const size_t n = column_.size();
+  while (secs > 0 && phase_ != Phase::kDone) {
+    switch (phase_) {
+      case Phase::kCreation: {
+        const double unit =
+            model_.BucketAppendSecs() / static_cast<double>(n);
+        size_t elems = std::max<size_t>(
+            1, static_cast<size_t>(secs / unit));
+        elems = std::min(elems, n - copy_pos_);
+        const value_t* src = column_.data();
+        for (size_t i = 0; i < elems; i++) {
+          const value_t v = src[copy_pos_ + i];
+          root_buckets_[RootBucketOf(v)].Append(v);
+        }
+        copy_pos_ += elems;
+        secs -= static_cast<double>(elems) * unit;
+        if (copy_pos_ == n) {
+          // Creation done: seed the refinement worklist with the root
+          // buckets in value order.
+          for (size_t i = 0; i < root_buckets_.size(); i++) {
+            if (root_buckets_[i].empty()) continue;
+            PendingBucket p;
+            p.lo_value = min_ + static_cast<value_t>(i) *
+                                    (static_cast<value_t>(1) << root_shift_);
+            p.hi_value = p.lo_value +
+                         (static_cast<value_t>(1) << root_shift_) - 1;
+            p.shift = root_shift_;
+            p.chain = std::move(root_buckets_[i]);
+            pending_.push_back(std::move(p));
+          }
+          root_buckets_.clear();
+          phase_ = Phase::kRefinement;
+          if (pending_.empty()) EnterConsolidation();
+        }
+        break;
+      }
+      case Phase::kRefinement: {
+        const double unit =
+            model_.BucketAppendSecs() / static_cast<double>(n);
+        const size_t elems = std::max<size_t>(
+            1, static_cast<size_t>(secs / unit));
+        size_t used = 0;
+        while (used < elems && !pending_.empty()) {
+          used += RefineFront(elems - used);
+        }
+        secs -= static_cast<double>(std::max(used, size_t{1})) * unit;
+        if (pending_.empty()) {
+          PROGIDX_CHECK(merged_ == n);
+          EnterConsolidation();
+        }
+        break;
+      }
+      case Phase::kConsolidation: {
+        const size_t total_keys =
+            std::max(btree_.TotalInternalKeys(), size_t{1});
+        const double unit = model_.ConsolidateSecs(options_.btree_fanout) /
+                            static_cast<double>(total_keys);
+        const size_t keys = std::max<size_t>(
+            1, static_cast<size_t>(secs / unit));
+        const size_t used = builder_->DoWork(keys);
+        secs -= static_cast<double>(std::max(used, size_t{1})) * unit;
+        if (builder_->done()) phase_ = Phase::kDone;
+        break;
+      }
+      case Phase::kDone:
+        return;
+    }
+  }
+}
+
+QueryResult ProgressiveRadixsortMSD::Answer(const RangeQuery& q) const {
+  QueryResult result;
+  const size_t n = column_.size();
+  auto add = [&result](const QueryResult& part) {
+    result.sum += part.sum;
+    result.count += part.count;
+  };
+  auto scan_chain = [&](const BucketChain& chain) {
+    int64_t sum = 0;
+    int64_t count = 0;
+    chain.ForEach([&](value_t v) {
+      const int64_t match = static_cast<int64_t>(v >= q.low) &
+                            static_cast<int64_t>(v <= q.high);
+      sum += v * match;
+      count += match;
+    });
+    add({sum, count});
+  };
+  switch (phase_) {
+    case Phase::kCreation: {
+      if (q.high >= min_ && q.low <= max_) {
+        const size_t b_lo = RootBucketOf(std::max(q.low, min_));
+        const size_t b_hi = RootBucketOf(std::min(q.high, max_));
+        for (size_t b = b_lo; b <= b_hi; b++) scan_chain(root_buckets_[b]);
+      }
+      add(PredicatedRangeSum(column_.data() + copy_pos_, n - copy_pos_, q));
+      return result;
+    }
+    case Phase::kRefinement: {
+      // Sorted, merged prefix of the final array...
+      add(SortedRangeSum(final_.data(), merged_, q));
+      // ...plus every pending bucket whose value range intersects.
+      for (const PendingBucket& p : pending_) {
+        if (p.hi_value < q.low || p.lo_value > q.high) continue;
+        // Remaining source elements (not yet moved by a split)...
+        if (p.splitting) {
+          int64_t sum = 0;
+          int64_t count = 0;
+          p.chain.ForEachFrom(p.cursor, [&](value_t v) {
+            const int64_t match = static_cast<int64_t>(v >= q.low) &
+                                  static_cast<int64_t>(v <= q.high);
+            sum += v * match;
+            count += match;
+          });
+          add({sum, count});
+          // ...and the children already populated by the split.
+          const int child_shift = p.shift >= 6 ? p.shift - 6 : 0;
+          for (size_t i = 0; i < p.children.size(); i++) {
+            const value_t c_lo =
+                p.lo_value + static_cast<value_t>(i) *
+                                 (static_cast<value_t>(1) << child_shift);
+            const value_t c_hi =
+                c_lo + (static_cast<value_t>(1) << child_shift) - 1;
+            if (c_hi < q.low || c_lo > q.high) continue;
+            scan_chain(p.children[i]);
+          }
+        } else {
+          scan_chain(p.chain);
+        }
+      }
+      return result;
+    }
+    case Phase::kConsolidation:
+    case Phase::kDone:
+      return btree_.RangeSum(q);
+  }
+  return result;
+}
+
+QueryResult ProgressiveRadixsortMSD::Query(const RangeQuery& q) {
+  if (column_.empty()) return {};
+  const Phase phase_at_start = phase_;
+  const double op_secs = OpSecsForPhase(phase_at_start);
+  const double answer_est = EstimateAnswerSecs(q);
+  double delta = 0;
+  if (phase_at_start != Phase::kDone) {
+    delta = budget_.DeltaForQuery(op_secs, answer_est);
+  }
+  const double n = static_cast<double>(column_.size());
+  switch (phase_at_start) {
+    case Phase::kCreation: {
+      const double rho = static_cast<double>(copy_pos_) / n;
+      const double alpha =
+          answer_est / std::max(model_.BucketScanSecs(), 1e-30);
+      predicted_ = model_.RadixCreate(rho, std::min(alpha, 1.0), delta);
+      break;
+    }
+    case Phase::kRefinement: {
+      const double alpha =
+          answer_est / std::max(model_.BucketScanSecs(), 1e-30);
+      predicted_ = model_.RadixRefine(std::min(alpha, 1.0), delta);
+      break;
+    }
+    case Phase::kConsolidation: {
+      predicted_ = model_.Consolidate(options_.btree_fanout,
+                                      SelectivityEstimate(q), delta);
+      break;
+    }
+    case Phase::kDone: {
+      predicted_ = model_.BinarySearchSecs() +
+                   SelectivityEstimate(q) * model_.ScanSecs();
+      break;
+    }
+  }
+  if (delta > 0) DoWorkSecs(delta * op_secs);
+  return Answer(q);
+}
+
+}  // namespace progidx

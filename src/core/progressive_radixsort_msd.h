@@ -1,0 +1,97 @@
+#ifndef PROGIDX_CORE_PROGRESSIVE_RADIXSORT_MSD_H_
+#define PROGIDX_CORE_PROGRESSIVE_RADIXSORT_MSD_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "core/budget.h"
+#include "core/index_base.h"
+#include "core/progressive_quicksort.h"
+#include "cost/cost_model.h"
+#include "storage/bucket_chain.h"
+
+namespace progidx {
+
+/// Progressive Radixsort, most-significant digits first (§3.2).
+///
+/// Creation: δ·N elements per query are appended to b = 64 linked-block
+/// buckets keyed by the top log2(b) bits of (v − min). Refinement: the
+/// lowest-valued pending bucket is either split by the next 6 bits or,
+/// when it fits in L1 (or has no bits left), sorted and merged into the
+/// final array — so the final sorted array fills strictly left to
+/// right. Consolidation: progressive B+-tree, as for all algorithms.
+class ProgressiveRadixsortMSD : public IndexBase {
+ public:
+  enum class Phase { kCreation, kRefinement, kConsolidation, kDone };
+
+  ProgressiveRadixsortMSD(const Column& column, const BudgetSpec& budget,
+                          const ProgressiveOptions& options = {});
+
+  QueryResult Query(const RangeQuery& q) override;
+  bool converged() const override { return phase_ == Phase::kDone; }
+  std::string name() const override { return "P. Radixsort (MSD)"; }
+  double last_predicted_cost() const override { return predicted_; }
+
+  Phase phase() const { return phase_; }
+  const std::vector<value_t>& final_array() const { return final_; }
+  const CostModel& cost_model() const { return model_; }
+
+ private:
+  /// A bucket awaiting refinement. Pending buckets are kept in value
+  /// order; `shift` is the number of unresolved low bits of its values.
+  struct PendingBucket {
+    value_t lo_value = 0;
+    value_t hi_value = 0;
+    int shift = 0;
+    BucketChain chain;
+    // In-progress split state (a split may span multiple queries).
+    bool splitting = false;
+    BucketChain::Cursor cursor;
+    std::vector<BucketChain> children;
+
+    PendingBucket() = default;
+    PendingBucket(PendingBucket&&) = default;
+    PendingBucket& operator=(PendingBucket&&) = default;
+  };
+
+  size_t RootBucketOf(value_t v) const {
+    return static_cast<size_t>((v - min_) >> root_shift_);
+  }
+  double OpSecsForPhase(Phase phase) const;
+  double EstimateAnswerSecs(const RangeQuery& q) const;
+  double SelectivityEstimate(const RangeQuery& q) const;
+  void DoWorkSecs(double secs);
+  /// One unit of refinement work on the front pending bucket; returns
+  /// elements processed.
+  size_t RefineFront(size_t budget);
+  QueryResult Answer(const RangeQuery& q) const;
+  void EnterConsolidation();
+
+  const Column& column_;
+  ProgressiveOptions options_;
+  CostModel model_;
+  BudgetController budget_;
+
+  Phase phase_ = Phase::kCreation;
+  value_t min_ = 0;
+  value_t max_ = 0;
+  int root_shift_ = 0;
+  std::vector<BucketChain> root_buckets_;
+  size_t copy_pos_ = 0;
+
+  std::deque<PendingBucket> pending_;
+  std::vector<value_t> final_;
+  size_t merged_ = 0;
+
+  BPlusTree btree_;
+  std::unique_ptr<ProgressiveBTreeBuilder> builder_;
+
+  double predicted_ = 0;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_CORE_PROGRESSIVE_RADIXSORT_MSD_H_

@@ -1,0 +1,61 @@
+#include "core/updatable_index.h"
+
+#include <utility>
+
+#include "common/predication.h"
+
+namespace progidx {
+
+UpdatableIndex::UpdatableIndex(std::vector<value_t> initial_values,
+                               IndexFactory factory, double merge_threshold)
+    : base_(std::move(initial_values)),
+      factory_(std::move(factory)),
+      merge_threshold_(merge_threshold) {
+  PROGIDX_CHECK(merge_threshold_ > 0);
+  inner_ = factory_(base_);
+}
+
+void UpdatableIndex::Append(value_t v) {
+  pending_.push_back(v);
+  MaybeMerge();
+}
+
+void UpdatableIndex::MaybeMerge() {
+  const double limit =
+      merge_threshold_ * static_cast<double>(std::max<size_t>(
+                             base_.size(), 1));
+  if (static_cast<double>(pending_.size()) < limit) return;
+  // Merge: new base column = old base + delta, then restart the inner
+  // progressive index over it. The only eager cost is this O(n) copy;
+  // all re-indexing work is again paid incrementally by queries.
+  std::vector<value_t> merged;
+  merged.reserve(base_.size() + pending_.size());
+  merged.insert(merged.end(), base_.values().begin(), base_.values().end());
+  merged.insert(merged.end(), pending_.begin(), pending_.end());
+  pending_.clear();
+  inner_.reset();  // the old index references base_; drop it first
+  base_ = Column(std::move(merged));
+  inner_ = factory_(base_);
+  merges_++;
+}
+
+QueryResult UpdatableIndex::Query(const RangeQuery& q) {
+  QueryResult result = inner_->Query(q);
+  if (!pending_.empty()) {
+    const QueryResult delta =
+        PredicatedRangeSum(pending_.data(), pending_.size(), q);
+    result.sum += delta.sum;
+    result.count += delta.count;
+  }
+  return result;
+}
+
+bool UpdatableIndex::converged() const {
+  return pending_.empty() && inner_->converged();
+}
+
+std::string UpdatableIndex::name() const {
+  return inner_->name() + " + delta store";
+}
+
+}  // namespace progidx

@@ -1,0 +1,64 @@
+#ifndef PROGIDX_CORE_UPDATABLE_INDEX_H_
+#define PROGIDX_CORE_UPDATABLE_INDEX_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/index_base.h"
+#include "storage/column.h"
+
+namespace progidx {
+
+/// Append support for progressive indexes (the "handling updates" line
+/// of work the paper cites [13, 14], adapted to progressive indexing).
+///
+/// Design: a classic delta store. Appended values land in a pending
+/// buffer that every query scans in addition to the inner index (so
+/// updates are visible immediately and answers stay exact). When the
+/// buffer outgrows `merge_threshold` × base size, base and buffer are
+/// merged into a new column and a *fresh progressive index* is started
+/// over it — which is the attraction of combining a delta store with
+/// progressive indexing: the post-merge re-indexing cost is not a
+/// rebuild pause but is smeared over subsequent queries under the same
+/// per-query budget, exactly like the initial build.
+class UpdatableIndex : public IndexBase {
+ public:
+  /// `factory` builds the inner index over a column (e.g. a lambda
+  /// returning a ProgressiveQuicksort with the desired budget). The
+  /// factory is re-invoked after every merge.
+  using IndexFactory =
+      std::function<std::unique_ptr<IndexBase>(const Column&)>;
+
+  UpdatableIndex(std::vector<value_t> initial_values, IndexFactory factory,
+                 double merge_threshold = 0.1);
+
+  /// Appends one value; visible to the very next Query().
+  void Append(value_t v);
+
+  QueryResult Query(const RangeQuery& q) override;
+  /// Converged = the inner index is converged and no appends are
+  /// pending (a merge restarts convergence, as it must).
+  bool converged() const override;
+  std::string name() const override;
+
+  size_t pending_count() const { return pending_.size(); }
+  size_t base_size() const { return base_.size(); }
+  /// Number of merges performed so far.
+  size_t merge_count() const { return merges_; }
+
+ private:
+  void MaybeMerge();
+
+  Column base_;
+  std::vector<value_t> pending_;
+  IndexFactory factory_;
+  std::unique_ptr<IndexBase> inner_;
+  double merge_threshold_;
+  size_t merges_ = 0;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_CORE_UPDATABLE_INDEX_H_

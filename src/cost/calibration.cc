@@ -1,0 +1,198 @@
+#include "cost/calibration.h"
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "common/predication.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "common/types.h"
+#include "storage/bucket_chain.h"
+
+namespace progidx {
+namespace {
+
+constexpr size_t kCalibrationElements = 1ull << 21;  // 16 MiB of int64
+constexpr size_t kRandomAccesses = 1ull << 16;
+
+// A volatile sink keeps the compiler from eliding the measured loops.
+volatile int64_t calibration_sink = 0;
+
+// The calibration loops use the *actual* query kernels (predicated
+// scans, two-sided pivot copies, chain walks), not idealized loops, so
+// that the cost model predicts what Query() really pays. This is the
+// paper's §4.3 startup measurement.
+
+double MeasureSequentialRead(std::vector<value_t>* buffer) {
+  const RangeQuery q{static_cast<value_t>(buffer->size() / 4),
+                     static_cast<value_t>(3 * buffer->size() / 4)};
+  Timer timer;
+  const QueryResult r = PredicatedRangeSum(buffer->data(), buffer->size(), q);
+  const double secs = timer.ElapsedSeconds();
+  calibration_sink = r.sum;
+  return secs / static_cast<double>(buffer->size());
+}
+
+double MeasureSequentialWrite(std::vector<value_t>* buffer,
+                              double seq_read_secs) {
+  // Two-sided pivot copy, exactly the creation-phase inner loop of
+  // Progressive Quicksort: one read, two predicated writes, one cursor
+  // advance per element. The write constant is what remains after the
+  // read share.
+  const size_t n = buffer->size();
+  std::vector<value_t> dst(n);
+  const value_t pivot = static_cast<value_t>(n / 2);
+  Timer timer;
+  const value_t* src = buffer->data();
+  value_t* out = dst.data();
+  size_t lo = 0;
+  int64_t hi = static_cast<int64_t>(n) - 1;
+  for (size_t i = 0; i < n; i++) {
+    const value_t v = src[i];
+    const bool below = v < pivot;
+    out[lo] = v;
+    out[hi] = v;
+    lo += below ? 1 : 0;
+    hi -= below ? 0 : 1;
+  }
+  const double secs = timer.ElapsedSeconds();
+  calibration_sink = dst[n / 2];
+  const double per_element = secs / static_cast<double>(n);
+  const double write = per_element - seq_read_secs;
+  return write > 0 ? write : per_element / 2;
+}
+
+double MeasureRandomAccess(std::vector<value_t>* buffer) {
+  // Pointer-chase through a random permutation cycle so every access
+  // depends on the previous one (defeats prefetching and OoO overlap).
+  const size_t n = buffer->size();
+  std::vector<size_t> next(n);
+  std::iota(next.begin(), next.end(), 0);
+  Rng rng(7);
+  for (size_t i = n - 1; i > 0; i--) {
+    std::swap(next[i], next[rng.NextBounded(i + 1)]);
+  }
+  Timer timer;
+  size_t pos = 0;
+  for (size_t i = 0; i < kRandomAccesses; i++) pos = next[pos];
+  const double secs = timer.ElapsedSeconds();
+  calibration_sink = static_cast<int64_t>(pos);
+  return secs / static_cast<double>(kRandomAccesses);
+}
+
+double MeasureSwap(std::vector<value_t>* buffer) {
+  value_t* data = buffer->data();
+  const size_t n = buffer->size();
+  Timer timer;
+  // Predicated partition-style swaps, mirroring the refinement phase.
+  size_t lo = 0;
+  size_t hi = n - 1;
+  const value_t pivot = static_cast<value_t>(n / 2);
+  while (lo < hi) {
+    const value_t a = data[lo];
+    const value_t b = data[hi];
+    const bool stay = a < pivot;
+    data[lo] = stay ? a : b;
+    data[hi] = stay ? b : a;
+    lo += stay ? 1 : 0;
+    hi -= stay ? 0 : 1;
+  }
+  const double secs = timer.ElapsedSeconds();
+  calibration_sink = data[n / 2];
+  return secs / static_cast<double>(n);
+}
+
+double MeasureAllocation() {
+  constexpr size_t kAllocs = 4096;
+  constexpr size_t kBlockBytes = 1ull << 15;  // a BucketChain block
+  Timer timer;
+  for (size_t i = 0; i < kAllocs; i++) {
+    auto block = std::make_unique<char[]>(kBlockBytes);
+    block[0] = static_cast<char>(i);
+    calibration_sink = calibration_sink + block[0];
+  }
+  return timer.ElapsedSeconds() / static_cast<double>(kAllocs);
+}
+
+double MeasureBucketAppend(std::vector<value_t>* buffer,
+                           std::vector<BucketChain>* chains_out) {
+  const size_t n = buffer->size();
+  std::vector<BucketChain> chains;
+  for (size_t i = 0; i < 64; i++) chains.emplace_back(4096);
+  const int shift = 15;  // top 6 bits of the 2^21-element domain
+  Timer timer;
+  const value_t* src = buffer->data();
+  for (size_t i = 0; i < n; i++) {
+    const value_t v = src[i];
+    chains[static_cast<size_t>(v) >> shift].Append(v);
+  }
+  const double secs = timer.ElapsedSeconds();
+  calibration_sink = static_cast<int64_t>(chains[0].size());
+  *chains_out = std::move(chains);
+  return secs / static_cast<double>(n);
+}
+
+double MeasureBucketScan(const std::vector<BucketChain>& chains, size_t n) {
+  const RangeQuery q{static_cast<value_t>(n / 4),
+                     static_cast<value_t>(3 * n / 4)};
+  Timer timer;
+  int64_t sum = 0;
+  int64_t count = 0;
+  for (const BucketChain& chain : chains) {
+    chain.ForEach([&](value_t v) {
+      const int64_t match = static_cast<int64_t>(v >= q.low) &
+                            static_cast<int64_t>(v <= q.high);
+      sum += v * match;
+      count += match;
+    });
+  }
+  const double secs = timer.ElapsedSeconds();
+  calibration_sink = sum + count;
+  return secs / static_cast<double>(n);
+}
+
+}  // namespace
+
+MachineConstants MeasureMachineConstants() {
+  // The buffer must be genuinely pseudo-random: a regular pattern would
+  // be branch-predictor friendly and make the partition/copy loops look
+  // ~3x cheaper than they are on real (unpredictable) data.
+  std::vector<value_t> buffer(kCalibrationElements);
+  Rng fill_rng(3);
+  for (size_t i = 0; i < buffer.size(); i++) {
+    buffer[i] = static_cast<value_t>(fill_rng.NextBounded(buffer.size()));
+  }
+  MachineConstants constants;
+  constants.seq_read_secs = MeasureSequentialRead(&buffer);
+  constants.seq_write_secs =
+      MeasureSequentialWrite(&buffer, constants.seq_read_secs);
+  constants.random_access_secs = MeasureRandomAccess(&buffer);
+  constants.alloc_secs = MeasureAllocation();
+  std::vector<BucketChain> chains;
+  constants.bucket_append_secs = MeasureBucketAppend(&buffer, &chains);
+  constants.bucket_scan_secs =
+      MeasureBucketScan(chains, kCalibrationElements);
+  // Swap measurement reorders the buffer; run it last.
+  constants.swap_secs = MeasureSwap(&buffer);
+  // Guard against zero measurements on very coarse clocks; fall back to
+  // plausible DRAM-era defaults so cost models never divide by zero.
+  if (constants.seq_read_secs <= 0) constants.seq_read_secs = 1e-9;
+  if (constants.seq_write_secs <= 0) constants.seq_write_secs = 1e-9;
+  if (constants.random_access_secs <= 0) constants.random_access_secs = 5e-8;
+  if (constants.swap_secs <= 0) constants.swap_secs = 2e-9;
+  if (constants.alloc_secs <= 0) constants.alloc_secs = 1e-7;
+  if (constants.bucket_scan_secs <= 0) constants.bucket_scan_secs = 2e-9;
+  if (constants.bucket_append_secs <= 0) {
+    constants.bucket_append_secs = 3e-9;
+  }
+  return constants;
+}
+
+const MachineConstants& GlobalMachineConstants() {
+  static const MachineConstants* constants =
+      new MachineConstants(MeasureMachineConstants());
+  return *constants;
+}
+
+}  // namespace progidx

@@ -1,0 +1,49 @@
+#ifndef PROGIDX_COST_CALIBRATION_H_
+#define PROGIDX_COST_CALIBRATION_H_
+
+#include <cstddef>
+
+namespace progidx {
+
+/// Hardware constants of Table 1 of the paper, expressed *per element*
+/// rather than per page (the formulas are equivalent: the per-page cost
+/// ω of the paper equals `seq_read_secs * γ` here).
+///
+/// §4.3: "Since these constants depend on the hardware, we perform
+/// these operations when the program starts up and measure how long it
+/// takes" — Measure() below does exactly that.
+struct MachineConstants {
+  double seq_read_secs = 0;     ///< ω/γ: predicated sequential scan, s/element
+  double seq_write_secs = 0;    ///< κ/γ: sequential write, s/element
+  double random_access_secs = 0;///< φ: random access, s/access
+  double swap_secs = 0;         ///< σ: predicated swap, s/element
+  double alloc_secs = 0;        ///< τ: one block allocation, s
+  /// Per-element cost of scanning a linked-block bucket chain (the ω
+  /// analog for BucketChain storage; block hops are the φ·N/sb term).
+  double bucket_scan_secs = 0;
+  /// Per-element cost of radix-bucketing (read + digit + append); the
+  /// (κ+ω) part of t_bucket.
+  double bucket_append_secs = 0;
+  size_t elements_per_page = 512;        ///< γ (4 KiB page / 8 B)
+  size_t l1_cache_elements = 4096;       ///< elements fitting in L1 (32 KiB)
+  size_t l2_cache_elements = 32768;      ///< elements fitting in L2 (256 KiB)
+
+  /// Full-scan time for n elements: t_scan = ω * N / γ.
+  double ScanSecs(size_t n) const {
+    return seq_read_secs * static_cast<double>(n);
+  }
+};
+
+/// Measures the machine constants with short micro-benchmarks (a few
+/// milliseconds total). Deterministic inputs; timing is the only
+/// nondeterminism.
+MachineConstants MeasureMachineConstants();
+
+/// Process-wide constants, measured once on first use. All indexes use
+/// this unless a specific MachineConstants is injected (tests inject
+/// synthetic constants to make cost-model assertions deterministic).
+const MachineConstants& GlobalMachineConstants();
+
+}  // namespace progidx
+
+#endif  // PROGIDX_COST_CALIBRATION_H_

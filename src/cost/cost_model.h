@@ -1,0 +1,85 @@
+#ifndef PROGIDX_COST_COST_MODEL_H_
+#define PROGIDX_COST_COST_MODEL_H_
+
+#include <cstddef>
+
+#include "cost/calibration.h"
+
+namespace progidx {
+
+/// Implements the per-phase cost formulas of §3.1–§3.4 (Table 1
+/// parameters). All "t*" quantities are seconds for the *whole column*
+/// (N elements); multiply by a fraction (ρ, α, δ) to get the share a
+/// single query pays, exactly as the paper's formulas do.
+///
+/// Per-page constants of the paper are folded into per-element
+/// constants here: e.g. the paper's ω·N/γ is `seq_read_secs · N`.
+class CostModel {
+ public:
+  CostModel(const MachineConstants& constants, size_t n,
+            size_t bucket_count = 64,
+            size_t block_capacity = 4096);
+
+  size_t n() const { return n_; }
+  const MachineConstants& constants() const { return constants_; }
+
+  // --- Primitive whole-column costs -------------------------------------
+
+  /// t_scan = ω · N/γ.
+  double ScanSecs() const;
+  /// t_pivot = (κ + ω) · N/γ (Progressive Quicksort creation).
+  double PivotSecs() const;
+  /// t_swap: in-place predicated swapping of the whole column
+  /// (Progressive Quicksort refinement). The paper models it as κ·N/γ;
+  /// we use the measured swap constant σ which subsumes it.
+  double SwapSecs() const;
+  /// t_bucket = (κ + ω) · N/γ + τ · N/sb (radix/bucket append).
+  double BucketAppendSecs() const;
+  /// t_bscan = t_scan + φ · N/sb (scanning linked-block buckets).
+  double BucketScanSecs() const;
+  /// Binary-search lookup into a sorted array: log2(N) · φ.
+  double BinarySearchSecs() const;
+  /// Lookup via a pivot/radix tree of height h: h · φ.
+  double TreeLookupSecs(size_t height) const;
+  /// t_copy for consolidation: total elements copied into B+-tree
+  /// internal levels, Ncopy = Σ n/β^i, each a random read + sequential
+  /// write.
+  double ConsolidateSecs(size_t fanout) const;
+
+  // --- Per-query totals, one per algorithm phase (§3) --------------------
+  // rho:   fraction of the column already indexed,
+  // alpha: fraction of the data scanned through the (partial) index,
+  // delta: fraction of the column indexed by this query.
+
+  /// Quicksort creation: (1 − ρ + α − δ)·t_scan + δ·t_pivot.
+  double QuicksortCreate(double rho, double alpha, double delta) const;
+  /// Quicksort refinement: h·φ + α·t_scan + δ·t_swap.
+  double QuicksortRefine(size_t height, double alpha, double delta) const;
+  /// Consolidation: log2(N)·φ + α·t_scan + δ·t_copy (same for all four
+  /// algorithms).
+  double Consolidate(size_t fanout, double alpha, double delta) const;
+  /// Radixsort MSD/LSD creation: (1 − ρ − δ)·t_scan + α·t_bscan +
+  /// δ·t_bucket.
+  double RadixCreate(double rho, double alpha, double delta) const;
+  /// Radixsort MSD/LSD refinement: α·t_bscan + δ·t_bucket.
+  double RadixRefine(double alpha, double delta) const;
+  /// Bucketsort creation: like radix creation with a log2(b) factor on
+  /// the bucketing term (binary search over the bucket bounds).
+  double BucketsortCreate(double rho, double alpha, double delta) const;
+
+  // --- Budget→delta conversions (the "Indexing Budget" paragraphs) ------
+
+  /// δ = t_budget / t_op, clamped to [0, 1]. `op_secs` is one of the
+  /// whole-column costs above.
+  double DeltaForBudget(double budget_secs, double op_secs) const;
+
+ private:
+  MachineConstants constants_;
+  size_t n_;
+  size_t bucket_count_;
+  size_t block_capacity_;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_COST_COST_MODEL_H_

@@ -1,0 +1,28 @@
+#include "eval/experiment.h"
+
+#include "common/timer.h"
+
+namespace progidx {
+
+Metrics RunWorkload(IndexBase* index, const std::vector<RangeQuery>& queries,
+                    IndexBase* oracle) {
+  std::vector<QueryRecord> records;
+  records.reserve(queries.size());
+  for (const RangeQuery& q : queries) {
+    Timer timer;
+    QueryRecord record;
+    record.result = index->Query(q);
+    record.secs = timer.ElapsedSeconds();
+    record.predicted = index->last_predicted_cost();
+    record.converged = index->converged();
+    if (oracle != nullptr) {
+      const QueryResult expected = oracle->Query(q);
+      PROGIDX_CHECK(record.result.sum == expected.sum);
+      PROGIDX_CHECK(record.result.count == expected.count);
+    }
+    records.push_back(record);
+  }
+  return Metrics(std::move(records));
+}
+
+}  // namespace progidx

@@ -1,0 +1,19 @@
+#ifndef PROGIDX_EVAL_EXPERIMENT_H_
+#define PROGIDX_EVAL_EXPERIMENT_H_
+
+#include <vector>
+
+#include "core/index_base.h"
+#include "eval/metrics.h"
+
+namespace progidx {
+
+/// Runs `queries` against `index`, timing each call. If `oracle` is
+/// non-null, every result is checked against it (tests use a FullScan
+/// oracle; benches pass nullptr to avoid perturbing timings).
+Metrics RunWorkload(IndexBase* index, const std::vector<RangeQuery>& queries,
+                    IndexBase* oracle = nullptr);
+
+}  // namespace progidx
+
+#endif  // PROGIDX_EVAL_EXPERIMENT_H_

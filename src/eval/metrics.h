@@ -1,0 +1,56 @@
+#ifndef PROGIDX_EVAL_METRICS_H_
+#define PROGIDX_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace progidx {
+
+/// Per-query measurement captured by the experiment runner.
+struct QueryRecord {
+  double secs = 0;        ///< measured wall time of IndexBase::Query
+  double predicted = 0;   ///< cost-model prediction (0 if none)
+  bool converged = false; ///< index state after the query
+  QueryResult result;
+};
+
+/// The §4.4 metrics over a sequence of per-query records.
+class Metrics {
+ public:
+  explicit Metrics(std::vector<QueryRecord> records)
+      : records_(std::move(records)) {}
+
+  const std::vector<QueryRecord>& records() const { return records_; }
+
+  /// Time of the first query (seconds).
+  double FirstQuerySecs() const;
+
+  /// Total time of the whole workload (seconds).
+  double CumulativeSecs() const;
+
+  /// 1-based number of the query after which the index is converged, or
+  /// -1 if it never converged ("x" in Table 2).
+  int64_t ConvergenceQuery() const;
+
+  /// Robustness = variance of the first `k` query times (§4.4 uses
+  /// k = 100).
+  double RobustnessVariance(size_t k = 100) const;
+
+  /// 1-based number of the query q at which Σ_q t ≤ q · scan_secs
+  /// first holds (the "pay-off" point of Fig. 7b), or -1 if never.
+  int64_t PayoffQuery(double scan_secs) const;
+
+  /// Mean absolute relative error between measured and predicted times
+  /// (cost-model validation, Figs. 8/9); queries with no prediction are
+  /// skipped.
+  double CostModelRelativeError() const;
+
+ private:
+  std::vector<QueryRecord> records_;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_EVAL_METRICS_H_

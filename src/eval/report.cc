@@ -1,0 +1,76 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/types.h"
+
+namespace progidx {
+
+TableReport::TableReport(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableReport::AddRow(std::vector<std::string> cells) {
+  PROGIDX_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TableReport::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); c++) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); c++) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); c++) {
+      std::printf("%-*s ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  size_t total = headers_.size();
+  for (const size_t w : widths) total += w;
+  for (size_t i = 0; i < total; i++) std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TableReport::WriteCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); c++) {
+      std::fprintf(f, "%s%s", row[c].c_str(),
+                   c + 1 == row.size() ? "\n" : ",");
+    }
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+  std::fclose(f);
+}
+
+std::string TableReport::FormatSecs(double secs) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.4g", secs);
+  return buffer;
+}
+
+std::string TableReport::FormatSci(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1e", v);
+  return buffer;
+}
+
+std::string TableReport::FormatCount(int64_t v) {
+  if (v < 0) return "x";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%lld", static_cast<long long>(v));
+  return buffer;
+}
+
+}  // namespace progidx

@@ -1,0 +1,35 @@
+#ifndef PROGIDX_EVAL_REPORT_H_
+#define PROGIDX_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace progidx {
+
+/// Fixed-width text table writer used by the benchmark drivers to
+/// print paper-style tables to stdout.
+class TableReport {
+ public:
+  explicit TableReport(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Prints the table with aligned columns.
+  void Print() const;
+  /// Writes the table as CSV to `path` (for plotting the figures).
+  void WriteCsv(const std::string& path) const;
+
+  /// Formats seconds with 4 significant digits ("0.1234", "12.34").
+  static std::string FormatSecs(double secs);
+  /// Scientific notation for variances ("2.4e-04").
+  static std::string FormatSci(double v);
+  /// "x" when the value is negative (paper notation for "never").
+  static std::string FormatCount(int64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_EVAL_REPORT_H_

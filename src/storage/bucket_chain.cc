@@ -1,0 +1,22 @@
+#include "storage/bucket_chain.h"
+
+namespace progidx {
+
+void BucketChain::AddBlock() {
+  blocks_.push_back(std::make_unique<Block>(block_capacity_));
+  tail_ = blocks_.back().get();
+}
+
+size_t BucketChain::CopyTo(value_t* out) const {
+  size_t written = 0;
+  ForEach([&](value_t v) { out[written++] = v; });
+  return written;
+}
+
+void BucketChain::Clear() {
+  blocks_.clear();
+  tail_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace progidx

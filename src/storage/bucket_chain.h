@@ -1,0 +1,121 @@
+#ifndef PROGIDX_STORAGE_BUCKET_CHAIN_H_
+#define PROGIDX_STORAGE_BUCKET_CHAIN_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace progidx {
+
+/// A bucket implemented as a linked list of fixed-size memory blocks,
+/// exactly as §3.2 ("Bucket Layout") describes: appending allocates a
+/// new block every `block_capacity` elements, which costs τ in the cost
+/// model; reads pay one random access per block boundary.
+///
+/// Used by Progressive Radixsort (MSD/LSD) and Progressive Bucketsort.
+class BucketChain {
+ public:
+  /// Default block capacity `sb`. Chosen so a block is a few pages: the
+  /// paper leaves sb as a parameter; 2^12 elements = 32 KiB blocks.
+  static constexpr size_t kDefaultBlockCapacity = 1ull << 12;
+
+  explicit BucketChain(size_t block_capacity = kDefaultBlockCapacity)
+      : block_capacity_(block_capacity) {}
+
+  BucketChain(const BucketChain&) = delete;
+  BucketChain& operator=(const BucketChain&) = delete;
+  BucketChain(BucketChain&&) = default;
+  BucketChain& operator=(BucketChain&&) = default;
+
+  /// Appends one element, allocating a new block when the tail is full.
+  void Append(value_t v) {
+    if (tail_ == nullptr || tail_->count == block_capacity_) {
+      AddBlock();
+    }
+    tail_->values[tail_->count++] = v;
+    size_++;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t block_count() const { return blocks_.size(); }
+  size_t block_capacity() const { return block_capacity_; }
+
+  /// Number of block allocations performed so far (the τ term of the
+  /// cost model; exposed for cost accounting and tests).
+  size_t allocations() const { return blocks_.size(); }
+
+  /// Invokes `fn(value)` for every element in append order. Append
+  /// order is what makes LSD radix passes stable.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& block : blocks_) {
+      for (size_t i = 0; i < block->count; i++) fn(block->values[i]);
+    }
+  }
+
+  /// Copies all elements, in append order, to `out`; returns the number
+  /// of elements written.
+  size_t CopyTo(value_t* out) const;
+
+  /// Releases all blocks.
+  void Clear();
+
+  /// A resumable read position inside a chain, used by budgeted drains
+  /// (an LSD pass may stop mid-bucket when the per-query budget runs
+  /// out and resume at the same element on the next query).
+  struct Cursor {
+    size_t block = 0;
+    size_t offset = 0;
+  };
+
+  /// True when `cursor` has reached the end of the chain.
+  bool AtEnd(const Cursor& cursor) const {
+    return cursor.block >= blocks_.size();
+  }
+
+  /// Reads the element at `cursor` and advances it. Must not be called
+  /// when AtEnd().
+  value_t ReadAndAdvance(Cursor* cursor) const {
+    const Block* b = blocks_[cursor->block].get();
+    const value_t v = b->values[cursor->offset++];
+    if (cursor->offset == b->count) {
+      cursor->offset = 0;
+      cursor->block++;
+    }
+    return v;
+  }
+
+  /// Invokes `fn(value)` for every element from `cursor` (inclusive) to
+  /// the end, without advancing the cursor. Used to answer queries over
+  /// the not-yet-drained part of a chain.
+  template <typename Fn>
+  void ForEachFrom(const Cursor& cursor, Fn&& fn) const {
+    for (size_t bi = cursor.block; bi < blocks_.size(); bi++) {
+      const Block* b = blocks_[bi].get();
+      const size_t start = (bi == cursor.block) ? cursor.offset : 0;
+      for (size_t i = start; i < b->count; i++) fn(b->values[i]);
+    }
+  }
+
+ private:
+  struct Block {
+    explicit Block(size_t capacity)
+        : values(std::make_unique<value_t[]>(capacity)) {}
+    std::unique_ptr<value_t[]> values;
+    size_t count = 0;
+  };
+
+  void AddBlock();
+
+  size_t block_capacity_;
+  std::vector<std::unique_ptr<Block>> blocks_;
+  Block* tail_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_STORAGE_BUCKET_CHAIN_H_

@@ -1,0 +1,23 @@
+#include "storage/column.h"
+
+namespace progidx {
+
+void Column::ComputeMinMax() {
+  if (values_.empty()) {
+    min_value_ = 0;
+    max_value_ = 0;
+    return;
+  }
+  value_t lo = values_[0];
+  value_t hi = values_[0];
+  for (const value_t v : values_) {
+    // Predicated min/max keeps this first full pass branch-free, like
+    // the scan kernels.
+    lo = v < lo ? v : lo;
+    hi = v > hi ? v : hi;
+  }
+  min_value_ = lo;
+  max_value_ = hi;
+}
+
+}  // namespace progidx

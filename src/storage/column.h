@@ -1,0 +1,49 @@
+#ifndef PROGIDX_STORAGE_COLUMN_H_
+#define PROGIDX_STORAGE_COLUMN_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace progidx {
+
+/// An in-memory column of 8-byte integers — the base table of every
+/// experiment. Owns its data; indexes hold a const reference and never
+/// mutate the base column (progressive indexing is out-of-place with
+/// respect to the base data, unlike cracking which copies it once).
+class Column {
+ public:
+  Column() = default;
+  explicit Column(std::vector<value_t> values) : values_(std::move(values)) {
+    ComputeMinMax();
+  }
+
+  Column(const Column&) = delete;
+  Column& operator=(const Column&) = delete;
+  Column(Column&&) = default;
+  Column& operator=(Column&&) = default;
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const value_t* data() const { return values_.data(); }
+  value_t operator[](size_t i) const { return values_[i]; }
+  const std::vector<value_t>& values() const { return values_; }
+
+  /// Smallest value in the column (0 for an empty column).
+  value_t min_value() const { return min_value_; }
+  /// Largest value in the column (0 for an empty column).
+  value_t max_value() const { return max_value_; }
+
+ private:
+  void ComputeMinMax();
+
+  std::vector<value_t> values_;
+  value_t min_value_ = 0;
+  value_t max_value_ = 0;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_STORAGE_COLUMN_H_

@@ -1,0 +1,26 @@
+#ifndef PROGIDX_WORKLOAD_DATA_GENERATOR_H_
+#define PROGIDX_WORKLOAD_DATA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "storage/column.h"
+
+namespace progidx {
+
+/// Data distributions of §4.1 ("Synthetic"): n 8-byte integers in the
+/// domain [0, n).
+
+/// Unique integers 0..n−1, uniformly shuffled.
+Column MakeUniformColumn(size_t n, uint64_t seed);
+
+/// Skewed, non-unique: `concentration` (default 90%) of the values are
+/// drawn from the middle tenth of [0, n), the rest uniformly.
+Column MakeSkewedColumn(size_t n, uint64_t seed,
+                        double concentration = 0.9);
+
+/// All-equal column (degenerate distribution for edge-case tests).
+Column MakeConstantColumn(size_t n, value_t value);
+
+}  // namespace progidx
+
+#endif  // PROGIDX_WORKLOAD_DATA_GENERATOR_H_

@@ -1,0 +1,77 @@
+#include "workload/skyserver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace progidx {
+
+Column MakeSkyServerColumn(size_t n, uint64_t seed, value_t domain,
+                           size_t clusters) {
+  Rng rng(seed);
+  // Survey stripes: narrow Gaussian clusters with random centers and
+  // weights (Fig. 5a's comb-like density).
+  struct Stripe {
+    double center;
+    double sigma;
+    double weight;
+  };
+  std::vector<Stripe> stripes(clusters);
+  double total_weight = 0;
+  for (Stripe& stripe : stripes) {
+    stripe.center = rng.NextDouble() * static_cast<double>(domain);
+    stripe.sigma = (0.002 + 0.01 * rng.NextDouble()) *
+                   static_cast<double>(domain);
+    stripe.weight = 0.2 + rng.NextDouble();
+    total_weight += stripe.weight;
+  }
+  std::vector<value_t> values(n);
+  const double d = static_cast<double>(domain);
+  for (size_t i = 0; i < n; i++) {
+    double v;
+    if (rng.NextDouble() < 0.15) {
+      v = rng.NextDouble() * d;  // uniform background
+    } else {
+      double pick = rng.NextDouble() * total_weight;
+      size_t s = 0;
+      while (s + 1 < stripes.size() && pick > stripes[s].weight) {
+        pick -= stripes[s].weight;
+        s++;
+      }
+      v = stripes[s].center + stripes[s].sigma * rng.NextGaussian();
+    }
+    v = std::clamp(v, 0.0, d - 1.0);
+    values[i] = static_cast<value_t>(v);
+  }
+  return Column(std::move(values));
+}
+
+std::vector<RangeQuery> MakeSkyServerWorkload(size_t num_queries,
+                                              uint64_t seed, value_t domain) {
+  Rng rng(seed);
+  std::vector<RangeQuery> queries;
+  queries.reserve(num_queries);
+  const double d = static_cast<double>(domain);
+  double center = rng.NextDouble() * d;
+  for (size_t i = 0; i < num_queries; i++) {
+    // Dwell in a region, drifting slowly; occasionally jump elsewhere
+    // (the staircase sweeps of Fig. 5b).
+    if (rng.NextDouble() < 0.01) {
+      center = rng.NextDouble() * d;
+    } else {
+      center += 0.0005 * d * (rng.NextDouble() - 0.3);
+    }
+    center = std::clamp(center, 0.0, d - 1.0);
+    // Log-uniform widths between ~0.01% and ~3% of the domain.
+    const double width =
+        d * std::pow(10.0, -4.0 + 2.5 * rng.NextDouble());
+    const double lo = std::clamp(center - width / 2, 0.0, d - 1.0);
+    const double hi = std::clamp(center + width / 2, lo, d - 1.0);
+    queries.push_back(RangeQuery{static_cast<value_t>(lo),
+                                 static_cast<value_t>(hi)});
+  }
+  return queries;
+}
+
+}  // namespace progidx

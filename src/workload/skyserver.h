@@ -1,0 +1,37 @@
+#ifndef PROGIDX_WORKLOAD_SKYSERVER_H_
+#define PROGIDX_WORKLOAD_SKYSERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/column.h"
+
+namespace progidx {
+
+/// Synthetic stand-in for the SkyServer benchmark of §4.1 (see
+/// DESIGN.md §5 for the substitution rationale). The real benchmark is
+/// the Right Ascension column of PhotoObjAll (~600M rows, highly
+/// clustered over [0°, 360°)) plus ~160k logged range queries that
+/// dwell on a sky region and then move on.
+///
+/// The generator reproduces both properties: (a) a clustered value
+/// distribution (mixture of narrow Gaussian "survey stripes" over the
+/// scaled domain), and (b) a sequentially drifting, bursty query log
+/// (staircase sweeps with occasional jumps, Fig. 5b's shape).
+
+/// Clustered data column: values in [0, domain), `clusters` Gaussian
+/// stripes plus a uniform background.
+Column MakeSkyServerColumn(size_t n, uint64_t seed,
+                           value_t domain = 360000000,
+                           size_t clusters = 12);
+
+/// Query log of `num_queries` drifting/bursty range queries over
+/// [0, domain).
+std::vector<RangeQuery> MakeSkyServerWorkload(size_t num_queries,
+                                              uint64_t seed,
+                                              value_t domain = 360000000);
+
+}  // namespace progidx
+
+#endif  // PROGIDX_WORKLOAD_SKYSERVER_H_

@@ -1,0 +1,76 @@
+#ifndef PROGIDX_WORKLOAD_SYNTHETIC_H_
+#define PROGIDX_WORKLOAD_SYNTHETIC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace progidx {
+
+/// The synthetic workload patterns of §4.1 / Halim et al. Fig. 6. Every
+/// generator produces closed-interval range queries over the value
+/// domain [domain_lo, domain_hi].
+enum class WorkloadPattern {
+  kRandom,
+  kSeqOver,
+  kSkew,
+  kPeriodic,
+  kZoomIn,
+  kZoomInAlt,
+  kZoomOutAlt,
+  kSeqZoomIn,
+  kPoint,
+};
+
+/// All patterns, in the row order of Tables 3–5.
+const std::vector<WorkloadPattern>& AllWorkloadPatterns();
+
+/// Human-readable pattern name ("SeqOver", "ZoomIn", ...).
+std::string WorkloadPatternName(WorkloadPattern pattern);
+
+/// Parses a name back into the enum; aborts on unknown names.
+WorkloadPattern ParseWorkloadPattern(const std::string& name);
+
+/// Streaming query generator for one pattern.
+class WorkloadGenerator {
+ public:
+  /// `total_queries` is the planned workload length (SeqOver/ZoomIn
+  /// pace themselves by it); `selectivity` is the fraction of the
+  /// domain each range selects (ignored by kPoint; ZoomIn variants use
+  /// it as the final width).
+  WorkloadGenerator(WorkloadPattern pattern, value_t domain_lo,
+                    value_t domain_hi, size_t total_queries,
+                    double selectivity, uint64_t seed);
+
+  /// The next query of the pattern.
+  RangeQuery Next();
+
+  WorkloadPattern pattern() const { return pattern_; }
+
+  /// Convenience: materializes a full workload.
+  static std::vector<RangeQuery> Generate(WorkloadPattern pattern,
+                                          value_t domain_lo,
+                                          value_t domain_hi,
+                                          size_t total_queries,
+                                          double selectivity, uint64_t seed);
+
+ private:
+  value_t ClampLow(double lo) const;
+  RangeQuery MakeRange(double lo, double width) const;
+
+  WorkloadPattern pattern_;
+  double lo_;
+  double hi_;
+  double domain_;
+  size_t total_queries_;
+  double selectivity_;
+  Rng rng_;
+  size_t step_ = 0;
+};
+
+}  // namespace progidx
+
+#endif  // PROGIDX_WORKLOAD_SYNTHETIC_H_

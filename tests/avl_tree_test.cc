@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "baselines/avl_tree.h"
+#include "common/rng.h"
+
+namespace progidx {
+namespace {
+
+TEST(AvlTreeTest, EmptyTreePieceIsWholeColumn) {
+  AvlTree tree;
+  const AvlTree::Piece piece = tree.PieceFor(42, 1000);
+  EXPECT_EQ(piece.start, 0u);
+  EXPECT_EQ(piece.end, 1000u);
+}
+
+TEST(AvlTreeTest, InsertAndContains) {
+  AvlTree tree;
+  tree.Insert(10, 100);
+  tree.Insert(20, 200);
+  EXPECT_TRUE(tree.Contains(10));
+  EXPECT_TRUE(tree.Contains(20));
+  EXPECT_FALSE(tree.Contains(15));
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(AvlTreeTest, DuplicateInsertIgnored) {
+  AvlTree tree;
+  tree.Insert(10, 100);
+  tree.Insert(10, 999);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.LowerPos(10), 100u);  // original position kept
+}
+
+TEST(AvlTreeTest, PieceLookup) {
+  AvlTree tree;
+  tree.Insert(10, 100);
+  tree.Insert(20, 200);
+  tree.Insert(30, 300);
+  // v below all boundaries.
+  EXPECT_EQ(tree.PieceFor(5, 1000).start, 0u);
+  EXPECT_EQ(tree.PieceFor(5, 1000).end, 100u);
+  // v equal to a boundary key belongs to the right piece.
+  EXPECT_EQ(tree.PieceFor(10, 1000).start, 100u);
+  EXPECT_EQ(tree.PieceFor(10, 1000).end, 200u);
+  // v in the middle.
+  EXPECT_EQ(tree.PieceFor(25, 1000).start, 200u);
+  EXPECT_EQ(tree.PieceFor(25, 1000).end, 300u);
+  // v above all boundaries.
+  EXPECT_EQ(tree.PieceFor(99, 1000).start, 300u);
+  EXPECT_EQ(tree.PieceFor(99, 1000).end, 1000u);
+}
+
+TEST(AvlTreeTest, MatchesStdMapOnRandomInserts) {
+  AvlTree tree;
+  std::map<value_t, size_t> reference;
+  Rng rng(13);
+  for (int i = 0; i < 2000; i++) {
+    const value_t key = static_cast<value_t>(rng.NextBounded(5000));
+    const size_t pos = static_cast<size_t>(rng.NextBounded(100000));
+    if (reference.emplace(key, pos).second) tree.Insert(key, pos);
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+  for (value_t v = -5; v < 5010; v += 7) {
+    // LowerPos: greatest key <= v.
+    auto it = reference.upper_bound(v);
+    const size_t expected_lower =
+        it == reference.begin() ? 0 : std::prev(it)->second;
+    EXPECT_EQ(tree.LowerPos(v), expected_lower) << v;
+    // UpperPos: smallest key > v.
+    const size_t expected_upper =
+        it == reference.end() ? 100000u : it->second;
+    EXPECT_EQ(tree.UpperPos(v, 100000), expected_upper) << v;
+  }
+}
+
+TEST(AvlTreeTest, StaysBalancedUnderSequentialInserts) {
+  AvlTree tree;
+  constexpr size_t kInserts = 4096;
+  for (size_t i = 0; i < kInserts; i++) {
+    tree.Insert(static_cast<value_t>(i), i);
+  }
+  // AVL height bound: ~1.44 log2(n).
+  const double bound = 1.45 * std::log2(static_cast<double>(kInserts)) + 2;
+  EXPECT_LE(static_cast<double>(tree.height()), bound);
+}
+
+TEST(AvlTreeTest, InOrderIsSorted) {
+  AvlTree tree;
+  Rng rng(17);
+  for (int i = 0; i < 500; i++) {
+    tree.Insert(static_cast<value_t>(rng.NextBounded(10000)), i);
+  }
+  std::vector<value_t> keys;
+  tree.InOrder([&](value_t key, size_t) { keys.push_back(key); });
+  EXPECT_EQ(keys.size(), tree.size());
+  for (size_t i = 1; i < keys.size(); i++) EXPECT_LT(keys[i - 1], keys[i]);
+}
+
+}  // namespace
+}  // namespace progidx

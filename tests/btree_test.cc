@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/predication.h"
+#include "common/rng.h"
+
+namespace progidx {
+namespace {
+
+std::vector<value_t> SortedRandom(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<value_t> data(n);
+  for (value_t& v : data) {
+    v = static_cast<value_t>(rng.NextBounded(3 * n + 1));
+  }
+  std::sort(data.begin(), data.end());
+  return data;
+}
+
+TEST(BPlusTreeTest, LowerBoundMatchesStd) {
+  const std::vector<value_t> data = SortedRandom(10000, 1);
+  BPlusTree tree(data.data(), data.size(), 8);
+  tree.BuildAll();
+  ASSERT_TRUE(tree.complete());
+  Rng rng(2);
+  for (int i = 0; i < 2000; i++) {
+    const value_t v = static_cast<value_t>(rng.NextBounded(30011)) - 5;
+    const size_t expected = static_cast<size_t>(
+        std::lower_bound(data.begin(), data.end(), v) - data.begin());
+    EXPECT_EQ(tree.LowerBound(v), expected) << "v=" << v;
+  }
+}
+
+class BTreeFanoutTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BTreeFanoutTest, RangeSumMatchesScan) {
+  const size_t fanout = GetParam();
+  const std::vector<value_t> data = SortedRandom(5000, 3);
+  BPlusTree tree(data.data(), data.size(), fanout);
+  tree.BuildAll();
+  Rng rng(4);
+  for (int i = 0; i < 200; i++) {
+    value_t lo = static_cast<value_t>(rng.NextBounded(16000));
+    value_t hi = static_cast<value_t>(rng.NextBounded(16000));
+    if (lo > hi) std::swap(lo, hi);
+    const RangeQuery q{lo, hi};
+    EXPECT_EQ(tree.RangeSum(q),
+              PredicatedRangeSum(data.data(), data.size(), q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BTreeFanoutTest,
+                         ::testing::Values(2, 3, 4, 8, 64, 256));
+
+TEST(BPlusTreeTest, ProgressiveBuildMatchesBulk) {
+  const std::vector<value_t> data = SortedRandom(20000, 5);
+  BPlusTree tree(data.data(), data.size(), 16);
+  ProgressiveBTreeBuilder builder(&tree);
+  size_t steps = 0;
+  while (!builder.done()) {
+    builder.DoWork(37);  // odd step size to exercise resumption
+    steps++;
+    ASSERT_LT(steps, 100000u);
+  }
+  EXPECT_TRUE(tree.complete());
+  // Lookups after a progressive build match std::lower_bound.
+  for (value_t v = -2; v < 100; v++) {
+    const size_t expected = static_cast<size_t>(
+        std::lower_bound(data.begin(), data.end(), v) - data.begin());
+    EXPECT_EQ(tree.LowerBound(v), expected);
+  }
+}
+
+TEST(BPlusTreeTest, LookupBeforeCompletionFallsBackToBinarySearch) {
+  const std::vector<value_t> data = SortedRandom(10000, 6);
+  BPlusTree tree(data.data(), data.size(), 8);
+  ProgressiveBTreeBuilder builder(&tree);
+  builder.DoWork(10);  // partial build only
+  EXPECT_FALSE(tree.complete());
+  const size_t expected = static_cast<size_t>(
+      std::lower_bound(data.begin(), data.end(), 500) - data.begin());
+  EXPECT_EQ(tree.LowerBound(500), expected);
+}
+
+TEST(BPlusTreeTest, TinyArrayNeedsNoLevels) {
+  const std::vector<value_t> data = {1, 2, 3};
+  BPlusTree tree(data.data(), data.size(), 8);
+  EXPECT_TRUE(tree.complete());  // fits in one node
+  EXPECT_EQ(tree.LowerBound(2), 1u);
+  ProgressiveBTreeBuilder builder(&tree);
+  EXPECT_TRUE(builder.done());
+  EXPECT_EQ(builder.DoWork(100), 0u);
+}
+
+TEST(BPlusTreeTest, EmptyArray) {
+  BPlusTree tree(nullptr, 0, 8);
+  EXPECT_TRUE(tree.complete());
+  EXPECT_EQ(tree.LowerBound(5), 0u);
+  EXPECT_EQ(tree.RangeSum(RangeQuery{0, 10}), (QueryResult{0, 0}));
+}
+
+TEST(BPlusTreeTest, DuplicateHeavyLowerBoundIsFirstMatch) {
+  std::vector<value_t> data(1000, 7);
+  data.insert(data.begin(), 200, 3);
+  data.insert(data.end(), 200, 11);  // 3...3 7...7 11...11
+  BPlusTree tree(data.data(), data.size(), 4);
+  tree.BuildAll();
+  EXPECT_EQ(tree.LowerBound(7), 200u);
+  EXPECT_EQ(tree.LowerBound(3), 0u);
+  EXPECT_EQ(tree.LowerBound(11), 1200u);
+  EXPECT_EQ(tree.LowerBound(12), 1400u);
+}
+
+TEST(BPlusTreeTest, TotalInternalKeysMatchesBuilderWork) {
+  const std::vector<value_t> data = SortedRandom(4096, 9);
+  BPlusTree tree(data.data(), data.size(), 8);
+  const size_t expected = tree.TotalInternalKeys();
+  ProgressiveBTreeBuilder builder(&tree);
+  size_t total = 0;
+  while (!builder.done()) total += builder.DoWork(100);
+  EXPECT_EQ(total, expected);
+}
+
+}  // namespace
+}  // namespace progidx

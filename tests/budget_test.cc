@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "core/budget.h"
+
+namespace progidx {
+namespace {
+
+MachineConstants SyntheticConstants() {
+  MachineConstants mc;
+  mc.seq_read_secs = 1e-9;
+  mc.seq_write_secs = 2e-9;
+  mc.random_access_secs = 5e-8;
+  mc.swap_secs = 3e-9;
+  mc.alloc_secs = 1e-7;
+  return mc;
+}
+
+TEST(BudgetSpecTest, Factories) {
+  EXPECT_EQ(BudgetSpec::FixedDelta(0.25).mode, BudgetMode::kFixedDelta);
+  EXPECT_EQ(BudgetSpec::FixedBudget().mode, BudgetMode::kFixedBudget);
+  EXPECT_EQ(BudgetSpec::Adaptive().mode, BudgetMode::kAdaptive);
+}
+
+TEST(BudgetControllerTest, BudgetDefaultsToScanFraction) {
+  const MachineConstants mc = SyntheticConstants();
+  const CostModel model(mc, 1000000);
+  BudgetController controller(BudgetSpec::Adaptive(0.2), model);
+  EXPECT_DOUBLE_EQ(controller.budget_secs(), 0.2 * model.ScanSecs());
+  EXPECT_DOUBLE_EQ(controller.adaptive_target_secs(),
+                   1.2 * model.ScanSecs());
+}
+
+TEST(BudgetControllerTest, ExplicitSecondsOverrideFraction) {
+  const MachineConstants mc = SyntheticConstants();
+  const CostModel model(mc, 1000000);
+  BudgetSpec spec = BudgetSpec::Adaptive(0.2);
+  spec.budget_secs = 0.5;
+  BudgetController controller(spec, model);
+  EXPECT_DOUBLE_EQ(controller.budget_secs(), 0.5);
+}
+
+TEST(BudgetControllerTest, FixedDeltaIsConstant) {
+  const MachineConstants mc = SyntheticConstants();
+  const CostModel model(mc, 1000000);
+  BudgetController controller(BudgetSpec::FixedDelta(0.25), model);
+  EXPECT_DOUBLE_EQ(controller.DeltaForQuery(1.0, 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(controller.DeltaForQuery(123.0, 55.0), 0.25);
+}
+
+TEST(BudgetControllerTest, FixedBudgetPinsDeltaOnFirstQuery) {
+  const MachineConstants mc = SyntheticConstants();
+  const CostModel model(mc, 1000000);
+  BudgetController controller(BudgetSpec::FixedBudget(0.2), model);
+  const double op = model.PivotSecs();
+  const double first = controller.DeltaForQuery(op, 0.0);
+  EXPECT_NEAR(first, controller.budget_secs() / op, 1e-12);
+  // Later phases see a different op cost, but δ stays pinned.
+  EXPECT_DOUBLE_EQ(controller.DeltaForQuery(op * 10, 0.0), first);
+}
+
+TEST(BudgetControllerTest, AdaptiveSpendsWhatIsLeft) {
+  const MachineConstants mc = SyntheticConstants();
+  const CostModel model(mc, 1000000);
+  BudgetController controller(BudgetSpec::Adaptive(0.2), model);
+  const double op = model.PivotSecs();
+  // Cheap query: everything up to the target goes to indexing.
+  const double cheap = controller.DeltaForQuery(op, 0.0);
+  EXPECT_NEAR(cheap, controller.adaptive_target_secs() / op, 1e-12);
+  // A query that costs exactly the scan leaves t_budget for indexing.
+  const double normal = controller.DeltaForQuery(op, model.ScanSecs());
+  EXPECT_NEAR(normal, controller.budget_secs() / op, 1e-12);
+  EXPECT_LT(normal, cheap);
+}
+
+TEST(BudgetControllerTest, AdaptiveKeepsProgressFloor) {
+  const MachineConstants mc = SyntheticConstants();
+  const CostModel model(mc, 1000000);
+  BudgetController controller(BudgetSpec::Adaptive(0.2), model);
+  const double op = model.PivotSecs();
+  // Query more expensive than the target: delta must stay positive so
+  // convergence is deterministic.
+  const double delta =
+      controller.DeltaForQuery(op, 100 * controller.adaptive_target_secs());
+  EXPECT_GT(delta, 0.0);
+}
+
+}  // namespace
+}  // namespace progidx

@@ -1,0 +1,109 @@
+// The central oracle test: every indexing technique must return exactly
+// the same SUM/COUNT as a naive predicated scan, for every query of
+// every workload pattern, on every data distribution, in every budget
+// mode — while it is building itself.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "baselines/full_scan.h"
+#include "eval/experiment.h"
+#include "eval/registry.h"
+#include "workload/data_generator.h"
+#include "workload/synthetic.h"
+
+namespace progidx {
+namespace {
+
+constexpr size_t kN = 20000;
+constexpr size_t kQueries = 60;
+
+enum class DataKind { kUniform, kSkewed };
+
+struct Case {
+  std::string index_id;
+  DataKind data;
+  WorkloadPattern pattern;
+  BudgetMode budget_mode;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  const Case& c = info.param;
+  std::string name = c.index_id;
+  name += c.data == DataKind::kUniform ? "_uniform_" : "_skewed_";
+  name += WorkloadPatternName(c.pattern);
+  switch (c.budget_mode) {
+    case BudgetMode::kFixedDelta:
+      name += "_fixeddelta";
+      break;
+    case BudgetMode::kFixedBudget:
+      name += "_fixedbudget";
+      break;
+    case BudgetMode::kAdaptive:
+      name += "_adaptive";
+      break;
+  }
+  return name;
+}
+
+class IndexCorrectnessTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(IndexCorrectnessTest, MatchesOracleOnEveryQuery) {
+  const Case& c = GetParam();
+  const Column column = c.data == DataKind::kUniform
+                            ? MakeUniformColumn(kN, 1234)
+                            : MakeSkewedColumn(kN, 1234);
+  BudgetSpec budget;
+  switch (c.budget_mode) {
+    case BudgetMode::kFixedDelta:
+      budget = BudgetSpec::FixedDelta(0.25);
+      break;
+    case BudgetMode::kFixedBudget:
+      budget = BudgetSpec::FixedBudget(0.2);
+      break;
+    case BudgetMode::kAdaptive:
+      budget = BudgetSpec::Adaptive(0.2);
+      break;
+  }
+  auto index = MakeIndex(c.index_id, column, budget);
+  FullScan oracle(column);
+  const auto queries = WorkloadGenerator::Generate(
+      c.pattern, column.min_value(), column.max_value(), kQueries,
+      /*selectivity=*/0.1, /*seed=*/99);
+  // RunWorkload PROGIDX_CHECKs every answer against the oracle.
+  const Metrics metrics = RunWorkload(index.get(), queries, &oracle);
+  EXPECT_EQ(metrics.records().size(), kQueries);
+}
+
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  for (const std::string& id : AllIndexIds()) {
+    for (const DataKind data : {DataKind::kUniform, DataKind::kSkewed}) {
+      for (const WorkloadPattern pattern : AllWorkloadPatterns()) {
+        // Budget modes only matter for the progressive techniques; run
+        // baselines once (adaptive flag is ignored by them).
+        const bool progressive =
+            id == "pq" || id == "pmsd" || id == "plsd" || id == "pb";
+        if (progressive) {
+          for (const BudgetMode mode :
+               {BudgetMode::kFixedDelta, BudgetMode::kFixedBudget,
+                BudgetMode::kAdaptive}) {
+            cases.push_back(Case{id, data, pattern, mode});
+          }
+        } else {
+          cases.push_back(Case{id, data, pattern, BudgetMode::kAdaptive});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, IndexCorrectnessTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+}  // namespace
+}  // namespace progidx

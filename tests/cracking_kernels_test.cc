@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/cracking_kernels.h"
+#include "common/rng.h"
+
+namespace progidx {
+namespace {
+
+std::vector<value_t> RandomData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<value_t> data(n);
+  for (value_t& v : data) v = static_cast<value_t>(rng.NextBounded(1000));
+  return data;
+}
+
+void ExpectValidCrack(const std::vector<value_t>& data, size_t start,
+                      size_t end, size_t boundary, value_t pivot) {
+  ASSERT_GE(boundary, start);
+  ASSERT_LE(boundary, end);
+  for (size_t i = start; i < boundary; i++) {
+    EXPECT_LT(data[i], pivot) << "index " << i;
+  }
+  for (size_t i = boundary; i < end; i++) {
+    EXPECT_GE(data[i], pivot) << "index " << i;
+  }
+}
+
+class CrackKernelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrackKernelTest, BranchedKernelPartitions) {
+  std::vector<value_t> data = RandomData(777, GetParam());
+  auto sorted_before = data;
+  std::sort(sorted_before.begin(), sorted_before.end());
+  const size_t b = CrackInTwoBranched(data.data(), 0, data.size(), 500);
+  ExpectValidCrack(data, 0, data.size(), b, 500);
+  // Cracking permutes, never loses elements.
+  std::sort(data.begin(), data.end());
+  EXPECT_EQ(data, sorted_before);
+}
+
+TEST_P(CrackKernelTest, PredicatedKernelPartitions) {
+  std::vector<value_t> data = RandomData(777, GetParam());
+  const size_t b = CrackInTwoPredicated(data.data(), 0, data.size(), 500);
+  ExpectValidCrack(data, 0, data.size(), b, 500);
+}
+
+TEST_P(CrackKernelTest, KernelsAgreeOnBoundary) {
+  std::vector<value_t> a = RandomData(512, GetParam());
+  std::vector<value_t> b = a;
+  const size_t ba = CrackInTwoBranched(a.data(), 0, a.size(), 333);
+  const size_t bb = CrackInTwoPredicated(b.data(), 0, b.size(), 333);
+  EXPECT_EQ(ba, bb);  // same boundary regardless of kernel
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrackKernelTest, ::testing::Range(1, 11));
+
+TEST(CrackKernelTest, SubrangeCrackLeavesRestUntouched) {
+  std::vector<value_t> data = RandomData(100, 5);
+  const std::vector<value_t> before = data;
+  const size_t b = CrackInTwoPredicated(data.data(), 20, 80, 500);
+  ExpectValidCrack(data, 20, 80, b, 500);
+  for (size_t i = 0; i < 20; i++) EXPECT_EQ(data[i], before[i]);
+  for (size_t i = 80; i < 100; i++) EXPECT_EQ(data[i], before[i]);
+}
+
+TEST(CrackKernelTest, EmptyAndSingleElementPieces) {
+  std::vector<value_t> data = {42};
+  EXPECT_EQ(CrackInTwoBranched(data.data(), 0, 0, 10), 0u);
+  EXPECT_EQ(CrackInTwoPredicated(data.data(), 0, 0, 10), 0u);
+  EXPECT_EQ(CrackInTwoBranched(data.data(), 0, 1, 10), 0u);   // 42 >= 10
+  EXPECT_EQ(CrackInTwoBranched(data.data(), 0, 1, 100), 1u);  // 42 < 100
+}
+
+TEST(CrackKernelTest, AllBelowAndAllAbovePivot) {
+  std::vector<value_t> below = {1, 2, 3, 4};
+  EXPECT_EQ(CrackInTwoPredicated(below.data(), 0, below.size(), 100), 4u);
+  std::vector<value_t> above = {101, 102, 103};
+  EXPECT_EQ(CrackInTwoPredicated(above.data(), 0, above.size(), 100), 0u);
+}
+
+TEST(CrackKernelTest, AdaptiveKernelDelegates) {
+  for (double split : {0.01, 0.5, 0.99}) {
+    std::vector<value_t> data = RandomData(300, 8);
+    const size_t b =
+        CrackInTwoAdaptive(data.data(), 0, data.size(), 500, split);
+    ExpectValidCrack(data, 0, data.size(), b, 500);
+  }
+}
+
+TEST(PartialCrackTest, ResumableCrackMatchesFullCrack) {
+  std::vector<value_t> data = RandomData(1000, 9);
+  std::vector<value_t> reference = data;
+  const size_t expected =
+      CrackInTwoPredicated(reference.data(), 0, reference.size(), 444);
+
+  PartialCrack crack = BeginPartialCrack(0, data.size(), 444);
+  size_t iterations = 0;
+  while (!crack.done) {
+    AdvancePartialCrack(data.data(), &crack, 7);
+    ASSERT_LT(++iterations, 10000u);
+  }
+  EXPECT_EQ(crack.boundary, expected);
+  ExpectValidCrack(data, 0, data.size(), crack.boundary, 444);
+}
+
+TEST(PartialCrackTest, MidCrackInvariants) {
+  std::vector<value_t> data = RandomData(1000, 10);
+  PartialCrack crack = BeginPartialCrack(0, data.size(), 444);
+  AdvancePartialCrack(data.data(), &crack, 100);
+  ASSERT_FALSE(crack.done);
+  // Fringes are classified, middle is unknown.
+  for (size_t i = 0; i < crack.lo; i++) EXPECT_LT(data[i], 444);
+  for (size_t i = crack.hi + 1; i < data.size(); i++) {
+    EXPECT_GE(data[i], 444);
+  }
+}
+
+TEST(PartialCrackTest, ZeroBudgetMakesNoProgress) {
+  std::vector<value_t> data = RandomData(100, 11);
+  const std::vector<value_t> before = data;
+  PartialCrack crack = BeginPartialCrack(0, data.size(), 444);
+  EXPECT_EQ(AdvancePartialCrack(data.data(), &crack, 0), 0u);
+  EXPECT_EQ(data, before);
+}
+
+TEST(PartialCrackTest, EmptyPieceIsImmediatelyDone) {
+  const PartialCrack crack = BeginPartialCrack(5, 5, 42);
+  EXPECT_TRUE(crack.done);
+  EXPECT_EQ(crack.boundary, 5u);
+}
+
+}  // namespace
+}  // namespace progidx

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "core/decision_tree.h"
+#include "eval/registry.h"
+#include "workload/data_generator.h"
+
+namespace progidx {
+namespace {
+
+TEST(DecisionTreeTest, PointQueriesAlwaysGetLSD) {
+  for (const DataDistribution dist :
+       {DataDistribution::kUniform, DataDistribution::kSkewed,
+        DataDistribution::kUnknown}) {
+    const Scenario scenario{QueryType::kPoint, dist};
+    EXPECT_EQ(Recommend(scenario), ProgressiveTechnique::kRadixsortLSD);
+  }
+}
+
+TEST(DecisionTreeTest, RangeQueryRecommendations) {
+  EXPECT_EQ(Recommend({QueryType::kRange, DataDistribution::kUniform}),
+            ProgressiveTechnique::kRadixsortMSD);
+  EXPECT_EQ(Recommend({QueryType::kRange, DataDistribution::kSkewed}),
+            ProgressiveTechnique::kBucketsort);
+  EXPECT_EQ(Recommend({QueryType::kRange, DataDistribution::kUnknown}),
+            ProgressiveTechnique::kQuicksort);
+}
+
+TEST(DecisionTreeTest, IdsResolveInRegistry) {
+  const Column column = MakeUniformColumn(1000, 1);
+  for (const ProgressiveTechnique technique :
+       {ProgressiveTechnique::kQuicksort, ProgressiveTechnique::kRadixsortMSD,
+        ProgressiveTechnique::kRadixsortLSD,
+        ProgressiveTechnique::kBucketsort}) {
+    auto index =
+        MakeIndex(TechniqueId(technique), column, BudgetSpec::Adaptive());
+    EXPECT_EQ(index->name(), TechniqueName(technique));
+  }
+}
+
+TEST(DecisionTreeTest, RationaleIsNonEmpty) {
+  for (const QueryType qt : {QueryType::kPoint, QueryType::kRange}) {
+    for (const DataDistribution dist :
+         {DataDistribution::kUniform, DataDistribution::kSkewed,
+          DataDistribution::kUnknown}) {
+      EXPECT_FALSE(RecommendationRationale({qt, dist}).empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace progidx

@@ -1,0 +1,130 @@
+// Edge cases shared across all techniques: degenerate columns,
+// degenerate predicates, and extreme budgets.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "baselines/full_scan.h"
+#include "eval/registry.h"
+#include "workload/data_generator.h"
+
+namespace progidx {
+namespace {
+
+class AllIndexesTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllIndexesTest, EmptyColumn) {
+  const Column column(std::vector<value_t>{});
+  auto index = MakeIndex(GetParam(), column, BudgetSpec::Adaptive());
+  const QueryResult r = index->Query(RangeQuery{0, 100});
+  EXPECT_EQ(r.sum, 0);
+  EXPECT_EQ(r.count, 0);
+}
+
+TEST_P(AllIndexesTest, SingleElementColumn) {
+  const Column column(std::vector<value_t>{42});
+  auto index = MakeIndex(GetParam(), column, BudgetSpec::Adaptive());
+  for (int i = 0; i < 5; i++) {
+    EXPECT_EQ(index->Query(RangeQuery{0, 100}), (QueryResult{42, 1}));
+    EXPECT_EQ(index->Query(RangeQuery{43, 100}), (QueryResult{0, 0}));
+    EXPECT_EQ(index->Query(RangeQuery{42, 42}), (QueryResult{42, 1}));
+  }
+}
+
+TEST_P(AllIndexesTest, AllEqualColumn) {
+  const Column column = MakeConstantColumn(5000, 7);
+  auto index = MakeIndex(GetParam(), column, BudgetSpec::Adaptive());
+  for (int i = 0; i < 20; i++) {
+    EXPECT_EQ(index->Query(RangeQuery{7, 7}), (QueryResult{35000, 5000}));
+    EXPECT_EQ(index->Query(RangeQuery{0, 6}), (QueryResult{0, 0}));
+    EXPECT_EQ(index->Query(RangeQuery{8, 100}), (QueryResult{0, 0}));
+  }
+}
+
+TEST_P(AllIndexesTest, NegativeValues) {
+  std::vector<value_t> values;
+  for (value_t v = -500; v < 500; v++) values.push_back(v);
+  const Column column(std::move(values));
+  auto index = MakeIndex(GetParam(), column, BudgetSpec::Adaptive());
+  FullScan oracle(column);
+  for (int i = 0; i < 20; i++) {
+    const RangeQuery q{-100, 50};
+    EXPECT_EQ(index->Query(q), oracle.Query(q));
+    const RangeQuery all{-500, 499};
+    EXPECT_EQ(index->Query(all), oracle.Query(all));
+  }
+}
+
+TEST_P(AllIndexesTest, PredicateOutsideDomain) {
+  const Column column = MakeUniformColumn(2000, 5);
+  auto index = MakeIndex(GetParam(), column, BudgetSpec::Adaptive());
+  for (int i = 0; i < 10; i++) {
+    // Entirely below the domain.
+    EXPECT_EQ(index->Query(RangeQuery{-1000, -1}), (QueryResult{0, 0}));
+    // Entirely above.
+    EXPECT_EQ(index->Query(RangeQuery{1000000, 2000000}),
+              (QueryResult{0, 0}));
+  }
+}
+
+TEST_P(AllIndexesTest, FullDomainQuery) {
+  const Column column = MakeUniformColumn(2000, 6);
+  auto index = MakeIndex(GetParam(), column, BudgetSpec::Adaptive());
+  FullScan oracle(column);
+  const RangeQuery all{std::numeric_limits<value_t>::min(),
+                       std::numeric_limits<value_t>::max()};
+  for (int i = 0; i < 10; i++) {
+    EXPECT_EQ(index->Query(all), oracle.Query(all));
+  }
+}
+
+TEST_P(AllIndexesTest, TwoDistinctValues) {
+  std::vector<value_t> values;
+  for (int i = 0; i < 3000; i++) values.push_back(i % 2 == 0 ? 10 : 20);
+  const Column column(std::move(values));
+  auto index = MakeIndex(GetParam(), column, BudgetSpec::Adaptive());
+  for (int i = 0; i < 20; i++) {
+    EXPECT_EQ(index->Query(RangeQuery{10, 10}), (QueryResult{15000, 1500}));
+    EXPECT_EQ(index->Query(RangeQuery{20, 20}), (QueryResult{30000, 1500}));
+    EXPECT_EQ(index->Query(RangeQuery{11, 19}), (QueryResult{0, 0}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIds, AllIndexesTest,
+                         ::testing::ValuesIn(AllIndexIds()),
+                         [](const auto& info) { return info.param; });
+
+class ProgressiveExtremeBudgetTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProgressiveExtremeBudgetTest, TinyFixedDeltaStaysCorrect) {
+  const Column column = MakeUniformColumn(5000, 8);
+  auto index =
+      MakeIndex(GetParam(), column, BudgetSpec::FixedDelta(0.001));
+  FullScan oracle(column);
+  for (int i = 0; i < 100; i++) {
+    const RangeQuery q{100 + i, 2000 + i};
+    EXPECT_EQ(index->Query(q), oracle.Query(q));
+  }
+}
+
+TEST_P(ProgressiveExtremeBudgetTest, DeltaOneConvergesQuickly) {
+  const Column column = MakeUniformColumn(5000, 9);
+  auto index = MakeIndex(GetParam(), column, BudgetSpec::FixedDelta(1.0));
+  FullScan oracle(column);
+  int queries = 0;
+  while (!index->converged()) {
+    const RangeQuery q{100, 2000};
+    EXPECT_EQ(index->Query(q), oracle.Query(q));
+    ASSERT_LT(++queries, 50);  // a handful of full-delta queries suffice
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Progressive, ProgressiveExtremeBudgetTest,
+                         ::testing::ValuesIn(ProgressiveIndexIds()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace progidx

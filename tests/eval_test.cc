@@ -1,0 +1,101 @@
+// Tests for the experiment harness, registry, and CLI plumbing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/full_scan.h"
+#include "common/cli.h"
+#include "eval/experiment.h"
+#include "eval/registry.h"
+#include "workload/data_generator.h"
+#include "workload/synthetic.h"
+
+namespace progidx {
+namespace {
+
+TEST(ExperimentTest, RecordsOnePerQuery) {
+  const Column column = MakeUniformColumn(2000, 1);
+  FullScan index(column);
+  const auto queries = WorkloadGenerator::Generate(
+      WorkloadPattern::kRandom, 0, 1999, 25, 0.1, 2);
+  const Metrics metrics = RunWorkload(&index, queries);
+  ASSERT_EQ(metrics.records().size(), 25u);
+  for (const QueryRecord& r : metrics.records()) {
+    EXPECT_GE(r.secs, 0.0);
+    EXPECT_FALSE(r.converged);  // full scan never converges
+  }
+}
+
+TEST(ExperimentTest, OracleVerificationPasses) {
+  const Column column = MakeUniformColumn(2000, 3);
+  auto index = MakeIndex("pq", column, BudgetSpec::Adaptive(0.2));
+  FullScan oracle(column);
+  const auto queries = WorkloadGenerator::Generate(
+      WorkloadPattern::kZoomIn, 0, 1999, 30, 0.1, 4);
+  // Would abort via PROGIDX_CHECK on any mismatch.
+  const Metrics metrics = RunWorkload(index.get(), queries, &oracle);
+  EXPECT_EQ(metrics.records().size(), 30u);
+}
+
+TEST(ExperimentTest, PredictionsRecordedForProgressive) {
+  const Column column = MakeUniformColumn(5000, 5);
+  auto index = MakeIndex("pmsd", column, BudgetSpec::FixedDelta(0.25));
+  const auto queries = WorkloadGenerator::Generate(
+      WorkloadPattern::kRandom, 0, 4999, 10, 0.1, 6);
+  const Metrics metrics = RunWorkload(index.get(), queries);
+  EXPECT_GT(metrics.records().front().predicted, 0.0);
+}
+
+TEST(RegistryTest, AllIdsConstructDistinctNames) {
+  const Column column = MakeUniformColumn(100, 7);
+  std::set<std::string> names;
+  for (const std::string& id : AllIndexIds()) {
+    auto index = MakeIndex(id, column, BudgetSpec::Adaptive());
+    EXPECT_TRUE(names.insert(index->name()).second)
+        << "duplicate name for " << id;
+  }
+  EXPECT_EQ(names.size(), AllIndexIds().size());
+}
+
+TEST(RegistryTest, TableTwoRowOrder) {
+  const auto& ids = AllIndexIds();
+  ASSERT_EQ(ids.size(), 11u);
+  EXPECT_EQ(ids.front(), "fs");
+  EXPECT_EQ(ids[1], "fi");
+  EXPECT_EQ(ids.back(), "pb");
+}
+
+TEST(CommandLineTest, ParsesFlagsAndDefaults) {
+  CommandLine cli;
+  cli.AddFlag("n", "100", "size");
+  cli.AddFlag("name", "abc", "name");
+  cli.AddFlag("rate", "0.5", "rate");
+  cli.AddFlag("verbose", "false", "verbosity");
+  const char* argv[] = {"prog", "--n=42", "--verbose"};
+  ASSERT_TRUE(cli.Parse(3, const_cast<char**>(argv)));
+  EXPECT_EQ(cli.GetInt("n"), 42);
+  EXPECT_EQ(cli.GetString("name"), "abc");  // default kept
+  EXPECT_DOUBLE_EQ(cli.GetDouble("rate"), 0.5);
+  EXPECT_TRUE(cli.GetBool("verbose"));  // bare flag means true
+}
+
+TEST(CommandLineTest, HelpReturnsFalse) {
+  CommandLine cli;
+  cli.AddFlag("n", "100", "size");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.Parse(2, const_cast<char**>(argv)));
+}
+
+TEST(CommandLineTest, NegativeAndLargeNumbers) {
+  CommandLine cli;
+  cli.AddFlag("a", "0", "");
+  cli.AddFlag("b", "0", "");
+  const char* argv[] = {"prog", "--a=-17", "--b=4000000000"};
+  ASSERT_TRUE(cli.Parse(3, const_cast<char**>(argv)));
+  EXPECT_EQ(cli.GetInt("a"), -17);
+  EXPECT_EQ(cli.GetInt("b"), 4000000000ll);
+}
+
+}  // namespace
+}  // namespace progidx

@@ -1,0 +1,180 @@
+// Tests for the §6 future-work extensions: Progressive Hash Table,
+// Progressive Column Imprints, and approximate query processing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/full_scan.h"
+#include "core/progressive_hashtable.h"
+#include "core/progressive_imprints.h"
+#include "core/progressive_quicksort.h"
+#include "eval/registry.h"
+#include "workload/data_generator.h"
+#include "workload/synthetic.h"
+
+namespace progidx {
+namespace {
+
+constexpr size_t kN = 30000;
+
+TEST(ProgressiveHashTableTest, PointQueriesMatchOracleWhileBuilding) {
+  const Column column = MakeSkewedColumn(kN, 7);
+  ProgressiveHashTable index(column, BudgetSpec::FixedDelta(0.05));
+  FullScan oracle(column);
+  WorkloadGenerator gen(WorkloadPattern::kPoint, column.min_value(),
+                        column.max_value(), 500, 0.1, 8);
+  for (int i = 0; i < 500; i++) {
+    const RangeQuery q = gen.Next();
+    EXPECT_EQ(index.Query(q), oracle.Query(q)) << "query " << i;
+  }
+}
+
+TEST(ProgressiveHashTableTest, ConvergesAndThenAnswersByLookupOnly) {
+  const Column column = MakeUniformColumn(kN, 9);
+  ProgressiveHashTable index(column, BudgetSpec::FixedDelta(0.25));
+  const RangeQuery q{123, 123};
+  int queries = 0;
+  while (!index.converged()) {
+    index.Query(q);
+    ASSERT_LT(++queries, 1000);
+  }
+  EXPECT_DOUBLE_EQ(index.indexed_fraction(), 1.0);
+  // Unique values: every distinct value has exactly one entry.
+  EXPECT_EQ(index.distinct_values(), kN);
+  EXPECT_EQ(index.Query(RangeQuery{5, 5}), (QueryResult{5, 1}));
+  EXPECT_EQ(index.Query(RangeQuery{-1, -1}), (QueryResult{0, 0}));
+}
+
+TEST(ProgressiveHashTableTest, DuplicatesAreCounted) {
+  const Column column = MakeConstantColumn(1000, 3);
+  ProgressiveHashTable index(column, BudgetSpec::FixedDelta(1.0));
+  index.Query(RangeQuery{3, 3});
+  EXPECT_EQ(index.distinct_values(), 1u);
+  EXPECT_EQ(index.Query(RangeQuery{3, 3}), (QueryResult{3000, 1000}));
+}
+
+TEST(ProgressiveHashTableTest, RangeQueriesFallBackToScan) {
+  const Column column = MakeUniformColumn(kN, 10);
+  ProgressiveHashTable index(column, BudgetSpec::FixedDelta(0.25));
+  FullScan oracle(column);
+  const RangeQuery range{100, 20000};
+  for (int i = 0; i < 10; i++) {
+    EXPECT_EQ(index.Query(range), oracle.Query(range));
+  }
+}
+
+TEST(ProgressiveImprintsTest, CorrectDuringAndAfterBuild) {
+  const Column column = MakeSkewedColumn(kN, 11);
+  ProgressiveImprints index(column, BudgetSpec::FixedDelta(0.1));
+  FullScan oracle(column);
+  WorkloadGenerator gen(WorkloadPattern::kRandom, column.min_value(),
+                        column.max_value(), 300, 0.05, 12);
+  int queries = 0;
+  while (!index.converged()) {
+    const RangeQuery q = gen.Next();
+    EXPECT_EQ(index.Query(q), oracle.Query(q)) << "query " << queries;
+    ASSERT_LT(++queries, 10000);
+  }
+  EXPECT_EQ(index.lines_built(), index.total_lines());
+  for (int i = 0; i < 50; i++) {
+    const RangeQuery q = gen.Next();
+    EXPECT_EQ(index.Query(q), oracle.Query(q));
+  }
+}
+
+TEST(ProgressiveImprintsTest, ImprintsActuallyFilter) {
+  // Values are strongly clustered by position: each line covers a
+  // narrow value band, so a narrow query must touch few lines.
+  std::vector<value_t> values(kN);
+  for (size_t i = 0; i < kN; i++) values[i] = static_cast<value_t>(i);
+  const Column column(std::move(values));
+  ProgressiveImprints index(column, BudgetSpec::FixedDelta(1.0));
+  index.Query(RangeQuery{0, 10});  // build everything (delta = 1)
+  ASSERT_TRUE(index.converged());
+  const double narrow = index.SelectivityOfMask(RangeQuery{100, 200});
+  EXPECT_LT(narrow, 0.05);  // touches ~1 bin of 64
+  const double wide = index.SelectivityOfMask(
+      RangeQuery{0, static_cast<value_t>(kN)});
+  EXPECT_DOUBLE_EQ(wide, 1.0);
+}
+
+TEST(ProgressiveImprintsTest, LineSizeSweep) {
+  const Column column = MakeUniformColumn(5000, 13);
+  FullScan oracle(column);
+  for (const size_t line : {1u, 8u, 64u, 333u}) {
+    ProgressiveImprints index(column, BudgetSpec::FixedDelta(0.5), {}, line);
+    const RangeQuery q{100, 2000};
+    int queries = 0;
+    while (!index.converged()) {
+      EXPECT_EQ(index.Query(q), oracle.Query(q));
+      ASSERT_LT(++queries, 1000);
+    }
+    EXPECT_EQ(index.Query(q), oracle.Query(q));
+  }
+}
+
+TEST(ApproximateQueryTest, EstimateIsCloseAndConvergesToExact) {
+  const Column column = MakeUniformColumn(100000, 14);
+  ProgressiveQuicksort index(column, BudgetSpec::FixedDelta(0.05));
+  FullScan oracle(column);
+  const RangeQuery q{10000, 60000};
+  const QueryResult truth = oracle.Query(q);
+  bool saw_approximate = false;
+  for (int i = 0; i < 500; i++) {
+    const ApproximateResult approx = index.QueryApproximate(q, 2000, 99 + i);
+    if (!approx.exact) {
+      saw_approximate = true;
+      // The estimate should be within ~5 standard errors of the truth
+      // (generous to keep the test deterministic-ish).
+      EXPECT_NEAR(approx.sum, static_cast<double>(truth.sum),
+                  5 * approx.sum_stderr + 1e-6)
+          << "query " << i;
+      EXPECT_GT(approx.sum_stderr, 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(approx.sum, static_cast<double>(truth.sum));
+      EXPECT_DOUBLE_EQ(approx.count, static_cast<double>(truth.count));
+      EXPECT_DOUBLE_EQ(approx.sum_stderr, 0.0);
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_approximate);
+  // Keep querying: the index must eventually converge and answers
+  // become exact.
+  for (int i = 0; i < 2000 && !index.converged(); i++) {
+    index.QueryApproximate(q, 100, i);
+  }
+  EXPECT_TRUE(index.converged());
+  const ApproximateResult final_result = index.QueryApproximate(q, 10);
+  EXPECT_TRUE(final_result.exact);
+  EXPECT_DOUBLE_EQ(final_result.sum, static_cast<double>(truth.sum));
+}
+
+TEST(ApproximateQueryTest, StderrShrinksWithMoreSamples) {
+  const Column column = MakeUniformColumn(100000, 15);
+  const RangeQuery q{10000, 60000};
+  ProgressiveQuicksort small(column, BudgetSpec::FixedDelta(0.01));
+  ProgressiveQuicksort large(column, BudgetSpec::FixedDelta(0.01));
+  const ApproximateResult a = small.QueryApproximate(q, 100, 1);
+  const ApproximateResult b = large.QueryApproximate(q, 10000, 1);
+  ASSERT_FALSE(a.exact);
+  ASSERT_FALSE(b.exact);
+  EXPECT_LT(b.sum_stderr, a.sum_stderr);
+}
+
+TEST(ExtensionRegistryTest, ExtensionsResolveAndAnswerCorrectly) {
+  const Column column = MakeUniformColumn(5000, 16);
+  FullScan oracle(column);
+  for (const std::string& id : ExtensionIndexIds()) {
+    auto index = MakeIndex(id, column, BudgetSpec::Adaptive(0.2));
+    for (int i = 0; i < 30; i++) {
+      const RangeQuery point{i * 7, i * 7};
+      EXPECT_EQ(index->Query(point), oracle.Query(point)) << id;
+      const RangeQuery range{i * 3, 2000 + i};
+      EXPECT_EQ(index->Query(range), oracle.Query(range)) << id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace progidx

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/predication.h"
+#include "common/rng.h"
+#include "core/incremental_quicksort.h"
+
+namespace progidx {
+namespace {
+
+std::vector<value_t> RandomData(size_t n, uint64_t seed, value_t domain) {
+  Rng rng(seed);
+  std::vector<value_t> data(n);
+  for (value_t& v : data) {
+    v = static_cast<value_t>(rng.NextBounded(
+        static_cast<uint64_t>(domain)));
+  }
+  return data;
+}
+
+QueryResult ScanViaRanges(const IncrementalQuicksort& sorter,
+                          const value_t* data, const RangeQuery& q) {
+  std::vector<ScanRange> ranges;
+  sorter.CollectRanges(q, &ranges);
+  QueryResult result;
+  for (const ScanRange& r : ranges) {
+    const QueryResult part =
+        r.sorted ? SortedRangeSum(data + r.start, r.end - r.start, q)
+                 : PredicatedRangeSum(data + r.start, r.end - r.start, q);
+    result.sum += part.sum;
+    result.count += part.count;
+  }
+  return result;
+}
+
+class IncrementalQuicksortTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(IncrementalQuicksortTest, ConvergesToSortedAndAnswersCorrectly) {
+  const auto [n, step] = GetParam();
+  std::vector<value_t> data = RandomData(n, 21 + n + step, 10000);
+  const std::vector<value_t> original = data;
+
+  IncrementalQuicksort sorter;
+  sorter.Init(data.data(), n, 0, 9999, /*l1_elements=*/64);
+
+  Rng rng(99);
+  size_t rounds = 0;
+  while (!sorter.done()) {
+    // Interleave work and correctness probes: mid-refinement answers
+    // must already be exact.
+    value_t lo = static_cast<value_t>(rng.NextBounded(11000));
+    value_t hi = static_cast<value_t>(rng.NextBounded(11000));
+    if (lo > hi) std::swap(lo, hi);
+    const RangeQuery q{lo, hi};
+    sorter.DoWork(step, q);
+    EXPECT_EQ(ScanViaRanges(sorter, data.data(), q),
+              PredicatedRangeSum(original.data(), n, q));
+    ASSERT_LT(++rounds, 10 * n / step + 1000);
+  }
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+  // Sorting is a permutation: multiset equality via sorted compare.
+  std::vector<value_t> sorted_original = original;
+  std::sort(sorted_original.begin(), sorted_original.end());
+  EXPECT_EQ(data, sorted_original);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSteps, IncrementalQuicksortTest,
+    ::testing::Combine(::testing::Values(100, 1000, 20000),
+                       ::testing::Values(13, 257, 5000)));
+
+TEST(IncrementalQuicksortTest, PrePartitionedRoot) {
+  constexpr size_t kN = 5000;
+  std::vector<value_t> data = RandomData(kN, 3, 1000);
+  const std::vector<value_t> original = data;
+  // Manually partition around 500.
+  const size_t boundary = static_cast<size_t>(
+      std::partition(data.begin(), data.end(),
+                     [](value_t v) { return v < 500; }) -
+      data.begin());
+  IncrementalQuicksort sorter;
+  sorter.InitPrePartitioned(data.data(), kN, 500, boundary, 0, 999, 64);
+  const RangeQuery probe{100, 700};
+  while (!sorter.done()) sorter.DoWork(997, probe);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+  EXPECT_EQ(ScanViaRanges(sorter, data.data(), probe),
+            PredicatedRangeSum(original.data(), kN, probe));
+}
+
+TEST(IncrementalQuicksortTest, AllEqualValuesConvergeImmediately) {
+  std::vector<value_t> data(1000, 7);
+  IncrementalQuicksort sorter;
+  sorter.Init(data.data(), data.size(), 7, 7, 64);
+  EXPECT_TRUE(sorter.done());  // value range collapsed: already "sorted"
+  const RangeQuery q{0, 10};
+  EXPECT_EQ(ScanViaRanges(sorter, data.data(), q).count, 1000);
+}
+
+TEST(IncrementalQuicksortTest, EmptyAndSingle) {
+  IncrementalQuicksort sorter;
+  sorter.Init(nullptr, 0, 0, 0, 64);
+  EXPECT_TRUE(sorter.done());
+
+  std::vector<value_t> one = {5};
+  IncrementalQuicksort sorter1;
+  sorter1.Init(one.data(), 1, 5, 5, 64);
+  EXPECT_TRUE(sorter1.done());
+}
+
+TEST(IncrementalQuicksortTest, DuplicateHeavyData) {
+  std::vector<value_t> data = RandomData(10000, 4, 5);  // values 0..4
+  const std::vector<value_t> original = data;
+  IncrementalQuicksort sorter;
+  sorter.Init(data.data(), data.size(), 0, 4, 64);
+  const RangeQuery probe{1, 3};
+  size_t guard = 0;
+  while (!sorter.done()) {
+    sorter.DoWork(500, probe);
+    ASSERT_LT(++guard, 10000u);
+  }
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+  EXPECT_EQ(ScanViaRanges(sorter, data.data(), probe),
+            PredicatedRangeSum(original.data(), original.size(), probe));
+}
+
+TEST(IncrementalQuicksortTest, HeightIsLogarithmic) {
+  constexpr size_t kN = 1 << 16;
+  std::vector<value_t> data = RandomData(kN, 8, kN);
+  IncrementalQuicksort sorter;
+  sorter.Init(data.data(), kN, 0, kN - 1, 64);
+  const RangeQuery probe{0, static_cast<value_t>(kN)};
+  while (!sorter.done()) sorter.DoWork(kN, probe);
+  // Midpoint pivots halve the value range, so depth <= bits(domain)+1.
+  EXPECT_LE(sorter.height(), 18u);
+}
+
+TEST(IncrementalQuicksortTest, WorkBudgetIsRespected) {
+  constexpr size_t kN = 1 << 15;
+  std::vector<value_t> data = RandomData(kN, 12, kN);
+  IncrementalQuicksort sorter;
+  sorter.Init(data.data(), kN, 0, kN - 1, /*l1_elements=*/256);
+  const RangeQuery probe{0, static_cast<value_t>(kN)};
+  const size_t used = sorter.DoWork(1000, probe);
+  // May overshoot by at most one L1-sized leaf sort.
+  EXPECT_LE(used, 1000u + 256u);
+  EXPECT_GT(used, 0u);
+  EXPECT_FALSE(sorter.done());
+}
+
+}  // namespace
+}  // namespace progidx

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/full_scan.h"
+#include "core/progressive_bucketsort.h"
+#include "workload/data_generator.h"
+#include "workload/synthetic.h"
+
+namespace progidx {
+namespace {
+
+constexpr size_t kN = 30000;
+
+RangeQuery MidQuery() { return RangeQuery{1000, 4000}; }
+
+TEST(ProgressiveBucketsortTest, BoundariesAreSorted) {
+  const Column column = MakeSkewedColumn(kN, 51);
+  ProgressiveBucketsort index(column, BudgetSpec::FixedDelta(0.25));
+  const std::vector<value_t>& bounds = index.boundaries();
+  EXPECT_EQ(bounds.size(), 63u);
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+}
+
+TEST(ProgressiveBucketsortTest, ConvergesToSortedPermutation) {
+  const Column column = MakeUniformColumn(kN, 52);
+  ProgressiveBucketsort index(column, BudgetSpec::FixedDelta(0.25));
+  int queries = 0;
+  while (!index.converged()) {
+    index.Query(MidQuery());
+    ASSERT_LT(++queries, 100000);
+  }
+  const std::vector<value_t>& final = index.final_array();
+  EXPECT_TRUE(std::is_sorted(final.begin(), final.end()));
+  std::vector<value_t> expected = column.values();
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(final, expected);
+}
+
+TEST(ProgressiveBucketsortTest, SkewedDataEquiHeightPartitions) {
+  // With 90% of values in the middle tenth, equi-height sampling must
+  // still keep the largest bucket well below a radix bucket's worst
+  // case (which would hold ~90% of the data).
+  const Column column = MakeSkewedColumn(100000, 53);
+  ProgressiveBucketsort index(column, BudgetSpec::FixedDelta(1.0));
+  index.Query(MidQuery());  // creation completes with delta = 1
+  // Count bucket occupancy via the boundaries.
+  const std::vector<value_t>& bounds = index.boundaries();
+  std::vector<size_t> histogram(bounds.size() + 1, 0);
+  for (const value_t v : column.values()) {
+    const size_t b = static_cast<size_t>(
+        std::upper_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+    histogram[b]++;
+  }
+  const size_t largest = *std::max_element(histogram.begin(),
+                                           histogram.end());
+  EXPECT_LT(largest, column.size() / 8);  // far below the 90% blob
+}
+
+TEST(ProgressiveBucketsortTest, AnswersMatchOracleAcrossPhases) {
+  const Column column = MakeSkewedColumn(kN, 54);
+  ProgressiveBucketsort index(column, BudgetSpec::FixedDelta(0.04));
+  FullScan oracle(column);
+  WorkloadGenerator gen(WorkloadPattern::kZoomIn, column.min_value(),
+                        column.max_value(), 800, 0.05, 55);
+  int queries = 0;
+  while (!index.converged()) {
+    const RangeQuery q = gen.Next();
+    EXPECT_EQ(index.Query(q), oracle.Query(q)) << "query " << queries;
+    ASSERT_LT(++queries, 100000);
+  }
+}
+
+TEST(ProgressiveBucketsortTest, AdaptiveBudgetConverges) {
+  const Column column = MakeUniformColumn(kN, 56);
+  ProgressiveBucketsort index(column, BudgetSpec::Adaptive(0.2));
+  int queries = 0;
+  while (!index.converged()) {
+    index.Query(MidQuery());
+    ASSERT_LT(++queries, 100000);
+  }
+  EXPECT_TRUE(index.converged());
+}
+
+TEST(ProgressiveBucketsortTest, DuplicateHeavyColumn) {
+  std::vector<value_t> values(20000);
+  Rng rng(57);
+  for (value_t& v : values) {
+    v = static_cast<value_t>(rng.NextBounded(10));  // only 10 values
+  }
+  const Column column(std::move(values));
+  ProgressiveBucketsort index(column, BudgetSpec::FixedDelta(0.3));
+  FullScan oracle(column);
+  const RangeQuery q{2, 7};
+  int queries = 0;
+  while (!index.converged()) {
+    EXPECT_EQ(index.Query(q), oracle.Query(q));
+    ASSERT_LT(++queries, 10000);
+  }
+  EXPECT_TRUE(
+      std::is_sorted(index.final_array().begin(), index.final_array().end()));
+}
+
+}  // namespace
+}  // namespace progidx

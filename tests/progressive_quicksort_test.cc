@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/full_scan.h"
+#include "core/progressive_quicksort.h"
+#include "workload/data_generator.h"
+#include "workload/synthetic.h"
+
+namespace progidx {
+namespace {
+
+constexpr size_t kN = 30000;
+
+RangeQuery MidQuery() { return RangeQuery{1000, 4000}; }
+
+TEST(ProgressiveQuicksortTest, PhasesProgressInOrder) {
+  const Column column = MakeUniformColumn(kN, 7);
+  ProgressiveQuicksort index(column, BudgetSpec::FixedDelta(0.1));
+  using Phase = ProgressiveQuicksort::Phase;
+  EXPECT_EQ(index.phase(), Phase::kCreation);
+  int last_phase = 0;
+  for (int i = 0; i < 2000 && !index.converged(); i++) {
+    index.Query(MidQuery());
+    const int phase = static_cast<int>(index.phase());
+    EXPECT_GE(phase, last_phase) << "phase must never regress";
+    last_phase = phase;
+  }
+  EXPECT_TRUE(index.converged());
+  EXPECT_EQ(index.phase(), Phase::kDone);
+}
+
+TEST(ProgressiveQuicksortTest, DeltaOneConvergesCreationInOneQuery) {
+  const Column column = MakeUniformColumn(kN, 7);
+  ProgressiveQuicksort index(column, BudgetSpec::FixedDelta(1.0));
+  index.Query(MidQuery());
+  // With δ = 1 the whole creation phase (one full pass) completes
+  // within the first query; the phase must have advanced past creation.
+  EXPECT_GT(static_cast<int>(index.phase()),
+            static_cast<int>(ProgressiveQuicksort::Phase::kCreation));
+}
+
+TEST(ProgressiveQuicksortTest, ConvergedIndexIsSortedPermutation) {
+  const Column column = MakeUniformColumn(kN, 11);
+  ProgressiveQuicksort index(column, BudgetSpec::FixedDelta(0.25));
+  for (int i = 0; i < 5000 && !index.converged(); i++) {
+    index.Query(MidQuery());
+  }
+  ASSERT_TRUE(index.converged());
+  const std::vector<value_t>& idx = index.index_array();
+  EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+  std::vector<value_t> expected = column.values();
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(idx, expected);
+}
+
+TEST(ProgressiveQuicksortTest, SmallDeltaStillConvergesDeterministically) {
+  const Column column = MakeUniformColumn(5000, 3);
+  ProgressiveQuicksort index(column, BudgetSpec::FixedDelta(0.01));
+  int queries = 0;
+  while (!index.converged()) {
+    index.Query(MidQuery());
+    ASSERT_LT(++queries, 100000);
+  }
+  // δ = 0.01 needs ~100 queries for creation alone.
+  EXPECT_GT(queries, 50);
+}
+
+TEST(ProgressiveQuicksortTest, AnswersDuringEveryPhaseMatchOracle) {
+  const Column column = MakeSkewedColumn(kN, 5);
+  ProgressiveQuicksort index(column, BudgetSpec::FixedDelta(0.05));
+  FullScan oracle(column);
+  WorkloadGenerator gen(WorkloadPattern::kRandom, column.min_value(),
+                        column.max_value(), 1000, 0.05, 17);
+  for (int i = 0; i < 1000; i++) {
+    const RangeQuery q = gen.Next();
+    const QueryResult expected = oracle.Query(q);
+    EXPECT_EQ(index.Query(q), expected) << "query " << i;
+    if (index.converged() && i > 100) break;
+  }
+}
+
+TEST(ProgressiveQuicksortTest, PredictionIsPopulated) {
+  const Column column = MakeUniformColumn(kN, 9);
+  ProgressiveQuicksort index(column, BudgetSpec::FixedDelta(0.25));
+  index.Query(MidQuery());
+  EXPECT_GT(index.last_predicted_cost(), 0.0);
+}
+
+TEST(ProgressiveQuicksortTest, AdaptiveBudgetConverges) {
+  const Column column = MakeUniformColumn(kN, 13);
+  ProgressiveQuicksort index(column, BudgetSpec::Adaptive(0.2));
+  int queries = 0;
+  while (!index.converged()) {
+    index.Query(MidQuery());
+    ASSERT_LT(++queries, 100000);
+  }
+  EXPECT_TRUE(index.converged());
+}
+
+TEST(ProgressiveQuicksortTest, QueriesNotCoveringPivotStillCorrect) {
+  // Query entirely below / above the root pivot exercises the one-sided
+  // index scan paths of the creation phase.
+  const Column column = MakeUniformColumn(kN, 21);
+  const value_t pivot_estimate =
+      column.min_value() + (column.max_value() - column.min_value()) / 2;
+  ProgressiveQuicksort index(column, BudgetSpec::FixedDelta(0.1));
+  FullScan oracle(column);
+  const RangeQuery below{column.min_value(), pivot_estimate - 10};
+  const RangeQuery above{pivot_estimate + 10, column.max_value()};
+  for (int i = 0; i < 30; i++) {
+    EXPECT_EQ(index.Query(below), oracle.Query(below));
+    EXPECT_EQ(index.Query(above), oracle.Query(above));
+  }
+}
+
+}  // namespace
+}  // namespace progidx

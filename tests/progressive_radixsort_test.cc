@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/full_scan.h"
+#include "core/progressive_radixsort_lsd.h"
+#include "core/progressive_radixsort_msd.h"
+#include "workload/data_generator.h"
+#include "workload/synthetic.h"
+
+namespace progidx {
+namespace {
+
+constexpr size_t kN = 30000;
+
+RangeQuery MidQuery() { return RangeQuery{1000, 4000}; }
+
+TEST(ProgressiveRadixsortMSDTest, ConvergesToSortedPermutation) {
+  const Column column = MakeUniformColumn(kN, 31);
+  ProgressiveRadixsortMSD index(column, BudgetSpec::FixedDelta(0.25));
+  int queries = 0;
+  while (!index.converged()) {
+    index.Query(MidQuery());
+    ASSERT_LT(++queries, 100000);
+  }
+  const std::vector<value_t>& final = index.final_array();
+  EXPECT_TRUE(std::is_sorted(final.begin(), final.end()));
+  std::vector<value_t> expected = column.values();
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(final, expected);
+}
+
+TEST(ProgressiveRadixsortMSDTest, SkewedDataConverges) {
+  const Column column = MakeSkewedColumn(kN, 32);
+  ProgressiveRadixsortMSD index(column, BudgetSpec::FixedDelta(0.25));
+  FullScan oracle(column);
+  WorkloadGenerator gen(WorkloadPattern::kRandom, column.min_value(),
+                        column.max_value(), 500, 0.1, 3);
+  int queries = 0;
+  while (!index.converged()) {
+    const RangeQuery q = gen.Next();
+    EXPECT_EQ(index.Query(q), oracle.Query(q));
+    ASSERT_LT(++queries, 100000);
+  }
+  EXPECT_TRUE(
+      std::is_sorted(index.final_array().begin(), index.final_array().end()));
+}
+
+TEST(ProgressiveRadixsortMSDTest, PhaseNeverRegresses) {
+  const Column column = MakeUniformColumn(kN, 33);
+  ProgressiveRadixsortMSD index(column, BudgetSpec::FixedDelta(0.1));
+  int last = 0;
+  for (int i = 0; i < 1000 && !index.converged(); i++) {
+    index.Query(MidQuery());
+    const int phase = static_cast<int>(index.phase());
+    EXPECT_GE(phase, last);
+    last = phase;
+  }
+  EXPECT_TRUE(index.converged());
+}
+
+TEST(ProgressiveRadixsortLSDTest, ConvergesToSortedPermutation) {
+  const Column column = MakeUniformColumn(kN, 41);
+  ProgressiveRadixsortLSD index(column, BudgetSpec::FixedDelta(0.25));
+  int queries = 0;
+  while (!index.converged()) {
+    index.Query(MidQuery());
+    ASSERT_LT(++queries, 100000);
+  }
+  const std::vector<value_t>& final = index.final_array();
+  EXPECT_TRUE(std::is_sorted(final.begin(), final.end()));
+  std::vector<value_t> expected = column.values();
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(final, expected);
+}
+
+TEST(ProgressiveRadixsortLSDTest, PassCountMatchesFormula) {
+  // Domain [0, n) with n = 30000 needs 15 bits -> ceil(15/6) = 3 passes.
+  const Column column = MakeUniformColumn(kN, 43);
+  ProgressiveRadixsortLSD index(column, BudgetSpec::FixedDelta(0.25));
+  EXPECT_EQ(index.total_passes(), 3u);
+}
+
+TEST(ProgressiveRadixsortLSDTest, PointQueriesDuringCreationAreCorrect) {
+  const Column column = MakeUniformColumn(kN, 44);
+  ProgressiveRadixsortLSD index(column, BudgetSpec::FixedDelta(0.02));
+  FullScan oracle(column);
+  // Point queries: the LSD buckets are usable long before convergence.
+  for (value_t v = 0; v < 200; v += 7) {
+    const RangeQuery q{v, v};
+    EXPECT_EQ(index.Query(q), oracle.Query(q)) << "v=" << v;
+  }
+}
+
+TEST(ProgressiveRadixsortLSDTest, WideRangeQueriesDuringRefinement) {
+  const Column column = MakeUniformColumn(kN, 45);
+  ProgressiveRadixsortLSD index(column, BudgetSpec::FixedDelta(0.15));
+  FullScan oracle(column);
+  // Wide ranges exercise the all-buckets fallback paths in every phase.
+  const RangeQuery wide{100, static_cast<value_t>(kN) - 100};
+  for (int i = 0; i < 60; i++) {
+    EXPECT_EQ(index.Query(wide), oracle.Query(wide)) << "query " << i;
+  }
+}
+
+TEST(ProgressiveRadixsortLSDTest, NarrowDomainSinglePass) {
+  // 50 distinct values -> 6 bits -> exactly one pass, creation == full
+  // radix sort.
+  std::vector<value_t> values;
+  Rng rng(5);
+  for (size_t i = 0; i < 5000; i++) {
+    values.push_back(static_cast<value_t>(rng.NextBounded(50)));
+  }
+  const Column column(std::move(values));
+  ProgressiveRadixsortLSD index(column, BudgetSpec::FixedDelta(0.5));
+  EXPECT_EQ(index.total_passes(), 1u);
+  FullScan oracle(column);
+  const RangeQuery q{10, 30};
+  int queries = 0;
+  while (!index.converged()) {
+    EXPECT_EQ(index.Query(q), oracle.Query(q));
+    ASSERT_LT(++queries, 1000);
+  }
+  EXPECT_TRUE(
+      std::is_sorted(index.final_array().begin(), index.final_array().end()));
+}
+
+}  // namespace
+}  // namespace progidx

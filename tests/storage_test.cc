@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "storage/bucket_chain.h"
+#include "storage/column.h"
+
+namespace progidx {
+namespace {
+
+TEST(ColumnTest, MinMax) {
+  const Column col({5, -3, 9, 0});
+  EXPECT_EQ(col.min_value(), -3);
+  EXPECT_EQ(col.max_value(), 9);
+  EXPECT_EQ(col.size(), 4u);
+}
+
+TEST(ColumnTest, EmptyColumn) {
+  const Column col;
+  EXPECT_TRUE(col.empty());
+  EXPECT_EQ(col.min_value(), 0);
+  EXPECT_EQ(col.max_value(), 0);
+}
+
+TEST(ColumnTest, SingleElement) {
+  const Column col({42});
+  EXPECT_EQ(col.min_value(), 42);
+  EXPECT_EQ(col.max_value(), 42);
+}
+
+TEST(BucketChainTest, AppendAndIterate) {
+  BucketChain chain(4);  // tiny blocks to exercise chaining
+  for (value_t v = 0; v < 10; v++) chain.Append(v);
+  EXPECT_EQ(chain.size(), 10u);
+  EXPECT_EQ(chain.block_count(), 3u);  // 4 + 4 + 2
+  std::vector<value_t> seen;
+  chain.ForEach([&](value_t v) { seen.push_back(v); });
+  ASSERT_EQ(seen.size(), 10u);
+  for (value_t v = 0; v < 10; v++) EXPECT_EQ(seen[v], v);
+}
+
+TEST(BucketChainTest, AppendOrderIsStable) {
+  BucketChain chain(3);
+  const std::vector<value_t> input = {5, 1, 5, 2, 5, 1};
+  for (value_t v : input) chain.Append(v);
+  std::vector<value_t> out(input.size());
+  EXPECT_EQ(chain.CopyTo(out.data()), input.size());
+  EXPECT_EQ(out, input);
+}
+
+TEST(BucketChainTest, AllocationsMatchBlockCount) {
+  BucketChain chain(8);
+  for (value_t v = 0; v < 25; v++) chain.Append(v);
+  EXPECT_EQ(chain.allocations(), 4u);  // ceil(25/8)
+}
+
+TEST(BucketChainTest, CursorDrain) {
+  BucketChain chain(4);
+  for (value_t v = 0; v < 11; v++) chain.Append(v);
+  BucketChain::Cursor cursor;
+  std::vector<value_t> drained;
+  while (!chain.AtEnd(cursor)) {
+    drained.push_back(chain.ReadAndAdvance(&cursor));
+  }
+  ASSERT_EQ(drained.size(), 11u);
+  for (value_t v = 0; v < 11; v++) EXPECT_EQ(drained[v], v);
+}
+
+TEST(BucketChainTest, ForEachFromResumesMidChain) {
+  BucketChain chain(4);
+  for (value_t v = 0; v < 10; v++) chain.Append(v);
+  BucketChain::Cursor cursor;
+  for (int i = 0; i < 6; i++) chain.ReadAndAdvance(&cursor);
+  std::vector<value_t> rest;
+  chain.ForEachFrom(cursor, [&](value_t v) { rest.push_back(v); });
+  ASSERT_EQ(rest.size(), 4u);
+  EXPECT_EQ(rest.front(), 6);
+  EXPECT_EQ(rest.back(), 9);
+}
+
+TEST(BucketChainTest, ClearReleasesEverything) {
+  BucketChain chain(4);
+  for (value_t v = 0; v < 10; v++) chain.Append(v);
+  chain.Clear();
+  EXPECT_TRUE(chain.empty());
+  EXPECT_EQ(chain.block_count(), 0u);
+  // Reusable after Clear().
+  chain.Append(99);
+  EXPECT_EQ(chain.size(), 1u);
+}
+
+TEST(BucketChainTest, EmptyChainCursor) {
+  BucketChain chain(4);
+  BucketChain::Cursor cursor;
+  EXPECT_TRUE(chain.AtEnd(cursor));
+}
+
+}  // namespace
+}  // namespace progidx

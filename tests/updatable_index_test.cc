@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/predication.h"
+#include "common/rng.h"
+#include "core/progressive_quicksort.h"
+#include "core/updatable_index.h"
+#include "eval/registry.h"
+#include "workload/data_generator.h"
+
+namespace progidx {
+namespace {
+
+UpdatableIndex::IndexFactory QuicksortFactory(double delta = 0.25) {
+  return [delta](const Column& column) {
+    return std::make_unique<ProgressiveQuicksort>(
+        column, BudgetSpec::FixedDelta(delta));
+  };
+}
+
+TEST(UpdatableIndexTest, AppendsVisibleImmediately) {
+  UpdatableIndex index({1, 2, 3}, QuicksortFactory(), /*threshold=*/10.0);
+  EXPECT_EQ(index.Query(RangeQuery{0, 100}), (QueryResult{6, 3}));
+  index.Append(50);
+  EXPECT_EQ(index.Query(RangeQuery{0, 100}), (QueryResult{56, 4}));
+  EXPECT_EQ(index.Query(RangeQuery{50, 50}), (QueryResult{50, 1}));
+  EXPECT_EQ(index.pending_count(), 1u);
+}
+
+TEST(UpdatableIndexTest, MergeTriggersAtThreshold) {
+  std::vector<value_t> initial(1000, 1);
+  UpdatableIndex index(std::move(initial), QuicksortFactory(),
+                       /*threshold=*/0.1);
+  for (int i = 0; i < 99; i++) index.Append(2);
+  EXPECT_EQ(index.merge_count(), 0u);
+  EXPECT_EQ(index.pending_count(), 99u);
+  index.Append(2);  // hits 10% of base
+  EXPECT_EQ(index.merge_count(), 1u);
+  EXPECT_EQ(index.pending_count(), 0u);
+  EXPECT_EQ(index.base_size(), 1100u);
+  EXPECT_EQ(index.Query(RangeQuery{2, 2}), (QueryResult{200, 100}));
+}
+
+TEST(UpdatableIndexTest, ConvergesAfterMergeViaQueries) {
+  const Column seed_column = MakeUniformColumn(5000, 3);
+  UpdatableIndex index(seed_column.values(), QuicksortFactory(1.0),
+                       /*threshold=*/0.05);
+  const RangeQuery q{100, 4000};
+  for (int i = 0; i < 100 && !index.converged(); i++) index.Query(q);
+  ASSERT_TRUE(index.converged());
+  // Appending up to the threshold triggers a merge, which restarts
+  // convergence (the new base must be re-indexed)...
+  for (int i = 0; i < 250; i++) index.Append(i);
+  EXPECT_EQ(index.merge_count(), 1u);
+  EXPECT_EQ(index.pending_count(), 0u);
+  EXPECT_FALSE(index.converged());
+  // ...and querying drives the fresh progressive index to convergence
+  // again.
+  for (int i = 0; i < 100 && !index.converged(); i++) index.Query(q);
+  EXPECT_TRUE(index.converged());
+}
+
+TEST(UpdatableIndexTest, InterleavedSoakMatchesVectorOracle) {
+  Rng rng(99);
+  std::vector<value_t> oracle;
+  for (int i = 0; i < 500; i++) {
+    oracle.push_back(static_cast<value_t>(rng.NextBounded(10000)));
+  }
+  UpdatableIndex index(std::vector<value_t>(oracle), QuicksortFactory(0.1),
+                       /*threshold=*/0.08);
+  for (int step = 0; step < 600; step++) {
+    if (rng.NextBounded(3) == 0) {
+      const value_t v = static_cast<value_t>(rng.NextBounded(10000));
+      oracle.push_back(v);
+      index.Append(v);
+    } else {
+      value_t lo = static_cast<value_t>(rng.NextBounded(11000));
+      value_t hi = static_cast<value_t>(rng.NextBounded(11000));
+      if (lo > hi) std::swap(lo, hi);
+      const RangeQuery q{lo, hi};
+      const QueryResult expected =
+          PredicatedRangeSum(oracle.data(), oracle.size(), q);
+      ASSERT_EQ(index.Query(q), expected) << "step " << step;
+    }
+  }
+  EXPECT_GE(index.merge_count(), 2u);  // the soak must cross merges
+}
+
+TEST(UpdatableIndexTest, WorksWithEveryProgressiveInner) {
+  for (const std::string& id : ProgressiveIndexIds()) {
+    UpdatableIndex index(
+        MakeUniformColumn(2000, 5).values(),
+        [&id](const Column& column) {
+          return MakeIndex(id, column, BudgetSpec::Adaptive(0.2));
+        },
+        /*threshold=*/0.1);
+    for (int i = 0; i < 30; i++) {
+      index.Append(10000 + i);
+      const QueryResult r = index.Query(RangeQuery{10000, 10100});
+      EXPECT_EQ(r.count, i + 1) << id;
+    }
+  }
+}
+
+TEST(UpdatableIndexTest, NameReflectsInner) {
+  UpdatableIndex index({1, 2}, QuicksortFactory(), 1.0);
+  EXPECT_EQ(index.name(), "P. Quicksort + delta store");
+}
+
+}  // namespace
+}  // namespace progidx

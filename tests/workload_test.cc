@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "workload/data_generator.h"
+#include "workload/skyserver.h"
+#include "workload/synthetic.h"
+
+namespace progidx {
+namespace {
+
+TEST(DataGeneratorTest, UniformIsPermutationOfDomain) {
+  const Column col = MakeUniformColumn(10000, 3);
+  std::vector<value_t> values = col.values();
+  std::sort(values.begin(), values.end());
+  for (size_t i = 0; i < values.size(); i++) {
+    EXPECT_EQ(values[i], static_cast<value_t>(i));
+  }
+}
+
+TEST(DataGeneratorTest, UniformIsShuffled) {
+  const Column col = MakeUniformColumn(10000, 3);
+  size_t in_place = 0;
+  for (size_t i = 0; i < col.size(); i++) {
+    if (col[i] == static_cast<value_t>(i)) in_place++;
+  }
+  EXPECT_LT(in_place, 20u);  // a real shuffle leaves ~1 fixed point
+}
+
+TEST(DataGeneratorTest, SkewedConcentratesInMiddle) {
+  const Column col = MakeSkewedColumn(100000, 5);
+  const value_t lo = static_cast<value_t>(0.4 * 100000);
+  const value_t hi = static_cast<value_t>(0.6 * 100000);
+  size_t middle = 0;
+  for (size_t i = 0; i < col.size(); i++) {
+    if (col[i] >= lo && col[i] <= hi) middle++;
+  }
+  // 90% target concentration (plus background hits).
+  EXPECT_GT(middle, 85000u);
+  EXPECT_LT(middle, 95000u);
+}
+
+TEST(DataGeneratorTest, SeedsAreReproducible) {
+  const Column a = MakeUniformColumn(1000, 11);
+  const Column b = MakeUniformColumn(1000, 11);
+  EXPECT_EQ(a.values(), b.values());
+  const Column c = MakeUniformColumn(1000, 12);
+  EXPECT_NE(a.values(), c.values());
+}
+
+TEST(WorkloadPatternTest, NamesRoundTrip) {
+  for (const WorkloadPattern pattern : AllWorkloadPatterns()) {
+    EXPECT_EQ(ParseWorkloadPattern(WorkloadPatternName(pattern)), pattern);
+  }
+}
+
+class PatternTest : public ::testing::TestWithParam<WorkloadPattern> {};
+
+TEST_P(PatternTest, QueriesStayInDomainAndAreWellFormed) {
+  constexpr value_t kLo = 100;
+  constexpr value_t kHi = 100000;
+  const auto queries =
+      WorkloadGenerator::Generate(GetParam(), kLo, kHi, 500, 0.1, 42);
+  ASSERT_EQ(queries.size(), 500u);
+  for (const RangeQuery& q : queries) {
+    EXPECT_LE(q.low, q.high);
+    EXPECT_GE(q.low, kLo);
+    EXPECT_LE(q.high, kHi);
+  }
+}
+
+TEST_P(PatternTest, Reproducible) {
+  const auto a =
+      WorkloadGenerator::Generate(GetParam(), 0, 10000, 100, 0.1, 7);
+  const auto b =
+      WorkloadGenerator::Generate(GetParam(), 0, 10000, 100, 0.1, 7);
+  for (size_t i = 0; i < a.size(); i++) {
+    EXPECT_EQ(a[i].low, b[i].low);
+    EXPECT_EQ(a[i].high, b[i].high);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, PatternTest,
+                         ::testing::ValuesIn(AllWorkloadPatterns()),
+                         [](const auto& info) {
+                           return WorkloadPatternName(info.param);
+                         });
+
+TEST(PatternSemanticsTest, PointQueriesArePoints) {
+  const auto queries = WorkloadGenerator::Generate(WorkloadPattern::kPoint,
+                                                   0, 10000, 200, 0.1, 1);
+  for (const RangeQuery& q : queries) EXPECT_TRUE(q.IsPoint());
+}
+
+TEST(PatternSemanticsTest, SeqOverSweepsLeftToRight) {
+  const auto queries = WorkloadGenerator::Generate(WorkloadPattern::kSeqOver,
+                                                   0, 100000, 100, 0.05, 1);
+  for (size_t i = 1; i < queries.size(); i++) {
+    EXPECT_GE(queries[i].low, queries[i - 1].low);
+  }
+}
+
+TEST(PatternSemanticsTest, ZoomInShrinks) {
+  const auto queries = WorkloadGenerator::Generate(WorkloadPattern::kZoomIn,
+                                                   0, 100000, 100, 0.01, 1);
+  const auto width = [](const RangeQuery& q) { return q.high - q.low; };
+  EXPECT_GT(width(queries.front()), width(queries.back()) * 10);
+}
+
+TEST(PatternSemanticsTest, ZoomOutAltGrowsSpread) {
+  const auto queries = WorkloadGenerator::Generate(
+      WorkloadPattern::kZoomOutAlt, 0, 100000, 100, 0.01, 1);
+  // Early queries cluster near the center; late ones near the edges.
+  const double center = 50000;
+  const double early = std::abs(static_cast<double>(queries[0].low) -
+                                center);
+  const double late = std::abs(static_cast<double>(queries[98].low) -
+                               center);
+  EXPECT_LT(early, late);
+}
+
+TEST(PatternSemanticsTest, PeriodicRepeats) {
+  const auto queries = WorkloadGenerator::Generate(
+      WorkloadPattern::kPeriodic, 0, 100000, 40, 0.05, 1);
+  // Period 10: query i and i+10 target the same position.
+  for (size_t i = 0; i + 10 < queries.size(); i++) {
+    EXPECT_EQ(queries[i].low, queries[i + 10].low);
+  }
+}
+
+TEST(SkyServerTest, DataIsClusteredAndInDomain) {
+  constexpr value_t kDomain = 1000000;
+  const Column col = MakeSkyServerColumn(50000, 9, kDomain);
+  EXPECT_GE(col.min_value(), 0);
+  EXPECT_LT(col.max_value(), kDomain);
+  // Clustered: a 64-bin histogram must be far from uniform.
+  std::vector<size_t> bins(64, 0);
+  for (size_t i = 0; i < col.size(); i++) {
+    bins[static_cast<size_t>(col[i] * 64 / kDomain)]++;
+  }
+  const size_t max_bin = *std::max_element(bins.begin(), bins.end());
+  EXPECT_GT(max_bin, 3 * col.size() / 64);  // peaks well above uniform
+}
+
+TEST(SkyServerTest, WorkloadDwellsAndJumps) {
+  constexpr value_t kDomain = 1000000;
+  const auto queries = MakeSkyServerWorkload(2000, 10, kDomain);
+  ASSERT_EQ(queries.size(), 2000u);
+  size_t small_steps = 0;
+  for (size_t i = 1; i < queries.size(); i++) {
+    EXPECT_LE(queries[i].low, queries[i].high);
+    EXPECT_GE(queries[i].low, 0);
+    EXPECT_LT(queries[i].high, kDomain);
+    const double step = std::abs(static_cast<double>(queries[i].low) -
+                                 static_cast<double>(queries[i - 1].low));
+    if (step < 0.01 * static_cast<double>(kDomain)) small_steps++;
+  }
+  // Mostly dwelling (small drift), with occasional jumps.
+  EXPECT_GT(small_steps, 1600u);
+  EXPECT_LT(small_steps, 1999u);
+}
+
+}  // namespace
+}  // namespace progidx
