@@ -1,10 +1,18 @@
 // Micro-benchmarks (google-benchmark) for the kernels behind the cost
 // model's Table 1 constants: scan kernels, crack kernels, bucket
-// appends, AVL inserts, and B+-tree lookups.
+// appends, AVL inserts, and B+-tree lookups — plus scalar-tier vs
+// dispatched-tier comparisons for the kernel layer.
+//
+// On startup this binary also runs a short hand-timed throughput sweep
+// of the kernel layer and writes BENCH_kernels.json (scalar vs
+// dispatched GB/s and the speedup per kernel), so successive PRs leave
+// a perf trajectory behind.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "baselines/avl_tree.h"
@@ -12,6 +20,8 @@
 #include "btree/btree.h"
 #include "common/predication.h"
 #include "common/rng.h"
+#include "common/timer.h"
+#include "kernels/kernels.h"
 #include "storage/bucket_chain.h"
 
 namespace progidx {
@@ -49,6 +59,89 @@ void BM_BranchedRangeSum(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
 }
 BENCHMARK(BM_BranchedRangeSum)->Arg(1 << 16)->Arg(1 << 20);
+
+// Scalar tier vs dispatched tier, head to head on the same input.
+void BM_RangeSumScalarTier(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<value_t> data = RandomData(n, 1);
+  const RangeQuery q{static_cast<value_t>(n / 4),
+                     static_cast<value_t>(3 * n / 4)};
+  const kernels::KernelOps& ops = kernels::ScalarKernels();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.range_sum_predicated(data.data(), n, q));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_RangeSumScalarTier)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_RangeSumDispatchedTier(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<value_t> data = RandomData(n, 1);
+  const RangeQuery q{static_cast<value_t>(n / 4),
+                     static_cast<value_t>(3 * n / 4)};
+  const kernels::KernelOps& ops = kernels::Dispatch();
+  state.SetLabel(ops.name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.range_sum_predicated(data.data(), n, q));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_RangeSumDispatchedTier)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_PartitionTwoSidedScalarTier(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<value_t> src = RandomData(n, 2);
+  std::vector<value_t> dst(n);
+  const kernels::KernelOps& ops = kernels::ScalarKernels();
+  for (auto _ : state) {
+    size_t lo = 0;
+    int64_t hi = static_cast<int64_t>(n) - 1;
+    ops.partition_two_sided(src.data(), n, static_cast<value_t>(n / 2),
+                            dst.data(), &lo, &hi);
+    benchmark::DoNotOptimize(lo);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_PartitionTwoSidedScalarTier)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_PartitionTwoSidedDispatchedTier(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<value_t> src = RandomData(n, 2);
+  std::vector<value_t> dst(n);
+  const kernels::KernelOps& ops = kernels::Dispatch();
+  state.SetLabel(ops.name);
+  for (auto _ : state) {
+    size_t lo = 0;
+    int64_t hi = static_cast<int64_t>(n) - 1;
+    ops.partition_two_sided(src.data(), n, static_cast<value_t>(n / 2),
+                            dst.data(), &lo, &hi);
+    benchmark::DoNotOptimize(lo);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_PartitionTwoSidedDispatchedTier)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_RadixScatterDispatchedTier(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<value_t> src = RandomData(n, 3);
+  std::vector<value_t> dst(n);
+  const kernels::KernelOps& ops = kernels::Dispatch();
+  state.SetLabel(ops.name);
+  for (auto _ : state) {
+    uint64_t counts[64] = {};
+    ops.radix_histogram(src.data(), n, 0, 0, 63u, counts);
+    size_t offsets[64];
+    size_t acc = 0;
+    for (int d = 0; d < 64; d++) {
+      offsets[d] = acc;
+      acc += static_cast<size_t>(counts[d]);
+    }
+    ops.radix_scatter(src.data(), n, 0, 0, 63u, dst.data(), offsets);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_RadixScatterDispatchedTier)->Arg(1 << 16)->Arg(1 << 20);
 
 void BM_CrackInTwoPredicated(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -92,6 +185,21 @@ void BM_BucketChainAppend(benchmark::State& state) {
 }
 BENCHMARK(BM_BucketChainAppend)->Arg(256)->Arg(4096)->Arg(65536);
 
+void BM_ScatterToChains(benchmark::State& state) {
+  const size_t n = 1 << 16;
+  const std::vector<value_t> data = RandomData(n, 3);
+  for (auto _ : state) {
+    std::vector<BucketChain> chains;
+    for (size_t i = 0; i < 64; i++) {
+      chains.emplace_back(static_cast<size_t>(state.range(0)));
+    }
+    ScatterToChains(data.data(), n, 0, 10, 63u, chains.data());
+    benchmark::DoNotOptimize(chains[0].size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_ScatterToChains)->Arg(256)->Arg(4096)->Arg(65536);
+
 void BM_AvlInsert(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const std::vector<value_t> data = RandomData(n, 4);
@@ -133,7 +241,119 @@ void BM_BinarySearchBaseline(benchmark::State& state) {
 }
 BENCHMARK(BM_BinarySearchBaseline);
 
+// --- BENCH_kernels.json: scalar vs dispatched throughput ---------------
+
+volatile int64_t throughput_sink = 0;
+
+/// Best-of-`reps` GB/s for `fn` over an n-element input.
+template <typename Fn>
+double MeasureGBps(size_t n, size_t reps, Fn&& fn) {
+  double best_secs = 1e30;
+  for (size_t r = 0; r < reps; r++) {
+    Timer timer;
+    fn();
+    best_secs = std::min(best_secs, timer.ElapsedSeconds());
+  }
+  const double bytes = static_cast<double>(n) * sizeof(value_t);
+  return bytes / best_secs / 1e9;
+}
+
+void WriteKernelThroughputJson(const char* path) {
+  constexpr size_t kN = 1 << 22;  // 32 MiB: past LLC, stream from DRAM
+  constexpr size_t kReps = 5;
+  const std::vector<value_t> data = RandomData(kN, 17);
+  const RangeQuery q{static_cast<value_t>(kN / 4),
+                     static_cast<value_t>(3 * kN / 4)};
+  const kernels::KernelOps& scalar = kernels::ScalarKernels();
+  const kernels::KernelOps& active = kernels::Dispatch();
+
+  auto range_sum = [&](const kernels::KernelOps& ops) {
+    return MeasureGBps(kN, kReps, [&] {
+      throughput_sink = ops.range_sum_predicated(data.data(), kN, q).sum;
+    });
+  };
+  std::vector<value_t> dst(kN);
+  auto partition = [&](const kernels::KernelOps& ops) {
+    return MeasureGBps(kN, kReps, [&] {
+      size_t lo = 0;
+      int64_t hi = static_cast<int64_t>(kN) - 1;
+      ops.partition_two_sided(data.data(), kN, static_cast<value_t>(kN / 2),
+                              dst.data(), &lo, &hi);
+      throughput_sink = static_cast<int64_t>(lo);
+    });
+  };
+  auto scatter = [&](const kernels::KernelOps& ops) {
+    return MeasureGBps(kN, kReps, [&] {
+      uint64_t counts[64] = {};
+      ops.radix_histogram(data.data(), kN, 0, 16, 63u, counts);
+      size_t offsets[64];
+      size_t acc = 0;
+      for (int d = 0; d < 64; d++) {
+        offsets[d] = acc;
+        acc += static_cast<size_t>(counts[d]);
+      }
+      ops.radix_scatter(data.data(), kN, 0, 16, 63u, dst.data(), offsets);
+      throughput_sink = dst[0];
+    });
+  };
+
+  struct Row {
+    const char* name;
+    double scalar_gbps;
+    double dispatched_gbps;
+  };
+  const Row rows[] = {
+      {"predicated_range_sum", range_sum(scalar), range_sum(active)},
+      {"partition_two_sided", partition(scalar), partition(active)},
+      {"radix_histogram_scatter", scatter(scalar), scatter(active)},
+  };
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"dispatched_tier\": \"%s\",\n  \"elements\": %zu,\n",
+               active.name, kN);
+  std::fprintf(f, "  \"kernels\": [\n");
+  const size_t n_rows = sizeof(rows) / sizeof(rows[0]);
+  for (size_t i = 0; i < n_rows; i++) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"scalar_gbps\": %.3f, "
+                 "\"dispatched_gbps\": %.3f, \"speedup\": %.3f}%s\n",
+                 rows[i].name, rows[i].scalar_gbps, rows[i].dispatched_gbps,
+                 rows[i].dispatched_gbps / rows[i].scalar_gbps,
+                 i + 1 < n_rows ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("kernel throughput (tier=%s) -> %s\n", active.name, path);
+  for (size_t i = 0; i < n_rows; i++) {
+    std::printf("  %-24s scalar %7.2f GB/s   dispatched %7.2f GB/s   %.2fx\n",
+                rows[i].name, rows[i].scalar_gbps, rows[i].dispatched_gbps,
+                rows[i].dispatched_gbps / rows[i].scalar_gbps);
+  }
+}
+
 }  // namespace
 }  // namespace progidx
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The hand-timed sweep costs a few seconds and overwrites
+  // BENCH_kernels.json in cwd; skip it for listing-only invocations.
+  // (Scan before Initialize: benchmark strips its flags from argv.)
+  bool listing_only = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], "--benchmark_list_tests", 22) == 0) {
+      listing_only = true;
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!listing_only) {
+    progidx::WriteKernelThroughputJson("BENCH_kernels.json");
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

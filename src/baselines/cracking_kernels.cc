@@ -1,6 +1,9 @@
 #include "baselines/cracking_kernels.h"
 
 #include <algorithm>
+#include <limits>
+
+#include "kernels/kernels.h"
 
 namespace progidx {
 
@@ -22,16 +25,10 @@ size_t CrackInTwoPredicated(value_t* data, size_t start, size_t end,
   if (start >= end) return start;
   size_t lo = start;
   size_t hi = end - 1;
-  while (lo < hi) {
-    const value_t a = data[lo];
-    const value_t b = data[hi];
-    const bool stay = a < pivot;
-    data[lo] = stay ? a : b;
-    data[hi] = stay ? b : a;
-    lo += stay ? 1 : 0;
-    hi -= stay ? 0 : 1;
-  }
-  return lo + (data[lo] < pivot ? 1 : 0);
+  bool done = false;
+  kernels::CrackInPlace(data, &lo, &hi, pivot,
+                        std::numeric_limits<size_t>::max(), &done);
+  return lo;
 }
 
 size_t CrackInTwoAdaptive(value_t* data, size_t start, size_t end,
@@ -86,26 +83,16 @@ PartialCrack BeginPartialCrack(size_t start, size_t end, value_t pivot) {
 size_t AdvancePartialCrack(value_t* data, PartialCrack* crack,
                            size_t max_swaps) {
   if (crack->done) return 0;
-  size_t steps = 0;
   size_t lo = crack->lo;
   size_t hi = crack->hi;
-  const value_t pivot = crack->pivot;
-  while (lo < hi && steps < max_swaps) {
-    const value_t a = data[lo];
-    const value_t b = data[hi];
-    const bool stay = a < pivot;
-    data[lo] = stay ? a : b;
-    data[hi] = stay ? b : a;
-    lo += stay ? 1 : 0;
-    hi -= stay ? 0 : 1;
-    steps++;
-  }
+  bool done = false;
+  const size_t steps =
+      kernels::CrackInPlace(data, &lo, &hi, crack->pivot, max_swaps, &done);
   crack->lo = lo;
   crack->hi = hi;
-  if (lo == hi && steps < max_swaps) {
-    crack->boundary = lo + (data[lo] < pivot ? 1 : 0);
+  if (done) {
+    crack->boundary = lo;
     crack->done = true;
-    steps++;
   }
   return steps;
 }

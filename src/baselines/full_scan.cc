@@ -1,11 +1,14 @@
 #include "baselines/full_scan.h"
 
-#include "common/predication.h"
+#include "kernels/kernels.h"
 
 namespace progidx {
 
 QueryResult FullScan::Query(const RangeQuery& q) {
-  return PredicatedRangeSum(column_.data(), column_.size(), q);
+  // Straight to the dispatched vector kernel: the full-scan baseline is
+  // the yardstick every progressive index is compared against, so it
+  // must run at the same (vectorized) per-element cost.
+  return kernels::RangeSumPredicated(column_.data(), column_.size(), q);
 }
 
 }  // namespace progidx

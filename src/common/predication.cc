@@ -2,45 +2,29 @@
 
 #include <algorithm>
 
+#include "kernels/kernels.h"
+
 namespace progidx {
 
 QueryResult PredicatedRangeSum(const value_t* data, size_t n,
                                const RangeQuery& q) {
-  int64_t sum = 0;
-  int64_t count = 0;
-  for (size_t i = 0; i < n; i++) {
-    const value_t v = data[i];
-    // Computed as arithmetic on the comparison outcome so the compiler
-    // emits cmov/setcc instead of a data-dependent branch.
-    const int64_t match =
-        static_cast<int64_t>(v >= q.low) & static_cast<int64_t>(v <= q.high);
-    sum += v * match;
-    count += match;
-  }
-  return {sum, count};
+  return kernels::Dispatch().range_sum_predicated(data, n, q);
 }
 
 QueryResult BranchedRangeSum(const value_t* data, size_t n,
                              const RangeQuery& q) {
-  int64_t sum = 0;
-  int64_t count = 0;
-  for (size_t i = 0; i < n; i++) {
-    const value_t v = data[i];
-    if (v >= q.low && v <= q.high) {
-      sum += v;
-      count++;
-    }
-  }
-  return {sum, count};
+  return kernels::Dispatch().range_sum_branched(data, n, q);
 }
 
 QueryResult SortedRangeSum(const value_t* data, size_t n,
                            const RangeQuery& q) {
   const value_t* lo = std::lower_bound(data, data + n, q.low);
   const value_t* hi = std::upper_bound(lo, data + n, q.high);
-  int64_t sum = 0;
-  for (const value_t* p = lo; p != hi; p++) sum += *p;
-  return {sum, hi - lo};
+  // Every element of [lo, hi) qualifies, so the predicated kernel over
+  // the slice returns exactly its sum — vectorized, unlike a naive
+  // accumulate loop.
+  return kernels::Dispatch().range_sum_predicated(
+      lo, static_cast<size_t>(hi - lo), q);
 }
 
 }  // namespace progidx

@@ -12,6 +12,12 @@ namespace progidx {
 // query times ("we avoid branches in the code and use predication");
 // these kernels are shared by the full-scan baseline and by every
 // progressive/adaptive index when scanning unrefined data.
+//
+// Since the kernel-layer refactor these are thin wrappers over the
+// runtime-dispatched implementations in kernels/kernels.h (AVX2, SSE2,
+// or cache-blocked scalar, selected by CPUID at startup). All tiers
+// return bit-identical results; PROGIDX_FORCE_SCALAR=1 pins the scalar
+// tier for testing.
 
 /// Predicated SUM + COUNT of values in [q.low, q.high] over
 /// data[0, n). Cost is independent of selectivity.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "kernels/kernels.h"
+
 namespace progidx {
 
 void IncrementalQuicksort::Init(value_t* data, size_t n, value_t min_v,
@@ -61,32 +63,17 @@ std::unique_ptr<IncrementalQuicksort::Node> IncrementalQuicksort::MakeNode(
 }
 
 size_t IncrementalQuicksort::AdvancePartition(Node* node, size_t budget) {
-  value_t* data = data_;
-  const value_t pivot = node->pivot;
+  // Budgeted predicated crack (§3: predication for robust execution
+  // times), via the dispatched kernel layer. On completion the kernel
+  // classifies the final element and leaves the boundary in `lo`.
   size_t lo = node->lo;
   size_t hi = node->hi;
-  size_t steps = 0;
-  // Predicated partition step: both slots are written every iteration
-  // and exactly one cursor advances, so the loop body has no
-  // data-dependent branch (§3: predication for robust execution times).
-  while (lo < hi && steps < budget) {
-    const value_t a = data[lo];
-    const value_t b = data[hi];
-    const bool stay = a < pivot;
-    data[lo] = stay ? a : b;
-    data[hi] = stay ? b : a;
-    lo += stay ? 1 : 0;
-    hi -= stay ? 0 : 1;
-    steps++;
-  }
+  bool done = false;
+  const size_t steps =
+      kernels::CrackInPlace(data_, &lo, &hi, node->pivot, budget, &done);
   node->lo = lo;
   node->hi = hi;
-  if (lo == hi && steps < budget) {
-    // Classify the final unpartitioned element.
-    node->lo = lo + (data[lo] < pivot ? 1 : 0);
-    node->partitioned = true;
-    steps++;
-  }
+  if (done) node->partitioned = true;
   return steps;
 }
 

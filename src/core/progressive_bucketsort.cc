@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/predication.h"
 #include "common/rng.h"
+#include "kernels/kernels.h"
 
 namespace progidx {
 
@@ -156,16 +158,20 @@ void ProgressiveBucketsort::DoWorkSecs(double secs) {
       case Phase::kCreation: {
         const double log_b =
             std::log2(static_cast<double>(buckets_.size()));
-        const double unit =
-            log_b * model_.BucketAppendSecs() / static_cast<double>(n);
-        size_t elems = std::max<size_t>(
-            1, static_cast<size_t>(secs / unit));
+        const double unit = ClampWorkUnit(
+            log_b * model_.BucketAppendSecs() / static_cast<double>(n));
+        size_t elems = UnitsForSecs(secs, unit);
         elems = std::min(elems, n - copy_pos_);
-        const value_t* src = column_.data();
-        for (size_t i = 0; i < elems; i++) {
-          const value_t v = src[copy_pos_ + i];
-          buckets_[BucketOf(v)].Append(v);
-        }
+        // Equi-height bounds need a binary search per element (no digit
+        // kernel applies), but the shared batched scatter still
+        // prefetches destination tails ahead of the appends.
+        ScatterToChainsBatched(
+            [this](const value_t* batch, size_t len, uint32_t* ids) {
+              for (size_t i = 0; i < len; i++) {
+                ids[i] = static_cast<uint32_t>(BucketOf(batch[i]));
+              }
+            },
+            column_.data() + copy_pos_, elems, buckets_.data());
         copy_pos_ += elems;
         secs -= static_cast<double>(elems) * unit;
         if (copy_pos_ == n) {
@@ -175,16 +181,23 @@ void ProgressiveBucketsort::DoWorkSecs(double secs) {
         break;
       }
       case Phase::kRefinement: {
-        const double unit = model_.SwapSecs() / static_cast<double>(n);
-        size_t elems = std::max<size_t>(
-            1, static_cast<size_t>(secs / unit));
+        const double unit =
+            ClampWorkUnit(model_.SwapSecs() / static_cast<double>(n));
+        const size_t elems = UnitsForSecs(secs, unit);
         size_t used = 0;
         while (used < elems && phase_ == Phase::kRefinement) {
           BucketChain& chain = buckets_[merge_bucket_];
           if (filling_) {
+            // Straight block copies into the bucket's final segment.
             while (used < elems && !chain.AtEnd(fill_cursor_)) {
-              final_[fill_pos_++] = chain.ReadAndAdvance(&fill_cursor_);
-              used++;
+              const value_t* run = nullptr;
+              size_t len = chain.ContiguousRun(fill_cursor_, &run);
+              len = std::min(len, elems - used);
+              std::memcpy(final_.data() + fill_pos_, run,
+                          len * sizeof(value_t));
+              fill_pos_ += len;
+              chain.Advance(&fill_cursor_, len);
+              used += len;
             }
             if (chain.AtEnd(fill_cursor_)) {
               filling_ = false;
@@ -218,10 +231,10 @@ void ProgressiveBucketsort::DoWorkSecs(double secs) {
       case Phase::kConsolidation: {
         const size_t total_keys =
             std::max(btree_.TotalInternalKeys(), size_t{1});
-        const double unit = model_.ConsolidateSecs(options_.btree_fanout) /
-                            static_cast<double>(total_keys);
-        const size_t keys = std::max<size_t>(
-            1, static_cast<size_t>(secs / unit));
+        const double unit =
+            ClampWorkUnit(model_.ConsolidateSecs(options_.btree_fanout) /
+                          static_cast<double>(total_keys));
+        const size_t keys = UnitsForSecs(secs, unit);
         const size_t used = builder_->DoWork(keys);
         secs -= static_cast<double>(std::max(used, size_t{1})) * unit;
         if (builder_->done()) phase_ = Phase::kDone;
@@ -240,17 +253,8 @@ QueryResult ProgressiveBucketsort::Answer(const RangeQuery& q) const {
     result.sum += part.sum;
     result.count += part.count;
   };
-  auto scan_chain = [&](const BucketChain& chain) {
-    int64_t sum = 0;
-    int64_t count = 0;
-    chain.ForEach([&](value_t v) {
-      const int64_t match = static_cast<int64_t>(v >= q.low) &
-                            static_cast<int64_t>(v <= q.high);
-      sum += v * match;
-      count += match;
-    });
-    add({sum, count});
-  };
+  // Chain scans go block-by-block through the dispatched vector kernel.
+  auto scan_chain = [&](const BucketChain& chain) { add(chain.RangeSum(q)); };
   switch (phase_) {
     case Phase::kCreation: {
       for (size_t b = 0; b < buckets_.size(); b++) {
@@ -270,16 +274,7 @@ QueryResult ProgressiveBucketsort::Answer(const RangeQuery& q) const {
         if (filling_) {
           add(PredicatedRangeSum(final_.data() + sorted_end_,
                                  fill_pos_ - sorted_end_, q));
-          const BucketChain& chain = buckets_[merge_bucket_];
-          int64_t sum = 0;
-          int64_t count = 0;
-          chain.ForEachFrom(fill_cursor_, [&](value_t v) {
-            const int64_t match = static_cast<int64_t>(v >= q.low) &
-                                  static_cast<int64_t>(v <= q.high);
-            sum += v * match;
-            count += match;
-          });
-          add({sum, count});
+          add(buckets_[merge_bucket_].RangeSumFrom(fill_cursor_, q));
         } else if (sorter_active_) {
           scratch_ranges_.clear();
           active_sorter_.CollectRanges(q, &scratch_ranges_);
@@ -309,7 +304,8 @@ QueryResult ProgressiveBucketsort::Query(const RangeQuery& q) {
   if (column_.empty()) return {};
   last_query_hint_ = q;
   const Phase phase_at_start = phase_;
-  const double op_secs = OpSecsForPhase(phase_at_start);
+  const double op_secs =
+      ClampOpSecs(OpSecsForPhase(phase_at_start), column_.size());
   const double answer_est = EstimateAnswerSecs(q);
   double delta = 0;
   if (phase_at_start != Phase::kDone) {

@@ -56,8 +56,11 @@ void ProgressiveHashTable::DoWorkSecs(double secs) {
   if (copy_pos_ == n) return;
   // Inserting an element costs about one bucket-append (hash + chased
   // chain head + write).
-  const double unit = model_.BucketAppendSecs() / static_cast<double>(n);
-  size_t elems = std::max<size_t>(1, static_cast<size_t>(secs / unit));
+  const double unit =
+      ClampWorkUnit(model_.BucketAppendSecs() / static_cast<double>(n));
+  // One-shot grant (no retry loop): round so delta = 1 inserts exactly
+  // n elements even when the quotient lands one ULP below the integer.
+  size_t elems = UnitsForSecs(secs + 0.5 * unit, unit);
   elems = std::min(elems, n - copy_pos_);
   for (size_t i = 0; i < elems; i++) Insert(column_[copy_pos_ + i]);
   copy_pos_ += elems;

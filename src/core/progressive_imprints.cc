@@ -100,10 +100,12 @@ QueryResult ProgressiveImprints::Query(const RangeQuery& q) {
     // model it as a pivot-style pass over the column.
     delta = budget_.DeltaForQuery(model_.PivotSecs(), answer_est);
     const double secs = delta * model_.PivotSecs();
-    const double unit =
-        model_.PivotSecs() / static_cast<double>(total_lines_);
-    const size_t lines =
-        std::max<size_t>(1, static_cast<size_t>(secs / unit));
+    const double unit = ClampWorkUnit(model_.PivotSecs() /
+                                      static_cast<double>(total_lines_));
+    // Round, don't truncate: this is a one-shot grant (no retry loop),
+    // and delta = 1 must build exactly total_lines_ even when the
+    // quotient lands one ULP below the integer.
+    const size_t lines = UnitsForSecs(secs + 0.5 * unit, unit);
     BuildLines(lines);
   }
   predicted_ = answer_est + delta * model_.PivotSecs();

@@ -5,6 +5,7 @@
 
 #include "common/predication.h"
 #include "common/rng.h"
+#include "kernels/kernels.h"
 
 namespace progidx {
 
@@ -87,25 +88,17 @@ void ProgressiveQuicksort::DoWorkSecs(double secs) {
   while (secs > 0 && phase_ != Phase::kDone) {
     switch (phase_) {
       case Phase::kCreation: {
-        const double unit = model_.PivotSecs() / static_cast<double>(n);
-        size_t elems = std::max<size_t>(
-            1, static_cast<size_t>(secs / unit));
+        const double unit =
+            ClampWorkUnit(model_.PivotSecs() / static_cast<double>(n));
+        size_t elems = UnitsForSecs(secs, unit);
         elems = std::min(elems, n - copy_pos_);
-        const value_t* src = column_.data();
-        value_t* dst = index_.data();
-        const value_t pivot = pivot_;
+        // Two-sided partition (§3.1), via the dispatched kernel:
+        // compress-store on AVX2, predicated dual-frontier writes in
+        // the scalar tier.
         size_t lo = low_pos_;
         int64_t hi = high_pos_;
-        for (size_t i = 0; i < elems; i++) {
-          // Two-sided predicated write (§3.1): the value is written to
-          // both frontiers, and exactly one frontier advances.
-          const value_t v = src[copy_pos_ + i];
-          const bool below = v < pivot;
-          dst[lo] = v;
-          dst[hi] = v;
-          lo += below ? 1 : 0;
-          hi -= below ? 0 : 1;
-        }
+        kernels::PartitionTwoSided(column_.data() + copy_pos_, elems, pivot_,
+                                   index_.data(), &lo, &hi);
         copy_pos_ += elems;
         low_pos_ = lo;
         high_pos_ = hi;
@@ -127,9 +120,9 @@ void ProgressiveQuicksort::DoWorkSecs(double secs) {
         break;
       }
       case Phase::kRefinement: {
-        const double unit = model_.SwapSecs() / static_cast<double>(n);
-        const size_t elems = std::max<size_t>(
-            1, static_cast<size_t>(secs / unit));
+        const double unit =
+            ClampWorkUnit(model_.SwapSecs() / static_cast<double>(n));
+        const size_t elems = UnitsForSecs(secs, unit);
         const size_t used = sorter_.DoWork(elems, last_query_hint_);
         secs -= static_cast<double>(std::max(used, size_t{1})) * unit;
         if (sorter_.done()) {
@@ -142,10 +135,10 @@ void ProgressiveQuicksort::DoWorkSecs(double secs) {
       case Phase::kConsolidation: {
         const size_t total_keys = std::max(btree_.TotalInternalKeys(),
                                            size_t{1});
-        const double unit = model_.ConsolidateSecs(options_.btree_fanout) /
-                            static_cast<double>(total_keys);
-        const size_t keys = std::max<size_t>(
-            1, static_cast<size_t>(secs / unit));
+        const double unit =
+            ClampWorkUnit(model_.ConsolidateSecs(options_.btree_fanout) /
+                          static_cast<double>(total_keys));
+        const size_t keys = UnitsForSecs(secs, unit);
         const size_t used = builder_->DoWork(keys);
         secs -= static_cast<double>(std::max(used, size_t{1})) * unit;
         if (builder_->done()) phase_ = Phase::kDone;
@@ -209,7 +202,8 @@ QueryResult ProgressiveQuicksort::Query(const RangeQuery& q) {
   if (column_.empty()) return {};
   last_query_hint_ = q;
   const Phase phase_at_start = phase_;
-  const double op_secs = OpSecsForPhase(phase_at_start);
+  const double op_secs =
+      ClampOpSecs(OpSecsForPhase(phase_at_start), column_.size());
   const double answer_est = EstimateAnswerSecs(q);
   double delta = 0;
   if (phase_at_start != Phase::kDone) {
@@ -262,7 +256,8 @@ ApproximateResult ProgressiveQuicksort::QueryApproximate(const RangeQuery& q,
   // Perform this query's share of indexing work, exactly like Query():
   // the approximate path still builds the index as a by-product.
   last_query_hint_ = q;
-  const double op_secs = OpSecsForPhase(phase_);
+  const double op_secs =
+      ClampOpSecs(OpSecsForPhase(phase_), column_.size());
   const double answer_est = EstimateAnswerSecs(q);
   if (phase_ != Phase::kDone) {
     const double delta = budget_.DeltaForQuery(op_secs, answer_est);

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstring>
 
 #include "common/predication.h"
+#include "kernels/kernels.h"
 
 namespace progidx {
 namespace {
@@ -82,15 +84,13 @@ double ProgressiveRadixsortLSD::SelectivityEstimate(
   return std::clamp(width / domain, 0.0, 1.0);
 }
 
-template <typename Fn>
-void ProgressiveRadixsortLSD::ForEachRemainingSource(size_t bucket,
-                                                     Fn&& fn) const {
-  if (bucket < drain_bucket_) return;  // already fully drained
+QueryResult ProgressiveRadixsortLSD::RangeSumRemainingSource(
+    size_t bucket, const RangeQuery& q) const {
+  if (bucket < drain_bucket_) return {};  // already fully drained
   if (bucket == drain_bucket_) {
-    source_[bucket].ForEachFrom(drain_cursor_, fn);
-  } else {
-    source_[bucket].ForEach(fn);
+    return source_[bucket].RangeSumFrom(drain_cursor_, q);
   }
+  return source_[bucket].RangeSum(q);
 }
 
 double ProgressiveRadixsortLSD::EstimateAnswerSecs(
@@ -174,18 +174,16 @@ void ProgressiveRadixsortLSD::EnterConsolidation() {
 
 void ProgressiveRadixsortLSD::DoWorkSecs(double secs) {
   const size_t n = column_.size();
-  const double unit = model_.BucketAppendSecs() / static_cast<double>(n);
+  const double unit =
+      ClampWorkUnit(model_.BucketAppendSecs() / static_cast<double>(n));
   while (secs > 0 && phase_ != Phase::kDone) {
     switch (phase_) {
       case Phase::kCreation: {
-        size_t elems = std::max<size_t>(
-            1, static_cast<size_t>(secs / unit));
+        size_t elems = UnitsForSecs(secs, unit);
         elems = std::min(elems, n - copy_pos_);
-        const value_t* src = column_.data();
-        for (size_t i = 0; i < elems; i++) {
-          const value_t v = src[copy_pos_ + i];
-          source_[DigitOf(v, 0)].Append(v);
-        }
+        // Pass-0 bucketing via the vectorized digit/scatter kernel.
+        ScatterToChains(column_.data() + copy_pos_, elems, min_, 0, 63u,
+                        source_.data());
         copy_pos_ += elems;
         secs -= static_cast<double>(elems) * unit;
         if (copy_pos_ == n) {
@@ -197,15 +195,20 @@ void ProgressiveRadixsortLSD::DoWorkSecs(double secs) {
         break;
       }
       case Phase::kRefinement: {
-        size_t elems = std::max<size_t>(
-            1, static_cast<size_t>(secs / unit));
+        const size_t elems = UnitsForSecs(secs, unit);
         size_t moved = 0;
+        const int pass_shift = static_cast<int>(6 * pass_);
         while (moved < elems && drain_bucket_ < 64) {
           BucketChain& bucket = source_[drain_bucket_];
+          // Drain block slices through the vectorized digit/scatter
+          // kernel instead of element-at-a-time cursor reads.
           while (moved < elems && !bucket.AtEnd(drain_cursor_)) {
-            const value_t v = bucket.ReadAndAdvance(&drain_cursor_);
-            dest_[DigitOf(v, pass_)].Append(v);
-            moved++;
+            const value_t* run = nullptr;
+            size_t len = bucket.ContiguousRun(drain_cursor_, &run);
+            len = std::min(len, elems - moved);
+            ScatterToChains(run, len, min_, pass_shift, 63u, dest_.data());
+            bucket.Advance(&drain_cursor_, len);
+            moved += len;
           }
           if (bucket.AtEnd(drain_cursor_)) {
             bucket.Clear();  // free drained blocks eagerly
@@ -225,14 +228,20 @@ void ProgressiveRadixsortLSD::DoWorkSecs(double secs) {
         break;
       }
       case Phase::kMerge: {
-        size_t elems = std::max<size_t>(
-            1, static_cast<size_t>(secs / unit));
+        const size_t elems = UnitsForSecs(secs, unit);
         size_t moved = 0;
         while (moved < elems && drain_bucket_ < 64) {
           BucketChain& bucket = source_[drain_bucket_];
+          // The final pass leaves each bucket internally ordered;
+          // merging is a straight block copy.
           while (moved < elems && !bucket.AtEnd(drain_cursor_)) {
-            final_[merged_++] = bucket.ReadAndAdvance(&drain_cursor_);
-            moved++;
+            const value_t* run = nullptr;
+            size_t len = bucket.ContiguousRun(drain_cursor_, &run);
+            len = std::min(len, elems - moved);
+            std::memcpy(final_.data() + merged_, run, len * sizeof(value_t));
+            merged_ += len;
+            bucket.Advance(&drain_cursor_, len);
+            moved += len;
           }
           if (bucket.AtEnd(drain_cursor_)) {
             bucket.Clear();
@@ -250,10 +259,10 @@ void ProgressiveRadixsortLSD::DoWorkSecs(double secs) {
       case Phase::kConsolidation: {
         const size_t total_keys =
             std::max(btree_.TotalInternalKeys(), size_t{1});
-        const double kunit = model_.ConsolidateSecs(options_.btree_fanout) /
-                             static_cast<double>(total_keys);
-        const size_t keys = std::max<size_t>(
-            1, static_cast<size_t>(secs / kunit));
+        const double kunit =
+            ClampWorkUnit(model_.ConsolidateSecs(options_.btree_fanout) /
+                          static_cast<double>(total_keys));
+        const size_t keys = UnitsForSecs(secs, kunit);
         const size_t used = builder_->DoWork(keys);
         secs -= static_cast<double>(std::max(used, size_t{1})) * kunit;
         if (builder_->done()) phase_ = Phase::kDone;
@@ -268,40 +277,26 @@ void ProgressiveRadixsortLSD::DoWorkSecs(double secs) {
 QueryResult ProgressiveRadixsortLSD::Answer(const RangeQuery& q) const {
   QueryResult result;
   const size_t n = column_.size();
-  auto add = [&result](int64_t sum, int64_t count) {
-    result.sum += sum;
-    result.count += count;
-  };
-  auto predicated = [&q](value_t v, int64_t* sum, int64_t* count) {
-    const int64_t match = static_cast<int64_t>(v >= q.low) &
-                          static_cast<int64_t>(v <= q.high);
-    *sum += v * match;
-    *count += match;
+  // Chain scans go block-by-block through the dispatched vector kernel.
+  auto add = [&result](const QueryResult& part) {
+    result.sum += part.sum;
+    result.count += part.count;
   };
   switch (phase_) {
     case Phase::kCreation: {
       size_t first = 0;
       size_t last = 0;
-      int64_t sum = 0;
-      int64_t count = 0;
       if (CandidateDigits(q, 0, &first, &last)) {
         for (size_t b = first;; b = (b + 1) & 63u) {
-          source_[b].ForEach(
-              [&](value_t v) { predicated(v, &sum, &count); });
+          add(source_[b].RangeSum(q));
           if (b == last) break;
         }
       } else {
         // α == ρ fallback: the copied prefix of the base column is
         // cheaper to scan than all 64 bucket chains.
-        const QueryResult part =
-            PredicatedRangeSum(column_.data(), copy_pos_, q);
-        sum = part.sum;
-        count = part.count;
+        add(PredicatedRangeSum(column_.data(), copy_pos_, q));
       }
-      add(sum, count);
-      const QueryResult rest =
-          PredicatedRangeSum(column_.data() + copy_pos_, n - copy_pos_, q);
-      add(rest.sum, rest.count);
+      add(PredicatedRangeSum(column_.data() + copy_pos_, n - copy_pos_, q));
       return result;
     }
     case Phase::kRefinement: {
@@ -311,44 +306,31 @@ QueryResult ProgressiveRadixsortLSD::Answer(const RangeQuery& q) const {
       size_t nl = 0;
       const bool old_pruned = CandidateDigits(q, pass_ - 1, &of, &ol);
       const bool new_pruned = CandidateDigits(q, pass_, &nf, &nl);
-      int64_t sum = 0;
-      int64_t count = 0;
       for (size_t b = 0; b < 64; b++) {
         const bool old_candidate =
             !old_pruned || (of <= ol ? (b >= of && b <= ol)
                                      : (b >= of || b <= ol));
-        if (old_candidate) {
-          ForEachRemainingSource(
-              b, [&](value_t v) { predicated(v, &sum, &count); });
-        }
+        if (old_candidate) add(RangeSumRemainingSource(b, q));
         const bool new_candidate =
             !new_pruned || (nf <= nl ? (b >= nf && b <= nl)
                                      : (b >= nf || b <= nl));
-        if (new_candidate) {
-          dest_[b].ForEach([&](value_t v) { predicated(v, &sum, &count); });
-        }
+        if (new_candidate) add(dest_[b].RangeSum(q));
       }
-      add(sum, count);
       return result;
     }
     case Phase::kMerge: {
-      const QueryResult prefix = SortedRangeSum(final_.data(), merged_, q);
-      add(prefix.sum, prefix.count);
+      add(SortedRangeSum(final_.data(), merged_, q));
       size_t first = 0;
       size_t last = 0;
       const bool pruned =
           CandidateDigits(q, total_passes_ - 1, &first, &last);
-      int64_t sum = 0;
-      int64_t count = 0;
       for (size_t b = drain_bucket_; b < 64; b++) {
         const bool candidate =
             !pruned || (first <= last ? (b >= first && b <= last)
                                       : (b >= first || b <= last));
         if (!candidate) continue;
-        ForEachRemainingSource(
-            b, [&](value_t v) { predicated(v, &sum, &count); });
+        add(RangeSumRemainingSource(b, q));
       }
-      add(sum, count);
       return result;
     }
     case Phase::kConsolidation:
@@ -361,7 +343,8 @@ QueryResult ProgressiveRadixsortLSD::Answer(const RangeQuery& q) const {
 QueryResult ProgressiveRadixsortLSD::Query(const RangeQuery& q) {
   if (column_.empty()) return {};
   const Phase phase_at_start = phase_;
-  const double op_secs = OpSecsForPhase(phase_at_start);
+  const double op_secs =
+      ClampOpSecs(OpSecsForPhase(phase_at_start), column_.size());
   const double answer_est = EstimateAnswerSecs(q);
   double delta = 0;
   if (phase_at_start != Phase::kDone) {

@@ -58,9 +58,10 @@ class ProgressiveRadixsortLSD : public IndexBase {
   void DoWorkSecs(double secs);
   QueryResult Answer(const RangeQuery& q) const;
   void EnterConsolidation();
-  /// Sum of elements still in `source_` at or after the drain cursor.
-  template <typename Fn>
-  void ForEachRemainingSource(size_t bucket, Fn&& fn) const;
+  /// RangeSum over the elements still in `source_[bucket]` at or after
+  /// the drain cursor.
+  QueryResult RangeSumRemainingSource(size_t bucket,
+                                      const RangeQuery& q) const;
 
   const Column& column_;
   ProgressiveOptions options_;

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/predication.h"
+#include "kernels/kernels.h"
 
 namespace progidx {
 namespace {
@@ -145,12 +146,16 @@ size_t ProgressiveRadixsortMSD::RefineFront(size_t budget) {
     front.cursor = BucketChain::Cursor{};
   }
   size_t moved = 0;
+  // Drain block slices through the vectorized digit/scatter kernel
+  // (child index = (v − lo_value) >> child_shift, always < 64).
   while (moved < budget && !front.chain.AtEnd(front.cursor)) {
-    const value_t v = front.chain.ReadAndAdvance(&front.cursor);
-    const size_t child = static_cast<size_t>(
-        (v - front.lo_value) >> child_shift);
-    front.children[child].Append(v);
-    moved++;
+    const value_t* run = nullptr;
+    size_t len = front.chain.ContiguousRun(front.cursor, &run);
+    len = std::min(len, budget - moved);
+    ScatterToChains(run, len, front.lo_value, child_shift, 63u,
+                    front.children.data());
+    front.chain.Advance(&front.cursor, len);
+    moved += len;
   }
   if (front.chain.AtEnd(front.cursor)) {
     // Split complete: replace the front bucket by its non-empty
@@ -183,15 +188,14 @@ void ProgressiveRadixsortMSD::DoWorkSecs(double secs) {
     switch (phase_) {
       case Phase::kCreation: {
         const double unit =
-            model_.BucketAppendSecs() / static_cast<double>(n);
-        size_t elems = std::max<size_t>(
-            1, static_cast<size_t>(secs / unit));
+            ClampWorkUnit(model_.BucketAppendSecs() / static_cast<double>(n));
+        size_t elems = UnitsForSecs(secs, unit);
         elems = std::min(elems, n - copy_pos_);
-        const value_t* src = column_.data();
-        for (size_t i = 0; i < elems; i++) {
-          const value_t v = src[copy_pos_ + i];
-          root_buckets_[RootBucketOf(v)].Append(v);
-        }
+        // Root bucketing through the vectorized digit/scatter kernel
+        // (bucket = (v − min) >> root_shift; no mask needed, the
+        // domain bounds the index below bucket_count).
+        ScatterToChains(column_.data() + copy_pos_, elems, min_, root_shift_,
+                        0xFFFFFFFFu, root_buckets_.data());
         copy_pos_ += elems;
         secs -= static_cast<double>(elems) * unit;
         if (copy_pos_ == n) {
@@ -216,9 +220,8 @@ void ProgressiveRadixsortMSD::DoWorkSecs(double secs) {
       }
       case Phase::kRefinement: {
         const double unit =
-            model_.BucketAppendSecs() / static_cast<double>(n);
-        const size_t elems = std::max<size_t>(
-            1, static_cast<size_t>(secs / unit));
+            ClampWorkUnit(model_.BucketAppendSecs() / static_cast<double>(n));
+        const size_t elems = UnitsForSecs(secs, unit);
         size_t used = 0;
         while (used < elems && !pending_.empty()) {
           used += RefineFront(elems - used);
@@ -233,10 +236,10 @@ void ProgressiveRadixsortMSD::DoWorkSecs(double secs) {
       case Phase::kConsolidation: {
         const size_t total_keys =
             std::max(btree_.TotalInternalKeys(), size_t{1});
-        const double unit = model_.ConsolidateSecs(options_.btree_fanout) /
-                            static_cast<double>(total_keys);
-        const size_t keys = std::max<size_t>(
-            1, static_cast<size_t>(secs / unit));
+        const double unit =
+            ClampWorkUnit(model_.ConsolidateSecs(options_.btree_fanout) /
+                          static_cast<double>(total_keys));
+        const size_t keys = UnitsForSecs(secs, unit);
         const size_t used = builder_->DoWork(keys);
         secs -= static_cast<double>(std::max(used, size_t{1})) * unit;
         if (builder_->done()) phase_ = Phase::kDone;
@@ -255,17 +258,8 @@ QueryResult ProgressiveRadixsortMSD::Answer(const RangeQuery& q) const {
     result.sum += part.sum;
     result.count += part.count;
   };
-  auto scan_chain = [&](const BucketChain& chain) {
-    int64_t sum = 0;
-    int64_t count = 0;
-    chain.ForEach([&](value_t v) {
-      const int64_t match = static_cast<int64_t>(v >= q.low) &
-                            static_cast<int64_t>(v <= q.high);
-      sum += v * match;
-      count += match;
-    });
-    add({sum, count});
-  };
+  // Chain scans go block-by-block through the dispatched vector kernel.
+  auto scan_chain = [&](const BucketChain& chain) { add(chain.RangeSum(q)); };
   switch (phase_) {
     case Phase::kCreation: {
       if (q.high >= min_ && q.low <= max_) {
@@ -284,15 +278,7 @@ QueryResult ProgressiveRadixsortMSD::Answer(const RangeQuery& q) const {
         if (p.hi_value < q.low || p.lo_value > q.high) continue;
         // Remaining source elements (not yet moved by a split)...
         if (p.splitting) {
-          int64_t sum = 0;
-          int64_t count = 0;
-          p.chain.ForEachFrom(p.cursor, [&](value_t v) {
-            const int64_t match = static_cast<int64_t>(v >= q.low) &
-                                  static_cast<int64_t>(v <= q.high);
-            sum += v * match;
-            count += match;
-          });
-          add({sum, count});
+          add(p.chain.RangeSumFrom(p.cursor, q));
           // ...and the children already populated by the split.
           const int child_shift = p.shift >= 6 ? p.shift - 6 : 0;
           for (size_t i = 0; i < p.children.size(); i++) {
@@ -320,7 +306,8 @@ QueryResult ProgressiveRadixsortMSD::Answer(const RangeQuery& q) const {
 QueryResult ProgressiveRadixsortMSD::Query(const RangeQuery& q) {
   if (column_.empty()) return {};
   const Phase phase_at_start = phase_;
-  const double op_secs = OpSecsForPhase(phase_at_start);
+  const double op_secs =
+      ClampOpSecs(OpSecsForPhase(phase_at_start), column_.size());
   const double answer_est = EstimateAnswerSecs(q);
   double delta = 0;
   if (phase_at_start != Phase::kDone) {

@@ -1,13 +1,14 @@
 #include "cost/calibration.h"
 
+#include <limits>
 #include <memory>
 #include <numeric>
 #include <vector>
 
-#include "common/predication.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "common/types.h"
+#include "kernels/kernels.h"
 #include "storage/bucket_chain.h"
 
 namespace progidx {
@@ -19,16 +20,21 @@ constexpr size_t kRandomAccesses = 1ull << 16;
 // A volatile sink keeps the compiler from eliding the measured loops.
 volatile int64_t calibration_sink = 0;
 
-// The calibration loops use the *actual* query kernels (predicated
-// scans, two-sided pivot copies, chain walks), not idealized loops, so
-// that the cost model predicts what Query() really pays. This is the
+// The calibration loops use the *dispatched* query kernels (vectorized
+// scans, two-sided pivot partitioning, chain scatters/walks), not
+// idealized loops, so that the cost model predicts what Query() really
+// pays on this machine's selected kernel tier. If the constants were
+// measured against scalar loops while the queries run AVX2, every
+// seq_read/swap estimate would be 2-4x too high and the adaptive budget
+// controller would over-allocate indexing work per query. This is the
 // paper's §4.3 startup measurement.
 
 double MeasureSequentialRead(std::vector<value_t>* buffer) {
   const RangeQuery q{static_cast<value_t>(buffer->size() / 4),
                      static_cast<value_t>(3 * buffer->size() / 4)};
   Timer timer;
-  const QueryResult r = PredicatedRangeSum(buffer->data(), buffer->size(), q);
+  const QueryResult r =
+      kernels::RangeSumPredicated(buffer->data(), buffer->size(), q);
   const double secs = timer.ElapsedSeconds();
   calibration_sink = r.sum;
   return secs / static_cast<double>(buffer->size());
@@ -36,26 +42,16 @@ double MeasureSequentialRead(std::vector<value_t>* buffer) {
 
 double MeasureSequentialWrite(std::vector<value_t>* buffer,
                               double seq_read_secs) {
-  // Two-sided pivot copy, exactly the creation-phase inner loop of
-  // Progressive Quicksort: one read, two predicated writes, one cursor
-  // advance per element. The write constant is what remains after the
-  // read share.
+  // Two-sided pivot partition, exactly the creation-phase inner loop of
+  // Progressive Quicksort (dispatched kernel). The write constant is
+  // what remains after the read share.
   const size_t n = buffer->size();
   std::vector<value_t> dst(n);
   const value_t pivot = static_cast<value_t>(n / 2);
   Timer timer;
-  const value_t* src = buffer->data();
-  value_t* out = dst.data();
   size_t lo = 0;
   int64_t hi = static_cast<int64_t>(n) - 1;
-  for (size_t i = 0; i < n; i++) {
-    const value_t v = src[i];
-    const bool below = v < pivot;
-    out[lo] = v;
-    out[hi] = v;
-    lo += below ? 1 : 0;
-    hi -= below ? 0 : 1;
-  }
+  kernels::PartitionTwoSided(buffer->data(), n, pivot, dst.data(), &lo, &hi);
   const double secs = timer.ElapsedSeconds();
   calibration_sink = dst[n / 2];
   const double per_element = secs / static_cast<double>(n);
@@ -82,22 +78,17 @@ double MeasureRandomAccess(std::vector<value_t>* buffer) {
 }
 
 double MeasureSwap(std::vector<value_t>* buffer) {
+  // Predicated in-place crack, mirroring the refinement phase
+  // (dispatched kernel; scalar in every tier, the loop is
+  // dependency-bound).
   value_t* data = buffer->data();
   const size_t n = buffer->size();
   Timer timer;
-  // Predicated partition-style swaps, mirroring the refinement phase.
   size_t lo = 0;
   size_t hi = n - 1;
-  const value_t pivot = static_cast<value_t>(n / 2);
-  while (lo < hi) {
-    const value_t a = data[lo];
-    const value_t b = data[hi];
-    const bool stay = a < pivot;
-    data[lo] = stay ? a : b;
-    data[hi] = stay ? b : a;
-    lo += stay ? 1 : 0;
-    hi -= stay ? 0 : 1;
-  }
+  bool done = false;
+  kernels::CrackInPlace(data, &lo, &hi, static_cast<value_t>(n / 2),
+                        std::numeric_limits<size_t>::max(), &done);
   const double secs = timer.ElapsedSeconds();
   calibration_sink = data[n / 2];
   return secs / static_cast<double>(n);
@@ -122,11 +113,9 @@ double MeasureBucketAppend(std::vector<value_t>* buffer,
   for (size_t i = 0; i < 64; i++) chains.emplace_back(4096);
   const int shift = 15;  // top 6 bits of the 2^21-element domain
   Timer timer;
-  const value_t* src = buffer->data();
-  for (size_t i = 0; i < n; i++) {
-    const value_t v = src[i];
-    chains[static_cast<size_t>(v) >> shift].Append(v);
-  }
+  // The radix bucket-scatter inner loop: vectorized digit extraction +
+  // prefetched chain appends, as the radixsort creation phases run it.
+  ScatterToChains(buffer->data(), n, 0, shift, 63u, chains.data());
   const double secs = timer.ElapsedSeconds();
   calibration_sink = static_cast<int64_t>(chains[0].size());
   *chains_out = std::move(chains);
@@ -137,18 +126,14 @@ double MeasureBucketScan(const std::vector<BucketChain>& chains, size_t n) {
   const RangeQuery q{static_cast<value_t>(n / 4),
                      static_cast<value_t>(3 * n / 4)};
   Timer timer;
-  int64_t sum = 0;
-  int64_t count = 0;
+  QueryResult total;
   for (const BucketChain& chain : chains) {
-    chain.ForEach([&](value_t v) {
-      const int64_t match = static_cast<int64_t>(v >= q.low) &
-                            static_cast<int64_t>(v <= q.high);
-      sum += v * match;
-      count += match;
-    });
+    const QueryResult part = chain.RangeSum(q);
+    total.sum += part.sum;
+    total.count += part.count;
   }
   const double secs = timer.ElapsedSeconds();
-  calibration_sink = sum + count;
+  calibration_sink = total.sum + total.count;
   return secs / static_cast<double>(n);
 }
 
@@ -164,6 +149,7 @@ MachineConstants MeasureMachineConstants() {
     buffer[i] = static_cast<value_t>(fill_rng.NextBounded(buffer.size()));
   }
   MachineConstants constants;
+  constants.kernel_name = kernels::ActiveKernelName();
   constants.seq_read_secs = MeasureSequentialRead(&buffer);
   constants.seq_write_secs =
       MeasureSequentialWrite(&buffer, constants.seq_read_secs);

@@ -80,6 +80,40 @@ class CostModel {
   size_t block_capacity_;
 };
 
+// --- Work-unit helpers for the DoWorkSecs loops ------------------------
+
+/// Floor for per-element work units; far below any real hardware cost.
+constexpr double kMinWorkUnitSecs = 1e-12;
+
+/// Clamps a per-unit cost to a positive epsilon. A degenerate
+/// calibration (or tiny n) can make a phase's model seconds 0; an
+/// unclamped 0 unit would keep `secs` from ever decreasing and stall
+/// the phase loop.
+inline double ClampWorkUnit(double unit_secs) {
+  return unit_secs > kMinWorkUnitSecs ? unit_secs : kMinWorkUnitSecs;
+}
+
+/// Clamps a whole-column phase cost (t_pivot, t_swap, ...). Query()
+/// grants each query `delta * op_secs` seconds of indexing work; a
+/// modeled cost of 0 would grant 0 seconds forever and the phase would
+/// never advance, so a degenerate model still buys ~n work units per
+/// query at delta = 1.
+inline double ClampOpSecs(double op_secs, size_t n) {
+  const double floor =
+      static_cast<double>(n == 0 ? 1 : n) * kMinWorkUnitSecs;
+  return op_secs > floor ? op_secs : floor;
+}
+
+/// Whole work units a budget of `secs` buys at `unit_secs` per unit;
+/// at least 1 (forward progress) and saturated well below SIZE_MAX (a
+/// double→size_t cast of an out-of-range quotient is undefined).
+inline size_t UnitsForSecs(double secs, double unit_secs) {
+  const double units = secs / ClampWorkUnit(unit_secs);
+  if (!(units > 1)) return 1;
+  if (units >= 4.6e18) return size_t{1} << 62;
+  return static_cast<size_t>(units);
+}
+
 }  // namespace progidx
 
 #endif  // PROGIDX_COST_COST_MODEL_H_

@@ -1,0 +1,151 @@
+#ifndef PROGIDX_KERNELS_KERNELS_H_
+#define PROGIDX_KERNELS_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+// Vectorized scan/partition kernel layer.
+//
+// Every tight loop the progressive indexes spend their per-query budget
+// in — predicated range-sum scans, two-sided pivot partitioning, radix
+// digit extraction / histogram / scatter — lives here, in three
+// implementation tiers:
+//
+//   * scalar — portable, cache-blocked, 4-way unrolled; the reference
+//     implementation every other tier must match bit for bit.
+//   * sse2   — 2-lane SIMD scans (64-bit compares emulated, so plain
+//     x86-64 baseline silicon qualifies).
+//   * avx2   — 4-lane scans, compress-store partitioning, vector digit
+//     extraction.
+//
+// Which tier runs is decided once per process by Dispatch(): CPUID
+// feature detection, overridable with environment variables
+// PROGIDX_FORCE_SCALAR=1 (testing the fallback) or
+// PROGIDX_FORCE_KERNEL=scalar|sse2|avx2. Compiling with
+// -DPROGIDX_NO_SIMD removes the SIMD tiers entirely.
+//
+// All tiers produce *bit-identical* results: sums/counts are exact
+// int64 arithmetic (associative mod 2^64, so lane order is free), and
+// partition frontiers advance by the same counts. See docs/kernels.md.
+
+namespace progidx {
+namespace kernels {
+
+#if !defined(PROGIDX_NO_SIMD) && (defined(__x86_64__) || defined(_M_X64))
+#define PROGIDX_HAVE_SIMD_TIERS 1
+#endif
+
+/// One tier's implementations. Selected once at startup; call through
+/// Dispatch() (or the inline wrappers below) on hot paths.
+struct KernelOps {
+  const char* name;
+
+  /// SUM + COUNT of values in [q.low, q.high] over data[0, n),
+  /// branch-free (cost independent of selectivity).
+  QueryResult (*range_sum_predicated)(const value_t* data, size_t n,
+                                      const RangeQuery& q);
+
+  /// Branched variant; cheaper at extreme selectivities.
+  QueryResult (*range_sum_branched)(const value_t* data, size_t n,
+                                    const RangeQuery& q);
+
+  /// Two-sided out-of-place partition: the Progressive Quicksort
+  /// creation loop. Each src value is written to the low (< pivot) or
+  /// high (>= pivot) frontier of dst; `*lo_pos` / `*hi_pos` are the
+  /// next write slots and are advanced in place.
+  void (*partition_two_sided)(const value_t* src, size_t n, value_t pivot,
+                              value_t* dst, size_t* lo_pos,
+                              int64_t* hi_pos);
+
+  /// Budgeted in-place two-sided predicated partition ("crack"). On
+  /// entry [*lo, *hi] (inclusive) is the unclassified region. Processes
+  /// at most `max_steps` element classifications; returns steps used.
+  /// When the region collapses with budget to spare, the final element
+  /// is classified, `*lo` becomes the partition boundary and `*done` is
+  /// set.
+  size_t (*crack_in_place)(value_t* data, size_t* lo, size_t* hi,
+                           value_t pivot, size_t max_steps, bool* done);
+
+  /// digits[i] = ((uint64_t)src[i] - (uint64_t)base) >> shift & mask.
+  /// Wrap-around subtraction: INT64_MIN..INT64_MAX domains are fine.
+  void (*compute_digits)(const value_t* src, size_t n, value_t base,
+                         int shift, uint32_t mask, uint32_t* digits);
+
+  /// counts[digit] += occurrences over src[0, n). `counts` must have
+  /// mask + 1 entries and is added to, not reset.
+  void (*radix_histogram)(const value_t* src, size_t n, value_t base,
+                          int shift, uint32_t mask, uint64_t* counts);
+
+  /// Stable scatter: dst[offsets[digit]++] = v, in src order, with
+  /// software prefetch of upcoming destinations. `offsets` must hold
+  /// mask + 1 running write positions (exclusive prefix sums of the
+  /// histogram) and is advanced in place.
+  void (*radix_scatter)(const value_t* src, size_t n, value_t base,
+                        int shift, uint32_t mask, value_t* dst,
+                        size_t* offsets);
+};
+
+/// The portable reference tier; always available.
+const KernelOps& ScalarKernels();
+
+#ifdef PROGIDX_HAVE_SIMD_TIERS
+/// SIMD tiers. Present whenever SIMD is compiled in; only *run* them on
+/// CPUs whose feature bits Dispatch()/ResolveKernels() checked.
+const KernelOps& Sse2Kernels();
+const KernelOps& Avx2Kernels();
+#endif
+
+/// Pure selection logic behind Dispatch(), exposed so tests can
+/// exercise every combination without re-execing the process:
+/// `force_scalar` models PROGIDX_FORCE_SCALAR, `force` models
+/// PROGIDX_FORCE_KERNEL (nullptr = auto). A forced tier the CPU cannot
+/// run falls back to scalar.
+const KernelOps& ResolveKernels(const char* force, bool force_scalar);
+
+/// The process-wide tier, selected on first use from CPUID and the
+/// PROGIDX_FORCE_* environment variables.
+const KernelOps& Dispatch();
+
+/// Name of the dispatched tier ("scalar", "sse2", "avx2").
+const char* ActiveKernelName();
+
+// --- Hot-path wrappers -------------------------------------------------
+
+inline QueryResult RangeSumPredicated(const value_t* data, size_t n,
+                                      const RangeQuery& q) {
+  return Dispatch().range_sum_predicated(data, n, q);
+}
+
+inline QueryResult RangeSumBranched(const value_t* data, size_t n,
+                                    const RangeQuery& q) {
+  return Dispatch().range_sum_branched(data, n, q);
+}
+
+inline void PartitionTwoSided(const value_t* src, size_t n, value_t pivot,
+                              value_t* dst, size_t* lo_pos,
+                              int64_t* hi_pos) {
+  Dispatch().partition_two_sided(src, n, pivot, dst, lo_pos, hi_pos);
+}
+
+inline size_t CrackInPlace(value_t* data, size_t* lo, size_t* hi,
+                           value_t pivot, size_t max_steps, bool* done) {
+  return Dispatch().crack_in_place(data, lo, hi, pivot, max_steps, done);
+}
+
+inline void ComputeDigits(const value_t* src, size_t n, value_t base,
+                          int shift, uint32_t mask, uint32_t* digits) {
+  Dispatch().compute_digits(src, n, base, shift, mask, digits);
+}
+
+/// Stable LSD radix sort of data[0, n) whose values lie in
+/// [min_v, max_v], built on the dispatched histogram/scatter kernels.
+/// `scratch` must hold n elements. O(n · ceil(bits/8)).
+void RadixSortFlat(value_t* data, value_t* scratch, size_t n, value_t min_v,
+                   value_t max_v);
+
+}  // namespace kernels
+}  // namespace progidx
+
+#endif  // PROGIDX_KERNELS_KERNELS_H_

@@ -1,0 +1,198 @@
+#include "kernels/kernels_internal.h"
+
+// The AVX2 tier: 4-lane range-sum scans (16 elements per unrolled
+// iteration), compress-store two-sided partitioning, and vector digit
+// extraction feeding the shared prefetching histogram/scatter loops.
+// Compiled with -mavx2 for this translation unit only; Dispatch() only
+// routes here when CPUID reports AVX2.
+
+#if defined(PROGIDX_HAVE_SIMD_TIERS) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace progidx {
+namespace kernels {
+namespace {
+
+/// 32-bit permutation indices that compact the 64-bit lanes selected by
+/// a 4-bit mask to the front (low lanes) or back (high lanes) of a
+/// 256-bit register, preserving lane order. Lane L maps to index pair
+/// {2L, 2L+1} for _mm256_permutevar8x32_epi32.
+struct CompressTables {
+  alignas(32) int32_t front[16][8];
+  alignas(32) int32_t back[16][8];
+};
+
+const CompressTables kCompress = [] {
+  CompressTables t{};
+  for (int m = 0; m < 16; m++) {
+    int cnt = 0;
+    for (int lane = 0; lane < 4; lane++) {
+      if (m & (1 << lane)) {
+        t.front[m][2 * cnt] = 2 * lane;
+        t.front[m][2 * cnt + 1] = 2 * lane + 1;
+        cnt++;
+      }
+    }
+    const int pad = 4 - cnt;
+    int k = 0;
+    for (int lane = 0; lane < 4; lane++) {
+      if (m & (1 << lane)) {
+        t.back[m][2 * (pad + k)] = 2 * lane;
+        t.back[m][2 * (pad + k) + 1] = 2 * lane + 1;
+        k++;
+      }
+    }
+  }
+  return t;
+}();
+
+QueryResult RangeSumPredicatedAvx2(const value_t* data, size_t n,
+                                   const RangeQuery& q) {
+  const __m256i lo = _mm256_set1_epi64x(q.low);
+  const __m256i hi = _mm256_set1_epi64x(q.high);
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  __m256i s0 = _mm256_setzero_si256(), s1 = s0, s2 = s0, s3 = s0;
+  __m256i c0 = s0, c1 = s0, c2 = s0, c3 = s0;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i + 4));
+    const __m256i v2 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i + 8));
+    const __m256i v3 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i + 12));
+    const __m256i out0 = _mm256_or_si256(_mm256_cmpgt_epi64(lo, v0),
+                                         _mm256_cmpgt_epi64(v0, hi));
+    const __m256i out1 = _mm256_or_si256(_mm256_cmpgt_epi64(lo, v1),
+                                         _mm256_cmpgt_epi64(v1, hi));
+    const __m256i out2 = _mm256_or_si256(_mm256_cmpgt_epi64(lo, v2),
+                                         _mm256_cmpgt_epi64(v2, hi));
+    const __m256i out3 = _mm256_or_si256(_mm256_cmpgt_epi64(lo, v3),
+                                         _mm256_cmpgt_epi64(v3, hi));
+    s0 = _mm256_add_epi64(s0, _mm256_andnot_si256(out0, v0));
+    s1 = _mm256_add_epi64(s1, _mm256_andnot_si256(out1, v1));
+    s2 = _mm256_add_epi64(s2, _mm256_andnot_si256(out2, v2));
+    s3 = _mm256_add_epi64(s3, _mm256_andnot_si256(out3, v3));
+    c0 = _mm256_sub_epi64(c0, _mm256_andnot_si256(out0, ones));
+    c1 = _mm256_sub_epi64(c1, _mm256_andnot_si256(out1, ones));
+    c2 = _mm256_sub_epi64(c2, _mm256_andnot_si256(out2, ones));
+    c3 = _mm256_sub_epi64(c3, _mm256_andnot_si256(out3, ones));
+  }
+  alignas(32) int64_t sums[4];
+  alignas(32) int64_t counts[4];
+  const __m256i s =
+      _mm256_add_epi64(_mm256_add_epi64(s0, s1), _mm256_add_epi64(s2, s3));
+  const __m256i c =
+      _mm256_add_epi64(_mm256_add_epi64(c0, c1), _mm256_add_epi64(c2, c3));
+  _mm256_store_si256(reinterpret_cast<__m256i*>(sums), s);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(counts), c);
+  QueryResult result{sums[0] + sums[1] + sums[2] + sums[3],
+                     counts[0] + counts[1] + counts[2] + counts[3]};
+  const QueryResult tail = detail::RangeSumPredicatedScalar(data + i, n - i, q);
+  result.sum += tail.sum;
+  result.count += tail.count;
+  return result;
+}
+
+void PartitionTwoSidedAvx2(const value_t* src, size_t n, value_t pivot,
+                           value_t* dst, size_t* lo_pos, int64_t* hi_pos) {
+  size_t lo = *lo_pos;
+  int64_t hi = *hi_pos;
+  const __m256i piv = _mm256_set1_epi64x(pivot);
+  size_t i = 0;
+  // Full-width stores clobber up to 3 slots past each frontier, which
+  // is safe while those slots lie in the unwritten gap [lo, hi]: the
+  // gap shrinks by exactly 4 per step, so require >= 8 free slots.
+  while (i + 4 <= n && hi - static_cast<int64_t>(lo) >= 7) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const unsigned below = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(piv, v))));
+    const __m256i lows = _mm256_permutevar8x32_epi32(
+        v, _mm256_load_si256(
+               reinterpret_cast<const __m256i*>(kCompress.front[below])));
+    const __m256i highs = _mm256_permutevar8x32_epi32(
+        v, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+               kCompress.back[below ^ 0xFu])));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + lo), lows);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + hi - 3), highs);
+    const unsigned nlow = static_cast<unsigned>(__builtin_popcount(below));
+    lo += nlow;
+    hi -= 4 - nlow;
+    i += 4;
+  }
+  *lo_pos = lo;
+  *hi_pos = hi;
+  detail::PartitionTwoSidedScalar(src + i, n - i, pivot, dst, lo_pos, hi_pos);
+}
+
+void ComputeDigitsAvx2(const value_t* src, size_t n, value_t base, int shift,
+                       uint32_t mask, uint32_t* digits) {
+  const __m256i basev = _mm256_set1_epi64x(base);
+  const __m128i shiftv = _mm_cvtsi32_si128(shift);
+  const __m256i maskv = _mm256_set1_epi64x(mask);
+  // Digits fit in 32 bits; gather the low dword of each 64-bit lane.
+  const __m256i pick = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d = _mm256_and_si256(
+        _mm256_srl_epi64(_mm256_sub_epi64(v, basev), shiftv), maskv);
+    const __m256i packed = _mm256_permutevar8x32_epi32(d, pick);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(digits + i),
+                     _mm256_castsi256_si128(packed));
+  }
+  detail::ComputeDigitsScalar(src + i, n - i, base, shift, mask, digits + i);
+}
+
+void RadixHistogramAvx2(const value_t* src, size_t n, value_t base, int shift,
+                        uint32_t mask, uint64_t* counts) {
+  if (mask <= 255) {
+    detail::HistogramWithDigits(&ComputeDigitsAvx2, src, n, base, shift, mask,
+                                counts);
+    return;
+  }
+  detail::RadixHistogramScalar(src, n, base, shift, mask, counts);
+}
+
+void RadixScatterAvx2(const value_t* src, size_t n, value_t base, int shift,
+                      uint32_t mask, value_t* dst, size_t* offsets) {
+  detail::ScatterWithDigits(&ComputeDigitsAvx2, src, n, base, shift, mask,
+                            dst, offsets);
+}
+
+}  // namespace
+
+const KernelOps& Avx2Kernels() {
+  static constexpr KernelOps kOps = {
+      "avx2",
+      &RangeSumPredicatedAvx2,
+      &detail::RangeSumBranchedScalar,
+      &PartitionTwoSidedAvx2,
+      &detail::CrackInPlaceScalar,
+      &ComputeDigitsAvx2,
+      &RadixHistogramAvx2,
+      &RadixScatterAvx2,
+  };
+  return kOps;
+}
+
+}  // namespace kernels
+}  // namespace progidx
+
+#elif defined(PROGIDX_HAVE_SIMD_TIERS)
+
+// SIMD tiers requested but this TU was built without -mavx2; keep the
+// symbol resolvable (Dispatch() will still CPUID-check before use, and
+// a scalar table is always correct).
+namespace progidx {
+namespace kernels {
+const KernelOps& Avx2Kernels() { return ScalarKernels(); }
+}  // namespace kernels
+}  // namespace progidx
+
+#endif  // PROGIDX_HAVE_SIMD_TIERS && __AVX2__

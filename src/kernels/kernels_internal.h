@@ -1,0 +1,93 @@
+#ifndef PROGIDX_KERNELS_KERNELS_INTERNAL_H_
+#define PROGIDX_KERNELS_KERNELS_INTERNAL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/kernels.h"
+
+// Scalar building blocks shared across tiers: the SIMD translation
+// units use these for loop tails and for the kernels where SIMD buys
+// nothing (branched scans, the dependency-bound in-place crack).
+
+namespace progidx {
+namespace kernels {
+namespace detail {
+
+QueryResult RangeSumPredicatedScalar(const value_t* data, size_t n,
+                                     const RangeQuery& q);
+QueryResult RangeSumBranchedScalar(const value_t* data, size_t n,
+                                   const RangeQuery& q);
+void PartitionTwoSidedScalar(const value_t* src, size_t n, value_t pivot,
+                             value_t* dst, size_t* lo_pos, int64_t* hi_pos);
+size_t CrackInPlaceScalar(value_t* data, size_t* lo, size_t* hi,
+                          value_t pivot, size_t max_steps, bool* done);
+void ComputeDigitsScalar(const value_t* src, size_t n, value_t base,
+                         int shift, uint32_t mask, uint32_t* digits);
+void RadixHistogramScalar(const value_t* src, size_t n, value_t base,
+                          int shift, uint32_t mask, uint64_t* counts);
+void RadixScatterScalar(const value_t* src, size_t n, value_t base,
+                        int shift, uint32_t mask, value_t* dst,
+                        size_t* offsets);
+
+using ComputeDigitsFn = void (*)(const value_t*, size_t, value_t, int,
+                                 uint32_t, uint32_t*);
+
+/// Scatter loop shared by all tiers: digits are precomputed per
+/// cache-resident batch by `digits_fn`, and each store's destination
+/// bucket head is software-prefetched a few elements ahead (the scatter
+/// touches up to mask + 1 distinct cache lines per batch, which is what
+/// makes the unprefetched loop memory-bound).
+inline void ScatterWithDigits(ComputeDigitsFn digits_fn, const value_t* src,
+                              size_t n, value_t base, int shift,
+                              uint32_t mask, value_t* dst, size_t* offsets) {
+  constexpr size_t kBatch = 1024;
+  constexpr size_t kPrefetchDist = 8;
+  uint32_t digits[kBatch];
+  size_t i = 0;
+  while (i < n) {
+    const size_t len = std::min(kBatch, n - i);
+    digits_fn(src + i, len, base, shift, mask, digits);
+    for (size_t j = 0; j < len; j++) {
+      if (j + kPrefetchDist < len) {
+        __builtin_prefetch(dst + offsets[digits[j + kPrefetchDist]], 1, 1);
+      }
+      dst[offsets[digits[j]]++] = src[i + j];
+    }
+    i += len;
+  }
+}
+
+/// Histogram loop shared by all tiers when mask <= 255: four interleaved
+/// sub-tables break the store-to-load dependency on repeated digits.
+inline void HistogramWithDigits(ComputeDigitsFn digits_fn, const value_t* src,
+                                size_t n, value_t base, int shift,
+                                uint32_t mask, uint64_t* counts) {
+  constexpr size_t kBatch = 4096;
+  uint32_t digits[kBatch];
+  uint64_t sub[4][256] = {};
+  size_t i = 0;
+  while (i < n) {
+    const size_t len = std::min(kBatch, n - i);
+    digits_fn(src + i, len, base, shift, mask, digits);
+    size_t j = 0;
+    for (; j + 4 <= len; j += 4) {
+      sub[0][digits[j]]++;
+      sub[1][digits[j + 1]]++;
+      sub[2][digits[j + 2]]++;
+      sub[3][digits[j + 3]]++;
+    }
+    for (; j < len; j++) sub[0][digits[j]]++;
+    i += len;
+  }
+  for (uint32_t d = 0; d <= mask; d++) {
+    counts[d] += sub[0][d] + sub[1][d] + sub[2][d] + sub[3][d];
+  }
+}
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace progidx
+
+#endif  // PROGIDX_KERNELS_KERNELS_INTERNAL_H_

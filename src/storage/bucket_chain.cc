@@ -1,5 +1,10 @@
 #include "storage/bucket_chain.h"
 
+#include <algorithm>
+#include <cstring>
+
+#include "kernels/kernels.h"
+
 namespace progidx {
 
 void BucketChain::AddBlock() {
@@ -9,14 +14,54 @@ void BucketChain::AddBlock() {
 
 size_t BucketChain::CopyTo(value_t* out) const {
   size_t written = 0;
-  ForEach([&](value_t v) { out[written++] = v; });
+  for (const auto& block : blocks_) {
+    std::memcpy(out + written, block->values.get(),
+                block->count * sizeof(value_t));
+    written += block->count;
+  }
   return written;
+}
+
+QueryResult BucketChain::RangeSum(const RangeQuery& q) const {
+  const kernels::KernelOps& ops = kernels::Dispatch();
+  QueryResult result;
+  for (const auto& block : blocks_) {
+    const QueryResult part =
+        ops.range_sum_predicated(block->values.get(), block->count, q);
+    result.sum += part.sum;
+    result.count += part.count;
+  }
+  return result;
+}
+
+QueryResult BucketChain::RangeSumFrom(const Cursor& cursor,
+                                      const RangeQuery& q) const {
+  const kernels::KernelOps& ops = kernels::Dispatch();
+  QueryResult result;
+  for (size_t bi = cursor.block; bi < blocks_.size(); bi++) {
+    const Block* b = blocks_[bi].get();
+    const size_t start = (bi == cursor.block) ? cursor.offset : 0;
+    const QueryResult part =
+        ops.range_sum_predicated(b->values.get() + start, b->count - start, q);
+    result.sum += part.sum;
+    result.count += part.count;
+  }
+  return result;
 }
 
 void BucketChain::Clear() {
   blocks_.clear();
   tail_ = nullptr;
   size_ = 0;
+}
+
+void ScatterToChains(const value_t* src, size_t n, value_t base, int shift,
+                     uint32_t mask, BucketChain* chains) {
+  ScatterToChainsBatched(
+      [base, shift, mask](const value_t* batch, size_t len, uint32_t* ids) {
+        kernels::ComputeDigits(batch, len, base, shift, mask, ids);
+      },
+      src, n, chains);
 }
 
 }  // namespace progidx

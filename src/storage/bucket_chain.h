@@ -1,7 +1,9 @@
 #ifndef PROGIDX_STORAGE_BUCKET_CHAIN_H_
 #define PROGIDX_STORAGE_BUCKET_CHAIN_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -57,11 +59,25 @@ class BucketChain {
   }
 
   /// Copies all elements, in append order, to `out`; returns the number
-  /// of elements written.
+  /// of elements written. Block-wise memcpy, not an element loop.
   size_t CopyTo(value_t* out) const;
+
+  /// SUM + COUNT of elements in [q.low, q.high], scanning each
+  /// contiguous block with the dispatched vector kernel (the chain
+  /// analog of PredicatedRangeSum).
+  QueryResult RangeSum(const RangeQuery& q) const;
 
   /// Releases all blocks.
   void Clear();
+
+  /// Prefetches the tail block's next write slot. Budgeted drains call
+  /// this a few elements ahead of Append so the scatter across many
+  /// destination chains is not bound by cache-miss latency.
+  void PrefetchTail() const {
+    if (tail_ != nullptr) {
+      __builtin_prefetch(&tail_->values[tail_->count], 1, 1);
+    }
+  }
 
   /// A resumable read position inside a chain, used by budgeted drains
   /// (an LSD pass may stop mid-bucket when the per-query budget runs
@@ -87,6 +103,33 @@ class BucketChain {
     }
     return v;
   }
+
+  /// Points `*run` at the contiguous elements from `cursor` to the end
+  /// of its block and returns their number (0 when AtEnd). Lets
+  /// budgeted drains hand whole block slices to vector kernels instead
+  /// of calling ReadAndAdvance per element.
+  size_t ContiguousRun(const Cursor& cursor, const value_t** run) const {
+    if (AtEnd(cursor)) return 0;
+    const Block* b = blocks_[cursor.block].get();
+    *run = b->values.get() + cursor.offset;
+    return b->count - cursor.offset;
+  }
+
+  /// Advances `cursor` by `k` elements; `k` must not exceed the current
+  /// ContiguousRun length. Keeps the same normalization invariant as
+  /// ReadAndAdvance (a cursor never rests at the end of a block).
+  void Advance(Cursor* cursor, size_t k) const {
+    const Block* b = blocks_[cursor->block].get();
+    cursor->offset += k;
+    if (cursor->offset >= b->count) {
+      cursor->offset = 0;
+      cursor->block++;
+    }
+  }
+
+  /// RangeSum over the not-yet-drained suffix starting at `cursor`,
+  /// without advancing it; block-wise through the dispatched kernel.
+  QueryResult RangeSumFrom(const Cursor& cursor, const RangeQuery& q) const;
 
   /// Invokes `fn(value)` for every element from `cursor` (inclusive) to
   /// the end, without advancing the cursor. Used to answer queries over
@@ -115,6 +158,42 @@ class BucketChain {
   Block* tail_ = nullptr;
   size_t size_ = 0;
 };
+
+/// The bucket-scatter inner loop, parameterized on how a batch of
+/// destination ids is resolved: `fill_ids(batch, len, ids)` fills
+/// ids[0, len) for batch[0, len). Ids are resolved a cache-resident
+/// batch at a time so each append can prefetch its destination chain's
+/// tail block a few stores ahead (the scatter touches one cache line
+/// per distinct bucket per batch, which is what makes the unprefetched
+/// loop latency-bound).
+template <typename FillIds>
+void ScatterToChainsBatched(FillIds&& fill_ids, const value_t* src, size_t n,
+                            BucketChain* chains) {
+  constexpr size_t kBatch = 1024;
+  constexpr size_t kPrefetchDist = 8;
+  uint32_t ids[kBatch];
+  size_t i = 0;
+  while (i < n) {
+    const size_t len = std::min(kBatch, n - i);
+    fill_ids(src + i, len, ids);
+    for (size_t j = 0; j < len; j++) {
+      if (j + kPrefetchDist < len) {
+        chains[ids[j + kPrefetchDist]].PrefetchTail();
+      }
+      chains[ids[j]].Append(src[i + j]);
+    }
+    i += len;
+  }
+}
+
+/// Scatters src[0, n) into chains[((v − base) >> shift) & mask], with
+/// the ids resolved by the dispatched vector digit kernel. This is the
+/// radix bucket-scatter shared by Progressive Radixsort MSD (root
+/// bucketing and splits) and LSD (creation and per-pass drains);
+/// Progressive Bucketsort uses ScatterToChainsBatched directly with its
+/// equi-height binary search.
+void ScatterToChains(const value_t* src, size_t n, value_t base, int shift,
+                     uint32_t mask, BucketChain* chains);
 
 }  // namespace progidx
 

@@ -54,6 +54,38 @@ TEST(ProgressiveQuicksortTest, ConvergedIndexIsSortedPermutation) {
   EXPECT_EQ(idx, expected);
 }
 
+TEST(ProgressiveQuicksortTest, DegenerateCostModelStillTerminates) {
+  // Regression: a degenerate calibration (or tiny n) can make a phase's
+  // model seconds 0, so the per-element work unit used to be 0 and
+  // DoWorkSecs could spin without `secs` ever decreasing (and the
+  // secs/unit quotient overflowed the size_t cast, which is UB).
+  // ClampWorkUnit/UnitsForSecs must keep every phase progressing.
+  MachineConstants degenerate;  // every *_secs field is 0
+  degenerate.seq_read_secs = 1e-9;
+  degenerate.seq_write_secs = 1e-9;  // creation has real cost...
+  // ...but refinement (swap_secs) and consolidation (random_access,
+  // alloc) model out to zero seconds.
+  ProgressiveOptions options;
+  options.machine = &degenerate;
+  const Column column = MakeUniformColumn(512, 13);
+  BudgetSpec budget;
+  budget.mode = BudgetMode::kAdaptive;
+  budget.budget_secs = 1e-3;
+  ProgressiveQuicksort index(column, budget, options);
+  const RangeQuery q{100, 300};  // inside the 512-element domain
+  QueryResult reference;
+  {
+    FullScan scan(column);
+    reference = scan.Query(q);
+  }
+  int queries = 0;
+  for (; queries < 2000 && !index.converged(); queries++) {
+    EXPECT_EQ(index.Query(q), reference);
+  }
+  EXPECT_TRUE(index.converged()) << "stalled after " << queries
+                                 << " queries";
+}
+
 TEST(ProgressiveQuicksortTest, SmallDeltaStillConvergesDeterministically) {
   const Column column = MakeUniformColumn(5000, 3);
   ProgressiveQuicksort index(column, BudgetSpec::FixedDelta(0.01));
