@@ -13,6 +13,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <functional>
+#include <limits>
 #include <vector>
 
 #include "baselines/avl_tree.h"
@@ -143,6 +145,47 @@ void BM_RadixScatterDispatchedTier(benchmark::State& state) {
 }
 BENCHMARK(BM_RadixScatterDispatchedTier)->Arg(1 << 16)->Arg(1 << 20);
 
+void BM_CrackInPlaceScalarTier(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<value_t> original = RandomData(n, 2);
+  std::vector<value_t> data = original;
+  const kernels::KernelOps& ops = kernels::ScalarKernels();
+  for (auto _ : state) {
+    state.PauseTiming();
+    data = original;
+    state.ResumeTiming();
+    size_t lo = 0;
+    size_t hi = n - 1;
+    bool done = false;
+    ops.crack_in_place(data.data(), &lo, &hi, static_cast<value_t>(n / 2),
+                       std::numeric_limits<size_t>::max(), &done);
+    benchmark::DoNotOptimize(lo);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_CrackInPlaceScalarTier)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_CrackInPlaceDispatchedTier(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<value_t> original = RandomData(n, 2);
+  std::vector<value_t> data = original;
+  const kernels::KernelOps& ops = kernels::Dispatch();
+  state.SetLabel(ops.name);
+  for (auto _ : state) {
+    state.PauseTiming();
+    data = original;
+    state.ResumeTiming();
+    size_t lo = 0;
+    size_t hi = n - 1;
+    bool done = false;
+    ops.crack_in_place(data.data(), &lo, &hi, static_cast<value_t>(n / 2),
+                       std::numeric_limits<size_t>::max(), &done);
+    benchmark::DoNotOptimize(lo);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_CrackInPlaceDispatchedTier)->Arg(1 << 16)->Arg(1 << 20);
+
 void BM_CrackInTwoPredicated(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const std::vector<value_t> original = RandomData(n, 2);
@@ -241,21 +284,34 @@ void BM_BinarySearchBaseline(benchmark::State& state) {
 }
 BENCHMARK(BM_BinarySearchBaseline);
 
-// --- BENCH_kernels.json: scalar vs dispatched throughput ---------------
+// --- BENCH_kernels.json: per-tier throughput sweep ---------------------
 
 volatile int64_t throughput_sink = 0;
 
-/// Best-of-`reps` GB/s for `fn` over an n-element input.
-template <typename Fn>
-double MeasureGBps(size_t n, size_t reps, Fn&& fn) {
-  double best_secs = 1e30;
-  for (size_t r = 0; r < reps; r++) {
-    Timer timer;
-    fn();
-    best_secs = std::min(best_secs, timer.ElapsedSeconds());
+/// One timed invocation of `fn`; `prepare` runs outside the timed
+/// region. Reps are interleaved *across tiers* by the caller (tier A
+/// rep 1, tier B rep 1, ..., tier A rep 2, ...): the shared container
+/// drifts by tens of percent over seconds, and measuring each tier in
+/// its own contiguous block would fold that drift into the speedup
+/// ratios.
+template <typename Prepare, typename Fn>
+double MeasureSecsOnce(Prepare&& prepare, Fn&& fn) {
+  prepare();
+  Timer timer;
+  fn();
+  return timer.ElapsedSeconds();
+}
+
+/// Every tier compiled into this binary that this CPU can run, scalar
+/// first (the reference everything is compared against).
+std::vector<const kernels::KernelOps*> SweepTiers() {
+  std::vector<const kernels::KernelOps*> tiers;
+  tiers.push_back(&kernels::ScalarKernels());
+  for (const char* name : {"sse2", "avx2", "avx512"}) {
+    const kernels::KernelOps& ops = kernels::ResolveKernels(name, false);
+    if (std::strcmp(ops.name, name) == 0) tiers.push_back(&ops);
   }
-  const double bytes = static_cast<double>(n) * sizeof(value_t);
-  return bytes / best_secs / 1e9;
+  return tiers;
 }
 
 void WriteKernelThroughputJson(const char* path) {
@@ -264,17 +320,19 @@ void WriteKernelThroughputJson(const char* path) {
   const std::vector<value_t> data = RandomData(kN, 17);
   const RangeQuery q{static_cast<value_t>(kN / 4),
                      static_cast<value_t>(3 * kN / 4)};
-  const kernels::KernelOps& scalar = kernels::ScalarKernels();
+  const std::vector<const kernels::KernelOps*> tiers = SweepTiers();
   const kernels::KernelOps& active = kernels::Dispatch();
 
+  std::vector<value_t> dst(kN);
+  std::vector<value_t> work(kN);
+  auto nop = [] {};
   auto range_sum = [&](const kernels::KernelOps& ops) {
-    return MeasureGBps(kN, kReps, [&] {
+    return MeasureSecsOnce(nop, [&] {
       throughput_sink = ops.range_sum_predicated(data.data(), kN, q).sum;
     });
   };
-  std::vector<value_t> dst(kN);
   auto partition = [&](const kernels::KernelOps& ops) {
-    return MeasureGBps(kN, kReps, [&] {
+    return MeasureSecsOnce(nop, [&] {
       size_t lo = 0;
       int64_t hi = static_cast<int64_t>(kN) - 1;
       ops.partition_two_sided(data.data(), kN, static_cast<value_t>(kN / 2),
@@ -282,31 +340,74 @@ void WriteKernelThroughputJson(const char* path) {
       throughput_sink = static_cast<int64_t>(lo);
     });
   };
+  // The budgeted in-place crack, run to completion in one slice (the
+  // refinement-phase hot loop). Re-copied from the source data before
+  // every rep (outside the timer) so each tier cracks the same
+  // unpartitioned input.
+  auto crack = [&](const kernels::KernelOps& ops) {
+    return MeasureSecsOnce(
+        [&] { std::memcpy(work.data(), data.data(), kN * sizeof(value_t)); },
+        [&] {
+          size_t lo = 0;
+          size_t hi = kN - 1;
+          bool done = false;
+          ops.crack_in_place(work.data(), &lo, &hi,
+                             static_cast<value_t>(kN / 2),
+                             std::numeric_limits<size_t>::max(), &done);
+          throughput_sink = static_cast<int64_t>(lo);
+        });
+  };
+  // One 8-bit LSD pass (histogram + prefix sums + stable scatter) —
+  // exactly RadixSortFlat's inner loop, 256 buckets.
   auto scatter = [&](const kernels::KernelOps& ops) {
-    return MeasureGBps(kN, kReps, [&] {
-      uint64_t counts[64] = {};
-      ops.radix_histogram(data.data(), kN, 0, 16, 63u, counts);
-      size_t offsets[64];
+    return MeasureSecsOnce(nop, [&] {
+      uint64_t counts[256] = {};
+      ops.radix_histogram(data.data(), kN, 0, 8, 255u, counts);
+      size_t offsets[256];
       size_t acc = 0;
-      for (int d = 0; d < 64; d++) {
+      for (int d = 0; d < 256; d++) {
         offsets[d] = acc;
         acc += static_cast<size_t>(counts[d]);
       }
-      ops.radix_scatter(data.data(), kN, 0, 16, 63u, dst.data(), offsets);
+      ops.radix_scatter(data.data(), kN, 0, 8, 255u, dst.data(), offsets);
       throughput_sink = dst[0];
     });
   };
 
-  struct Row {
+  struct NamedKernel {
     const char* name;
-    double scalar_gbps;
+    std::function<double(const kernels::KernelOps&)> measure_once;
+  };
+  const std::vector<NamedKernel> kernels_to_measure = {
+      {"predicated_range_sum", range_sum},
+      {"partition_two_sided", partition},
+      {"crack_in_place", crack},
+      {"radix_histogram_scatter", scatter},
+  };
+
+  struct ResultRow {
+    const char* name;
+    std::vector<double> tier_gbps;  // parallel to `tiers`
     double dispatched_gbps;
   };
-  const Row rows[] = {
-      {"predicated_range_sum", range_sum(scalar), range_sum(active)},
-      {"partition_two_sided", partition(scalar), partition(active)},
-      {"radix_histogram_scatter", scatter(scalar), scatter(active)},
-  };
+  const double gbytes = static_cast<double>(kN) * sizeof(value_t) / 1e9;
+  std::vector<ResultRow> rows;
+  for (const NamedKernel& k : kernels_to_measure) {
+    // Best-of-kReps with the reps interleaved across tiers (see
+    // MeasureSecsOnce) so container speed drift cancels out of the
+    // tier-vs-tier ratios.
+    std::vector<double> tier_best(tiers.size(), 1e30);
+    double active_best = 1e30;
+    for (size_t r = 0; r < kReps; r++) {
+      for (size_t t = 0; t < tiers.size(); t++) {
+        tier_best[t] = std::min(tier_best[t], k.measure_once(*tiers[t]));
+      }
+      active_best = std::min(active_best, k.measure_once(active));
+    }
+    ResultRow row{k.name, {}, gbytes / active_best};
+    for (const double secs : tier_best) row.tier_gbps.push_back(gbytes / secs);
+    rows.push_back(std::move(row));
+  }
 
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -316,22 +417,32 @@ void WriteKernelThroughputJson(const char* path) {
   std::fprintf(f, "{\n  \"dispatched_tier\": \"%s\",\n  \"elements\": %zu,\n",
                active.name, kN);
   std::fprintf(f, "  \"kernels\": [\n");
-  const size_t n_rows = sizeof(rows) / sizeof(rows[0]);
-  for (size_t i = 0; i < n_rows; i++) {
+  for (size_t i = 0; i < rows.size(); i++) {
+    const ResultRow& row = rows[i];
+    const double scalar_gbps = row.tier_gbps[0];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"scalar_gbps\": %.3f, "
-                 "\"dispatched_gbps\": %.3f, \"speedup\": %.3f}%s\n",
-                 rows[i].name, rows[i].scalar_gbps, rows[i].dispatched_gbps,
-                 rows[i].dispatched_gbps / rows[i].scalar_gbps,
-                 i + 1 < n_rows ? "," : "");
+                 "\"dispatched_gbps\": %.3f, \"speedup\": %.3f,\n"
+                 "     \"tiers\": {",
+                 row.name, scalar_gbps, row.dispatched_gbps,
+                 row.dispatched_gbps / scalar_gbps);
+    for (size_t t = 0; t < tiers.size(); t++) {
+      std::fprintf(f, "%s\"%s\": %.3f", t == 0 ? "" : ", ", tiers[t]->name,
+                   row.tier_gbps[t]);
+    }
+    std::fprintf(f, "}}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
-  std::printf("kernel throughput (tier=%s) -> %s\n", active.name, path);
-  for (size_t i = 0; i < n_rows; i++) {
-    std::printf("  %-24s scalar %7.2f GB/s   dispatched %7.2f GB/s   %.2fx\n",
-                rows[i].name, rows[i].scalar_gbps, rows[i].dispatched_gbps,
-                rows[i].dispatched_gbps / rows[i].scalar_gbps);
+  std::printf("kernel throughput (dispatched tier=%s) -> %s\n", active.name,
+              path);
+  for (const ResultRow& row : rows) {
+    std::printf("  %-24s", row.name);
+    for (size_t t = 0; t < tiers.size(); t++) {
+      std::printf("  %s %6.2f GB/s", tiers[t]->name, row.tier_gbps[t]);
+    }
+    std::printf("  | dispatched %6.2f GB/s (%.2fx scalar)\n",
+                row.dispatched_gbps, row.dispatched_gbps / row.tier_gbps[0]);
   }
 }
 

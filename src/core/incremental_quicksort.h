@@ -59,6 +59,16 @@ class IncrementalQuicksort {
   /// overshoot slightly when finishing an L1-sized node sort.
   size_t DoWork(size_t max_elements, const RangeQuery& hint);
 
+  /// Sets how many work units one leaf-sort element-visit costs (the
+  /// calibrated MachineConstants::sort_unit_scale). Units are priced at
+  /// swap_secs by the budget controllers; with a vectorized crack a
+  /// sort visit costs several crack steps, and charging leaves at the
+  /// calibrated ratio keeps per-query time on budget through late
+  /// refinement. 1.0 (the default) reproduces the scalar-era charging.
+  void set_sort_unit_scale(double scale) {
+    sort_unit_scale_ = scale > 0 ? scale : 1.0;
+  }
+
   /// True once the whole span is a single sorted run.
   bool done() const { return root_ == nullptr || root_->sorted; }
 
@@ -99,6 +109,7 @@ class IncrementalQuicksort {
   value_t* data_ = nullptr;
   size_t n_ = 0;
   size_t l1_elements_ = 4096;
+  double sort_unit_scale_ = 1.0;
   std::unique_ptr<Node> root_;
   size_t height_ = 0;
 };

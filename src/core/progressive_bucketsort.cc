@@ -163,15 +163,17 @@ void ProgressiveBucketsort::DoWorkSecs(double secs) {
         size_t elems = UnitsForSecs(secs, unit);
         elems = std::min(elems, n - copy_pos_);
         // Equi-height bounds need a binary search per element (no digit
-        // kernel applies), but the shared batched scatter still
-        // prefetches destination tails ahead of the appends.
+        // kernel applies), but the shared batched scatter still stages
+        // appends in per-chain write-combining buffers (or prefetches
+        // destination tails, for slices below the WC threshold).
         ScatterToChainsBatched(
             [this](const value_t* batch, size_t len, uint32_t* ids) {
               for (size_t i = 0; i < len; i++) {
                 ids[i] = static_cast<uint32_t>(BucketOf(batch[i]));
               }
             },
-            column_.data() + copy_pos_, elems, buckets_.data());
+            column_.data() + copy_pos_, elems, buckets_.data(),
+            buckets_.size());
         copy_pos_ += elems;
         secs -= static_cast<double>(elems) * unit;
         if (copy_pos_ == n) {
@@ -209,6 +211,8 @@ void ProgressiveBucketsort::DoWorkSecs(double secs) {
                                   BucketLo(merge_bucket_),
                                   BucketHi(merge_bucket_),
                                   model_.constants().l1_cache_elements);
+              active_sorter_.set_sort_unit_scale(
+                  model_.constants().sort_unit_scale);
               sorter_active_ = true;
             }
           } else {

@@ -110,6 +110,7 @@ void ProgressiveQuicksort::DoWorkSecs(double secs) {
                                      column_.min_value(),
                                      column_.max_value(),
                                      model_.constants().l1_cache_elements);
+          sorter_.set_sort_unit_scale(model_.constants().sort_unit_scale);
           phase_ = Phase::kRefinement;
           if (sorter_.done()) {
             btree_ = BPlusTree(index_.data(), n, options_.btree_fanout);

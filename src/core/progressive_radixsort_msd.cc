@@ -33,6 +33,7 @@ ProgressiveRadixsortMSD::ProgressiveRadixsortMSD(
   const int radix_bits =
       BitsForWidth(static_cast<uint64_t>(options_.bucket_count) - 1);
   root_shift_ = bits > radix_bits ? bits - radix_bits : 0;
+  root_mask_ = (1u << radix_bits) - 1;
   root_buckets_.reserve(options_.bucket_count);
   for (size_t i = 0; i < options_.bucket_count; i++) {
     root_buckets_.emplace_back(options_.block_capacity);
@@ -191,11 +192,13 @@ void ProgressiveRadixsortMSD::DoWorkSecs(double secs) {
             ClampWorkUnit(model_.BucketAppendSecs() / static_cast<double>(n));
         size_t elems = UnitsForSecs(secs, unit);
         elems = std::min(elems, n - copy_pos_);
-        // Root bucketing through the vectorized digit/scatter kernel
-        // (bucket = (v − min) >> root_shift; no mask needed, the
-        // domain bounds the index below bucket_count).
+        // Root bucketing through the vectorized digit/scatter kernel.
+        // root_mask_ is the identity on every id (the domain bounds
+        // the shifted value below 2^radix_bits), but unlike the old
+        // all-ones mask its width tells the batched scatter how many
+        // chains exist, which is what enables write-combining staging.
         ScatterToChains(column_.data() + copy_pos_, elems, min_, root_shift_,
-                        0xFFFFFFFFu, root_buckets_.data());
+                        root_mask_, root_buckets_.data());
         copy_pos_ += elems;
         secs -= static_cast<double>(elems) * unit;
         if (copy_pos_ == n) {

@@ -79,6 +79,10 @@ class ProgressiveRadixsortMSD : public IndexBase {
   value_t min_ = 0;
   value_t max_ = 0;
   int root_shift_ = 0;
+  /// (1 << radix_bits) - 1: identity on every root digit the shift can
+  /// produce; its width tells the batched scatter the chain count so
+  /// the write-combining staging engages.
+  uint32_t root_mask_ = 63;
   std::vector<BucketChain> root_buckets_;
   size_t copy_pos_ = 0;
 

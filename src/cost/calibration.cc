@@ -78,9 +78,11 @@ double MeasureRandomAccess(std::vector<value_t>* buffer) {
 }
 
 double MeasureSwap(std::vector<value_t>* buffer) {
-  // Predicated in-place crack, mirroring the refinement phase
-  // (dispatched kernel; scalar in every tier, the loop is
-  // dependency-bound).
+  // In-place crack, mirroring the refinement partitioning work
+  // (dispatched kernel: a Bramas-style buffered vector partition on
+  // the AVX2/AVX-512 tiers, the unrolled predicated swap loop
+  // elsewhere — so swap_secs tracks the 4-9x tier spread instead of
+  // assuming the scalar loop).
   value_t* data = buffer->data();
   const size_t n = buffer->size();
   Timer timer;
@@ -92,6 +94,36 @@ double MeasureSwap(std::vector<value_t>* buffer) {
   const double secs = timer.ElapsedSeconds();
   calibration_sink = data[n / 2];
   return secs / static_cast<double>(n);
+}
+
+double MeasureSortUnitScale(std::vector<value_t>* buffer, size_t l1_elements,
+                            double swap_secs) {
+  // IncrementalQuicksort charges size·log2(size) work units per
+  // sorted-outright leaf, and the budget controllers price every unit
+  // at swap_secs. Measure what one such sort unit really costs —
+  // std::sort over L1-sized chunks of (still effectively random)
+  // data — relative to the crack step the constant was measured on.
+  // With the scalar crack the ratio is ~1 (which is why it used to be
+  // implicit); with the vectorized crack it is ~4-9.
+  value_t* data = buffer->data();
+  const size_t n = buffer->size();
+  const size_t chunk = std::max<size_t>(l1_elements, 2);
+  uint64_t units = 0;
+  Timer timer;
+  for (size_t start = 0; start < n; start += chunk) {
+    const size_t size = std::min(chunk, n - start);
+    std::sort(data + start, data + start + size);
+    size_t log2_size = 1;
+    while ((size >> log2_size) > 1) log2_size++;
+    units += size * log2_size;
+  }
+  const double secs = timer.ElapsedSeconds();
+  calibration_sink = data[n / 2];
+  if (units == 0 || swap_secs <= 0) return 1.0;
+  const double per_unit = secs / static_cast<double>(units);
+  // A sort visit can't meaningfully be cheaper than a fraction of a
+  // crack step; clamp against degenerate clocks.
+  return std::max(per_unit / swap_secs, 0.25);
 }
 
 double MeasureAllocation() {
@@ -112,10 +144,18 @@ double MeasureBucketAppend(std::vector<value_t>* buffer,
   std::vector<BucketChain> chains;
   for (size_t i = 0; i < 64; i++) chains.emplace_back(4096);
   const int shift = 15;  // top 6 bits of the 2^21-element domain
-  Timer timer;
   // The radix bucket-scatter inner loop: vectorized digit extraction +
-  // prefetched chain appends, as the radixsort creation phases run it.
-  ScatterToChains(buffer->data(), n, 0, shift, 63u, chains.data());
+  // write-combining buffered chain appends (or prefetched per-element
+  // appends below the WC threshold). Driven in budget-sized slices,
+  // not one big call, because that is how the creation phases run it —
+  // each slice pays the WC table init/drain once, and at ~1000-element
+  // slices that overhead is a real part of the per-element cost.
+  constexpr size_t kSlice = 1024;
+  Timer timer;
+  for (size_t start = 0; start < n; start += kSlice) {
+    ScatterToChains(buffer->data() + start, std::min(kSlice, n - start), 0,
+                    shift, 63u, chains.data());
+  }
   const double secs = timer.ElapsedSeconds();
   calibration_sink = static_cast<int64_t>(chains[0].size());
   *chains_out = std::move(chains);
@@ -159,8 +199,12 @@ MachineConstants MeasureMachineConstants() {
   constants.bucket_append_secs = MeasureBucketAppend(&buffer, &chains);
   constants.bucket_scan_secs =
       MeasureBucketScan(chains, kCalibrationElements);
-  // Swap measurement reorders the buffer; run it last.
+  // The swap and sort-scale measurements reorder the buffer; run them
+  // last (the crack only splits around one pivot, so the chunks the
+  // sort-scale pass sorts are still unsorted within themselves).
   constants.swap_secs = MeasureSwap(&buffer);
+  constants.sort_unit_scale = MeasureSortUnitScale(
+      &buffer, constants.l1_cache_elements, constants.swap_secs);
   // Guard against zero measurements on very coarse clocks; fall back to
   // plausible DRAM-era defaults so cost models never divide by zero.
   if (constants.seq_read_secs <= 0) constants.seq_read_secs = 1e-9;

@@ -24,6 +24,14 @@ struct MachineConstants {
   /// Per-element cost of radix-bucketing (read + digit + append); the
   /// (κ+ω) part of t_bucket.
   double bucket_append_secs = 0;
+  /// Cost of one leaf-sort work unit (an element visited by the
+  /// sort-outright path of IncrementalQuicksort, charged size·log2 per
+  /// leaf) expressed in σ (swap) units. Was implicitly 1 while the
+  /// crack kernel was scalar — crack steps and std::sort element-visits
+  /// cost roughly the same there — but the vectorized crack is ~4-9x a
+  /// sort visit, so leaves must be charged more σ units or every
+  /// per-query budget overshoots once refinement reaches the leaves.
+  double sort_unit_scale = 1.0;
   size_t elements_per_page = 512;        ///< γ (4 KiB page / 8 B)
   size_t l1_cache_elements = 4096;       ///< elements fitting in L1 (32 KiB)
   size_t l2_cache_elements = 32768;      ///< elements fitting in L2 (256 KiB)

@@ -1,7 +1,13 @@
 #include "kernels/kernels.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#if defined(PROGIDX_HAVE_SIMD_TIERS) && defined(__GNUC__)
+#include <cpuid.h>
+#endif
 
 namespace progidx {
 namespace kernels {
@@ -23,6 +29,36 @@ bool CpuHasSse2() {
   return false;
 #endif
 }
+
+// AVX-512 needs more than a CPUID feature bit: the OS must have enabled
+// saving the ZMM and opmask register state via XSETBV, which only
+// XGETBV can confirm (a kernel booted with ZMM state disabled still
+// shows avx512f in CPUID leaf 7 but faults on the first EVEX
+// instruction). __builtin_cpu_supports("avx512f") performs the same
+// chain in libgcc, but spelling it out keeps the requirement explicit
+// and portable to compilers without that builtin string.
+bool CpuHasAvx512f() {
+#ifdef __GNUC__
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return false;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  if (!osxsave || !avx) return false;
+  // XGETBV(0): XCR0 must have SSE (bit 1), AVX (bit 2), and the three
+  // AVX-512 state bits — opmask (5), ZMM0-15 upper halves (6),
+  // ZMM16-31 (7). Raw opcode so no -mxsave build flag is needed.
+  uint32_t xcr0_lo = 0, xcr0_hi = 0;
+  __asm__ volatile(".byte 0x0f, 0x01, 0xd0"
+                   : "=a"(xcr0_lo), "=d"(xcr0_hi)
+                   : "c"(0));
+  if ((xcr0_lo & 0xE6u) != 0xE6u) return false;
+  // CPUID leaf 7 subleaf 0, EBX bit 16: AVX512F.
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ebx & (1u << 16)) != 0;
+#else
+  return false;
+#endif
+}
 #endif  // PROGIDX_HAVE_SIMD_TIERS
 
 bool EnvFlagSet(const char* name) {
@@ -30,29 +66,82 @@ bool EnvFlagSet(const char* name) {
   return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
 }
 
+/// A typo'd or unsupported PROGIDX_FORCE_KERNEL must be loud: parity
+/// suites forced onto a tier cannot otherwise tell a misspelled tier
+/// from a genuine scalar run. Warned once per process.
+void WarnForcedTierFallback(const char* force, const char* reason) {
+  static bool warned = false;
+  if (warned) return;
+  warned = true;
+  std::fprintf(stderr,
+               "progidx: PROGIDX_FORCE_KERNEL=%s %s; falling back to the "
+               "scalar tier (known tiers: scalar, sse2, avx2, avx512)\n",
+               force, reason);
+}
+
 }  // namespace
 
-const KernelOps& ResolveKernels(const char* force, bool force_scalar) {
+const KernelOps& ResolveKernels(const char* force, bool force_scalar,
+                                bool warn_on_fallback) {
   if (force_scalar) return ScalarKernels();
 #ifdef PROGIDX_HAVE_SIMD_TIERS
   if (force != nullptr && force[0] != '\0') {
-    if (std::strcmp(force, "avx2") == 0 && CpuHasAvx2()) {
-      return Avx2Kernels();
+    if (std::strcmp(force, "scalar") == 0) return ScalarKernels();
+    if (std::strcmp(force, "avx512") == 0) {
+      if (CpuHasAvx512f()) {
+        const KernelOps& ops = Avx512Kernels();
+        // The TU compiles a scalar-forwarding stub when the compiler
+        // lacks -mavx512f; don't pass the stub off as the real tier.
+        if (std::strcmp(ops.name, "avx512") == 0) return ops;
+        if (warn_on_fallback) {
+          WarnForcedTierFallback(force, "is not compiled into this build");
+        }
+      } else if (warn_on_fallback) {
+        WarnForcedTierFallback(force, "is not supported by this CPU/OS");
+      }
+      return ScalarKernels();
     }
-    if (std::strcmp(force, "sse2") == 0 && CpuHasSse2()) {
-      return Sse2Kernels();
+    if (std::strcmp(force, "avx2") == 0) {
+      if (CpuHasAvx2()) {
+        const KernelOps& ops = Avx2Kernels();
+        if (std::strcmp(ops.name, "avx2") == 0) return ops;
+        if (warn_on_fallback) {
+          WarnForcedTierFallback(force, "is not compiled into this build");
+        }
+      } else if (warn_on_fallback) {
+        WarnForcedTierFallback(force, "is not supported by this CPU");
+      }
+      return ScalarKernels();
     }
-    // Unknown or unsupported tier: the scalar table is always correct.
+    if (std::strcmp(force, "sse2") == 0) {
+      if (CpuHasSse2()) return Sse2Kernels();
+      if (warn_on_fallback) {
+        WarnForcedTierFallback(force, "is not supported by this CPU");
+      }
+      return ScalarKernels();
+    }
+    if (warn_on_fallback) {
+      WarnForcedTierFallback(force, "names an unknown kernel tier");
+    }
     return ScalarKernels();
   }
+  // Auto chain: the widest tier the CPU can run. No sse2 in the chain:
+  // measured on real hardware, the emulated 64-bit compares make the
+  // 2-lane scans *slower* than the unrolled cmov scalar tier (~0.8x).
+  // It stays available via PROGIDX_FORCE_KERNEL=sse2 for testing and
+  // for machines where someone measures the opposite.
+  if (CpuHasAvx512f()) {
+    const KernelOps& ops = Avx512Kernels();
+    // Skip the scalar-forwarding stub (compiler without -mavx512f) so
+    // the chain still reaches the compiled AVX2 tier below.
+    if (std::strcmp(ops.name, "avx512") == 0) return ops;
+  }
   if (CpuHasAvx2()) return Avx2Kernels();
-  // No sse2 in the auto chain: measured on real hardware, the emulated
-  // 64-bit compares make the 2-lane scans *slower* than the unrolled
-  // cmov scalar tier (~0.8x). It stays available via
-  // PROGIDX_FORCE_KERNEL=sse2 for testing and for machines where
-  // someone measures the opposite.
 #else
-  (void)force;
+  if (warn_on_fallback && force != nullptr && force[0] != '\0' &&
+      std::strcmp(force, "scalar") != 0) {
+    WarnForcedTierFallback(force, "is not compiled in (PROGIDX_NO_SIMD)");
+  }
 #endif
   return ScalarKernels();
 }
@@ -60,7 +149,8 @@ const KernelOps& ResolveKernels(const char* force, bool force_scalar) {
 const KernelOps& Dispatch() {
   static const KernelOps* const selected =
       &ResolveKernels(std::getenv("PROGIDX_FORCE_KERNEL"),
-                      EnvFlagSet("PROGIDX_FORCE_SCALAR"));
+                      EnvFlagSet("PROGIDX_FORCE_SCALAR"),
+                      /*warn_on_fallback=*/true);
   return *selected;
 }
 
@@ -79,6 +169,12 @@ void RadixSortFlat(value_t* data, value_t* scratch, size_t n, value_t min_v,
   for (int shift = 0; shift < bits; shift += 8) {
     uint64_t counts[256] = {};
     k.radix_histogram(a, n, min_v, shift, 255u, counts);
+    // Dead digit pass: every element shares this byte (common for
+    // low-entropy/zipf or clustered columns), so the scatter would be
+    // the identity permutation — skip the whole pass.
+    uint64_t max_count = 0;
+    for (int d = 0; d < 256; d++) max_count = std::max(max_count, counts[d]);
+    if (max_count == static_cast<uint64_t>(n)) continue;
     size_t offsets[256];
     size_t acc = 0;
     for (int d = 0; d < 256; d++) {

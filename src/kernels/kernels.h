@@ -9,26 +9,36 @@
 // Vectorized scan/partition kernel layer.
 //
 // Every tight loop the progressive indexes spend their per-query budget
-// in — predicated range-sum scans, two-sided pivot partitioning, radix
-// digit extraction / histogram / scatter — lives here, in three
-// implementation tiers:
+// in — predicated range-sum scans, two-sided pivot partitioning, the
+// in-place crack, radix digit extraction / histogram / scatter — lives
+// here, in four implementation tiers:
 //
 //   * scalar — portable, cache-blocked, 4-way unrolled; the reference
 //     implementation every other tier must match bit for bit.
 //   * sse2   — 2-lane SIMD scans (64-bit compares emulated, so plain
 //     x86-64 baseline silicon qualifies).
-//   * avx2   — 4-lane scans, compress-store partitioning, vector digit
-//     extraction.
+//   * avx2   — 4-lane scans, compress-store partitioning, a buffered
+//     (Bramas-style) in-place crack, vector digit extraction, and a
+//     write-combining radix scatter.
+//   * avx512 — 8-lane masked scans, vpcompressq partitioning/crack,
+//     and a write-combining scatter flushed with 512-bit streaming
+//     stores.
 //
 // Which tier runs is decided once per process by Dispatch(): CPUID
-// feature detection, overridable with environment variables
-// PROGIDX_FORCE_SCALAR=1 (testing the fallback) or
-// PROGIDX_FORCE_KERNEL=scalar|sse2|avx2. Compiling with
+// feature detection (leaf 7 + XGETBV ZMM-state for AVX-512),
+// overridable with environment variables PROGIDX_FORCE_SCALAR=1
+// (testing the fallback) or
+// PROGIDX_FORCE_KERNEL=scalar|sse2|avx2|avx512 (unknown or unsupported
+// names warn once on stderr and fall back to scalar). Compiling with
 // -DPROGIDX_NO_SIMD removes the SIMD tiers entirely.
 //
-// All tiers produce *bit-identical* results: sums/counts are exact
-// int64 arithmetic (associative mod 2^64, so lane order is free), and
-// partition frontiers advance by the same counts. See docs/kernels.md.
+// All tiers produce *bit-identical* query results: sums/counts are
+// exact int64 arithmetic (associative mod 2^64, so lane order is free),
+// partition frontiers advance by the same counts, and the stable
+// scatter produces the same permutation. The in-place crack may order
+// elements differently *within* the two sides across tiers (every tier
+// yields a valid partition with the same boundary — the contract every
+// caller relies on). See docs/kernels.md.
 
 namespace progidx {
 namespace kernels {
@@ -61,10 +71,13 @@ struct KernelOps {
 
   /// Budgeted in-place two-sided predicated partition ("crack"). On
   /// entry [*lo, *hi] (inclusive) is the unclassified region. Processes
-  /// at most `max_steps` element classifications; returns steps used.
+  /// at most `max_steps` element classifications; returns steps used
+  /// (summed across resumed calls, never more than region size + 1).
   /// When the region collapses with budget to spare, the final element
   /// is classified, `*lo` becomes the partition boundary and `*done` is
-  /// set.
+  /// set. Tiers agree on the boundary and on which side each element
+  /// lands, not on the order within a side (callers only ever scan or
+  /// re-crack the sides, so ordering inside a side is free).
   size_t (*crack_in_place)(value_t* data, size_t* lo, size_t* hi,
                            value_t pivot, size_t max_steps, bool* done);
 
@@ -95,20 +108,26 @@ const KernelOps& ScalarKernels();
 /// CPUs whose feature bits Dispatch()/ResolveKernels() checked.
 const KernelOps& Sse2Kernels();
 const KernelOps& Avx2Kernels();
+const KernelOps& Avx512Kernels();
 #endif
 
 /// Pure selection logic behind Dispatch(), exposed so tests can
 /// exercise every combination without re-execing the process:
 /// `force_scalar` models PROGIDX_FORCE_SCALAR, `force` models
 /// PROGIDX_FORCE_KERNEL (nullptr = auto). A forced tier the CPU cannot
-/// run falls back to scalar.
-const KernelOps& ResolveKernels(const char* force, bool force_scalar);
+/// run falls back to scalar — silently by default (tests and probes
+/// call this to *ask* what resolves); Dispatch() passes
+/// `warn_on_fallback` so an unknown/unsupported tier genuinely set in
+/// the environment warns once on stderr instead of masquerading as a
+/// scalar run.
+const KernelOps& ResolveKernels(const char* force, bool force_scalar,
+                                bool warn_on_fallback = false);
 
 /// The process-wide tier, selected on first use from CPUID and the
 /// PROGIDX_FORCE_* environment variables.
 const KernelOps& Dispatch();
 
-/// Name of the dispatched tier ("scalar", "sse2", "avx2").
+/// Name of the dispatched tier ("scalar", "sse2", "avx2", "avx512").
 const char* ActiveKernelName();
 
 // --- Hot-path wrappers -------------------------------------------------

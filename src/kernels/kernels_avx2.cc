@@ -10,6 +10,8 @@
 
 #include <immintrin.h>
 
+#include <cstring>
+
 namespace progidx {
 namespace kernels {
 namespace {
@@ -89,12 +91,15 @@ QueryResult RangeSumPredicatedAvx2(const value_t* data, size_t n,
       _mm256_add_epi64(_mm256_add_epi64(c0, c1), _mm256_add_epi64(c2, c3));
   _mm256_store_si256(reinterpret_cast<__m256i*>(sums), s);
   _mm256_store_si256(reinterpret_cast<__m256i*>(counts), c);
-  QueryResult result{sums[0] + sums[1] + sums[2] + sums[3],
-                     counts[0] + counts[1] + counts[2] + counts[3]};
   const QueryResult tail = detail::RangeSumPredicatedScalar(data + i, n - i, q);
-  result.sum += tail.sum;
-  result.count += tail.count;
-  return result;
+  // Horizontal reduction and tail merge in uint64_t: mod-2^64 like the
+  // lanes, without signed-overflow UB.
+  const uint64_t sum =
+      static_cast<uint64_t>(sums[0]) + static_cast<uint64_t>(sums[1]) +
+      static_cast<uint64_t>(sums[2]) + static_cast<uint64_t>(sums[3]) +
+      static_cast<uint64_t>(tail.sum);
+  return {static_cast<int64_t>(sum),
+          counts[0] + counts[1] + counts[2] + counts[3] + tail.count};
 }
 
 void PartitionTwoSidedAvx2(const value_t* src, size_t n, value_t pivot,
@@ -129,6 +134,79 @@ void PartitionTwoSidedAvx2(const value_t* src, size_t n, value_t pivot,
   detail::PartitionTwoSidedScalar(src + i, n - i, pivot, dst, lo_pos, hi_pos);
 }
 
+size_t CrackInPlaceAvx2(value_t* data, size_t* lo_io, size_t* hi_io,
+                        value_t pivot, size_t max_steps, bool* done) {
+  constexpr size_t kW = 4;
+  size_t lo = *lo_io;
+  size_t hi = *hi_io;
+  // Bramas-style buffered in-place partition: hold one vector from each
+  // end in registers, which opens 2·kW free slots in the array; each
+  // step reads one vector from whichever end has fewer free slots and
+  // compress-stores its low/high halves to the two write frontiers.
+  // Loading from the emptier side keeps >= kW free slots in front of
+  // both frontiers, so the full-width (clobbering) stores only ever
+  // touch free slots. On exit the two held vectors are spilled back
+  // into the remaining gap, re-establishing the scalar invariant that
+  // [*lo, *hi] is exactly the unclassified region.
+  if (lo < hi && hi - lo + 1 >= 4 * kW && max_steps >= 2 * kW) {
+    const __m256i piv = _mm256_set1_epi64x(pivot);
+    const __m256i l_held =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + lo));
+    const __m256i r_held =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + hi - 3));
+    size_t ur_lo = lo + kW;      // unread region: [ur_lo, ur_hi)
+    size_t ur_hi = hi + 1 - kW;
+    size_t lw = lo;              // next free slot on the left
+    size_t rw = hi;              // next free slot on the right
+    size_t vec_steps = 0;
+    while (ur_hi - ur_lo >= kW && vec_steps + kW <= max_steps) {
+      __m256i v;
+      if (ur_lo - lw <= rw + 1 - ur_hi) {
+        v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + ur_lo));
+        ur_lo += kW;
+      } else {
+        ur_hi -= kW;
+        v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + ur_hi));
+      }
+      const unsigned below = static_cast<unsigned>(
+          _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(piv, v))));
+      const __m256i lows = _mm256_permutevar8x32_epi32(
+          v, _mm256_load_si256(
+                 reinterpret_cast<const __m256i*>(kCompress.front[below])));
+      const __m256i highs = _mm256_permutevar8x32_epi32(
+          v, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                 kCompress.back[below ^ 0xFu])));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(data + lw), lows);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(data + rw - 3), highs);
+      const unsigned nlow = static_cast<unsigned>(__builtin_popcount(below));
+      lw += nlow;
+      rw -= kW - nlow;
+      vec_steps += kW;
+    }
+    // Spill the held vectors into the free slots on both sides; the
+    // unclassified region is again contiguous at [lw, rw]. Reported
+    // steps are the region's shrinkage, so resuming never double-counts
+    // the spilled (re-read) elements against the budget.
+    alignas(32) value_t held[2 * kW];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(held), l_held);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(held + kW), r_held);
+    const size_t left_free = ur_lo - lw;
+    for (size_t k = 0; k < left_free; k++) data[lw + k] = held[k];
+    for (size_t k = left_free; k < 2 * kW; k++) {
+      data[ur_hi + (k - left_free)] = held[k];
+    }
+    lo = lw;
+    hi = rw;
+    *lo_io = lo;
+    *hi_io = hi;
+    const size_t tail_steps = detail::CrackInPlaceScalar(
+        data, lo_io, hi_io, pivot, max_steps - vec_steps, done);
+    return vec_steps + tail_steps;
+  }
+  return detail::CrackInPlaceScalar(data, lo_io, hi_io, pivot, max_steps,
+                                    done);
+}
+
 void ComputeDigitsAvx2(const value_t* src, size_t n, value_t base, int shift,
                        uint32_t mask, uint32_t* digits) {
   const __m256i basev = _mm256_set1_epi64x(base);
@@ -161,8 +239,28 @@ void RadixHistogramAvx2(const value_t* src, size_t n, value_t base, int shift,
 
 void RadixScatterAvx2(const value_t* src, size_t n, value_t base, int shift,
                       uint32_t mask, value_t* dst, size_t* offsets) {
-  detail::ScatterWithDigits(&ComputeDigitsAvx2, src, n, base, shift, mask,
-                            dst, offsets);
+  if (mask < detail::kWcMinMask || mask > detail::kWcMaxMask ||
+      n * sizeof(value_t) < detail::kWcStreamMinBytes) {
+    detail::ScatterWithDigits(&ComputeDigitsAvx2, src, n, base, shift, mask,
+                              dst, offsets);
+    return;
+  }
+  detail::ScatterWithWcBuffers(
+      &ComputeDigitsAvx2, src, n, base, shift, mask, dst, offsets,
+      [](value_t* out, const value_t* buf, uint32_t cnt) {
+        if (cnt == detail::kWcSlotsPerBucket &&
+            (reinterpret_cast<uintptr_t>(out) & 63) == 0) {
+          for (uint32_t k = 0; k < detail::kWcSlotsPerBucket; k += 4) {
+            _mm256_stream_si256(
+                reinterpret_cast<__m256i*>(out + k),
+                _mm256_load_si256(
+                    reinterpret_cast<const __m256i*>(buf + k)));
+          }
+        } else {
+          std::memcpy(out, buf, cnt * sizeof(value_t));
+        }
+      });
+  _mm_sfence();
 }
 
 }  // namespace
@@ -173,7 +271,7 @@ const KernelOps& Avx2Kernels() {
       &RangeSumPredicatedAvx2,
       &detail::RangeSumBranchedScalar,
       &PartitionTwoSidedAvx2,
-      &detail::CrackInPlaceScalar,
+      &CrackInPlaceAvx2,
       &ComputeDigitsAvx2,
       &RadixHistogramAvx2,
       &RadixScatterAvx2,

@@ -18,7 +18,10 @@ constexpr size_t kScanTile = 4096;
 
 QueryResult RangeSumPredicatedScalar(const value_t* data, size_t n,
                                      const RangeQuery& q) {
-  int64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  // Sums accumulate in uint64_t: the kernel contract is exact mod-2^64
+  // arithmetic (matching the SIMD lanes), and unsigned wraparound is
+  // defined where int64 overflow would be UB.
+  uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
   int64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
   size_t i = 0;
   while (i < n) {
@@ -29,48 +32,48 @@ QueryResult RangeSumPredicatedScalar(const value_t* data, size_t n,
       const value_t v1 = data[i + 1];
       const value_t v2 = data[i + 2];
       const value_t v3 = data[i + 3];
-      const int64_t m0 =
-          static_cast<int64_t>(v0 >= q.low) & static_cast<int64_t>(v0 <= q.high);
-      const int64_t m1 =
-          static_cast<int64_t>(v1 >= q.low) & static_cast<int64_t>(v1 <= q.high);
-      const int64_t m2 =
-          static_cast<int64_t>(v2 >= q.low) & static_cast<int64_t>(v2 <= q.high);
-      const int64_t m3 =
-          static_cast<int64_t>(v3 >= q.low) & static_cast<int64_t>(v3 <= q.high);
+      const uint64_t m0 = static_cast<uint64_t>(v0 >= q.low) &
+                          static_cast<uint64_t>(v0 <= q.high);
+      const uint64_t m1 = static_cast<uint64_t>(v1 >= q.low) &
+                          static_cast<uint64_t>(v1 <= q.high);
+      const uint64_t m2 = static_cast<uint64_t>(v2 >= q.low) &
+                          static_cast<uint64_t>(v2 <= q.high);
+      const uint64_t m3 = static_cast<uint64_t>(v3 >= q.low) &
+                          static_cast<uint64_t>(v3 <= q.high);
       // v & -m == v * m for m in {0, 1}: the masked add the SIMD tiers
       // use, so every tier performs the identical mod-2^64 arithmetic.
-      s0 += v0 & -m0;
-      s1 += v1 & -m1;
-      s2 += v2 & -m2;
-      s3 += v3 & -m3;
-      c0 += m0;
-      c1 += m1;
-      c2 += m2;
-      c3 += m3;
+      s0 += static_cast<uint64_t>(v0) & (0 - m0);
+      s1 += static_cast<uint64_t>(v1) & (0 - m1);
+      s2 += static_cast<uint64_t>(v2) & (0 - m2);
+      s3 += static_cast<uint64_t>(v3) & (0 - m3);
+      c0 += static_cast<int64_t>(m0);
+      c1 += static_cast<int64_t>(m1);
+      c2 += static_cast<int64_t>(m2);
+      c3 += static_cast<int64_t>(m3);
     }
     for (; i < tile_end; i++) {
       const value_t v = data[i];
-      const int64_t m =
-          static_cast<int64_t>(v >= q.low) & static_cast<int64_t>(v <= q.high);
-      s0 += v & -m;
-      c0 += m;
+      const uint64_t m = static_cast<uint64_t>(v >= q.low) &
+                         static_cast<uint64_t>(v <= q.high);
+      s0 += static_cast<uint64_t>(v) & (0 - m);
+      c0 += static_cast<int64_t>(m);
     }
   }
-  return {s0 + s1 + s2 + s3, c0 + c1 + c2 + c3};
+  return {static_cast<int64_t>(s0 + s1 + s2 + s3), c0 + c1 + c2 + c3};
 }
 
 QueryResult RangeSumBranchedScalar(const value_t* data, size_t n,
                                    const RangeQuery& q) {
-  int64_t sum = 0;
+  uint64_t sum = 0;  // mod-2^64, like every tier
   int64_t count = 0;
   for (size_t i = 0; i < n; i++) {
     const value_t v = data[i];
     if (v >= q.low && v <= q.high) {
-      sum += v;
+      sum += static_cast<uint64_t>(v);
       count++;
     }
   }
-  return {sum, count};
+  return {static_cast<int64_t>(sum), count};
 }
 
 void PartitionTwoSidedScalar(const value_t* src, size_t n, value_t pivot,
@@ -99,8 +102,22 @@ size_t CrackInPlaceScalar(value_t* data, size_t* lo_io, size_t* hi_io,
   *done = false;
   // Predicated swap: both slots are written every iteration and exactly
   // one cursor advances, so the loop body has no data-dependent branch.
-  // The loop is dependency-bound through lo/hi, which is why no SIMD
-  // tier overrides it.
+  // The gap shrinks by exactly 1 per step, so 4 steps are safe (and can
+  // skip the per-step budget/collision checks) whenever the gap holds
+  // at least 4; the AVX2/AVX-512 tiers override this with a buffered
+  // vector partition, this unrolled loop is the ladder's floor.
+  while (steps + 4 <= max_steps && lo < hi && hi - lo >= 4) {
+    for (int u = 0; u < 4; u++) {
+      const value_t a = data[lo];
+      const value_t b = data[hi];
+      const bool stay = a < pivot;
+      data[lo] = stay ? a : b;
+      data[hi] = stay ? b : a;
+      lo += stay ? 1 : 0;
+      hi -= stay ? 0 : 1;
+    }
+    steps += 4;
+  }
   while (lo < hi && steps < max_steps) {
     const value_t a = data[lo];
     const value_t b = data[hi];

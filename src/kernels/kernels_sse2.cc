@@ -65,11 +65,13 @@ QueryResult RangeSumPredicatedSse2(const value_t* data, size_t n,
   const __m128i c = _mm_add_epi64(_mm_add_epi64(c0, c1), _mm_add_epi64(c2, c3));
   _mm_store_si128(reinterpret_cast<__m128i*>(sums), s);
   _mm_store_si128(reinterpret_cast<__m128i*>(counts), c);
-  QueryResult result{sums[0] + sums[1], counts[0] + counts[1]};
   const QueryResult tail = detail::RangeSumPredicatedScalar(data + i, n - i, q);
-  result.sum += tail.sum;
-  result.count += tail.count;
-  return result;
+  // Horizontal reduction and tail merge in uint64_t: mod-2^64 like the
+  // lanes, without signed-overflow UB.
+  const uint64_t sum = static_cast<uint64_t>(sums[0]) +
+                       static_cast<uint64_t>(sums[1]) +
+                       static_cast<uint64_t>(tail.sum);
+  return {static_cast<int64_t>(sum), counts[0] + counts[1] + tail.count};
 }
 
 }  // namespace

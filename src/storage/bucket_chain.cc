@@ -12,6 +12,21 @@ void BucketChain::AddBlock() {
   tail_ = blocks_.back().get();
 }
 
+void BucketChain::AppendRun(const value_t* src, size_t k) {
+  size_ += k;
+  while (k > 0) {
+    if (tail_ == nullptr || tail_->count == block_capacity_) {
+      AddBlock();
+    }
+    const size_t take = std::min(k, block_capacity_ - tail_->count);
+    std::memcpy(tail_->values.get() + tail_->count, src,
+                take * sizeof(value_t));
+    tail_->count += take;
+    src += take;
+    k -= take;
+  }
+}
+
 size_t BucketChain::CopyTo(value_t* out) const {
   size_t written = 0;
   for (const auto& block : blocks_) {
@@ -61,7 +76,7 @@ void ScatterToChains(const value_t* src, size_t n, value_t base, int shift,
       [base, shift, mask](const value_t* batch, size_t len, uint32_t* ids) {
         kernels::ComputeDigits(batch, len, base, shift, mask, ids);
       },
-      src, n, chains);
+      src, n, chains, static_cast<size_t>(mask) + 1);
 }
 
 }  // namespace progidx

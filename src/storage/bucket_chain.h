@@ -40,6 +40,10 @@ class BucketChain {
     size_++;
   }
 
+  /// Appends `k` elements in order, block-wise (memcpy across block
+  /// boundaries). The bulk flush path of the write-combining scatter.
+  void AppendRun(const value_t* src, size_t k);
+
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   size_t block_count() const { return blocks_.size(); }
@@ -161,37 +165,74 @@ class BucketChain {
 
 /// The bucket-scatter inner loop, parameterized on how a batch of
 /// destination ids is resolved: `fill_ids(batch, len, ids)` fills
-/// ids[0, len) for batch[0, len). Ids are resolved a cache-resident
-/// batch at a time so each append can prefetch its destination chain's
-/// tail block a few stores ahead (the scatter touches one cache line
-/// per distinct bucket per batch, which is what makes the unprefetched
-/// loop latency-bound).
+/// ids[0, len) for batch[0, len); every id must be < `num_chains`.
+///
+/// Large scatters stage each chain's elements in a 256 B per-chain
+/// software write-combining buffer and flush full buffers with one
+/// block-wise AppendRun, so the per-element work is a buffer store and
+/// a counter instead of a full Append (tail-full branch + two size
+/// counters) against a far cache line. Small scatters (or more chains
+/// than the WC table covers) keep the per-element loop, with each
+/// destination chain's tail prefetched a few stores ahead.
 template <typename FillIds>
 void ScatterToChainsBatched(FillIds&& fill_ids, const value_t* src, size_t n,
-                            BucketChain* chains) {
+                            BucketChain* chains, size_t num_chains) {
   constexpr size_t kBatch = 1024;
-  constexpr size_t kPrefetchDist = 8;
   uint32_t ids[kBatch];
+  constexpr size_t kWcSlots = 32;       // 256 B staged per chain
+  constexpr size_t kWcMaxChains = 256;  // 64 KiB WC table at most
+  if (num_chains == 0 || num_chains > kWcMaxChains || n < 8 * num_chains) {
+    constexpr size_t kPrefetchDist = 8;
+    size_t i = 0;
+    while (i < n) {
+      const size_t len = std::min(kBatch, n - i);
+      fill_ids(src + i, len, ids);
+      for (size_t j = 0; j < len; j++) {
+        if (j + kPrefetchDist < len) {
+          chains[ids[j + kPrefetchDist]].PrefetchTail();
+        }
+        chains[ids[j]].Append(src[i + j]);
+      }
+      i += len;
+    }
+    return;
+  }
+  struct WcTable {
+    alignas(64) value_t buf[kWcMaxChains * kWcSlots];
+    uint32_t fill[kWcMaxChains];
+  };
+  static thread_local WcTable wc;
+  for (size_t d = 0; d < num_chains; d++) wc.fill[d] = 0;
   size_t i = 0;
   while (i < n) {
     const size_t len = std::min(kBatch, n - i);
     fill_ids(src + i, len, ids);
     for (size_t j = 0; j < len; j++) {
-      if (j + kPrefetchDist < len) {
-        chains[ids[j + kPrefetchDist]].PrefetchTail();
+      const uint32_t d = ids[j];
+      value_t* buf = wc.buf + d * kWcSlots;
+      uint32_t f = wc.fill[d];
+      buf[f++] = src[i + j];
+      if (f == kWcSlots) {
+        chains[d].AppendRun(buf, kWcSlots);
+        f = 0;
       }
-      chains[ids[j]].Append(src[i + j]);
+      wc.fill[d] = f;
     }
     i += len;
+  }
+  for (size_t d = 0; d < num_chains; d++) {
+    if (wc.fill[d] != 0) {
+      chains[d].AppendRun(wc.buf + d * kWcSlots, wc.fill[d]);
+    }
   }
 }
 
 /// Scatters src[0, n) into chains[((v − base) >> shift) & mask], with
-/// the ids resolved by the dispatched vector digit kernel. This is the
-/// radix bucket-scatter shared by Progressive Radixsort MSD (root
-/// bucketing and splits) and LSD (creation and per-pass drains);
-/// Progressive Bucketsort uses ScatterToChainsBatched directly with its
-/// equi-height binary search.
+/// the ids resolved by the dispatched vector digit kernel; `chains`
+/// must hold mask + 1 entries. This is the radix bucket-scatter shared
+/// by Progressive Radixsort MSD (root bucketing and splits) and LSD
+/// (creation and per-pass drains); Progressive Bucketsort uses
+/// ScatterToChainsBatched directly with its equi-height binary search.
 void ScatterToChains(const value_t* src, size_t n, value_t base, int shift,
                      uint32_t mask, BucketChain* chains);
 

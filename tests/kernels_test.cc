@@ -1,7 +1,10 @@
-// Kernel-layer parity: every tier (scalar, sse2, avx2) must return
-// bit-identical results for every kernel, across alignment offsets,
-// tail lengths 0-63, degenerate predicates, and INT64_MIN/MAX
-// boundaries. The scalar tier is the reference.
+// Kernel-layer parity: every tier (scalar, sse2, avx2, avx512) must
+// return bit-identical query results for every kernel, across alignment
+// offsets, tail lengths 0-63, degenerate predicates, and INT64_MIN/MAX
+// boundaries. The scalar tier is the reference. The in-place crack is
+// held to its contract (same boundary, valid sides, same multiset,
+// steps bounded) rather than byte layout — tiers may order elements
+// differently within a side.
 
 #include <gtest/gtest.h>
 
@@ -26,10 +29,10 @@ std::vector<const KernelOps*> AvailableTiers() {
   std::vector<const KernelOps*> tiers;
   tiers.push_back(&kernels::ScalarKernels());
 #ifdef PROGIDX_HAVE_SIMD_TIERS
-  const KernelOps& sse2 = kernels::ResolveKernels("sse2", false);
-  if (std::string(sse2.name) == "sse2") tiers.push_back(&sse2);
-  const KernelOps& avx2 = kernels::ResolveKernels("avx2", false);
-  if (std::string(avx2.name) == "avx2") tiers.push_back(&avx2);
+  for (const char* name : {"sse2", "avx2", "avx512"}) {
+    const KernelOps& ops = kernels::ResolveKernels(name, false);
+    if (std::string(ops.name) == name) tiers.push_back(&ops);
+  }
 #endif
   return tiers;
 }
@@ -56,6 +59,13 @@ TEST(KernelDispatchTest, UnknownForcedTierFallsBackToScalar) {
   EXPECT_STREQ(kernels::ResolveKernels("avx512vnni", false).name, "scalar");
   EXPECT_STREQ(kernels::ResolveKernels("", false).name,
                kernels::ResolveKernels(nullptr, false).name);
+}
+
+TEST(KernelDispatchTest, Avx512ResolvesToItselfOrScalar) {
+  // Forced avx512 must either run the real tier (CPU + build support)
+  // or fall back to scalar — never silently land on another SIMD tier.
+  const std::string name = kernels::ResolveKernels("avx512", false).name;
+  EXPECT_TRUE(name == "avx512" || name == "scalar") << name;
 }
 
 TEST(KernelDispatchTest, DispatchHonorsForceScalarEnv) {
@@ -246,6 +256,175 @@ TEST(KernelParityTest, CrackInPlaceMatchesReference) {
       std::sort(sorted_out.begin(), sorted_out.end());
       std::sort(sorted_in.begin(), sorted_in.end());
       EXPECT_EQ(sorted_out, sorted_in) << ops->name;
+    }
+  }
+}
+
+/// Full-crack contract check: `data` was `original` and has been
+/// cracked to completion around `pivot` with reported `boundary`.
+void ExpectValidCrack(const std::vector<value_t>& original,
+                      const std::vector<value_t>& data, size_t boundary,
+                      value_t pivot, const char* tier) {
+  for (size_t i = 0; i < boundary; i++) {
+    ASSERT_LT(data[i], pivot) << tier << " i=" << i;
+  }
+  for (size_t i = boundary; i < data.size(); i++) {
+    ASSERT_GE(data[i], pivot) << tier << " i=" << i;
+  }
+  std::vector<value_t> sorted_out = data;
+  std::vector<value_t> sorted_in = original;
+  std::sort(sorted_out.begin(), sorted_out.end());
+  std::sort(sorted_in.begin(), sorted_in.end());
+  EXPECT_EQ(sorted_out, sorted_in) << tier;
+}
+
+TEST(KernelParityTest, CrackInPlaceUnalignedBasesAndShortTails) {
+  // Bases at every 32/64-byte misalignment and region sizes straddling
+  // the vector-path gates (one vector, the 2/4-vector preload minimums,
+  // and sub-vector tails).
+  const auto tiers = AvailableTiers();
+  Rng rng(67);
+  const std::vector<value_t> backing = RandomData(7 + 200, rng.Next(),
+                                                  -1000, 1000);
+  for (size_t offset = 0; offset <= 7; offset++) {
+    for (size_t n : {2u, 3u, 5u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 32u, 33u,
+                     63u, 64u, 65u, 100u, 200u}) {
+      const value_t pivot = 37;
+      std::vector<value_t> original(backing.begin() + offset,
+                                    backing.begin() + offset + n);
+      for (const KernelOps* ops : tiers) {
+        // Crack inside the original (misaligned) storage, not a copy,
+        // so vector loads/stores see the misaligned addresses.
+        std::vector<value_t> buffer = backing;
+        size_t lo = offset;
+        size_t hi = offset + n - 1;
+        bool done = false;
+        size_t total_steps = 0;
+        while (!done) {
+          total_steps += ops->crack_in_place(buffer.data(), &lo, &hi, pivot,
+                                             1 + (n / 3), &done);
+        }
+        EXPECT_LE(total_steps, n + 1) << ops->name;
+        // Bytes outside [offset, offset + n) must be untouched.
+        for (size_t i = 0; i < offset; i++) {
+          ASSERT_EQ(buffer[i], backing[i]) << ops->name;
+        }
+        for (size_t i = offset + n; i < backing.size(); i++) {
+          ASSERT_EQ(buffer[i], backing[i]) << ops->name;
+        }
+        const std::vector<value_t> region(buffer.begin() + offset,
+                                          buffer.begin() + offset + n);
+        ExpectValidCrack(original, region, lo - offset, pivot, ops->name);
+      }
+    }
+  }
+}
+
+TEST(KernelParityTest, CrackInPlaceAllDuplicatePivotValues) {
+  const auto tiers = AvailableTiers();
+  for (size_t n : {4u, 37u, 64u, 301u}) {
+    struct Case {
+      value_t fill;
+      value_t pivot;
+    };
+    // All-equal inputs on every side of the pivot, including all equal
+    // *to* the pivot (everything >= side, boundary 0).
+    const Case cases[] = {{50, 50}, {49, 50}, {51, 50}};
+    for (const Case& c : cases) {
+      for (const KernelOps* ops : tiers) {
+        std::vector<value_t> data(n, c.fill);
+        size_t lo = 0;
+        size_t hi = n - 1;
+        bool done = false;
+        size_t total_steps = 0;
+        while (!done) {
+          total_steps +=
+              ops->crack_in_place(data.data(), &lo, &hi, c.pivot, 13, &done);
+        }
+        EXPECT_LE(total_steps, n + 1) << ops->name;
+        const size_t expected_boundary = c.fill < c.pivot ? n : 0;
+        EXPECT_EQ(lo, expected_boundary) << ops->name << " n=" << n;
+        ExpectValidCrack(std::vector<value_t>(n, c.fill), data, lo, c.pivot,
+                         ops->name);
+      }
+    }
+  }
+}
+
+TEST(KernelParityTest, CrackInPlaceAlreadyPartitionedInputs) {
+  const auto tiers = AvailableTiers();
+  Rng rng(71);
+  for (size_t n : {16u, 64u, 257u}) {
+    const value_t pivot = 0;
+    // Already partitioned (all lows, then all highs), reverse
+    // partitioned, and fully sorted inputs.
+    std::vector<std::vector<value_t>> inputs;
+    std::vector<value_t> part(n);
+    const size_t n_low = n / 3;
+    for (size_t i = 0; i < n; i++) {
+      part[i] = i < n_low ? -static_cast<value_t>(1 + rng.NextBounded(100))
+                          : static_cast<value_t>(rng.NextBounded(100));
+    }
+    inputs.push_back(part);
+    std::vector<value_t> reversed(part.rbegin(), part.rend());
+    inputs.push_back(reversed);
+    std::vector<value_t> sorted = part;
+    std::sort(sorted.begin(), sorted.end());
+    inputs.push_back(sorted);
+    for (const std::vector<value_t>& original : inputs) {
+      for (const KernelOps* ops : tiers) {
+        std::vector<value_t> data = original;
+        size_t lo = 0;
+        size_t hi = n - 1;
+        bool done = false;
+        size_t total_steps = 0;
+        while (!done) {
+          total_steps +=
+              ops->crack_in_place(data.data(), &lo, &hi, pivot, 29, &done);
+        }
+        EXPECT_LE(total_steps, n + 1) << ops->name;
+        EXPECT_EQ(lo, n_low) << ops->name << " n=" << n;
+        ExpectValidCrack(original, data, lo, pivot, ops->name);
+      }
+    }
+  }
+}
+
+TEST(KernelParityTest, WriteCombiningScatterLargeUnalignedParity) {
+  // Big enough (> 4 MiB scattered) to take the WC + streaming-store
+  // path at 256 buckets, on a deliberately misaligned destination base
+  // so head/full/tail flushes all occur. Output must be bit-identical
+  // to the scalar reference scatter.
+  const auto tiers = AvailableTiers();
+  constexpr size_t kBig = (4u << 20) / sizeof(value_t) + 12345;
+  const uint32_t mask = 255u;
+  const int shift = 2;
+  const std::vector<value_t> data = RandomData(kBig, 83, 0, 1 << 16);
+  std::vector<uint64_t> counts(mask + 1, 0);
+  kernels::ScalarKernels().radix_histogram(data.data(), kBig, 0, shift, mask,
+                                           counts.data());
+  auto prefix = [&](std::vector<size_t>* offsets, size_t extra) {
+    size_t acc = extra;
+    for (uint32_t d = 0; d <= mask; d++) {
+      (*offsets)[d] = acc;
+      acc += static_cast<size_t>(counts[d]);
+    }
+  };
+  for (size_t misalign : {0u, 1u, 3u}) {
+    std::vector<size_t> ref_offsets(mask + 1);
+    prefix(&ref_offsets, misalign);
+    std::vector<value_t> ref_dst(kBig + 8, -1);
+    kernels::ScalarKernels().radix_scatter(data.data(), kBig, 0, shift, mask,
+                                           ref_dst.data(),
+                                           ref_offsets.data());
+    for (const KernelOps* ops : tiers) {
+      std::vector<size_t> offsets(mask + 1);
+      prefix(&offsets, misalign);
+      std::vector<value_t> dst(kBig + 8, -1);
+      ops->radix_scatter(data.data(), kBig, 0, shift, mask, dst.data(),
+                         offsets.data());
+      ASSERT_EQ(dst, ref_dst) << ops->name << " misalign=" << misalign;
+      ASSERT_EQ(offsets, ref_offsets) << ops->name;
     }
   }
 }

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/rng.h"
 #include "storage/bucket_chain.h"
 #include "storage/column.h"
 
@@ -46,6 +47,39 @@ TEST(BucketChainTest, AppendOrderIsStable) {
   std::vector<value_t> out(input.size());
   EXPECT_EQ(chain.CopyTo(out.data()), input.size());
   EXPECT_EQ(out, input);
+}
+
+TEST(BucketChainTest, AppendRunMatchesElementwiseAppend) {
+  // Runs that start mid-block, span several block boundaries, and mix
+  // with single appends must leave the same chain as element-wise
+  // Append (AppendRun is the WC scatter's bulk flush path).
+  for (size_t block : {3u, 7u, 32u, 100u}) {
+    BucketChain bulk(block);
+    BucketChain reference(block);
+    Rng rng(91);
+    std::vector<value_t> staged;
+    for (int round = 0; round < 50; round++) {
+      const size_t k = rng.NextBounded(70);
+      staged.clear();
+      for (size_t i = 0; i < k; i++) {
+        staged.push_back(static_cast<value_t>(rng.NextInRange(-500, 500)));
+      }
+      bulk.AppendRun(staged.data(), staged.size());
+      for (value_t v : staged) reference.Append(v);
+      if (rng.NextBounded(2) == 0) {
+        const value_t v = static_cast<value_t>(rng.NextInRange(-500, 500));
+        bulk.Append(v);
+        reference.Append(v);
+      }
+    }
+    ASSERT_EQ(bulk.size(), reference.size()) << "block=" << block;
+    EXPECT_EQ(bulk.block_count(), reference.block_count());
+    std::vector<value_t> got(bulk.size());
+    std::vector<value_t> want(reference.size());
+    bulk.CopyTo(got.data());
+    reference.CopyTo(want.data());
+    EXPECT_EQ(got, want) << "block=" << block;
+  }
 }
 
 TEST(BucketChainTest, AllocationsMatchBlockCount) {

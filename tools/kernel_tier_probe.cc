@@ -1,0 +1,26 @@
+// Resolves a kernel tier by name and reports whether this machine and
+// build can actually run it. Exit codes: 0 = tier resolves, 77 = it
+// does not (the ctest convention for "skip this lane"), 2 = usage.
+//
+//   $ kernel_tier_probe avx512 && PROGIDX_FORCE_KERNEL=avx512 ./progidx_tests
+
+#include <cstdio>
+#include <cstring>
+
+#include "kernels/kernels.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: kernel_tier_probe <scalar|sse2|avx2|avx512>\n");
+    return 2;
+  }
+  const progidx::kernels::KernelOps& ops =
+      progidx::kernels::ResolveKernels(argv[1], /*force_scalar=*/false);
+  if (std::strcmp(ops.name, argv[1]) == 0) {
+    std::printf("%s: supported\n", argv[1]);
+    return 0;
+  }
+  std::printf("%s: unsupported on this CPU/build (resolves to %s)\n", argv[1],
+              ops.name);
+  return 77;
+}
