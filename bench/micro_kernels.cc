@@ -5,8 +5,10 @@
 //
 // On startup this binary also runs a short hand-timed throughput sweep
 // of the kernel layer and writes BENCH_kernels.json (scalar vs
-// dispatched GB/s and the speedup per kernel), so successive PRs leave
-// a perf trajectory behind.
+// dispatched GB/s and the speedup per kernel; per-tier rows; per
+// thread-count rows for the parallel composite primitives; and the
+// <= 64-bucket scatter shape study), so successive PRs leave a perf
+// trajectory behind.
 
 #include <benchmark/benchmark.h>
 
@@ -17,6 +19,8 @@
 #include <limits>
 #include <vector>
 
+#include <thread>
+
 #include "baselines/avl_tree.h"
 #include "baselines/cracking_kernels.h"
 #include "btree/btree.h"
@@ -24,6 +28,8 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "kernels/kernels.h"
+#include "kernels/kernels_internal.h"
+#include "parallel/primitives.h"
 #include "storage/bucket_chain.h"
 
 namespace progidx {
@@ -389,6 +395,8 @@ void WriteKernelThroughputJson(const char* path) {
     const char* name;
     std::vector<double> tier_gbps;  // parallel to `tiers`
     double dispatched_gbps;
+    std::vector<double> thread_gbps;  // parallel to kThreadCounts; empty =
+                                      // no parallel counterpart
   };
   const double gbytes = static_cast<double>(kN) * sizeof(value_t) / 1e9;
   std::vector<ResultRow> rows;
@@ -404,9 +412,144 @@ void WriteKernelThroughputJson(const char* path) {
       }
       active_best = std::min(active_best, k.measure_once(active));
     }
-    ResultRow row{k.name, {}, gbytes / active_best};
+    ResultRow row{k.name, {}, gbytes / active_best, {}};
     for (const double secs : tier_best) row.tier_gbps.push_back(gbytes / secs);
     rows.push_back(std::move(row));
+  }
+
+  // --- Per-thread-count rows: the parallel composite primitives over
+  // the dispatched tier. T = 1 is the *serial* dispatched path (the
+  // baseline the speedups in docs/parallel.md quote); higher counts
+  // force the lane count, so the rows are meaningful on any machine
+  // (an oversubscribed single-core container simply shows ~1x).
+  const size_t kThreadCounts[] = {1, 2, 4, 8};
+  auto rs_at = [&](size_t t) {
+    return MeasureSecsOnce(nop, [&] {
+      throughput_sink =
+          parallel::RangeSumPredicatedWithLanes(data.data(), kN, q, t).sum;
+    });
+  };
+  auto partition_at = [&](size_t t) {
+    return MeasureSecsOnce(nop, [&] {
+      if (t <= 1) {
+        size_t lo = 0;
+        int64_t hi = static_cast<int64_t>(kN) - 1;
+        active.partition_two_sided(data.data(), kN,
+                                   static_cast<value_t>(kN / 2), dst.data(),
+                                   &lo, &hi);
+        throughput_sink = static_cast<int64_t>(lo);
+      } else {
+        parallel::SetLanesForTesting(t);
+        size_t lo = 0;
+        int64_t hi = static_cast<int64_t>(kN) - 1;
+        parallel::PartitionTwoSided(data.data(), kN,
+                                    static_cast<value_t>(kN / 2), dst.data(),
+                                    &lo, &hi);
+        parallel::SetLanesForTesting(0);
+        throughput_sink = static_cast<int64_t>(lo);
+      }
+    });
+  };
+  auto scatter_at = [&](size_t t) {
+    return MeasureSecsOnce(nop, [&] {
+      uint64_t counts[256] = {};
+      parallel::RadixHistogram(data.data(), kN, 0, 8, 255u, counts, t);
+      size_t offsets[256];
+      size_t acc = 0;
+      for (int d = 0; d < 256; d++) {
+        offsets[d] = acc;
+        acc += static_cast<size_t>(counts[d]);
+      }
+      parallel::RadixScatter(data.data(), kN, 0, 8, 255u, dst.data(),
+                             offsets, t);
+      throughput_sink = dst[0];
+    });
+  };
+  struct ThreadSweep {
+    const char* row_name;
+    std::function<double(size_t)> measure_at;
+  };
+  const std::vector<ThreadSweep> sweeps = {
+      {"predicated_range_sum", rs_at},
+      {"partition_two_sided", partition_at},
+      {"radix_histogram_scatter", scatter_at},
+  };
+  for (const ThreadSweep& sweep : sweeps) {
+    std::vector<double> best(std::size(kThreadCounts), 1e30);
+    for (size_t r = 0; r < kReps; r++) {
+      for (size_t t = 0; t < std::size(kThreadCounts); t++) {
+        best[t] = std::min(best[t], sweep.measure_at(kThreadCounts[t]));
+      }
+    }
+    for (ResultRow& row : rows) {
+      if (std::strcmp(row.name, sweep.row_name) != 0) continue;
+      for (const double secs : best) row.thread_gbps.push_back(gbytes / secs);
+    }
+  }
+
+  // --- <= 64-bucket scatter shape study (ROADMAP: "a vpconflictq-based
+  // vectorized buffering loop might close that; measure before
+  // believing"): the prefetching direct scatter (what the dispatched
+  // kernel runs below kWcMinMask), the scalar WC buffering loop, and
+  // the vpconflictq-vectorized WC loop, head to head at 64 buckets.
+  struct Scatter64Shape {
+    size_t elements;
+    double direct_gbps = 0;
+    double wc_gbps = 0;
+    double conflict_gbps = 0;  // 0 = unavailable (build or CPU)
+  };
+  const kernels::detail::ScatterFn conflict_fn =
+      kernels::detail::ConflictWcScatterAvx512();
+  std::vector<Scatter64Shape> scatter64;
+  for (const size_t sn : {size_t{1} << 16, kN}) {
+    Scatter64Shape shape{sn, 0, 0, 0};
+    uint64_t counts[64] = {};
+    active.radix_histogram(data.data(), sn, 0, 0, 63u, counts);
+    size_t base_offsets[64];
+    size_t acc = 0;
+    for (int d = 0; d < 64; d++) {
+      base_offsets[d] = acc;
+      acc += static_cast<size_t>(counts[d]);
+    }
+    size_t offsets[64];
+    auto reset = [&] { std::memcpy(offsets, base_offsets, sizeof(offsets)); };
+    auto direct_once = [&] {
+      return MeasureSecsOnce(reset, [&] {
+        active.radix_scatter(data.data(), sn, 0, 0, 63u, dst.data(), offsets);
+        throughput_sink = dst[0];
+      });
+    };
+    auto wc_once = [&] {
+      return MeasureSecsOnce(reset, [&] {
+        kernels::detail::ScatterWithWcBuffers(
+            active.compute_digits, data.data(), sn, 0, 0, 63u, dst.data(),
+            offsets, [](value_t* out, const value_t* buf, uint32_t cnt) {
+              std::memcpy(out, buf, cnt * sizeof(value_t));
+            });
+        throughput_sink = dst[0];
+      });
+    };
+    auto conflict_once = [&] {
+      return MeasureSecsOnce(reset, [&] {
+        conflict_fn(data.data(), sn, 0, 0, 63u, dst.data(), offsets);
+        throughput_sink = dst[0];
+      });
+    };
+    double direct_best = 1e30;
+    double wc_best = 1e30;
+    double conflict_best = 1e30;
+    for (size_t r = 0; r < kReps; r++) {
+      direct_best = std::min(direct_best, direct_once());
+      wc_best = std::min(wc_best, wc_once());
+      if (conflict_fn != nullptr) {
+        conflict_best = std::min(conflict_best, conflict_once());
+      }
+    }
+    const double shape_gb = static_cast<double>(sn) * sizeof(value_t) / 1e9;
+    shape.direct_gbps = shape_gb / direct_best;
+    shape.wc_gbps = shape_gb / wc_best;
+    if (conflict_fn != nullptr) shape.conflict_gbps = shape_gb / conflict_best;
+    scatter64.push_back(shape);
   }
 
   std::FILE* f = std::fopen(path, "w");
@@ -416,6 +559,8 @@ void WriteKernelThroughputJson(const char* path) {
   }
   std::fprintf(f, "{\n  \"dispatched_tier\": \"%s\",\n  \"elements\": %zu,\n",
                active.name, kN);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f, "  \"kernels\": [\n");
   for (size_t i = 0; i < rows.size(); i++) {
     const ResultRow& row = rows[i];
@@ -430,7 +575,25 @@ void WriteKernelThroughputJson(const char* path) {
       std::fprintf(f, "%s\"%s\": %.3f", t == 0 ? "" : ", ", tiers[t]->name,
                    row.tier_gbps[t]);
     }
-    std::fprintf(f, "}}%s\n", i + 1 < rows.size() ? "," : "");
+    std::fprintf(f, "}");
+    if (!row.thread_gbps.empty()) {
+      std::fprintf(f, ",\n     \"threads\": {");
+      for (size_t t = 0; t < row.thread_gbps.size(); t++) {
+        std::fprintf(f, "%s\"%zu\": %.3f", t == 0 ? "" : ", ",
+                     kThreadCounts[t], row.thread_gbps[t]);
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"scatter_64bucket\": [\n");
+  for (size_t i = 0; i < scatter64.size(); i++) {
+    const Scatter64Shape& s = scatter64[i];
+    std::fprintf(f,
+                 "    {\"elements\": %zu, \"direct_gbps\": %.3f, "
+                 "\"wc_memcpy_gbps\": %.3f, \"conflict_wc_gbps\": %.3f}%s\n",
+                 s.elements, s.direct_gbps, s.wc_gbps, s.conflict_gbps,
+                 i + 1 < scatter64.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -443,6 +606,21 @@ void WriteKernelThroughputJson(const char* path) {
     }
     std::printf("  | dispatched %6.2f GB/s (%.2fx scalar)\n",
                 row.dispatched_gbps, row.dispatched_gbps / row.tier_gbps[0]);
+    if (!row.thread_gbps.empty()) {
+      std::printf("  %-24s", "");
+      for (size_t t = 0; t < row.thread_gbps.size(); t++) {
+        std::printf("  T=%zu %6.2f GB/s", kThreadCounts[t],
+                    row.thread_gbps[t]);
+      }
+      std::printf("\n");
+    }
+  }
+  for (const Scatter64Shape& s : scatter64) {
+    std::printf(
+        "  scatter 64-bucket n=%-8zu direct %6.2f GB/s  wc+memcpy %6.2f "
+        "GB/s  conflict-wc %6.2f GB/s%s\n",
+        s.elements, s.direct_gbps, s.wc_gbps, s.conflict_gbps,
+        s.conflict_gbps == 0 ? " (unavailable)" : "");
   }
 }
 

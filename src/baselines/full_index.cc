@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <vector>
 
-#include "kernels/kernels.h"
+#include "parallel/primitives.h"
 
 namespace progidx {
 
@@ -11,12 +11,13 @@ QueryResult FullIndex::Query(const RangeQuery& q) {
   if (!built_) {
     sorted_ = column_.values();
     // O(N · passes) LSD radix sort on the dispatched histogram/scatter
-    // kernels instead of O(N log N) comparison sorting; this baseline's
-    // build time is Table 3's "first query" cost, so it deserves the
-    // same kernel treatment as the progressive indexes.
+    // kernels instead of O(N log N) comparison sorting, with the passes
+    // split across the thread pool; this baseline's build time is
+    // Table 3's "first query" cost, so it deserves the same kernel
+    // treatment as the progressive indexes.
     std::vector<value_t> scratch(sorted_.size());
-    kernels::RadixSortFlat(sorted_.data(), scratch.data(), sorted_.size(),
-                           column_.min_value(), column_.max_value());
+    parallel::RadixSortFlat(sorted_.data(), scratch.data(), sorted_.size(),
+                            column_.min_value(), column_.max_value());
     btree_ = BPlusTree(sorted_.data(), sorted_.size(), fanout_);
     btree_.BuildAll();
     built_ = true;

@@ -1,14 +1,15 @@
 #include "baselines/full_scan.h"
 
-#include "kernels/kernels.h"
+#include "parallel/primitives.h"
 
 namespace progidx {
 
 QueryResult FullScan::Query(const RangeQuery& q) {
-  // Straight to the dispatched vector kernel: the full-scan baseline is
-  // the yardstick every progressive index is compared against, so it
-  // must run at the same (vectorized) per-element cost.
-  return kernels::RangeSumPredicated(column_.data(), column_.size(), q);
+  // The parallel tiled reduction over the dispatched vector kernel: the
+  // full-scan baseline is the yardstick every progressive index is
+  // compared against, so it must run at the same (vectorized, threaded)
+  // per-element cost.
+  return parallel::RangeSumPredicated(column_.data(), column_.size(), q);
 }
 
 }  // namespace progidx

@@ -3,12 +3,18 @@
 #include <algorithm>
 
 #include "kernels/kernels.h"
+#include "parallel/primitives.h"
 
 namespace progidx {
 
 QueryResult PredicatedRangeSum(const value_t* data, size_t n,
                                const RangeQuery& q) {
-  return kernels::Dispatch().range_sum_predicated(data, n, q);
+  // Large scans split across the thread pool (tiled reduction over the
+  // dispatched kernel, bit-identical for every lane count); small ones
+  // go straight to the kernel. This one seam threads the full-scan
+  // baseline, every unrefined-region scan inside the progressive
+  // indexes, and the cracking baselines' piece scans.
+  return parallel::RangeSumPredicated(data, n, q);
 }
 
 QueryResult BranchedRangeSum(const value_t* data, size_t n,

@@ -1,8 +1,10 @@
 #include "core/incremental_quicksort.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "kernels/kernels.h"
+#include "parallel/thread_pool.h"
 
 namespace progidx {
 
@@ -101,13 +103,13 @@ size_t IncrementalQuicksort::WorkOn(Node* node, size_t budget,
       // step is ~4-9x cheaper than a sort visit on the vectorized
       // tiers; without the ratio, per-query times balloon past the
       // indexing budget whenever refinement reaches the leaves).
-      std::sort(data_ + node->start, data_ + node->end);
+      if (defer_leaf_sorts_) {
+        pending_leaf_sorts_.emplace_back(node->start, node->end);
+      } else {
+        std::sort(data_ + node->start, data_ + node->end);
+      }
       node->sorted = true;
-      size_t log2_size = 1;
-      while ((size >> log2_size) > 1) log2_size++;
-      const double units =
-          static_cast<double>(size * log2_size) * sort_unit_scale_;
-      return std::max<size_t>(static_cast<size_t>(units), 1);
+      return LeafSortUnits(size);
     }
     used += AdvancePartition(node, budget);
     if (!node->partitioned) return used;
@@ -137,7 +139,61 @@ size_t IncrementalQuicksort::WorkOn(Node* node, size_t budget,
 size_t IncrementalQuicksort::DoWork(size_t max_elements,
                                     const RangeQuery& hint) {
   if (root_ == nullptr || root_->sorted || max_elements == 0) return 0;
-  return WorkOn(root_.get(), max_elements, hint, /*use_hint=*/true, 1);
+  // With more than one lane configured, the traversal defers its leaf
+  // sorts (disjoint spans, each fully sorted afterwards) and flushes
+  // them concurrently — per-leaf task granularity over the pool's
+  // chunk-claiming loop. Selection order, charged units, and the final
+  // array are identical to the serial path.
+  defer_leaf_sorts_ = parallel::EffectiveLanes() > 1;
+  const size_t used = WorkOn(root_.get(), max_elements, hint,
+                             /*use_hint=*/true, 1);
+  defer_leaf_sorts_ = false;
+  if (!pending_leaf_sorts_.empty()) {
+    const size_t leaves = pending_leaf_sorts_.size();
+    parallel::ParallelFor(0, leaves, 1, std::min(parallel::EffectiveLanes(),
+                                                 leaves),
+                          [&](size_t b, size_t e) {
+                            for (size_t i = b; i < e; i++) {
+                              std::sort(
+                                  data_ + pending_leaf_sorts_[i].first,
+                                  data_ + pending_leaf_sorts_[i].second);
+                            }
+                          });
+    pending_leaf_sorts_.clear();
+  }
+  return used;
+}
+
+size_t IncrementalQuicksort::LeafSortUnits(size_t size) const {
+  size_t log2_size = 1;
+  while ((size >> log2_size) > 1) log2_size++;
+  const double units =
+      static_cast<double>(size * log2_size) * sort_unit_scale_;
+  return std::max<size_t>(static_cast<size_t>(units), 1);
+}
+
+size_t IncrementalQuicksort::NextLeafSortUnits(const RangeQuery& hint) const {
+  const Node* node = root_.get();
+  while (node != nullptr && !node->sorted) {
+    if (!node->partitioned) {
+      const size_t size = node->end - node->start;
+      if (size > l1_elements_) return 0;  // next work: resumable crack
+      return LeafSortUnits(size);
+    }
+    // Mirror WorkOn's descent order: the hint-relevant child first,
+    // skipping already-sorted subtrees.
+    const Node* first = node->left.get();
+    const Node* second = node->right.get();
+    if (hint.high >= node->pivot && hint.low >= node->pivot) {
+      std::swap(first, second);
+    }
+    if (first != nullptr && !first->sorted) {
+      node = first;
+    } else {
+      node = second;
+    }
+  }
+  return 0;
 }
 
 void IncrementalQuicksort::CollectRangesImpl(

@@ -57,7 +57,24 @@ class IncrementalQuicksort {
   /// the paper's "focus on refining parts of the index that are
   /// required for query processing". Returns units consumed; may
   /// overshoot slightly when finishing an L1-sized node sort.
+  ///
+  /// When the parallel subsystem is configured with more than one lane,
+  /// the sort-outright leaves selected by one DoWork call are sorted
+  /// concurrently on the thread pool (the leaves are disjoint spans and
+  /// each ends fully sorted, so the resulting array — and the charged
+  /// units — are bit-identical to the serial order for any lane count).
+  /// Partitioning work stays sequential: it is resumable mid-node and
+  /// its budget accounting is inherently ordered.
   size_t DoWork(size_t max_elements, const RangeQuery& hint);
+
+  /// Work units (element visits x sort_unit_scale) of the next atomic
+  /// sort-outright leaf the hint-directed traversal would reach, or 0
+  /// when the next unit of work is resumable partitioning. A leaf sort
+  /// cannot be split across queries, so per-query *predictions* must
+  /// charge at least this much once refinement reaches the leaves —
+  /// max(budget, next leaf cost), the cost-model floor the fig8
+  /// experiments rely on.
+  size_t NextLeafSortUnits(const RangeQuery& hint) const;
 
   /// Sets how many work units one leaf-sort element-visit costs (the
   /// calibrated MachineConstants::sort_unit_scale). Units are priced at
@@ -97,6 +114,11 @@ class IncrementalQuicksort {
 
   std::unique_ptr<Node> MakeNode(size_t start, size_t end, value_t min_v,
                                  value_t max_v, size_t depth);
+  /// Work units one sort-outright leaf of `size` elements is charged
+  /// (size·log2(size)·sort_unit_scale, min 1). Shared by the charging
+  /// path (WorkOn) and the prediction path (NextLeafSortUnits): the
+  /// cost-model floor is only correct while both charge identically.
+  size_t LeafSortUnits(size_t size) const;
   /// Budgeted work on one subtree; returns units consumed.
   size_t WorkOn(Node* node, size_t budget, const RangeQuery& hint,
                 bool use_hint, size_t depth);
@@ -112,6 +134,11 @@ class IncrementalQuicksort {
   double sort_unit_scale_ = 1.0;
   std::unique_ptr<Node> root_;
   size_t height_ = 0;
+  /// Leaf spans selected (and already marked sorted) by the current
+  /// DoWork traversal, flushed — possibly in parallel — before DoWork
+  /// returns. Empty between calls.
+  std::vector<std::pair<size_t, size_t>> pending_leaf_sorts_;
+  bool defer_leaf_sorts_ = false;
 };
 
 }  // namespace progidx

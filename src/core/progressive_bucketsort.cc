@@ -7,6 +7,7 @@
 #include "common/predication.h"
 #include "common/rng.h"
 #include "kernels/kernels.h"
+#include "parallel/primitives.h"
 
 namespace progidx {
 
@@ -163,10 +164,11 @@ void ProgressiveBucketsort::DoWorkSecs(double secs) {
         size_t elems = UnitsForSecs(secs, unit);
         elems = std::min(elems, n - copy_pos_);
         // Equi-height bounds need a binary search per element (no digit
-        // kernel applies), but the shared batched scatter still stages
-        // appends in per-chain write-combining buffers (or prefetches
-        // destination tails, for slices below the WC threshold).
-        ScatterToChainsBatched(
+        // kernel applies). The parallel batched scatter resolves ids in
+        // concurrent chunks (the bounds are read-only), then workers
+        // append to disjoint owned bucket ranges; small slices fall
+        // back to the serial WC-staged scatter.
+        parallel::ScatterToChainsBatched(
             [this](const value_t* batch, size_t len, uint32_t* ids) {
               for (size_t i = 0; i < len; i++) {
                 ids[i] = static_cast<uint32_t>(BucketOf(batch[i]));
@@ -322,12 +324,30 @@ QueryResult ProgressiveBucketsort::Query(const RangeQuery& q) {
       const double alpha =
           answer_est / std::max(model_.BucketScanSecs(), 1e-30);
       predicted_ = model_.BucketsortCreate(rho, std::min(alpha, 1.0), delta);
+      // Bucketing runs across the pool; re-price the indexing term with
+      // the measured parallel-efficiency curve.
+      const double log_b = std::log2(static_cast<double>(buckets_.size()));
+      const double bucket_term = delta * log_b * model_.BucketAppendSecs();
+      const size_t slice = static_cast<size_t>(delta * n);
+      predicted_ +=
+          model_.ThreadedSecs(bucket_term, parallel::PlannedLanes(slice)) -
+          bucket_term;
       break;
     }
     case Phase::kRefinement: {
       const double alpha = answer_est / std::max(model_.ScanSecs(), 1e-30);
-      predicted_ = model_.QuicksortRefine(active_sorter_.height(),
-                                          std::min(alpha, 1.0), delta);
+      // Atomic-leaf floor (§3.3 reuses the quicksort refinement
+      // formula): the active bucket's sorter pays whole-leaf sorts that
+      // cannot be split across queries — the dominant term of
+      // bucketsort's steady state, which the unfloored prediction
+      // undershot once the crack kernel was vectorized.
+      const double leaf_secs =
+          sorter_active_
+              ? static_cast<double>(active_sorter_.NextLeafSortUnits(q)) *
+                    model_.SwapSecs() / n
+              : 0.0;
+      predicted_ = model_.QuicksortRefineWithLeafFloor(
+          active_sorter_.height(), std::min(alpha, 1.0), delta, leaf_secs);
       break;
     }
     case Phase::kConsolidation: {

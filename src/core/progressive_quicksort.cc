@@ -6,6 +6,7 @@
 #include "common/predication.h"
 #include "common/rng.h"
 #include "kernels/kernels.h"
+#include "parallel/primitives.h"
 
 namespace progidx {
 
@@ -92,13 +93,16 @@ void ProgressiveQuicksort::DoWorkSecs(double secs) {
             ClampWorkUnit(model_.PivotSecs() / static_cast<double>(n));
         size_t elems = UnitsForSecs(secs, unit);
         elems = std::min(elems, n - copy_pos_);
-        // Two-sided partition (§3.1), via the dispatched kernel:
-        // compress-store on AVX2, predicated dual-frontier writes in
-        // the scalar tier.
+        // Two-sided partition (§3.1), via the parallel primitive:
+        // chunks of the slice partition concurrently into precomputed
+        // disjoint frontier slices (each chunk through the dispatched
+        // kernel — compress-store on AVX2/AVX-512, predicated
+        // dual-frontier writes in the scalar tier), so the same δ of
+        // budgeted work finishes in 1/T the wall-clock time.
         size_t lo = low_pos_;
         int64_t hi = high_pos_;
-        kernels::PartitionTwoSided(column_.data() + copy_pos_, elems, pivot_,
-                                   index_.data(), &lo, &hi);
+        parallel::PartitionTwoSided(column_.data() + copy_pos_, elems, pivot_,
+                                    index_.data(), &lo, &hi);
         copy_pos_ += elems;
         low_pos_ = lo;
         high_pos_ = hi;
@@ -222,11 +226,45 @@ QueryResult ProgressiveQuicksort::Query(const RangeQuery& q) {
         alpha += (n - 1.0 - static_cast<double>(high_pos_)) / n;
       }
       predicted_ = model_.QuicksortCreate(rho, alpha, delta);
+      // Both terms execute across the pool — the δ·t_pivot partition
+      // through the chunked primitive, the scan share through the
+      // parallel tiled reduction (the scanned regions here are big
+      // contiguous spans, unlike the radix/bucket indexes' block-wise
+      // chain walks, which stay serial-priced because they stay
+      // serial). Re-price each with the measured parallel-efficiency
+      // curve; work units themselves stay serial-priced — see
+      // docs/parallel.md.
+      const double pivot_term = delta * model_.PivotSecs();
+      const size_t slice = static_cast<size_t>(delta * n);
+      predicted_ += model_.ThreadedSecs(
+                        pivot_term, parallel::PlannedPartitionLanes(slice)) -
+                    pivot_term;
+      const double scan_term = (1.0 - rho + alpha - delta) * model_.ScanSecs();
+      const size_t scanned = static_cast<size_t>((1.0 - rho + alpha) * n);
+      predicted_ +=
+          model_.ThreadedSecs(scan_term, parallel::PlannedLanes(scanned)) -
+          scan_term;
       break;
     }
     case Phase::kRefinement: {
       const double alpha = answer_est / model_.ScanSecs();
-      predicted_ = model_.QuicksortRefine(sorter_.height(), alpha, delta);
+      // Atomic-leaf floor: once refinement reaches sort-outright
+      // leaves, a query pays at least one whole leaf sort regardless
+      // of δ (the seed's scalar constants masked this; the vectorized
+      // crack exposed it as fig8 overshoot).
+      const double leaf_secs =
+          static_cast<double>(sorter_.NextLeafSortUnits(q)) *
+          model_.SwapSecs() / n;
+      predicted_ = model_.QuicksortRefineWithLeafFloor(sorter_.height(),
+                                                       alpha, delta,
+                                                       leaf_secs);
+      // The α scan share runs the parallel tiled reduction over the
+      // collected ranges; re-price it like the creation-phase terms.
+      const double scan_term = alpha * model_.ScanSecs();
+      const size_t scanned = static_cast<size_t>(alpha * n);
+      predicted_ +=
+          model_.ThreadedSecs(scan_term, parallel::PlannedLanes(scanned)) -
+          scan_term;
       break;
     }
     case Phase::kConsolidation: {

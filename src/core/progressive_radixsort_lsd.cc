@@ -7,6 +7,7 @@
 
 #include "common/predication.h"
 #include "kernels/kernels.h"
+#include "parallel/primitives.h"
 
 namespace progidx {
 namespace {
@@ -181,9 +182,11 @@ void ProgressiveRadixsortLSD::DoWorkSecs(double secs) {
       case Phase::kCreation: {
         size_t elems = UnitsForSecs(secs, unit);
         elems = std::min(elems, n - copy_pos_);
-        // Pass-0 bucketing via the vectorized digit/scatter kernel.
-        ScatterToChains(column_.data() + copy_pos_, elems, min_, 0, 63u,
-                        source_.data());
+        // Pass-0 bucketing via the parallel chain scatter: digits in
+        // concurrent chunks, appends split across workers by bucket
+        // ownership (small slices stay on the serial WC path).
+        parallel::ScatterToChains(column_.data() + copy_pos_, elems, min_, 0,
+                                  63u, source_.data());
         copy_pos_ += elems;
         secs -= static_cast<double>(elems) * unit;
         if (copy_pos_ == n) {
@@ -198,17 +201,29 @@ void ProgressiveRadixsortLSD::DoWorkSecs(double secs) {
         const size_t elems = UnitsForSecs(secs, unit);
         size_t moved = 0;
         const int pass_shift = static_cast<int>(6 * pass_);
+        std::vector<parallel::SrcRun> runs;
         while (moved < elems && drain_bucket_ < 64) {
           BucketChain& bucket = source_[drain_bucket_];
-          // Drain block slices through the vectorized digit/scatter
-          // kernel instead of element-at-a-time cursor reads.
-          while (moved < elems && !bucket.AtEnd(drain_cursor_)) {
+          // Gather this bucket's block runs up to the remaining budget
+          // and scatter them in one call: big drain slices split across
+          // the pool (digits per run concurrently, appends by bucket
+          // ownership), small ones run the serial kernel per run.
+          runs.clear();
+          BucketChain::Cursor probe = drain_cursor_;
+          size_t batched = 0;
+          while (batched < elems - moved && !bucket.AtEnd(probe)) {
             const value_t* run = nullptr;
-            size_t len = bucket.ContiguousRun(drain_cursor_, &run);
-            len = std::min(len, elems - moved);
-            ScatterToChains(run, len, min_, pass_shift, 63u, dest_.data());
-            bucket.Advance(&drain_cursor_, len);
-            moved += len;
+            size_t len = bucket.ContiguousRun(probe, &run);
+            len = std::min(len, elems - moved - batched);
+            runs.push_back({run, len});
+            bucket.Advance(&probe, len);
+            batched += len;
+          }
+          if (batched > 0) {
+            parallel::ScatterRunsToChains(runs.data(), runs.size(), min_,
+                                          pass_shift, 63u, dest_.data());
+            drain_cursor_ = probe;
+            moved += batched;
           }
           if (bucket.AtEnd(drain_cursor_)) {
             bucket.Clear();  // free drained blocks eagerly
@@ -357,10 +372,29 @@ QueryResult ProgressiveRadixsortLSD::Query(const RangeQuery& q) {
       const double alpha =
           answer_est / std::max(model_.BucketScanSecs(), 1e-30);
       predicted_ = model_.RadixCreate(rho, std::min(alpha, 1.0), delta);
+      // Bucketing runs across the pool; re-price the indexing term
+      // with the measured parallel-efficiency curve.
+      const double bucket_term = delta * model_.BucketAppendSecs();
+      const size_t slice = static_cast<size_t>(delta * n);
+      predicted_ +=
+          model_.ThreadedSecs(bucket_term, parallel::PlannedLanes(slice)) -
+          bucket_term;
       break;
     }
-    case Phase::kRefinement:
+    case Phase::kRefinement: {
+      const double alpha =
+          answer_est / std::max(model_.BucketScanSecs(), 1e-30);
+      predicted_ = model_.RadixRefine(std::min(alpha, 1.0), delta);
+      // Pass drains take the parallel run-list scatter for big slices.
+      const double bucket_term = delta * model_.BucketAppendSecs();
+      const size_t slice = static_cast<size_t>(delta * n);
+      predicted_ +=
+          model_.ThreadedSecs(bucket_term, parallel::PlannedLanes(slice)) -
+          bucket_term;
+      break;
+    }
     case Phase::kMerge: {
+      // The merge is straight block memcpys — sequential by design.
       const double alpha =
           answer_est / std::max(model_.BucketScanSecs(), 1e-30);
       predicted_ = model_.RadixRefine(std::min(alpha, 1.0), delta);

@@ -6,6 +6,7 @@
 
 #include "common/predication.h"
 #include "kernels/kernels.h"
+#include "parallel/primitives.h"
 
 namespace progidx {
 namespace {
@@ -147,16 +148,25 @@ size_t ProgressiveRadixsortMSD::RefineFront(size_t budget) {
     front.cursor = BucketChain::Cursor{};
   }
   size_t moved = 0;
-  // Drain block slices through the vectorized digit/scatter kernel
-  // (child index = (v − lo_value) >> child_shift, always < 64).
-  while (moved < budget && !front.chain.AtEnd(front.cursor)) {
+  // Gather the split's block runs up to the budget and scatter them in
+  // one call (child index = (v − lo_value) >> child_shift, always
+  // < 64): big slices split across the pool — digits per run
+  // concurrently, appends by child-bucket ownership — small ones run
+  // the serial kernel per run.
+  std::vector<parallel::SrcRun> runs;
+  BucketChain::Cursor probe = front.cursor;
+  while (moved < budget && !front.chain.AtEnd(probe)) {
     const value_t* run = nullptr;
-    size_t len = front.chain.ContiguousRun(front.cursor, &run);
+    size_t len = front.chain.ContiguousRun(probe, &run);
     len = std::min(len, budget - moved);
-    ScatterToChains(run, len, front.lo_value, child_shift, 63u,
-                    front.children.data());
-    front.chain.Advance(&front.cursor, len);
+    runs.push_back({run, len});
+    front.chain.Advance(&probe, len);
     moved += len;
+  }
+  if (moved > 0) {
+    parallel::ScatterRunsToChains(runs.data(), runs.size(), front.lo_value,
+                                  child_shift, 63u, front.children.data());
+    front.cursor = probe;
   }
   if (front.chain.AtEnd(front.cursor)) {
     // Split complete: replace the front bucket by its non-empty
@@ -192,13 +202,15 @@ void ProgressiveRadixsortMSD::DoWorkSecs(double secs) {
             ClampWorkUnit(model_.BucketAppendSecs() / static_cast<double>(n));
         size_t elems = UnitsForSecs(secs, unit);
         elems = std::min(elems, n - copy_pos_);
-        // Root bucketing through the vectorized digit/scatter kernel.
-        // root_mask_ is the identity on every id (the domain bounds
-        // the shifted value below 2^radix_bits), but unlike the old
-        // all-ones mask its width tells the batched scatter how many
-        // chains exist, which is what enables write-combining staging.
-        ScatterToChains(column_.data() + copy_pos_, elems, min_, root_shift_,
-                        root_mask_, root_buckets_.data());
+        // Root bucketing through the parallel chain scatter (digits in
+        // concurrent chunks, appends by bucket ownership). root_mask_
+        // is the identity on every id (the domain bounds the shifted
+        // value below 2^radix_bits), but its width tells the scatter
+        // how many chains exist — enabling both WC staging on the
+        // serial path and the ownership split on the parallel one.
+        parallel::ScatterToChains(column_.data() + copy_pos_, elems, min_,
+                                  root_shift_, root_mask_,
+                                  root_buckets_.data());
         copy_pos_ += elems;
         secs -= static_cast<double>(elems) * unit;
         if (copy_pos_ == n) {
@@ -323,12 +335,26 @@ QueryResult ProgressiveRadixsortMSD::Query(const RangeQuery& q) {
       const double alpha =
           answer_est / std::max(model_.BucketScanSecs(), 1e-30);
       predicted_ = model_.RadixCreate(rho, std::min(alpha, 1.0), delta);
+      // Root bucketing runs across the pool; re-price the indexing
+      // term with the measured parallel-efficiency curve.
+      const double bucket_term = delta * model_.BucketAppendSecs();
+      const size_t slice = static_cast<size_t>(delta * n);
+      predicted_ +=
+          model_.ThreadedSecs(bucket_term, parallel::PlannedLanes(slice)) -
+          bucket_term;
       break;
     }
     case Phase::kRefinement: {
       const double alpha =
           answer_est / std::max(model_.BucketScanSecs(), 1e-30);
       predicted_ = model_.RadixRefine(std::min(alpha, 1.0), delta);
+      // Bucket splits drain through the parallel run-list scatter for
+      // big slices, like the LSD passes; re-price the indexing term.
+      const double bucket_term = delta * model_.BucketAppendSecs();
+      const size_t slice = static_cast<size_t>(delta * n);
+      predicted_ +=
+          model_.ThreadedSecs(bucket_term, parallel::PlannedLanes(slice)) -
+          bucket_term;
       break;
     }
     case Phase::kConsolidation: {

@@ -1,5 +1,6 @@
 #include "cost/calibration.h"
 
+#include <algorithm>
 #include <limits>
 #include <memory>
 #include <numeric>
@@ -9,6 +10,7 @@
 #include "common/timer.h"
 #include "common/types.h"
 #include "kernels/kernels.h"
+#include "parallel/primitives.h"
 #include "storage/bucket_chain.h"
 
 namespace progidx {
@@ -162,6 +164,45 @@ double MeasureBucketAppend(std::vector<value_t>* buffer,
   return secs / static_cast<double>(n);
 }
 
+void MeasureParallelScanScale(std::vector<value_t>* buffer,
+                              MachineConstants* constants) {
+  // Parallel-efficiency curve: the tiled parallel range-sum at T lanes
+  // vs one lane, on the same buffer the serial constants were measured
+  // on. Only thread counts the process can actually field are measured
+  // (a 1-lane configuration keeps the flat curve); beyond the measured
+  // range the curve saturates at its last point. Best-of-3 per point —
+  // the first parallel call also pays pool-spinup, which is not a
+  // per-query cost.
+  const size_t max_t =
+      std::min(parallel::DefaultLanes(), MachineConstants::kMaxThreadScale);
+  if (max_t <= 1) return;
+  const RangeQuery q{static_cast<value_t>(buffer->size() / 4),
+                     static_cast<value_t>(3 * buffer->size() / 4)};
+  auto measure = [&](size_t lanes) {
+    double best = 1e30;
+    for (int rep = 0; rep < 3; rep++) {
+      Timer timer;
+      const QueryResult r = parallel::RangeSumPredicatedWithLanes(
+          buffer->data(), buffer->size(), q, lanes);
+      best = std::min(best, timer.ElapsedSeconds());
+      calibration_sink = r.sum;
+    }
+    return best;
+  };
+  const double serial_secs = measure(1);
+  double last = 1.0;
+  for (size_t t = 2; t <= MachineConstants::kMaxThreadScale; t++) {
+    if (t <= max_t) {
+      const double secs = measure(t);
+      // A slowdown (oversubscribed or bandwidth-saturated machine) is
+      // recorded as-is down to a floor; predictions must not assume
+      // speedups the hardware cannot deliver.
+      last = secs > 0 ? std::max(serial_secs / secs, 0.25) : last;
+    }
+    constants->scan_scale[t] = last;
+  }
+}
+
 double MeasureBucketScan(const std::vector<BucketChain>& chains, size_t n) {
   const RangeQuery q{static_cast<value_t>(n / 4),
                      static_cast<value_t>(3 * n / 4)};
@@ -199,6 +240,7 @@ MachineConstants MeasureMachineConstants() {
   constants.bucket_append_secs = MeasureBucketAppend(&buffer, &chains);
   constants.bucket_scan_secs =
       MeasureBucketScan(chains, kCalibrationElements);
+  MeasureParallelScanScale(&buffer, &constants);
   // The swap and sort-scale measurements reorder the buffer; run them
   // last (the crack only splits around one pivot, so the chunks the
   // sort-scale pass sorts are still unsorted within themselves).

@@ -32,6 +32,17 @@ struct MachineConstants {
   /// sort visit, so leaves must be charged more σ units or every
   /// per-query budget overshoots once refinement reaches the leaves.
   double sort_unit_scale = 1.0;
+  /// Highest thread count the parallel-efficiency curve is measured at.
+  static constexpr size_t kMaxThreadScale = 8;
+  /// Measured parallel-efficiency curve: scan_scale[T] is the speedup
+  /// of the tiled parallel range-sum at T lanes over the serial kernel
+  /// (scan_scale[1] == 1; T past the measured range saturates at the
+  /// last measured value). The cost model divides the indexing term of
+  /// a *prediction* by this to price threaded work units. It never
+  /// feeds the budget→work-unit conversion: work amounts must stay
+  /// identical across thread counts (the determinism contract of
+  /// src/parallel/), so threads buy wall-clock speed, not extra units.
+  double scan_scale[kMaxThreadScale + 1] = {1, 1, 1, 1, 1, 1, 1, 1, 1};
   size_t elements_per_page = 512;        ///< γ (4 KiB page / 8 B)
   size_t l1_cache_elements = 4096;       ///< elements fitting in L1 (32 KiB)
   size_t l2_cache_elements = 32768;      ///< elements fitting in L2 (256 KiB)

@@ -1,5 +1,6 @@
 #include "cost/cost_model.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/types.h"
@@ -77,6 +78,22 @@ double CostModel::QuicksortCreate(double rho, double alpha,
 double CostModel::QuicksortRefine(size_t height, double alpha,
                                   double delta) const {
   return TreeLookupSecs(height) + alpha * ScanSecs() + delta * SwapSecs();
+}
+
+double CostModel::QuicksortRefineWithLeafFloor(size_t height, double alpha,
+                                               double delta,
+                                               double leaf_secs) const {
+  const double indexing = delta * SwapSecs();
+  return TreeLookupSecs(height) + alpha * ScanSecs() +
+         (delta > 0 ? std::max(indexing, leaf_secs) : 0.0);
+}
+
+double CostModel::ParallelScanScale(size_t threads) const {
+  if (threads <= 1) return 1.0;
+  const size_t t =
+      std::min(threads, MachineConstants::kMaxThreadScale);
+  const double scale = constants_.scan_scale[t];
+  return scale > 0 ? scale : 1.0;
 }
 
 double CostModel::Consolidate(size_t fanout, double alpha,

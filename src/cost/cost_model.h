@@ -55,6 +55,16 @@ class CostModel {
   double QuicksortCreate(double rho, double alpha, double delta) const;
   /// Quicksort refinement: h·φ + α·t_scan + δ·t_swap.
   double QuicksortRefine(size_t height, double alpha, double delta) const;
+  /// Quicksort refinement with the atomic-leaf floor: the δ·t_swap
+  /// indexing term becomes max(δ·t_swap, leaf_secs), because a
+  /// sort-outright leaf cannot be split across queries — once
+  /// refinement reaches the leaves, a query pays at least one whole
+  /// leaf sort no matter how small δ is. `leaf_secs` is the cost of the
+  /// next such leaf (IncrementalQuicksort::NextLeafSortUnits priced at
+  /// swap_secs), 0 when the next work is resumable partitioning. Also
+  /// the Bucketsort refinement prediction (§3.3 reuses this formula).
+  double QuicksortRefineWithLeafFloor(size_t height, double alpha,
+                                      double delta, double leaf_secs) const;
   /// Consolidation: log2(N)·φ + α·t_scan + δ·t_copy (same for all four
   /// algorithms).
   double Consolidate(size_t fanout, double alpha, double delta) const;
@@ -72,6 +82,21 @@ class CostModel {
   /// δ = t_budget / t_op, clamped to [0, 1]. `op_secs` is one of the
   /// whole-column costs above.
   double DeltaForBudget(double budget_secs, double op_secs) const;
+
+  // --- Threaded work pricing (src/parallel/) -----------------------------
+
+  /// Measured speedup of a `threads`-lane parallel primitive over the
+  /// serial kernel (the calibration's scan_scale curve; >= some floor,
+  /// saturating past the measured range). 1.0 at threads <= 1.
+  double ParallelScanScale(size_t threads) const;
+
+  /// Prices `secs` of serial-kernel work when executed across
+  /// `threads` lanes. Used only on the *prediction* side: the
+  /// budget→work-unit conversion stays serial so index state never
+  /// depends on the thread count.
+  double ThreadedSecs(double secs, size_t threads) const {
+    return secs / ParallelScanScale(threads);
+  }
 
  private:
   MachineConstants constants_;

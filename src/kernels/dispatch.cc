@@ -158,35 +158,9 @@ const char* ActiveKernelName() { return Dispatch().name; }
 
 void RadixSortFlat(value_t* data, value_t* scratch, size_t n, value_t min_v,
                    value_t max_v) {
-  if (n < 2) return;
-  const uint64_t width =
-      static_cast<uint64_t>(max_v) - static_cast<uint64_t>(min_v);
-  if (width == 0) return;  // all values equal
-  const int bits = 64 - __builtin_clzll(width);
   const KernelOps& k = Dispatch();
-  value_t* a = data;
-  value_t* b = scratch;
-  for (int shift = 0; shift < bits; shift += 8) {
-    uint64_t counts[256] = {};
-    k.radix_histogram(a, n, min_v, shift, 255u, counts);
-    // Dead digit pass: every element shares this byte (common for
-    // low-entropy/zipf or clustered columns), so the scatter would be
-    // the identity permutation — skip the whole pass.
-    uint64_t max_count = 0;
-    for (int d = 0; d < 256; d++) max_count = std::max(max_count, counts[d]);
-    if (max_count == static_cast<uint64_t>(n)) continue;
-    size_t offsets[256];
-    size_t acc = 0;
-    for (int d = 0; d < 256; d++) {
-      offsets[d] = acc;
-      acc += static_cast<size_t>(counts[d]);
-    }
-    k.radix_scatter(a, n, min_v, shift, 255u, b, offsets);
-    value_t* tmp = a;
-    a = b;
-    b = tmp;
-  }
-  if (a != data) std::memcpy(data, a, n * sizeof(value_t));
+  RadixSortFlatWith(data, scratch, n, min_v, max_v, k.radix_histogram,
+                    k.radix_scatter);
 }
 
 }  // namespace kernels

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 #include "common/types.h"
 
@@ -163,6 +164,49 @@ inline void ComputeDigits(const value_t* src, size_t n, value_t base,
 /// `scratch` must hold n elements. O(n · ceil(bits/8)).
 void RadixSortFlat(value_t* data, value_t* scratch, size_t n, value_t min_v,
                    value_t max_v);
+
+/// Pass-structure core of RadixSortFlat, parameterized on the
+/// histogram/scatter implementations (the serial kernel contracts:
+/// `hist(src, n, base, shift, mask, counts)` adds into counts,
+/// `scatter(src, n, base, shift, mask, dst, offsets)` advances
+/// offsets). RadixSortFlat instantiates it with the dispatched kernels
+/// and parallel::RadixSortFlat with the pool composites, so the pass
+/// logic — including the dead-digit-pass skip (every element in one
+/// bucket means the scatter would be the identity permutation; common
+/// for low-entropy or clustered columns), the buffer ping-pong, and
+/// the odd-pass copy-back — lives exactly once.
+template <typename HistFn, typename ScatterFn>
+void RadixSortFlatWith(value_t* data, value_t* scratch, size_t n,
+                       value_t min_v, value_t max_v, const HistFn& hist,
+                       const ScatterFn& scatter) {
+  if (n < 2) return;
+  const uint64_t width =
+      static_cast<uint64_t>(max_v) - static_cast<uint64_t>(min_v);
+  if (width == 0) return;  // all values equal
+  const int bits = 64 - __builtin_clzll(width);
+  value_t* a = data;
+  value_t* b = scratch;
+  for (int shift = 0; shift < bits; shift += 8) {
+    uint64_t counts[256] = {};
+    hist(a, n, min_v, shift, 255u, counts);
+    uint64_t max_count = 0;
+    for (int d = 0; d < 256; d++) {
+      if (counts[d] > max_count) max_count = counts[d];
+    }
+    if (max_count == static_cast<uint64_t>(n)) continue;  // dead pass
+    size_t offsets[256];
+    size_t acc = 0;
+    for (int d = 0; d < 256; d++) {
+      offsets[d] = acc;
+      acc += static_cast<size_t>(counts[d]);
+    }
+    scatter(a, n, min_v, shift, 255u, b, offsets);
+    value_t* tmp = a;
+    a = b;
+    b = tmp;
+  }
+  if (a != data) std::memcpy(data, a, n * sizeof(value_t));
+}
 
 }  // namespace kernels
 }  // namespace progidx

@@ -171,6 +171,18 @@ inline void HistogramWithDigits(ComputeDigitsFn digits_fn, const value_t* src,
   }
 }
 
+using ScatterFn = void (*)(const value_t*, size_t, value_t, int, uint32_t,
+                           value_t*, size_t*);
+
+/// The vpconflictq-based vectorized WC-buffering scatter for <= 64
+/// buckets (ROADMAP: "a vpconflictq-based vectorized buffering loop
+/// might close that; measure before believing"). Returns the function
+/// when this build compiled it (AVX-512 CD + VPOPCNTDQ flags) and this
+/// CPU can run it, nullptr otherwise — the micro_kernels sweep measures
+/// it against the prefetching direct scatter and the scalar WC loop on
+/// the same shapes; docs/kernels.md records the verdict.
+ScatterFn ConflictWcScatterAvx512();
+
 }  // namespace detail
 }  // namespace kernels
 }  // namespace progidx

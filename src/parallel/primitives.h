@@ -1,0 +1,159 @@
+#ifndef PROGIDX_PARALLEL_PRIMITIVES_H_
+#define PROGIDX_PARALLEL_PRIMITIVES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+#include "parallel/thread_pool.h"
+#include "storage/bucket_chain.h"
+
+// Parallel composite primitives layered on the single-threaded kernel
+// tiers (kernels/kernels.h): each one splits its input into chunks,
+// runs the *dispatched* kernel per chunk on the pool, and recombines
+// deterministically. Results are bit-identical to the serial kernel for
+// every lane count — sums are exact mod 2^64, partition and scatter
+// chunks land in precomputed disjoint output slices, and chain appends
+// preserve source order — so the progressive indexes can split a
+// per-query indexing budget across workers without their state ever
+// depending on the thread count (the parity tests in
+// tests/parallel_test.cc enforce exactly this for T in {1, 2, 4, 8}).
+//
+// Every primitive falls back to the serial kernel below a size
+// threshold (or when only one lane is configured), so small budgeted
+// slices never pay fork/join overhead.
+
+namespace progidx {
+namespace parallel {
+
+/// Inputs below these element counts stay on the serial kernels: a
+/// 32 Ki-element scan is ~25 us of memory traffic, about where the
+/// pool's wake/join cost stops mattering.
+constexpr size_t kMinParallelElements = size_t{1} << 15;
+
+/// Fixed chunk geometry. Chunk boundaries never depend on the lane
+/// count (lanes only claim chunks), which is what makes every
+/// recombination bit-deterministic across T.
+constexpr size_t kScanGrain = size_t{1} << 14;
+constexpr size_t kPartitionChunk = size_t{1} << 15;
+constexpr size_t kScatterChunk = size_t{1} << 14;
+
+/// Lanes a primitive will actually use for an input of `n` elements
+/// (1 when the serial fast path applies). The cost model prices a
+/// query's threaded work units with this, so predictions track what
+/// execution really does.
+size_t PlannedLanes(size_t n);
+
+/// Lanes PartitionTwoSided will actually use for `n` elements. The
+/// partition's gate differs from the generic threshold (it needs at
+/// least two fixed chunks, and it keys off the sticky
+/// ParallelConfigured()), so creation-phase predictions must plan with
+/// this, not PlannedLanes, or mid-size budget slices get priced at a
+/// speedup the executor never delivers.
+size_t PlannedPartitionLanes(size_t n);
+
+/// Tiled parallel SUM + COUNT of values in [q.low, q.high]: each chunk
+/// reduces through the dispatched kernel; partials add exactly
+/// (mod 2^64), so the total is bit-identical to the serial scan.
+QueryResult RangeSumPredicated(const value_t* data, size_t n,
+                               const RangeQuery& q);
+
+/// RangeSumPredicated pinned to a lane count (calibration and the
+/// thread-sweep benchmark).
+QueryResult RangeSumPredicatedWithLanes(const value_t* data, size_t n,
+                                        const RangeQuery& q, size_t lanes);
+
+/// Parallel two-sided out-of-place partition with the serial kernel's
+/// signature. A counting pass sizes each fixed chunk's share of the
+/// low/high frontiers, then every chunk partitions into its own
+/// disjoint dst slices. Once the process is parallel-configured
+/// (ParallelConfigured()), large inputs always take the chunked layout
+/// — even at an instantaneous lane count of 1 — so the index array
+/// never depends on *when* the thread count changed, only chunk
+/// executors do.
+void PartitionTwoSided(const value_t* src, size_t n, value_t pivot,
+                       value_t* dst, size_t* lo_pos, int64_t* hi_pos);
+
+/// Parallel radix histogram: per-chunk private tables, summed in chunk
+/// order. `counts` is added to, not reset (serial contract). `lanes` =
+/// 0 means the effective lane count.
+void RadixHistogram(const value_t* src, size_t n, value_t base, int shift,
+                    uint32_t mask, uint64_t* counts, size_t lanes = 0);
+
+/// Parallel stable radix scatter: two-pass (per-chunk histogram +
+/// prefix sums give every (chunk, bucket) pair a disjoint dst slice,
+/// then chunks scatter concurrently). Output and final `offsets` are
+/// bit-identical to the serial stable scatter. `lanes` = 0 means the
+/// effective lane count.
+void RadixScatter(const value_t* src, size_t n, value_t base, int shift,
+                  uint32_t mask, value_t* dst, size_t* offsets,
+                  size_t lanes = 0);
+
+/// Stable LSD radix sort built on the parallel histogram/scatter passes
+/// (kernels::RadixSortFlat with the passes parallelized); same
+/// contract, bit-identical output.
+void RadixSortFlat(value_t* data, value_t* scratch, size_t n, value_t min_v,
+                   value_t max_v);
+
+/// A contiguous source slice for the run-list scatters below (the
+/// budgeted bucket drains hand over block runs from BucketChain
+/// cursors).
+struct SrcRun {
+  const value_t* data;
+  size_t len;
+};
+
+/// Parallel radix scatter into bucket chains: digits are computed in
+/// parallel, then each worker *owns* a disjoint contiguous range of
+/// destination chains and appends only its own elements (in source
+/// order), so chain contents, block layout, and append order are
+/// bit-identical to the serial ScatterToChains for every lane count —
+/// and the per-chain append path stays entirely race-free.
+void ScatterToChains(const value_t* src, size_t n, value_t base, int shift,
+                     uint32_t mask, BucketChain* chains);
+
+/// Run-list variant for budgeted drains (Progressive Radixsort LSD
+/// passes, MSD splits): scatters runs[0], runs[1], ... in order, as if
+/// concatenated.
+void ScatterRunsToChains(const SrcRun* runs, size_t num_runs, value_t base,
+                         int shift, uint32_t mask, BucketChain* chains);
+
+namespace detail {
+/// Owner-parallel append phase shared by the chain scatters:
+/// ids[i] < num_chains is the destination of src element i (src given
+/// as a run list; ids indexes the runs' concatenation); each lane
+/// appends the elements of its owned chain range, in global source
+/// order.
+void OwnerScatterRunsToChains(const SrcRun* runs, size_t num_runs,
+                              const uint32_t* ids, BucketChain* chains,
+                              size_t num_chains, size_t lanes);
+/// Scratch id buffer reused across calls (grows, never shrinks).
+uint32_t* ScratchIds(size_t n);
+}  // namespace detail
+
+/// Parallel ScatterToChainsBatched: `fill_ids(batch, len, ids)` must be
+/// callable concurrently on disjoint batches (a const binary search —
+/// Progressive Bucketsort's equi-height bounds — qualifies). Ids are
+/// resolved in parallel chunks, then the owner-parallel append phase
+/// runs as in ScatterToChains. Falls back to the serial
+/// ScatterToChainsBatched below the parallel threshold.
+template <typename FillIds>
+void ScatterToChainsBatched(FillIds&& fill_ids, const value_t* src, size_t n,
+                            BucketChain* chains, size_t num_chains) {
+  const size_t lanes = PlannedLanes(n);
+  if (lanes <= 1 || num_chains == 0) {
+    progidx::ScatterToChainsBatched(fill_ids, src, n, chains, num_chains);
+    return;
+  }
+  uint32_t* ids = detail::ScratchIds(n);
+  ParallelFor(0, n, kScatterChunk, lanes, [&](size_t b, size_t e) {
+    fill_ids(src + b, e - b, ids + b);
+  });
+  const SrcRun run{src, n};
+  detail::OwnerScatterRunsToChains(&run, 1, ids, chains, num_chains, lanes);
+}
+
+}  // namespace parallel
+}  // namespace progidx
+
+#endif  // PROGIDX_PARALLEL_PRIMITIVES_H_

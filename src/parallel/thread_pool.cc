@@ -1,0 +1,232 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace progidx {
+namespace parallel {
+namespace {
+
+thread_local bool tls_on_worker = false;
+
+size_t HardwareLanes() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : std::min<size_t>(hw, kMaxLanes);
+}
+
+/// PROGIDX_THREADS, with the subsystem's warn-once contract: a value
+/// that does not parse to an integer in [1, kMaxLanes] warns once on
+/// stderr and falls back to the hardware count instead of silently
+/// running serial (or wild).
+size_t LanesFromEnvironment() {
+  const char* v = std::getenv("PROGIDX_THREADS");
+  if (v == nullptr || v[0] == '\0') return HardwareLanes();
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(v, &end, 10);
+  if (end != v && *end == '\0' && parsed >= 1 && parsed <= kMaxLanes) {
+    return static_cast<size_t>(parsed);
+  }
+  std::fprintf(stderr,
+               "progidx: PROGIDX_THREADS=%s is not a valid thread count "
+               "(expected 1..%zu); using %zu (hardware concurrency)\n",
+               v, kMaxLanes, HardwareLanes());
+  return HardwareLanes();
+}
+
+std::atomic<size_t> g_test_lanes{0};   // 0 = no override
+std::atomic<bool> g_ever_parallel{false};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  struct Deque {
+    std::mutex m;
+    std::deque<std::function<void()>> q;
+  };
+
+  // Fixed-capacity deque table so workers can scan victims without
+  // synchronizing against pool growth; only indexes below
+  // worker_count are ever populated.
+  Deque deques[kMaxLanes];
+  std::vector<std::thread> workers;
+  mutable std::mutex grow_m;
+  std::atomic<size_t> worker_count{0};
+  std::atomic<size_t> next_push{0};
+  std::atomic<size_t> pending{0};
+  std::atomic<bool> stop{false};
+  std::mutex sleep_m;
+  std::condition_variable sleep_cv;
+
+  bool PopOrSteal(size_t self, std::function<void()>* out) {
+    const size_t count = worker_count.load(std::memory_order_acquire);
+    {
+      Deque& own = deques[self];
+      std::lock_guard<std::mutex> lk(own.m);
+      if (!own.q.empty()) {
+        *out = std::move(own.q.front());
+        own.q.pop_front();
+        return true;
+      }
+    }
+    for (size_t k = 1; k < count; k++) {
+      Deque& victim = deques[(self + k) % count];
+      std::lock_guard<std::mutex> lk(victim.m);
+      if (!victim.q.empty()) {
+        *out = std::move(victim.q.back());
+        victim.q.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void WorkerLoop(size_t self) {
+    tls_on_worker = true;
+    for (;;) {
+      std::function<void()> task;
+      if (PopOrSteal(self, &task)) {
+        pending.fetch_sub(1, std::memory_order_acq_rel);
+        task();
+        continue;
+      }
+      std::unique_lock<std::mutex> lk(sleep_m);
+      sleep_cv.wait(lk, [this] {
+        return stop.load(std::memory_order_acquire) ||
+               pending.load(std::memory_order_acquire) > 0;
+      });
+      if (stop.load(std::memory_order_acquire)) return;
+    }
+  }
+
+  void Submit(std::function<void()> task) {
+    const size_t count = worker_count.load(std::memory_order_acquire);
+    const size_t target = next_push.fetch_add(1, std::memory_order_relaxed) %
+                          std::max<size_t>(count, 1);
+    {
+      std::lock_guard<std::mutex> lk(deques[target].m);
+      deques[target].q.push_back(std::move(task));
+    }
+    pending.fetch_add(1, std::memory_order_acq_rel);
+    {
+      // Pairs with the wait predicate: the lock orders the pending
+      // increment before the wakeup check, so no worker sleeps through
+      // a submit.
+      std::lock_guard<std::mutex> lk(sleep_m);
+    }
+    sleep_cv.notify_one();
+  }
+};
+
+ThreadPool::ThreadPool() : impl_(new Impl) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->sleep_m);
+    impl_->stop.store(true, std::memory_order_release);
+  }
+  impl_->sleep_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked on purpose: worker threads must never outlive the pool, and
+  // static-destruction order against other globals is not worth
+  // defending — the process is exiting anyway.
+  static ThreadPool* const pool = new ThreadPool();
+  return *pool;
+}
+
+void ThreadPool::EnsureWorkers(size_t count) {
+  count = std::min(count, kMaxLanes - 1);
+  if (impl_->worker_count.load(std::memory_order_acquire) >= count) return;
+  std::lock_guard<std::mutex> lk(impl_->grow_m);
+  while (impl_->workers.size() < count) {
+    const size_t self = impl_->workers.size();
+    impl_->workers.emplace_back([this, self] { impl_->WorkerLoop(self); });
+    impl_->worker_count.store(impl_->workers.size(),
+                              std::memory_order_release);
+  }
+}
+
+size_t ThreadPool::worker_count() const {
+  return impl_->worker_count.load(std::memory_order_acquire);
+}
+
+bool ThreadPool::OnWorkerThread() { return tls_on_worker; }
+
+void ThreadPool::RunOnLanes(size_t lanes,
+                            const std::function<void(size_t)>& body) {
+  if (lanes == 0) return;
+  if (lanes == 1 || OnWorkerThread()) {
+    for (size_t l = 0; l < lanes; l++) body(l);
+    return;
+  }
+  EnsureWorkers(lanes - 1);
+  struct Sync {
+    std::mutex m;
+    std::condition_variable cv;
+    size_t remaining;
+    std::exception_ptr error;
+  } sync;
+  sync.remaining = lanes - 1;
+  for (size_t l = 1; l < lanes; l++) {
+    impl_->Submit([&body, &sync, l] {
+      std::exception_ptr err;
+      try {
+        body(l);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lk(sync.m);
+      if (err && !sync.error) sync.error = err;
+      if (--sync.remaining == 0) sync.cv.notify_one();
+    });
+  }
+  std::exception_ptr caller_err;
+  try {
+    body(0);
+  } catch (...) {
+    caller_err = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lk(sync.m);
+  sync.cv.wait(lk, [&sync] { return sync.remaining == 0; });
+  if (caller_err) std::rethrow_exception(caller_err);
+  if (sync.error) std::rethrow_exception(sync.error);
+}
+
+size_t DefaultLanes() {
+  static const size_t lanes = [] {
+    const size_t l = LanesFromEnvironment();
+    if (l > 1) g_ever_parallel.store(true, std::memory_order_release);
+    return l;
+  }();
+  return lanes;
+}
+
+size_t EffectiveLanes() {
+  const size_t over = g_test_lanes.load(std::memory_order_acquire);
+  return over != 0 ? over : DefaultLanes();
+}
+
+void SetLanesForTesting(size_t lanes) {
+  if (lanes > kMaxLanes) lanes = kMaxLanes;
+  g_test_lanes.store(lanes, std::memory_order_release);
+  if (lanes > 1) g_ever_parallel.store(true, std::memory_order_release);
+}
+
+bool ParallelConfigured() {
+  if (g_ever_parallel.load(std::memory_order_acquire)) return true;
+  return DefaultLanes() > 1;
+}
+
+}  // namespace parallel
+}  // namespace progidx
