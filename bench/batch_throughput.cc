@@ -1,0 +1,212 @@
+// Shared-scan batch throughput: queries/sec vs batch size (1/4/16/64)
+// on the uniform random workload and the SkyServer log, during the
+// *pre-convergence* phase (the regime the batch executor targets: the
+// unrefined remainder dominates, so one shared scan replaces up to B
+// per-query scans while the index still advances one budget per batch).
+//
+// Emits `batch` rows (queries_per_sec, speedup over batch 1, and the
+// cost model's per-query prediction) merged into BENCH_kernels.json
+// next to the kernel/thread rows micro_kernels writes, plus a stdout
+// table and optional CSV.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "core/decision_tree.h"
+#include "exec/query_batch.h"
+
+namespace progidx {
+namespace {
+
+constexpr size_t kBatchSizes[] = {1, 4, 16, 64};
+
+struct BatchRow {
+  std::string index_id;
+  std::string workload;
+  size_t batch = 1;
+  size_t queries = 0;
+  double queries_per_sec = 0;
+  double speedup_vs_1 = 0;
+  double predicted_per_query = 0;  ///< cost model, mean over batches
+};
+
+/// Runs the first `count` queries of `queries` in batches of `batch`
+/// against a fresh index; returns wall seconds and the mean per-query
+/// prediction. A tiny fixed δ keeps every measured query inside the
+/// creation (pre-convergence) phase at every batch size — the batch-1
+/// run performs `count` budgets to a batch-64 run's few, so δ must be
+/// small enough that the refined fraction stays negligible in both and
+/// the rows compare the same regime.
+double RunBatches(IndexBase* index, const std::vector<RangeQuery>& queries,
+                  size_t count, size_t batch, double* mean_predicted) {
+  std::vector<QueryResult> results(batch);
+  double predicted_sum = 0;
+  size_t batches = 0;
+  Timer timer;
+  for (size_t start = 0; start < count; start += batch) {
+    const size_t nb = std::min(batch, count - start);
+    index->QueryBatch(queries.data() + start, nb, results.data());
+    predicted_sum += index->last_predicted_cost();
+    batches++;
+  }
+  const double secs = timer.ElapsedSeconds();
+  *mean_predicted = batches > 0 ? predicted_sum / static_cast<double>(batches)
+                                : 0;
+  return secs;
+}
+
+void RunCase(const std::string& index_id, const std::string& workload,
+             const std::vector<value_t>& values,
+             const std::vector<RangeQuery>& queries, size_t count,
+             double delta, std::vector<BatchRow>* rows) {
+  double base_qps = 0;
+  for (const size_t batch : kBatchSizes) {
+    // Fresh column + index per batch size: every row starts from the
+    // same unindexed state and performs the same count of queries.
+    Column column{std::vector<value_t>(values)};
+    auto index =
+        MakeIndex(index_id, column, BudgetSpec::FixedDelta(delta));
+    double mean_predicted = 0;
+    const double secs =
+        RunBatches(index.get(), queries, count, batch, &mean_predicted);
+    BatchRow row;
+    row.index_id = index_id;
+    row.workload = workload;
+    row.batch = batch;
+    row.queries = count;
+    row.queries_per_sec = secs > 0 ? static_cast<double>(count) / secs : 0;
+    if (batch == 1) base_qps = row.queries_per_sec;
+    row.speedup_vs_1 = base_qps > 0 ? row.queries_per_sec / base_qps : 0;
+    row.predicted_per_query = mean_predicted;
+    rows->push_back(row);
+    std::printf("  %-5s %-9s batch %-3zu  %10.1f q/s  %5.2fx  pred %.3e s\n",
+                index_id.c_str(), workload.c_str(), batch,
+                row.queries_per_sec, row.speedup_vs_1,
+                row.predicted_per_query);
+  }
+}
+
+/// Merges the `batch` rows into BENCH_kernels.json: keeps whatever
+/// micro_kernels wrote, replaces any previous batch section (always the
+/// last key), or creates a minimal file when none exists.
+void WriteBatchJson(const char* path, const std::vector<BatchRow>& rows) {
+  std::string existing;
+  if (std::FILE* f = std::fopen(path, "r")) {
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+      existing.append(buf, got);
+    }
+    std::fclose(f);
+  }
+  std::string head;
+  const size_t batch_key = existing.find(",\n  \"batch\": [");
+  if (batch_key != std::string::npos) {
+    head = existing.substr(0, batch_key);  // drop the stale batch section
+    head += "\n}\n";
+  } else {
+    head = existing;
+  }
+  const size_t close = head.rfind('}');
+  if (close == std::string::npos) {
+    head = "{\n  \"elements\": 0\n}\n";  // no prior file: minimal shell
+  }
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  const size_t cut = head.rfind('}');
+  std::fwrite(head.data(), 1, cut, f);
+  // Trim trailing whitespace/newlines before the closing brace.
+  long end = static_cast<long>(cut);
+  while (end > 0 && (head[end - 1] == '\n' || head[end - 1] == ' ')) end--;
+  std::fseek(f, 0, SEEK_SET);
+  std::fwrite(head.data(), 1, static_cast<size_t>(end), f);
+  std::fprintf(f, ",\n  \"batch\": [\n");
+  for (size_t i = 0; i < rows.size(); i++) {
+    const BatchRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"index\": \"%s\", \"workload\": \"%s\", \"batch\": %zu, "
+        "\"queries\": %zu, \"queries_per_sec\": %.1f, "
+        "\"speedup_vs_batch1\": %.3f, \"predicted_per_query_secs\": "
+        "%.4e}%s\n",
+        r.index_id.c_str(), r.workload.c_str(), r.batch, r.queries,
+        r.queries_per_sec, r.speedup_vs_1, r.predicted_per_query,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("batch throughput rows -> %s\n", path);
+}
+
+}  // namespace
+}  // namespace progidx
+
+int main(int argc, char** argv) {
+  using namespace progidx;
+  CommandLine cli;
+  bench::AddCommonFlags(&cli);
+  // Bigger default column than the other drivers: the shared-scan win
+  // is a memory-bandwidth effect, so the scan must not fit in cache.
+  cli.AddFlag("n", "2000000", "column size");
+  cli.AddFlag("json", "BENCH_kernels.json", "merged JSON output path");
+  cli.AddFlag("delta", "0.001", "fixed per-query indexing fraction");
+  if (!cli.Parse(argc, argv)) return 0;
+  const size_t n = static_cast<size_t>(cli.GetInt("n"));
+  const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed"));
+  const double delta = cli.GetDouble("delta");
+  // Enough queries for stable timing, few enough that the default δ
+  // keeps even the batch-1 run deep in the creation phase.
+  const size_t count =
+      std::min<size_t>(static_cast<size_t>(cli.GetInt("queries")), 96);
+
+  std::vector<BatchRow> rows;
+  // Uniform random data + random range queries (§4.1 selectivity).
+  {
+    Column column = MakeUniformColumn(n, seed);
+    const std::vector<RangeQuery> queries = WorkloadGenerator::Generate(
+        WorkloadPattern::kRandom, column.min_value(), column.max_value(),
+        std::max<size_t>(count, 1), 0.1, seed + 13);
+    const std::vector<value_t> values = column.values();
+    std::printf("uniform n=%zu, %zu pre-convergence queries:\n", n, count);
+    for (const std::string& id : {std::string("pq"), std::string("pb"),
+                                  std::string("plsd"), std::string("pmsd"),
+                                  std::string("fs")}) {
+      RunCase(id, "uniform", values, queries, count, delta, &rows);
+    }
+  }
+  // SkyServer data + query log.
+  {
+    const bench::SkyServerBench sky = bench::MakeSkyServerBench(cli);
+    const std::vector<value_t> values = sky.column.values();
+    const size_t sky_count = std::min(count, sky.queries.size());
+    std::printf("skyserver n=%zu, %zu pre-convergence queries:\n",
+                sky.column.size(), sky_count);
+    for (const std::string& id : {std::string("pq"), std::string("pb"),
+                                  std::string("plsd"), std::string("pmsd"),
+                                  std::string("fs")}) {
+      RunCase(id, "skyserver", values, sky.queries, sky_count, delta, &rows);
+    }
+  }
+  WriteBatchJson(cli.GetString("json").c_str(), rows);
+
+  // The decision tree's view: per-query pre-convergence cost under
+  // batching for the recommended technique on uniform range queries.
+  CostModel model(GlobalMachineConstants(), n);
+  Scenario scenario;
+  scenario.distribution = DataDistribution::kUniform;
+  std::printf("\ncost model: pre-convergence per-query secs (uniform, "
+              "delta=%g)\n", delta);
+  for (const size_t batch : kBatchSizes) {
+    scenario.concurrent_queries = batch;
+    std::printf("  batch %-3zu -> %.4e s/query\n", batch,
+                PreConvergencePerQuerySecs(scenario, model, delta));
+  }
+  return 0;
+}

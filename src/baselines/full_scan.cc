@@ -1,5 +1,7 @@
 #include "baselines/full_scan.h"
 
+#include <algorithm>
+
 #include "parallel/primitives.h"
 
 namespace progidx {
@@ -10,6 +12,14 @@ QueryResult FullScan::Query(const RangeQuery& q) {
   // compared against, so it must run at the same (vectorized, threaded)
   // per-element cost.
   return parallel::RangeSumPredicated(column_.data(), column_.size(), q);
+}
+
+void FullScan::QueryBatch(const RangeQuery* qs, size_t count,
+                          QueryResult* out) {
+  std::fill(out, out + count, QueryResult{});
+  pset_.Reset(qs, count);
+  pset_.Scan(column_.data(), column_.size());
+  pset_.AccumulateInto(out);
 }
 
 }  // namespace progidx

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/index_base.h"
+#include "exec/shared_scan.h"
 
 namespace progidx {
 
@@ -14,11 +15,16 @@ class FullScan : public IndexBase {
   explicit FullScan(const Column& column) : column_(column) {}
 
   QueryResult Query(const RangeQuery& q) override;
+  /// The whole column is unrefined data, so a batch is a single shared
+  /// pass serving every predicate — the maximal shared-scan win.
+  void QueryBatch(const RangeQuery* qs, size_t count,
+                  QueryResult* out) override;
   bool converged() const override { return false; }
   std::string name() const override { return "Full Scan"; }
 
  private:
   const Column& column_;
+  exec::PredicateSet pset_;
 };
 
 }  // namespace progidx

@@ -1,5 +1,6 @@
 #include "baselines/standard_cracking.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "baselines/cracking_kernels.h"
@@ -14,7 +15,7 @@ void StandardCracking::CrackAt(value_t v) {
   cracker_.index().Insert(v, boundary);
 }
 
-QueryResult StandardCracking::Query(const RangeQuery& q) {
+void StandardCracking::CrackForQuery(const RangeQuery& q) {
   cracker_.EnsureMaterialized();
   const value_t lo = q.low;
   const bool has_hi = q.high != std::numeric_limits<value_t>::max();
@@ -35,7 +36,36 @@ QueryResult StandardCracking::Query(const RangeQuery& q) {
     CrackAt(lo);
     if (has_hi) CrackAt(hi);
   }
+}
+
+QueryResult StandardCracking::Query(const RangeQuery& q) {
+  CrackForQuery(q);
   return cracker_.Answer(q);
+}
+
+void StandardCracking::QueryBatch(const RangeQuery* qs, size_t count,
+                                  QueryResult* out) {
+  if (count == 0) return;
+  CrackForQuery(qs[0]);  // one per-batch indexing budget
+  std::fill(out, out + count, QueryResult{});
+  const size_t n = cracker_.size();
+  // Piece-aligned covering region per query, merged so overlapping
+  // regions — early on, most of the column for every query — are
+  // loaded once. A piece outside a query's region cannot hold values
+  // in its [low, high], so the shared predicate re-check adds exactly
+  // zero there and totals stay bit-identical to the per-query scans.
+  scratch_regions_.clear();
+  for (size_t i = 0; i < count; i++) {
+    const size_t start = cracker_.index().LowerPos(qs[i].low);
+    const size_t end = cracker_.index().UpperPos(qs[i].high, n);
+    if (start < end) scratch_regions_.push_back({start, end});
+  }
+  exec::MergePosRanges(&scratch_regions_);
+  pset_.Reset(qs, count);
+  for (const exec::PosRange& r : scratch_regions_) {
+    pset_.Scan(cracker_.data() + r.begin, r.end - r.begin);
+  }
+  pset_.AccumulateInto(out);
 }
 
 }  // namespace progidx

@@ -5,6 +5,7 @@
 
 #include "baselines/cracker_column.h"
 #include "core/index_base.h"
+#include "exec/shared_scan.h"
 
 namespace progidx {
 
@@ -17,6 +18,13 @@ class StandardCracking : public IndexBase {
   explicit StandardCracking(const Column& column) : cracker_(column) {}
 
   QueryResult Query(const RangeQuery& q) override;
+  /// One per-batch indexing budget: the batch head cracks (cracking's
+  /// whole indexing effort is predicate-driven, so the head's two
+  /// cracks are its per-query unit of work), then every query answers
+  /// from one shared PredicateSet pass over the merged piece-aligned
+  /// regions the batch covers.
+  void QueryBatch(const RangeQuery* qs, size_t count,
+                  QueryResult* out) override;
   bool converged() const override { return false; }
   std::string name() const override { return "Std. Cracking"; }
 
@@ -26,8 +34,13 @@ class StandardCracking : public IndexBase {
   /// Cracks the piece containing `v` at `v` (no-op if already a
   /// boundary).
   void CrackAt(value_t v);
+  /// The crack-then-index side effect of Query(q), shared by the batch
+  /// path.
+  void CrackForQuery(const RangeQuery& q);
 
   CrackerColumn cracker_;
+  exec::PredicateSet pset_;
+  std::vector<exec::PosRange> scratch_regions_;
 };
 
 }  // namespace progidx

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "parallel/primitives.h"
+
 namespace progidx {
 
 BPlusTree::BPlusTree(const value_t* sorted, size_t n, size_t fanout)
@@ -96,11 +98,20 @@ size_t ProgressiveBTreeBuilder::DoWork(size_t max_keys) {
     std::vector<value_t>& building = tree_->levels_.back();
     // Copy every fanout-th key of the source into the level being
     // built: the random read + sequential write of the cost model.
-    while (copied < max_keys && source_pos_ < source_size) {
-      building.push_back(source[source_pos_]);
-      source_pos_ += tree_->fanout_;
-      copied++;
-      remaining_ = remaining_ > 0 ? remaining_ - 1 : 0;
+    // Bulk strided gather — splits across the thread pool for big
+    // levels, with the keys landing at the same positions (and
+    // source_pos_ at the same final value) as the one-by-one loop.
+    if (source_pos_ < source_size) {
+      const size_t f = tree_->fanout_;
+      const size_t avail = (source_size - source_pos_ + f - 1) / f;
+      const size_t take = std::min(avail, max_keys - copied);
+      const size_t base = building.size();
+      building.resize(base + take);
+      parallel::StridedGather(source, source_pos_, f, take,
+                              building.data() + base);
+      source_pos_ += take * f;
+      copied += take;
+      remaining_ = remaining_ > take ? remaining_ - take : 0;
     }
     if (source_pos_ < source_size) break;  // budget exhausted mid-level
     // Level finished: either it is the root or we start its parent.

@@ -36,6 +36,10 @@ class BPlusTree {
   size_t fanout() const { return fanout_; }
   size_t height() const { return levels_.size(); }
 
+  /// Internal levels as built so far (levels_[0] from the base array,
+  /// root last); exposed for construction-parity tests.
+  const std::vector<std::vector<value_t>>& levels() const { return levels_; }
+
   /// Total number of keys copied into internal levels by a full build:
   /// Ncopy = Σ_{i≥1} n/β^i. Used by the consolidation cost model.
   size_t TotalInternalKeys() const;

@@ -54,6 +54,21 @@ std::string TechniqueId(ProgressiveTechnique technique) {
   return "";
 }
 
+double PreConvergencePerQuerySecs(const Scenario& scenario,
+                                  const CostModel& model, double delta) {
+  // First-query shape of every technique's creation phase: the whole
+  // column is unindexed, so the answer share is one full scan and the
+  // indexing share is δ of the phase's per-column operation. The scan
+  // is what a batch shares; the indexing is charged once per batch.
+  const double op_secs =
+      Recommend(scenario) == ProgressiveTechnique::kQuicksort
+          ? model.PivotSecs()
+          : model.BucketAppendSecs();
+  return model.BatchPerQuerySecs(delta * op_secs, model.ScanSecs(),
+                                 /*private_secs=*/0,
+                                 scenario.concurrent_queries);
+}
+
 std::string RecommendationRationale(const Scenario& scenario) {
   if (scenario.query_type == QueryType::kPoint) {
     return "point queries hit a single LSD bucket before convergence";

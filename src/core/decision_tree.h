@@ -1,7 +1,10 @@
 #ifndef PROGIDX_CORE_DECISION_TREE_H_
 #define PROGIDX_CORE_DECISION_TREE_H_
 
+#include <cstddef>
 #include <string>
+
+#include "cost/cost_model.h"
 
 namespace progidx {
 
@@ -25,6 +28,11 @@ enum class ProgressiveTechnique {
 struct Scenario {
   QueryType query_type = QueryType::kRange;
   DataDistribution distribution = DataDistribution::kUnknown;
+  /// In-flight queries the serving layer can group into one shared-scan
+  /// batch (src/exec/). Batching amortizes the pre-convergence scan, so
+  /// it changes the *expected per-query cost*, not which technique wins
+  /// — the recommendation is batch-size-invariant by design.
+  size_t concurrent_queries = 1;
 };
 
 /// Recommends a technique for the scenario.
@@ -39,6 +47,17 @@ std::string TechniqueId(ProgressiveTechnique technique);
 /// One-line rationale for the recommendation (used by the advisor
 /// example).
 std::string RecommendationRationale(const Scenario& scenario);
+
+/// Expected per-query cost of the scenario's *pre-convergence* phase
+/// under shared-scan batching: a creation-phase query is dominated by
+/// scanning the unindexed remainder, which a batch of
+/// `scenario.concurrent_queries` loads once (cost-model-priced via
+/// CostModel::BatchPerQuerySecs with the whole t_scan shared and the
+/// per-query δ·t_op indexing charged once per batch). The advisor and
+/// bench tables use this to show what batching buys before the index
+/// converges.
+double PreConvergencePerQuerySecs(const Scenario& scenario,
+                                  const CostModel& model, double delta);
 
 }  // namespace progidx
 

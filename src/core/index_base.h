@@ -1,6 +1,7 @@
 #ifndef PROGIDX_CORE_INDEX_BASE_H_
 #define PROGIDX_CORE_INDEX_BASE_H_
 
+#include <cstddef>
 #include <string>
 
 #include "common/types.h"
@@ -21,6 +22,28 @@ class IndexBase {
   /// construction is a side effect of querying, for both progressive
   /// and adaptive indexing).
   virtual QueryResult Query(const RangeQuery& q) = 0;
+
+  /// Answers qs[0, count) against one consistent index state, writing
+  /// results in input order to out[0, count).
+  ///
+  /// Batch-aware techniques (the four progressive indexes, full scan,
+  /// standard cracking) charge a *single* per-query indexing budget for
+  /// the whole batch — refinement advances at the same deterministic
+  /// rate per batch as per query — and answer the unrefined portion of
+  /// their data with one shared scan over all predicates
+  /// (exec::PredicateSet); refined data goes through the same per-query
+  /// lookup paths as Query. A batch of one is bit-identical to Query()
+  /// in results, index state, and cost prediction (test-enforced; see
+  /// docs/batching.md). After a batched call, last_predicted_cost() is
+  /// the predicted *per-query* cost with shared-scan terms split across
+  /// the batch.
+  ///
+  /// The default runs the queries sequentially (one budget each) so
+  /// non-batch-aware techniques stay correct under the batch harness.
+  virtual void QueryBatch(const RangeQuery* qs, size_t count,
+                          QueryResult* out) {
+    for (size_t i = 0; i < count; i++) out[i] = Query(qs[i]);
+  }
 
   /// True once the structure has reached its final state and no query
   /// will perform further indexing work. Full scan never converges;

@@ -189,19 +189,31 @@ void ProgressiveBucketsort::DoWorkSecs(double secs) {
             ClampWorkUnit(model_.SwapSecs() / static_cast<double>(n));
         const size_t elems = UnitsForSecs(secs, unit);
         size_t used = 0;
+        std::vector<parallel::SrcRun> runs;
         while (used < elems && phase_ == Phase::kRefinement) {
           BucketChain& chain = buckets_[merge_bucket_];
           if (filling_) {
-            // Straight block copies into the bucket's final segment.
-            while (used < elems && !chain.AtEnd(fill_cursor_)) {
+            // Straight block copies into the bucket's final segment:
+            // gather the chain's block runs up to the budget, then lay
+            // them out in one call — big fill slices memcpy across the
+            // pool into disjoint slices, small ones stay serial.
+            runs.clear();
+            BucketChain::Cursor probe = fill_cursor_;
+            size_t batched = 0;
+            while (batched < elems - used && !chain.AtEnd(probe)) {
               const value_t* run = nullptr;
-              size_t len = chain.ContiguousRun(fill_cursor_, &run);
-              len = std::min(len, elems - used);
-              std::memcpy(final_.data() + fill_pos_, run,
-                          len * sizeof(value_t));
-              fill_pos_ += len;
-              chain.Advance(&fill_cursor_, len);
-              used += len;
+              size_t len = chain.ContiguousRun(probe, &run);
+              len = std::min(len, elems - used - batched);
+              runs.push_back({run, len});
+              chain.Advance(&probe, len);
+              batched += len;
+            }
+            if (batched > 0) {
+              parallel::CopyRunsTo(runs.data(), runs.size(),
+                                   final_.data() + fill_pos_);
+              fill_pos_ += batched;
+              fill_cursor_ = probe;
+              used += batched;
             }
             if (chain.AtEnd(fill_cursor_)) {
               filling_ = false;
@@ -306,8 +318,7 @@ QueryResult ProgressiveBucketsort::Answer(const RangeQuery& q) const {
   return result;
 }
 
-QueryResult ProgressiveBucketsort::Query(const RangeQuery& q) {
-  if (column_.empty()) return {};
+void ProgressiveBucketsort::PrepareQuery(const RangeQuery& q) {
   last_query_hint_ = q;
   const Phase phase_at_start = phase_;
   const double op_secs =
@@ -329,9 +340,16 @@ QueryResult ProgressiveBucketsort::Query(const RangeQuery& q) {
       const double log_b = std::log2(static_cast<double>(buckets_.size()));
       const double bucket_term = delta * log_b * model_.BucketAppendSecs();
       const size_t slice = static_cast<size_t>(delta * n);
-      predicted_ +=
-          model_.ThreadedSecs(bucket_term, parallel::PlannedLanes(slice)) -
-          bucket_term;
+      const double bucket_threaded =
+          model_.ThreadedSecs(bucket_term, parallel::PlannedLanes(slice));
+      predicted_ += bucket_threaded - bucket_term;
+      // Batch decomposition: the base-column remainder scan shares
+      // across a batch; bucket chain lookups stay per query.
+      pred_index_secs_ = bucket_threaded;
+      pred_shared_secs_ =
+          std::max(1.0 - rho - delta, 0.0) * model_.ScanSecs();
+      pred_private_secs_ =
+          std::max(predicted_ - pred_index_secs_ - pred_shared_secs_, 0.0);
       break;
     }
     case Phase::kRefinement: {
@@ -348,21 +366,80 @@ QueryResult ProgressiveBucketsort::Query(const RangeQuery& q) {
               : 0.0;
       predicted_ = model_.QuicksortRefineWithLeafFloor(
           active_sorter_.height(), std::min(alpha, 1.0), delta, leaf_secs);
+      // Refinement data is bucket-pruned or sorted — no shared term.
+      pred_index_secs_ = std::max(delta * model_.SwapSecs(), leaf_secs);
+      pred_shared_secs_ = 0;
+      pred_private_secs_ = std::max(predicted_ - pred_index_secs_, 0.0);
       break;
     }
     case Phase::kConsolidation: {
       predicted_ = model_.Consolidate(options_.btree_fanout,
                                       SelectivityEstimate(q), delta);
+      pred_index_secs_ =
+          delta * model_.ConsolidateSecs(options_.btree_fanout);
+      pred_shared_secs_ = 0;
+      pred_private_secs_ = std::max(predicted_ - pred_index_secs_, 0.0);
       break;
     }
     case Phase::kDone: {
       predicted_ = model_.BinarySearchSecs() +
                    SelectivityEstimate(q) * model_.ScanSecs();
+      pred_index_secs_ = 0;
+      pred_shared_secs_ = 0;
+      pred_private_secs_ = predicted_;
       break;
     }
   }
   if (delta > 0) DoWorkSecs(delta * op_secs);
+}
+
+QueryResult ProgressiveBucketsort::Query(const RangeQuery& q) {
+  if (column_.empty()) return {};
+  PrepareQuery(q);
   return Answer(q);
+}
+
+void ProgressiveBucketsort::QueryBatch(const RangeQuery* qs, size_t count,
+                                       QueryResult* out) {
+  if (count == 0) return;
+  if (column_.empty()) {
+    std::fill(out, out + count, QueryResult{});
+    return;
+  }
+  PrepareQuery(qs[0]);  // one per-batch indexing budget
+  AnswerBatch(qs, count, out);
+  if (count > 1) {
+    predicted_ = model_.BatchPerQuerySecs(pred_index_secs_,
+                                          pred_shared_secs_,
+                                          pred_private_secs_, count);
+  }
+}
+
+void ProgressiveBucketsort::AnswerBatch(const RangeQuery* qs, size_t count,
+                                        QueryResult* out) const {
+  std::fill(out, out + count, QueryResult{});
+  if (phase_ != Phase::kCreation) {
+    // Refinement onwards the data is a sorted prefix, one actively
+    // sorted segment, and value-pruned pending buckets — the per-query
+    // paths are already sublinear; run them as-is.
+    for (size_t i = 0; i < count; i++) out[i] = Answer(qs[i]);
+    return;
+  }
+  // Creation: equi-height buckets answer per query (value-range
+  // pruning); the uncopied tail of the base column is scanned once for
+  // the whole batch.
+  const size_t n = column_.size();
+  for (size_t i = 0; i < count; i++) {
+    for (size_t b = 0; b < buckets_.size(); b++) {
+      if (BucketHi(b) < qs[i].low || BucketLo(b) > qs[i].high) continue;
+      const QueryResult part = buckets_[b].RangeSum(qs[i]);
+      out[i].sum += part.sum;
+      out[i].count += part.count;
+    }
+  }
+  pset_.Reset(qs, count);
+  pset_.Scan(column_.data() + copy_pos_, n - copy_pos_);
+  pset_.AccumulateInto(out);
 }
 
 }  // namespace progidx

@@ -11,6 +11,7 @@
 #include "core/index_base.h"
 #include "core/progressive_quicksort.h"
 #include "cost/cost_model.h"
+#include "exec/shared_scan.h"
 #include "storage/bucket_chain.h"
 
 namespace progidx {
@@ -34,6 +35,8 @@ class ProgressiveBucketsort : public IndexBase {
                         uint64_t sample_seed = 42);
 
   QueryResult Query(const RangeQuery& q) override;
+  void QueryBatch(const RangeQuery* qs, size_t count,
+                  QueryResult* out) override;
   bool converged() const override { return phase_ == Phase::kDone; }
   std::string name() const override { return "P. Bucketsort"; }
   double last_predicted_cost() const override { return predicted_; }
@@ -54,7 +57,13 @@ class ProgressiveBucketsort : public IndexBase {
   void DoWorkSecs(double secs);
   /// Starts merging bucket `merge_bucket_` into its final_ segment.
   void BeginActiveBucket();
+  /// The whole Query() prologue (budget→δ, prediction, indexing work),
+  /// shared verbatim by Query and QueryBatch.
+  void PrepareQuery(const RangeQuery& q);
   QueryResult Answer(const RangeQuery& q) const;
+  /// Batch answer: per-query value-pruned bucket lookups plus one
+  /// shared PredicateSet pass over the unbucketed remainder.
+  void AnswerBatch(const RangeQuery* qs, size_t count, QueryResult* out) const;
   void EnterConsolidation();
 
   const Column& column_;
@@ -86,8 +95,13 @@ class ProgressiveBucketsort : public IndexBase {
   std::unique_ptr<ProgressiveBTreeBuilder> builder_;
 
   double predicted_ = 0;
+  /// predicted_ decomposed for batch pricing (see docs/batching.md).
+  double pred_index_secs_ = 0;
+  double pred_shared_secs_ = 0;
+  double pred_private_secs_ = 0;
   RangeQuery last_query_hint_;
   mutable std::vector<ScanRange> scratch_ranges_;
+  mutable exec::PredicateSet pset_;
 };
 
 }  // namespace progidx

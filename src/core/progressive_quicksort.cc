@@ -203,8 +203,7 @@ QueryResult ProgressiveQuicksort::Answer(const RangeQuery& q) const {
   return result;
 }
 
-QueryResult ProgressiveQuicksort::Query(const RangeQuery& q) {
-  if (column_.empty()) return {};
+void ProgressiveQuicksort::PrepareQuery(const RangeQuery& q) {
   last_query_hint_ = q;
   const Phase phase_at_start = phase_;
   const double op_secs =
@@ -241,9 +240,15 @@ QueryResult ProgressiveQuicksort::Query(const RangeQuery& q) {
                     pivot_term;
       const double scan_term = (1.0 - rho + alpha - delta) * model_.ScanSecs();
       const size_t scanned = static_cast<size_t>((1.0 - rho + alpha) * n);
-      predicted_ +=
-          model_.ThreadedSecs(scan_term, parallel::PlannedLanes(scanned)) -
-          scan_term;
+      const double scan_threaded =
+          model_.ThreadedSecs(scan_term, parallel::PlannedLanes(scanned));
+      predicted_ += scan_threaded - scan_term;
+      // Batch decomposition, serial-priced like the other indexes':
+      // SharedScanSecs recovers element counts from seq_read_secs, so
+      // the shared term must not carry the threading discount.
+      pred_index_secs_ = delta * model_.PivotSecs();
+      pred_shared_secs_ = scan_term;
+      pred_private_secs_ = 0;
       break;
     }
     case Phase::kRefinement: {
@@ -262,25 +267,120 @@ QueryResult ProgressiveQuicksort::Query(const RangeQuery& q) {
       // collected ranges; re-price it like the creation-phase terms.
       const double scan_term = alpha * model_.ScanSecs();
       const size_t scanned = static_cast<size_t>(alpha * n);
-      predicted_ +=
-          model_.ThreadedSecs(scan_term, parallel::PlannedLanes(scanned)) -
-          scan_term;
+      const double scan_threaded =
+          model_.ThreadedSecs(scan_term, parallel::PlannedLanes(scanned));
+      predicted_ += scan_threaded - scan_term;
+      // Serial-priced decomposition (see the creation-phase note).
+      pred_index_secs_ = std::max(delta * model_.SwapSecs(), leaf_secs);
+      pred_shared_secs_ = scan_term;
+      pred_private_secs_ = model_.TreeLookupSecs(sorter_.height());
       break;
     }
     case Phase::kConsolidation: {
       const double alpha = SelectivityEstimate(q);
       predicted_ =
           model_.Consolidate(options_.btree_fanout, alpha, delta);
+      // Consolidation answers come from the B+-tree per query — no
+      // shared scan; only the δ·t_copy indexing term amortizes.
+      pred_index_secs_ =
+          delta * model_.ConsolidateSecs(options_.btree_fanout);
+      pred_shared_secs_ = 0;
+      pred_private_secs_ = predicted_ - pred_index_secs_;
       break;
     }
     case Phase::kDone: {
       predicted_ = model_.BinarySearchSecs() +
                    SelectivityEstimate(q) * model_.ScanSecs();
+      pred_index_secs_ = 0;
+      pred_shared_secs_ = 0;
+      pred_private_secs_ = predicted_;
       break;
     }
   }
   if (delta > 0) DoWorkSecs(delta * op_secs);
+}
+
+QueryResult ProgressiveQuicksort::Query(const RangeQuery& q) {
+  if (column_.empty()) return {};
+  PrepareQuery(q);
   return Answer(q);
+}
+
+void ProgressiveQuicksort::QueryBatch(const RangeQuery* qs, size_t count,
+                                      QueryResult* out) {
+  if (count == 0) return;
+  if (column_.empty()) {
+    std::fill(out, out + count, QueryResult{});
+    return;
+  }
+  // One per-batch indexing budget, hinted by the batch head — the
+  // exact Query() prologue, so a batch of one leaves bit-identical
+  // state.
+  PrepareQuery(qs[0]);
+  AnswerBatch(qs, count, out);
+  if (count > 1) {
+    predicted_ = model_.BatchPerQuerySecs(pred_index_secs_,
+                                          pred_shared_secs_,
+                                          pred_private_secs_, count);
+  }
+}
+
+void ProgressiveQuicksort::AnswerBatch(const RangeQuery* qs, size_t count,
+                                       QueryResult* out) const {
+  std::fill(out, out + count, QueryResult{});
+  const size_t n = column_.size();
+  switch (phase_) {
+    case Phase::kCreation: {
+      // One shared pass each over the partitioned fringes and the
+      // not-yet-copied tail. The fringes are scanned for every query
+      // (the single-query path prunes them against the pivot, but a
+      // pruned fringe contributes zero matches, so totals are
+      // identical — and under a batch someone usually needs them).
+      pset_.Reset(qs, count);
+      if (low_pos_ > 0) pset_.Scan(index_.data(), low_pos_);
+      if (high_pos_ + 1 < static_cast<int64_t>(n)) {
+        const size_t start = static_cast<size_t>(high_pos_ + 1);
+        pset_.Scan(index_.data() + start, n - start);
+      }
+      pset_.Scan(column_.data() + copy_pos_, n - copy_pos_);
+      pset_.AccumulateInto(out);
+      return;
+    }
+    case Phase::kRefinement: {
+      // Sorted pivot-tree ranges answer per query (binary search);
+      // unsorted ranges merge across queries into one shared scan. A
+      // range left uncollected for some query cannot contain values in
+      // that query's [low, high] (the pivot-tree pruning invariant), so
+      // scanning the union adds exactly zero to its totals.
+      scratch_pos_ranges_.clear();
+      for (size_t i = 0; i < count; i++) {
+        scratch_ranges_.clear();
+        sorter_.CollectRanges(qs[i], &scratch_ranges_);
+        for (const ScanRange& r : scratch_ranges_) {
+          if (r.sorted) {
+            const QueryResult part = SortedRangeSum(index_.data() + r.start,
+                                                    r.end - r.start, qs[i]);
+            out[i].sum += part.sum;
+            out[i].count += part.count;
+          } else {
+            scratch_pos_ranges_.push_back({r.start, r.end});
+          }
+        }
+      }
+      exec::MergePosRanges(&scratch_pos_ranges_);
+      pset_.Reset(qs, count);
+      for (const exec::PosRange& r : scratch_pos_ranges_) {
+        pset_.Scan(index_.data() + r.begin, r.end - r.begin);
+      }
+      pset_.AccumulateInto(out);
+      return;
+    }
+    case Phase::kConsolidation:
+    case Phase::kDone: {
+      for (size_t i = 0; i < count; i++) out[i] = btree_.RangeSum(qs[i]);
+      return;
+    }
+  }
 }
 
 

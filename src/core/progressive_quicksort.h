@@ -11,6 +11,7 @@
 #include "core/index_base.h"
 #include "cost/calibration.h"
 #include "cost/cost_model.h"
+#include "exec/shared_scan.h"
 
 namespace progidx {
 
@@ -59,6 +60,8 @@ class ProgressiveQuicksort : public IndexBase {
                        const ProgressiveOptions& options = {});
 
   QueryResult Query(const RangeQuery& q) override;
+  void QueryBatch(const RangeQuery* qs, size_t count,
+                  QueryResult* out) override;
   bool converged() const override { return phase_ == Phase::kDone; }
   std::string name() const override { return "P. Quicksort"; }
   double last_predicted_cost() const override { return predicted_; }
@@ -87,7 +90,15 @@ class ProgressiveQuicksort : public IndexBase {
   /// Performs `secs` worth of indexing work, cascading across phase
   /// transitions.
   void DoWorkSecs(double secs);
+  /// The whole Query() prologue for budget query `q`: budget→δ, cost
+  /// prediction, and δ·op_secs of indexing work. Shared verbatim by
+  /// Query and QueryBatch, so a batch's state trajectory is the single
+  /// query's by construction.
+  void PrepareQuery(const RangeQuery& q);
   QueryResult Answer(const RangeQuery& q) const;
+  /// Batch answer against the current state: per-query sorted/indexed
+  /// lookups plus one exec::PredicateSet pass over unrefined regions.
+  void AnswerBatch(const RangeQuery* qs, size_t count, QueryResult* out) const;
 
   const Column& column_;
   ProgressiveOptions options_;
@@ -106,8 +117,16 @@ class ProgressiveQuicksort : public IndexBase {
   std::unique_ptr<ProgressiveBTreeBuilder> builder_;
 
   double predicted_ = 0;
+  /// Decomposition of predicted_ for batch pricing (set by
+  /// PrepareQuery): indexing charged once per batch / unrefined-scan
+  /// shared across the batch / per-query lookups.
+  double pred_index_secs_ = 0;
+  double pred_shared_secs_ = 0;
+  double pred_private_secs_ = 0;
   RangeQuery last_query_hint_;
   mutable std::vector<ScanRange> scratch_ranges_;
+  mutable exec::PredicateSet pset_;
+  mutable std::vector<exec::PosRange> scratch_pos_ranges_;
 };
 
 }  // namespace progidx

@@ -245,18 +245,31 @@ void ProgressiveRadixsortLSD::DoWorkSecs(double secs) {
       case Phase::kMerge: {
         const size_t elems = UnitsForSecs(secs, unit);
         size_t moved = 0;
+        std::vector<parallel::SrcRun> runs;
         while (moved < elems && drain_bucket_ < 64) {
           BucketChain& bucket = source_[drain_bucket_];
           // The final pass leaves each bucket internally ordered;
-          // merging is a straight block copy.
-          while (moved < elems && !bucket.AtEnd(drain_cursor_)) {
+          // merging is a straight block copy. Gather this bucket's
+          // block runs up to the remaining budget and lay them out in
+          // one call — big drain slices memcpy across the pool into
+          // precomputed disjoint slices, small ones stay serial.
+          runs.clear();
+          BucketChain::Cursor probe = drain_cursor_;
+          size_t batched = 0;
+          while (batched < elems - moved && !bucket.AtEnd(probe)) {
             const value_t* run = nullptr;
-            size_t len = bucket.ContiguousRun(drain_cursor_, &run);
-            len = std::min(len, elems - moved);
-            std::memcpy(final_.data() + merged_, run, len * sizeof(value_t));
-            merged_ += len;
-            bucket.Advance(&drain_cursor_, len);
-            moved += len;
+            size_t len = bucket.ContiguousRun(probe, &run);
+            len = std::min(len, elems - moved - batched);
+            runs.push_back({run, len});
+            bucket.Advance(&probe, len);
+            batched += len;
+          }
+          if (batched > 0) {
+            parallel::CopyRunsTo(runs.data(), runs.size(),
+                                 final_.data() + merged_);
+            merged_ += batched;
+            drain_cursor_ = probe;
+            moved += batched;
           }
           if (bucket.AtEnd(drain_cursor_)) {
             bucket.Clear();
@@ -355,8 +368,7 @@ QueryResult ProgressiveRadixsortLSD::Answer(const RangeQuery& q) const {
   return result;
 }
 
-QueryResult ProgressiveRadixsortLSD::Query(const RangeQuery& q) {
-  if (column_.empty()) return {};
+void ProgressiveRadixsortLSD::PrepareQuery(const RangeQuery& q) {
   const Phase phase_at_start = phase_;
   const double op_secs =
       ClampOpSecs(OpSecsForPhase(phase_at_start), column_.size());
@@ -376,9 +388,16 @@ QueryResult ProgressiveRadixsortLSD::Query(const RangeQuery& q) {
       // with the measured parallel-efficiency curve.
       const double bucket_term = delta * model_.BucketAppendSecs();
       const size_t slice = static_cast<size_t>(delta * n);
-      predicted_ +=
-          model_.ThreadedSecs(bucket_term, parallel::PlannedLanes(slice)) -
-          bucket_term;
+      const double bucket_threaded =
+          model_.ThreadedSecs(bucket_term, parallel::PlannedLanes(slice));
+      predicted_ += bucket_threaded - bucket_term;
+      // Batch decomposition: the base-column remainder scan shares
+      // across a batch; the candidate chain lookups stay per query.
+      pred_index_secs_ = bucket_threaded;
+      pred_shared_secs_ =
+          std::max(1.0 - rho - delta, 0.0) * model_.ScanSecs();
+      pred_private_secs_ =
+          std::max(predicted_ - pred_index_secs_ - pred_shared_secs_, 0.0);
       break;
     }
     case Phase::kRefinement: {
@@ -388,31 +407,117 @@ QueryResult ProgressiveRadixsortLSD::Query(const RangeQuery& q) {
       // Pass drains take the parallel run-list scatter for big slices.
       const double bucket_term = delta * model_.BucketAppendSecs();
       const size_t slice = static_cast<size_t>(delta * n);
-      predicted_ +=
-          model_.ThreadedSecs(bucket_term, parallel::PlannedLanes(slice)) -
-          bucket_term;
+      const double bucket_threaded =
+          model_.ThreadedSecs(bucket_term, parallel::PlannedLanes(slice));
+      predicted_ += bucket_threaded - bucket_term;
+      pred_index_secs_ = bucket_threaded;
+      pred_shared_secs_ = 0;  // all chain-resident: per-query pruning
+      pred_private_secs_ = std::max(predicted_ - pred_index_secs_, 0.0);
       break;
     }
     case Phase::kMerge: {
-      // The merge is straight block memcpys — sequential by design.
+      // The merge copies whole block runs — parallel across runs, but
+      // with no shared-scan term (chains are value-clustered already).
       const double alpha =
           answer_est / std::max(model_.BucketScanSecs(), 1e-30);
       predicted_ = model_.RadixRefine(std::min(alpha, 1.0), delta);
+      pred_index_secs_ = delta * model_.BucketAppendSecs();
+      pred_shared_secs_ = 0;
+      pred_private_secs_ = std::max(predicted_ - pred_index_secs_, 0.0);
       break;
     }
     case Phase::kConsolidation: {
       predicted_ = model_.Consolidate(options_.btree_fanout,
                                       SelectivityEstimate(q), delta);
+      pred_index_secs_ =
+          delta * model_.ConsolidateSecs(options_.btree_fanout);
+      pred_shared_secs_ = 0;
+      pred_private_secs_ = std::max(predicted_ - pred_index_secs_, 0.0);
       break;
     }
     case Phase::kDone: {
       predicted_ = model_.BinarySearchSecs() +
                    SelectivityEstimate(q) * model_.ScanSecs();
+      pred_index_secs_ = 0;
+      pred_shared_secs_ = 0;
+      pred_private_secs_ = predicted_;
       break;
     }
   }
   if (delta > 0) DoWorkSecs(delta * op_secs);
+}
+
+QueryResult ProgressiveRadixsortLSD::Query(const RangeQuery& q) {
+  if (column_.empty()) return {};
+  PrepareQuery(q);
   return Answer(q);
+}
+
+void ProgressiveRadixsortLSD::QueryBatch(const RangeQuery* qs, size_t count,
+                                         QueryResult* out) {
+  if (count == 0) return;
+  if (column_.empty()) {
+    std::fill(out, out + count, QueryResult{});
+    return;
+  }
+  PrepareQuery(qs[0]);  // one per-batch indexing budget
+  AnswerBatch(qs, count, out);
+  if (count > 1) {
+    predicted_ = model_.BatchPerQuerySecs(pred_index_secs_,
+                                          pred_shared_secs_,
+                                          pred_private_secs_, count);
+  }
+}
+
+void ProgressiveRadixsortLSD::AnswerBatch(const RangeQuery* qs, size_t count,
+                                          QueryResult* out) const {
+  std::fill(out, out + count, QueryResult{});
+  if (phase_ != Phase::kCreation) {
+    // Refinement onwards every element lives in value-clustered chains
+    // (or the sorted prefix); the per-query pruned paths are already
+    // sublinear, so the batch runs them as-is.
+    for (size_t i = 0; i < count; i++) out[i] = Answer(qs[i]);
+    return;
+  }
+  // Creation: candidate pass-0 buckets answer per query; queries whose
+  // digit range covers all 64 buckets (the α == ρ fallback) share one
+  // scan of the copied prefix; and all queries share one scan of the
+  // uncopied tail — the dominant pre-convergence cost, paid once per
+  // batch instead of once per query.
+  const size_t n = column_.size();
+  std::vector<RangeQuery>& fallback_qs = scratch_fallback_qs_;
+  std::vector<size_t>& fallback_idx = scratch_fallback_idx_;
+  fallback_qs.clear();
+  fallback_idx.clear();
+  for (size_t i = 0; i < count; i++) {
+    size_t first = 0;
+    size_t last = 0;
+    if (CandidateDigits(qs[i], 0, &first, &last)) {
+      for (size_t b = first;; b = (b + 1) & 63u) {
+        const QueryResult part = source_[b].RangeSum(qs[i]);
+        out[i].sum += part.sum;
+        out[i].count += part.count;
+        if (b == last) break;
+      }
+    } else {
+      fallback_qs.push_back(qs[i]);
+      fallback_idx.push_back(i);
+    }
+  }
+  if (!fallback_qs.empty()) {
+    pset_.Reset(fallback_qs.data(), fallback_qs.size());
+    pset_.Scan(column_.data(), copy_pos_);
+    std::vector<QueryResult>& partial = scratch_partial_;
+    partial.assign(fallback_qs.size(), QueryResult{});
+    pset_.AccumulateInto(partial.data());
+    for (size_t j = 0; j < fallback_idx.size(); j++) {
+      out[fallback_idx[j]].sum += partial[j].sum;
+      out[fallback_idx[j]].count += partial[j].count;
+    }
+  }
+  pset_.Reset(qs, count);
+  pset_.Scan(column_.data() + copy_pos_, n - copy_pos_);
+  pset_.AccumulateInto(out);
 }
 
 }  // namespace progidx

@@ -10,6 +10,7 @@
 #include "core/index_base.h"
 #include "core/progressive_quicksort.h"
 #include "cost/cost_model.h"
+#include "exec/shared_scan.h"
 #include "storage/bucket_chain.h"
 
 namespace progidx {
@@ -32,6 +33,8 @@ class ProgressiveRadixsortLSD : public IndexBase {
                           const ProgressiveOptions& options = {});
 
   QueryResult Query(const RangeQuery& q) override;
+  void QueryBatch(const RangeQuery* qs, size_t count,
+                  QueryResult* out) override;
   bool converged() const override { return phase_ == Phase::kDone; }
   std::string name() const override { return "P. Radixsort (LSD)"; }
   double last_predicted_cost() const override { return predicted_; }
@@ -56,7 +59,13 @@ class ProgressiveRadixsortLSD : public IndexBase {
   double EstimateAnswerSecs(const RangeQuery& q) const;
   double SelectivityEstimate(const RangeQuery& q) const;
   void DoWorkSecs(double secs);
+  /// The whole Query() prologue (budget→δ, prediction, indexing work),
+  /// shared verbatim by Query and QueryBatch.
+  void PrepareQuery(const RangeQuery& q);
   QueryResult Answer(const RangeQuery& q) const;
+  /// Batch answer: per-query pruned chain lookups plus one shared
+  /// PredicateSet pass over the unbucketed base-column remainder.
+  void AnswerBatch(const RangeQuery* qs, size_t count, QueryResult* out) const;
   void EnterConsolidation();
   /// RangeSum over the elements still in `source_[bucket]` at or after
   /// the drain cursor.
@@ -87,6 +96,16 @@ class ProgressiveRadixsortLSD : public IndexBase {
   std::unique_ptr<ProgressiveBTreeBuilder> builder_;
 
   double predicted_ = 0;
+  /// predicted_ decomposed for batch pricing (see docs/batching.md).
+  double pred_index_secs_ = 0;
+  double pred_shared_secs_ = 0;
+  double pred_private_secs_ = 0;
+  mutable exec::PredicateSet pset_;
+  /// AnswerBatch scratch for the α == ρ fallback subset, reused across
+  /// batches so the hot path stays allocation-free.
+  mutable std::vector<RangeQuery> scratch_fallback_qs_;
+  mutable std::vector<size_t> scratch_fallback_idx_;
+  mutable std::vector<QueryResult> scratch_partial_;
 };
 
 }  // namespace progidx

@@ -318,8 +318,7 @@ QueryResult ProgressiveRadixsortMSD::Answer(const RangeQuery& q) const {
   return result;
 }
 
-QueryResult ProgressiveRadixsortMSD::Query(const RangeQuery& q) {
-  if (column_.empty()) return {};
+void ProgressiveRadixsortMSD::PrepareQuery(const RangeQuery& q) {
   const Phase phase_at_start = phase_;
   const double op_secs =
       ClampOpSecs(OpSecsForPhase(phase_at_start), column_.size());
@@ -339,9 +338,16 @@ QueryResult ProgressiveRadixsortMSD::Query(const RangeQuery& q) {
       // term with the measured parallel-efficiency curve.
       const double bucket_term = delta * model_.BucketAppendSecs();
       const size_t slice = static_cast<size_t>(delta * n);
-      predicted_ +=
-          model_.ThreadedSecs(bucket_term, parallel::PlannedLanes(slice)) -
-          bucket_term;
+      const double bucket_threaded =
+          model_.ThreadedSecs(bucket_term, parallel::PlannedLanes(slice));
+      predicted_ += bucket_threaded - bucket_term;
+      // Batch decomposition: the base-column remainder scan shares
+      // across a batch; root-bucket chain lookups stay per query.
+      pred_index_secs_ = bucket_threaded;
+      pred_shared_secs_ =
+          std::max(1.0 - rho - delta, 0.0) * model_.ScanSecs();
+      pred_private_secs_ =
+          std::max(predicted_ - pred_index_secs_ - pred_shared_secs_, 0.0);
       break;
     }
     case Phase::kRefinement: {
@@ -352,24 +358,84 @@ QueryResult ProgressiveRadixsortMSD::Query(const RangeQuery& q) {
       // big slices, like the LSD passes; re-price the indexing term.
       const double bucket_term = delta * model_.BucketAppendSecs();
       const size_t slice = static_cast<size_t>(delta * n);
-      predicted_ +=
-          model_.ThreadedSecs(bucket_term, parallel::PlannedLanes(slice)) -
-          bucket_term;
+      const double bucket_threaded =
+          model_.ThreadedSecs(bucket_term, parallel::PlannedLanes(slice));
+      predicted_ += bucket_threaded - bucket_term;
+      pred_index_secs_ = bucket_threaded;
+      pred_shared_secs_ = 0;  // all chain-resident: per-query pruning
+      pred_private_secs_ = std::max(predicted_ - pred_index_secs_, 0.0);
       break;
     }
     case Phase::kConsolidation: {
       predicted_ = model_.Consolidate(options_.btree_fanout,
                                       SelectivityEstimate(q), delta);
+      pred_index_secs_ =
+          delta * model_.ConsolidateSecs(options_.btree_fanout);
+      pred_shared_secs_ = 0;
+      pred_private_secs_ = std::max(predicted_ - pred_index_secs_, 0.0);
       break;
     }
     case Phase::kDone: {
       predicted_ = model_.BinarySearchSecs() +
                    SelectivityEstimate(q) * model_.ScanSecs();
+      pred_index_secs_ = 0;
+      pred_shared_secs_ = 0;
+      pred_private_secs_ = predicted_;
       break;
     }
   }
   if (delta > 0) DoWorkSecs(delta * op_secs);
+}
+
+QueryResult ProgressiveRadixsortMSD::Query(const RangeQuery& q) {
+  if (column_.empty()) return {};
+  PrepareQuery(q);
   return Answer(q);
+}
+
+void ProgressiveRadixsortMSD::QueryBatch(const RangeQuery* qs, size_t count,
+                                         QueryResult* out) {
+  if (count == 0) return;
+  if (column_.empty()) {
+    std::fill(out, out + count, QueryResult{});
+    return;
+  }
+  PrepareQuery(qs[0]);  // one per-batch indexing budget
+  AnswerBatch(qs, count, out);
+  if (count > 1) {
+    predicted_ = model_.BatchPerQuerySecs(pred_index_secs_,
+                                          pred_shared_secs_,
+                                          pred_private_secs_, count);
+  }
+}
+
+void ProgressiveRadixsortMSD::AnswerBatch(const RangeQuery* qs, size_t count,
+                                          QueryResult* out) const {
+  std::fill(out, out + count, QueryResult{});
+  if (phase_ != Phase::kCreation) {
+    // Past creation every element is in value-clustered pending
+    // buckets or the sorted prefix; per-query pruning is already
+    // sublinear, so the batch runs the existing paths.
+    for (size_t i = 0; i < count; i++) out[i] = Answer(qs[i]);
+    return;
+  }
+  // Creation: candidate root buckets answer per query; the uncopied
+  // tail of the base column — the dominant pre-convergence cost — is
+  // scanned once for the whole batch.
+  const size_t n = column_.size();
+  for (size_t i = 0; i < count; i++) {
+    if (qs[i].high < min_ || qs[i].low > max_) continue;
+    const size_t b_lo = RootBucketOf(std::max(qs[i].low, min_));
+    const size_t b_hi = RootBucketOf(std::min(qs[i].high, max_));
+    for (size_t b = b_lo; b <= b_hi; b++) {
+      const QueryResult part = root_buckets_[b].RangeSum(qs[i]);
+      out[i].sum += part.sum;
+      out[i].count += part.count;
+    }
+  }
+  pset_.Reset(qs, count);
+  pset_.Scan(column_.data() + copy_pos_, n - copy_pos_);
+  pset_.AccumulateInto(out);
 }
 
 }  // namespace progidx

@@ -11,6 +11,7 @@
 #include "core/index_base.h"
 #include "core/progressive_quicksort.h"
 #include "cost/cost_model.h"
+#include "exec/shared_scan.h"
 #include "storage/bucket_chain.h"
 
 namespace progidx {
@@ -31,6 +32,8 @@ class ProgressiveRadixsortMSD : public IndexBase {
                           const ProgressiveOptions& options = {});
 
   QueryResult Query(const RangeQuery& q) override;
+  void QueryBatch(const RangeQuery* qs, size_t count,
+                  QueryResult* out) override;
   bool converged() const override { return phase_ == Phase::kDone; }
   std::string name() const override { return "P. Radixsort (MSD)"; }
   double last_predicted_cost() const override { return predicted_; }
@@ -67,7 +70,13 @@ class ProgressiveRadixsortMSD : public IndexBase {
   /// One unit of refinement work on the front pending bucket; returns
   /// elements processed.
   size_t RefineFront(size_t budget);
+  /// The whole Query() prologue (budget→δ, prediction, indexing work),
+  /// shared verbatim by Query and QueryBatch.
+  void PrepareQuery(const RangeQuery& q);
   QueryResult Answer(const RangeQuery& q) const;
+  /// Batch answer: per-query pruned root-bucket/pending lookups plus
+  /// one shared PredicateSet pass over the unbucketed remainder.
+  void AnswerBatch(const RangeQuery* qs, size_t count, QueryResult* out) const;
   void EnterConsolidation();
 
   const Column& column_;
@@ -94,6 +103,11 @@ class ProgressiveRadixsortMSD : public IndexBase {
   std::unique_ptr<ProgressiveBTreeBuilder> builder_;
 
   double predicted_ = 0;
+  /// predicted_ decomposed for batch pricing (see docs/batching.md).
+  double pred_index_secs_ = 0;
+  double pred_shared_secs_ = 0;
+  double pred_private_secs_ = 0;
+  mutable exec::PredicateSet pset_;
 };
 
 }  // namespace progidx

@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "common/types.h"
+#include "exec/shared_scan.h"
 #include "kernels/kernels.h"
 #include "parallel/primitives.h"
 #include "storage/bucket_chain.h"
@@ -203,6 +204,50 @@ void MeasureParallelScanScale(std::vector<value_t>* buffer,
   }
 }
 
+double MeasureBatchLookup(std::vector<value_t>* buffer,
+                          double seq_read_secs) {
+  // The shared-scan surcharge: one PredicateSet pass over the buffer
+  // with 64 predicates — deliberately past PredicateSet::kTiledBatchMax
+  // so the probe exercises the elementary-interval regime whose
+  // per-element binary-search walk the log2 formula describes —
+  // compared to the plain predicated scan the seq_read constant was
+  // measured on, divided by log2(2·64). The tiled-kernel regime
+  // (smaller batches) runs at or below this price, so small-batch
+  // predictions err conservative.
+  constexpr size_t kBatch = 64;
+  const size_t n = buffer->size();
+  RangeQuery qs[kBatch];
+  for (size_t i = 0; i < kBatch; i++) {
+    const value_t lo = static_cast<value_t>(i * n / (kBatch + 2));
+    qs[i] = RangeQuery{lo, lo + static_cast<value_t>(n / (kBatch + 3))};
+  }
+  // Pin the scan to one lane: seq_read_secs was measured on the serial
+  // kernel, and this constant must be the *per-element surcharge* of
+  // the multi-predicate walk, not the (machine-dependent) parallel
+  // speedup — MeasureParallelScanScale owns that curve. Best-of-3 like
+  // the scale curve, against coarse clocks.
+  exec::PredicateSet pset;
+  pset.Reset(qs, kBatch);
+  const size_t saved_lanes = parallel::LanesOverrideForTesting();
+  parallel::SetLanesForTesting(1);
+  double best = 1e30;
+  for (int rep = 0; rep < 3; rep++) {
+    Timer timer;
+    pset.Scan(buffer->data(), n);
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  parallel::SetLanesForTesting(saved_lanes);
+  QueryResult out[kBatch];
+  pset.AccumulateInto(out);
+  calibration_sink = out[0].sum;
+  const double per_element = best / static_cast<double>(n);
+  const double log2_bounds = 7.0;  // log2(2 * kBatch)
+  const double surcharge = (per_element - seq_read_secs) / log2_bounds;
+  // The interval walk can't be cheaper than the vector kernel; keep a
+  // small positive floor against coarse clocks.
+  return std::max(surcharge, seq_read_secs * 0.05);
+}
+
 double MeasureBucketScan(const std::vector<BucketChain>& chains, size_t n) {
   const RangeQuery q{static_cast<value_t>(n / 4),
                      static_cast<value_t>(3 * n / 4)};
@@ -240,6 +285,8 @@ MachineConstants MeasureMachineConstants() {
   constants.bucket_append_secs = MeasureBucketAppend(&buffer, &chains);
   constants.bucket_scan_secs =
       MeasureBucketScan(chains, kCalibrationElements);
+  constants.batch_lookup_secs =
+      MeasureBatchLookup(&buffer, constants.seq_read_secs);
   MeasureParallelScanScale(&buffer, &constants);
   // The swap and sort-scale measurements reorder the buffer; run them
   // last (the crack only splits around one pivot, so the chunks the
@@ -258,6 +305,7 @@ MachineConstants MeasureMachineConstants() {
   if (constants.bucket_append_secs <= 0) {
     constants.bucket_append_secs = 3e-9;
   }
+  if (constants.batch_lookup_secs <= 0) constants.batch_lookup_secs = 5e-10;
   return constants;
 }
 

@@ -24,6 +24,13 @@ struct MachineConstants {
   /// Per-element cost of radix-bucketing (read + digit + append); the
   /// (κ+ω) part of t_bucket.
   double bucket_append_secs = 0;
+  /// Per-element, per-log2(interval bound) surcharge of the shared
+  /// multi-predicate batch scan (exec::PredicateSet) over the plain
+  /// predicated scan: a batch of B queries decomposes into at most 2B
+  /// interval bounds, and each scanned element pays one branchless
+  /// binary search over them. Prices the batched scan as
+  /// t_sharedscan(B) = t_scan + N · this · log2(2B).
+  double batch_lookup_secs = 0;
   /// Cost of one leaf-sort work unit (an element visited by the
   /// sort-outright path of IncrementalQuicksort, charged size·log2 per
   /// leaf) expressed in σ (swap) units. Was implicitly 1 while the

@@ -118,6 +118,33 @@ double CostModel::BucketsortCreate(double rho, double alpha,
          delta * log_b * BucketAppendSecs();
 }
 
+double CostModel::SharedScanSecs(double scan_secs, size_t batch) const {
+  if (batch <= 1 || scan_secs <= 0) return scan_secs;
+  // scan_secs is `fraction-of-column · t_scan`; recover the element
+  // count it covers to price the per-element interval lookup.
+  const double elems =
+      scan_secs / std::max(constants_.seq_read_secs, kMinWorkUnitSecs);
+  const double log2_bounds =
+      std::log2(static_cast<double>(2 * batch));
+  return scan_secs + elems * constants_.batch_lookup_secs * log2_bounds;
+}
+
+double CostModel::SharedScanPerQuerySecs(double scan_secs,
+                                         size_t batch) const {
+  if (batch <= 1) return scan_secs;
+  return SharedScanSecs(scan_secs, batch) / static_cast<double>(batch);
+}
+
+double CostModel::BatchPerQuerySecs(double index_secs,
+                                    double shared_scan_secs,
+                                    double private_secs,
+                                    size_t batch) const {
+  if (batch <= 1) return index_secs + shared_scan_secs + private_secs;
+  return (index_secs + SharedScanSecs(shared_scan_secs, batch)) /
+             static_cast<double>(batch) +
+         private_secs;
+}
+
 double CostModel::DeltaForBudget(double budget_secs, double op_secs) const {
   if (op_secs <= 0) return 1.0;
   const double delta = budget_secs / op_secs;

@@ -77,6 +77,28 @@ class CostModel {
   /// the bucketing term (binary search over the bucket bounds).
   double BucketsortCreate(double rho, double alpha, double delta) const;
 
+  // --- Batched shared-scan pricing (src/exec/) ---------------------------
+
+  /// Whole-batch cost of one shared scan worth `scan_secs` of plain
+  /// predicated scanning when it serves `batch` concurrent predicates:
+  /// the bytes are loaded once, plus the per-element interval lookup
+  /// that grows with log2 of the ≤ 2·batch interval bounds
+  /// (batch_lookup_secs). batch <= 1 returns scan_secs unchanged.
+  double SharedScanSecs(double scan_secs, size_t batch) const;
+
+  /// Per-query share of a batched shared scan — the "shared-scan bytes
+  /// ÷ batch size" price the batch executor and bench tables report.
+  double SharedScanPerQuerySecs(double scan_secs, size_t batch) const;
+
+  /// Per-query predicted cost of a batch of `batch` queries whose
+  /// prediction decomposes into `index_secs` (indexing work, charged
+  /// once per batch), `shared_scan_secs` (unrefined-data scanning,
+  /// shared across the batch), and `private_secs` (per-query lookups,
+  /// paid by every query). batch <= 1 returns the plain sum — the
+  /// single-query prediction.
+  double BatchPerQuerySecs(double index_secs, double shared_scan_secs,
+                           double private_secs, size_t batch) const;
+
   // --- Budget→delta conversions (the "Indexing Budget" paragraphs) ------
 
   /// δ = t_budget / t_op, clamped to [0, 1]. `op_secs` is one of the

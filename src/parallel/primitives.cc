@@ -365,5 +365,47 @@ void ScatterRunsToChains(const SrcRun* runs, size_t num_runs, value_t base,
                                    static_cast<size_t>(mask) + 1, lanes);
 }
 
+size_t CopyRunsTo(const SrcRun* runs, size_t num_runs, value_t* dst) {
+  size_t total = 0;
+  for (size_t r = 0; r < num_runs; r++) total += runs[r].len;
+  const size_t lanes = PlannedLanes(total);
+  if (lanes <= 1 || num_runs <= 1) {
+    size_t off = 0;
+    for (size_t r = 0; r < num_runs; r++) {
+      std::memcpy(dst + off, runs[r].data, runs[r].len * sizeof(value_t));
+      off += runs[r].len;
+    }
+    return total;
+  }
+  std::vector<size_t> run_off(num_runs);
+  size_t acc = 0;
+  for (size_t r = 0; r < num_runs; r++) {
+    run_off[r] = acc;
+    acc += runs[r].len;
+  }
+  // Whole runs per chunk (a run is at most one chain block, a few tens
+  // of KiB): each chunk memcpys into its precomputed disjoint slice.
+  ParallelFor(0, num_runs, 4, lanes, [&](size_t rb, size_t re) {
+    for (size_t r = rb; r < re; r++) {
+      std::memcpy(dst + run_off[r], runs[r].data,
+                  runs[r].len * sizeof(value_t));
+    }
+  });
+  return total;
+}
+
+void StridedGather(const value_t* src, size_t start, size_t stride,
+                   size_t count, value_t* dst) {
+  if (stride == 0 || count == 0) return;
+  const size_t lanes = PlannedLanes(count);
+  if (lanes <= 1) {
+    for (size_t j = 0; j < count; j++) dst[j] = src[start + j * stride];
+    return;
+  }
+  ParallelFor(0, count, kScanGrain, lanes, [&](size_t b, size_t e) {
+    for (size_t j = b; j < e; j++) dst[j] = src[start + j * stride];
+  });
+}
+
 }  // namespace parallel
 }  // namespace progidx

@@ -118,6 +118,22 @@ void ScatterToChains(const value_t* src, size_t n, value_t base, int shift,
 void ScatterRunsToChains(const SrcRun* runs, size_t num_runs, value_t base,
                          int shift, uint32_t mask, BucketChain* chains);
 
+/// Lays runs[0], runs[1], ... end-to-end at `dst` (block memcpys) and
+/// returns the total elements copied. Large totals split across the
+/// pool by whole runs — every run's destination offset is the prefix
+/// sum of the lengths before it, so chunks write disjoint slices and
+/// the result is bit-identical to the serial copy for every lane
+/// count. The LSD merge and bucketsort fill drains feed their chain
+/// block runs through this.
+size_t CopyRunsTo(const SrcRun* runs, size_t num_runs, value_t* dst);
+
+/// dst[j] = src[start + j * stride] for j in [0, count): the strided
+/// gather of the progressive B+-tree consolidation build (every
+/// fanout-th key of a level). Splits across the pool above the
+/// parallel threshold; trivially deterministic (disjoint dst slots).
+void StridedGather(const value_t* src, size_t start, size_t stride,
+                   size_t count, value_t* dst);
+
 namespace detail {
 /// Owner-parallel append phase shared by the chain scatters:
 /// ids[i] < num_chains is the destination of src element i (src given

@@ -223,6 +223,10 @@ void SetLanesForTesting(size_t lanes) {
   if (lanes > 1) g_ever_parallel.store(true, std::memory_order_release);
 }
 
+size_t LanesOverrideForTesting() {
+  return g_test_lanes.load(std::memory_order_acquire);
+}
+
 bool ParallelConfigured() {
   if (g_ever_parallel.load(std::memory_order_acquire)) return true;
   return DefaultLanes() > 1;

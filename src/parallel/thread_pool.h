@@ -86,6 +86,11 @@ size_t EffectiveLanes();
 /// parallel-configured (see ParallelConfigured()), stickily.
 void SetLanesForTesting(size_t lanes);
 
+/// The current override (0 when none). Lets code that must pin lanes
+/// mid-measurement — the calibration's serial shared-scan probe —
+/// save and restore whatever override its caller had active.
+size_t LanesOverrideForTesting();
+
 /// True once any lane source (environment, hardware, or a testing
 /// override) has ever exceeded 1. Primitives whose *serial* fast path
 /// is laid out differently from the chunked parallel path (the

@@ -271,6 +271,77 @@ TEST(ParallelPrimitivesTest, ScatterRunsToChainsMatchesPerRunSerial) {
   }
 }
 
+TEST(ParallelPrimitivesTest, CopyRunsToMatchesSerialConcatenation) {
+  const size_t n = (1 << 17) + 57;
+  const std::vector<value_t> src = RandomValues(n, 21);
+  // Uneven runs, as the LSD merge / bucketsort fill drains produce.
+  std::vector<parallel::SrcRun> runs;
+  size_t pos = 0;
+  Rng rng(23);
+  while (pos < n) {
+    const size_t len = std::min<size_t>(1 + rng.NextBounded(4096), n - pos);
+    runs.push_back({src.data() + pos, len});
+    pos += len;
+  }
+  std::vector<value_t> reference(n);
+  {
+    ScopedLanes scoped(1);
+    ASSERT_EQ(parallel::CopyRunsTo(runs.data(), runs.size(),
+                                   reference.data()),
+              n);
+  }
+  ASSERT_EQ(reference, src);  // end-to-end layout == the concatenation
+  for (const size_t lanes : {size_t{2}, size_t{4}, size_t{8}}) {
+    ScopedLanes scoped(lanes);
+    std::vector<value_t> dst(n, -1);
+    ASSERT_EQ(parallel::CopyRunsTo(runs.data(), runs.size(), dst.data()), n);
+    ASSERT_EQ(dst, reference) << "lanes " << lanes;
+  }
+}
+
+TEST(ParallelPrimitivesTest, StridedGatherMatchesSerialLoop) {
+  const size_t n = (1 << 18) + 11;
+  const std::vector<value_t> src = RandomValues(n, 27);
+  const size_t stride = 3;
+  const size_t start = 2;
+  const size_t count = (n - start + stride - 1) / stride;
+  std::vector<value_t> reference(count);
+  for (size_t j = 0; j < count; j++) {
+    reference[j] = src[start + j * stride];
+  }
+  for (const size_t lanes : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    ScopedLanes scoped(lanes);
+    std::vector<value_t> dst(count, -1);
+    parallel::StridedGather(src.data(), start, stride, count, dst.data());
+    ASSERT_EQ(dst, reference) << "lanes " << lanes;
+  }
+}
+
+TEST(ParallelPrimitivesTest, BTreeBuilderLevelsMatchAcrossLaneCounts) {
+  // The consolidation build gathers every fanout-th key through
+  // StridedGather; the levels must come out bit-identical for every
+  // lane count and any budget slicing.
+  std::vector<value_t> sorted = RandomValues(300000, 31);
+  std::sort(sorted.begin(), sorted.end());
+  auto build = [&](size_t lanes, size_t step) {
+    ScopedLanes scoped(lanes);
+    auto tree = std::make_unique<BPlusTree>(sorted.data(), sorted.size(),
+                                            size_t{8});
+    ProgressiveBTreeBuilder builder(tree.get());
+    while (!builder.done()) builder.DoWork(step);
+    return tree;
+  };
+  const auto reference = build(1, 997);  // odd budget: mid-level stops
+  for (const size_t lanes : {size_t{2}, size_t{4}, size_t{8}}) {
+    for (const size_t step : {size_t{997}, size_t{1} << 20}) {
+      const auto tree = build(lanes, step);
+      ASSERT_TRUE(tree->complete());
+      ASSERT_EQ(tree->levels(), reference->levels())
+          << "lanes " << lanes << " step " << step;
+    }
+  }
+}
+
 // --- Index-level parity: same answers, same final index state, for
 // every thread count. FixedDelta budgets + injected constants make the
 // per-query work amounts deterministic; the contract under test is that
