@@ -1,13 +1,17 @@
 // Shared-scan batch throughput: queries/sec vs batch size (1/4/16/64)
 // on the uniform random workload and the SkyServer log, during the
-// *pre-convergence* phase (the regime the batch executor targets: the
-// unrefined remainder dominates, so one shared scan replaces up to B
-// per-query scans while the index still advances one budget per batch).
+// *pre-convergence* creation phase (the regime where the unrefined
+// remainder dominates, so one shared scan replaces up to B per-query
+// scans while the index still advances one budget per batch) — plus
+// refinement-phase (post-creation-onset) rows per progressive index,
+// where the shared candidate-chain scans and multi-bound cracking of
+// the batch executor's refinement paths carry the win.
 //
-// Emits `batch` rows (queries_per_sec, speedup over batch 1, and the
-// cost model's per-query prediction) merged into BENCH_kernels.json
-// next to the kernel/thread rows micro_kernels writes, plus a stdout
-// table and optional CSV.
+// Emits `batch` rows (phase, queries_per_sec, speedup over batch 1,
+// and the cost model's per-query prediction) merged into
+// BENCH_kernels.json next to the kernel/thread rows micro_kernels
+// writes — read-merge-write in both tools, so either run order
+// preserves the other's sections — plus a stdout table.
 
 #include <cstdio>
 #include <cstring>
@@ -15,6 +19,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/json_store.h"
 #include "common/timer.h"
 #include "core/decision_tree.h"
 #include "exec/query_batch.h"
@@ -23,10 +28,13 @@ namespace progidx {
 namespace {
 
 constexpr size_t kBatchSizes[] = {1, 4, 16, 64};
+/// Refinement rows need only the baseline and the headline batch size.
+constexpr size_t kRefinementBatchSizes[] = {1, 16};
 
 struct BatchRow {
   std::string index_id;
   std::string workload;
+  std::string phase;  ///< "creation" or "refinement"
   size_t batch = 1;
   size_t queries = 0;
   double queries_per_sec = 0;
@@ -42,12 +50,13 @@ struct BatchRow {
 /// small enough that the refined fraction stays negligible in both and
 /// the rows compare the same regime.
 double RunBatches(IndexBase* index, const std::vector<RangeQuery>& queries,
-                  size_t count, size_t batch, double* mean_predicted) {
+                  size_t count, size_t batch, double* mean_predicted,
+                  size_t start_at = 0) {
   std::vector<QueryResult> results(batch);
   double predicted_sum = 0;
   size_t batches = 0;
   Timer timer;
-  for (size_t start = 0; start < count; start += batch) {
+  for (size_t start = start_at; start < count; start += batch) {
     const size_t nb = std::min(batch, count - start);
     index->QueryBatch(queries.data() + start, nb, results.data());
     predicted_sum += index->last_predicted_cost();
@@ -76,6 +85,7 @@ void RunCase(const std::string& index_id, const std::string& workload,
     BatchRow row;
     row.index_id = index_id;
     row.workload = workload;
+    row.phase = "creation";
     row.batch = batch;
     row.queries = count;
     row.queries_per_sec = secs > 0 ? static_cast<double>(count) / secs : 0;
@@ -83,65 +93,80 @@ void RunCase(const std::string& index_id, const std::string& workload,
     row.speedup_vs_1 = base_qps > 0 ? row.queries_per_sec / base_qps : 0;
     row.predicted_per_query = mean_predicted;
     rows->push_back(row);
-    std::printf("  %-5s %-9s batch %-3zu  %10.1f q/s  %5.2fx  pred %.3e s\n",
-                index_id.c_str(), workload.c_str(), batch,
-                row.queries_per_sec, row.speedup_vs_1,
-                row.predicted_per_query);
+    std::printf(
+        "  %-5s %-9s %-10s batch %-3zu  %10.1f q/s  %5.2fx  pred %.3e s\n",
+        index_id.c_str(), workload.c_str(), row.phase.c_str(), batch,
+        row.queries_per_sec, row.speedup_vs_1, row.predicted_per_query);
   }
 }
 
-/// Merges the `batch` rows into BENCH_kernels.json: keeps whatever
-/// micro_kernels wrote, replaces any previous batch section (always the
-/// last key), or creates a minimal file when none exists.
+/// Refinement-phase (post-creation-onset) rows: each batch size starts
+/// from an *identical* mid-refinement state — a fresh index warmed past
+/// the creation phase with the same unbatched query stream — then
+/// measures the next `count` queries batched. At FixedDelta(d),
+/// creation completes after exactly ceil(1/d) budgets, so the warmup
+/// length is deterministic; the shared candidate-chain scans of the
+/// refinement paths are what these rows isolate.
+void RunRefinementCase(const std::string& index_id,
+                       const std::string& workload,
+                       const std::vector<value_t>& values,
+                       const std::vector<RangeQuery>& queries, size_t count,
+                       double delta, std::vector<BatchRow>* rows) {
+  const size_t warmup =
+      static_cast<size_t>(1.0 / delta) + 2;  // past creation for sure
+  if (warmup + count > queries.size()) return;
+  double base_qps = 0;
+  for (const size_t batch : kRefinementBatchSizes) {
+    Column column{std::vector<value_t>(values)};
+    auto index =
+        MakeIndex(index_id, column, BudgetSpec::FixedDelta(delta));
+    for (size_t i = 0; i < warmup; i++) index->Query(queries[i]);
+    double mean_predicted = 0;
+    const double secs = RunBatches(index.get(), queries, warmup + count,
+                                   batch, &mean_predicted, warmup);
+    BatchRow row;
+    row.index_id = index_id;
+    row.workload = workload;
+    row.phase = "refinement";
+    row.batch = batch;
+    row.queries = count;
+    row.queries_per_sec = secs > 0 ? static_cast<double>(count) / secs : 0;
+    if (batch == kRefinementBatchSizes[0]) base_qps = row.queries_per_sec;
+    row.speedup_vs_1 = base_qps > 0 ? row.queries_per_sec / base_qps : 0;
+    row.predicted_per_query = mean_predicted;
+    rows->push_back(row);
+    std::printf(
+        "  %-5s %-9s %-10s batch %-3zu  %10.1f q/s  %5.2fx  pred %.3e s\n",
+        index_id.c_str(), workload.c_str(), row.phase.c_str(), batch,
+        row.queries_per_sec, row.speedup_vs_1, row.predicted_per_query);
+  }
+}
+
+/// Merges the `batch` rows into BENCH_kernels.json through the shared
+/// read-merge-write store: every section this tool does not own
+/// (micro_kernels' kernel/tier/thread rows, anything future) passes
+/// through untouched, in either run order.
 void WriteBatchJson(const char* path, const std::vector<BatchRow>& rows) {
-  std::string existing;
-  if (std::FILE* f = std::fopen(path, "r")) {
-    char buf[4096];
-    size_t got;
-    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
-      existing.append(buf, got);
-    }
-    std::fclose(f);
+  std::vector<bench::JsonSection> sections = bench::ReadJsonSections(path);
+  std::string raw = "[\n";
+  for (size_t i = 0; i < rows.size(); i++) {
+    const BatchRow& r = rows[i];
+    bench::AppendF(
+        &raw,
+        "    {\"index\": \"%s\", \"workload\": \"%s\", \"phase\": \"%s\", "
+        "\"batch\": %zu, \"queries\": %zu, \"queries_per_sec\": %.1f, "
+        "\"speedup_vs_batch1\": %.3f, \"predicted_per_query_secs\": "
+        "%.4e}%s\n",
+        r.index_id.c_str(), r.workload.c_str(), r.phase.c_str(), r.batch,
+        r.queries, r.queries_per_sec, r.speedup_vs_1, r.predicted_per_query,
+        i + 1 < rows.size() ? "," : "");
   }
-  std::string head;
-  const size_t batch_key = existing.find(",\n  \"batch\": [");
-  if (batch_key != std::string::npos) {
-    head = existing.substr(0, batch_key);  // drop the stale batch section
-    head += "\n}\n";
-  } else {
-    head = existing;
-  }
-  const size_t close = head.rfind('}');
-  if (close == std::string::npos) {
-    head = "{\n  \"elements\": 0\n}\n";  // no prior file: minimal shell
-  }
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
+  raw += "  ]";
+  bench::UpsertJsonSection(&sections, "batch", std::move(raw));
+  if (!bench::WriteJsonSections(path, sections)) {
     std::fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  const size_t cut = head.rfind('}');
-  std::fwrite(head.data(), 1, cut, f);
-  // Trim trailing whitespace/newlines before the closing brace.
-  long end = static_cast<long>(cut);
-  while (end > 0 && (head[end - 1] == '\n' || head[end - 1] == ' ')) end--;
-  std::fseek(f, 0, SEEK_SET);
-  std::fwrite(head.data(), 1, static_cast<size_t>(end), f);
-  std::fprintf(f, ",\n  \"batch\": [\n");
-  for (size_t i = 0; i < rows.size(); i++) {
-    const BatchRow& r = rows[i];
-    std::fprintf(
-        f,
-        "    {\"index\": \"%s\", \"workload\": \"%s\", \"batch\": %zu, "
-        "\"queries\": %zu, \"queries_per_sec\": %.1f, "
-        "\"speedup_vs_batch1\": %.3f, \"predicted_per_query_secs\": "
-        "%.4e}%s\n",
-        r.index_id.c_str(), r.workload.c_str(), r.batch, r.queries,
-        r.queries_per_sec, r.speedup_vs_1, r.predicted_per_query,
-        i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
   std::printf("batch throughput rows -> %s\n", path);
 }
 
@@ -170,15 +195,30 @@ int main(int argc, char** argv) {
   // Uniform random data + random range queries (§4.1 selectivity).
   {
     Column column = MakeUniformColumn(n, seed);
+    // δ for the refinement rows: big enough that the unbatched warmup
+    // (ceil(1/δ) + 2 queries) stays cheap, small enough that the
+    // measured window stays inside the refinement phase.
+    const double refine_delta = 0.02;
+    const size_t refine_warmup =
+        static_cast<size_t>(1.0 / refine_delta) + 2;
     const std::vector<RangeQuery> queries = WorkloadGenerator::Generate(
         WorkloadPattern::kRandom, column.min_value(), column.max_value(),
-        std::max<size_t>(count, 1), 0.1, seed + 13);
+        std::max<size_t>(refine_warmup + count, 1), 0.1, seed + 13);
     const std::vector<value_t> values = column.values();
     std::printf("uniform n=%zu, %zu pre-convergence queries:\n", n, count);
     for (const std::string& id : {std::string("pq"), std::string("pb"),
                                   std::string("plsd"), std::string("pmsd"),
                                   std::string("fs")}) {
       RunCase(id, "uniform", values, queries, count, delta, &rows);
+    }
+    std::printf("uniform n=%zu, %zu refinement-phase queries "
+                "(post-creation-onset, delta=%g):\n",
+                n, count, refine_delta);
+    for (const std::string& id : {std::string("pq"), std::string("pb"),
+                                  std::string("plsd"),
+                                  std::string("pmsd")}) {
+      RunRefinementCase(id, "uniform", values, queries, count, refine_delta,
+                        &rows);
     }
   }
   // SkyServer data + query log.

@@ -1,0 +1,205 @@
+#ifndef PROGIDX_BENCH_JSON_STORE_H_
+#define PROGIDX_BENCH_JSON_STORE_H_
+
+// Read-merge-write access to BENCH_kernels.json, shared by
+// bench/micro_kernels and bench/batch_throughput so the two tools can
+// run in either order without clobbering each other's sections. The
+// file is one flat JSON object; each tool owns some top-level keys and
+// must preserve every key it does not own (ROADMAP: the file is the
+// perf trajectory — extend it, never replace it).
+//
+// The parser is deliberately minimal: it splits a JSON object into
+// (key, raw-value-text) pairs by bracket/string matching, without
+// interpreting the values. That is exactly enough to upsert a section
+// while passing unknown ones through byte-for-byte.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace progidx {
+namespace bench {
+
+struct JsonSection {
+  std::string key;
+  std::string raw;  ///< value text, verbatim (object/array/scalar)
+};
+
+namespace json_detail {
+
+inline void SkipWs(const std::string& s, size_t* i) {
+  while (*i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[*i])) != 0) {
+    (*i)++;
+  }
+}
+
+/// Advances *i past the JSON string starting at the opening quote;
+/// returns false on malformed input.
+inline bool SkipString(const std::string& s, size_t* i) {
+  if (*i >= s.size() || s[*i] != '"') return false;
+  (*i)++;
+  while (*i < s.size()) {
+    if (s[*i] == '\\') {
+      *i += 2;
+      continue;
+    }
+    if (s[*i] == '"') {
+      (*i)++;
+      return true;
+    }
+    (*i)++;
+  }
+  return false;
+}
+
+/// Advances *i past one JSON value (scalar, string, object, or array);
+/// returns false on malformed input.
+inline bool SkipValue(const std::string& s, size_t* i) {
+  SkipWs(s, i);
+  if (*i >= s.size()) return false;
+  const char c = s[*i];
+  if (c == '"') return SkipString(s, i);
+  if (c == '{' || c == '[') {
+    int depth = 0;
+    while (*i < s.size()) {
+      const char d = s[*i];
+      if (d == '"') {
+        if (!SkipString(s, i)) return false;
+        continue;
+      }
+      if (d == '{' || d == '[') depth++;
+      if (d == '}' || d == ']') depth--;
+      (*i)++;
+      if (depth == 0) return true;
+    }
+    return false;
+  }
+  // Scalar: run to the next comma or closing brace at this level.
+  while (*i < s.size() && s[*i] != ',' && s[*i] != '}' && s[*i] != ']') {
+    (*i)++;
+  }
+  return true;
+}
+
+}  // namespace json_detail
+
+namespace json_detail {
+
+/// Parses `text` as a flat JSON object into `out`; false on malformed
+/// input (out is left in an unspecified state).
+inline bool ParseSections(const std::string& text,
+                          std::vector<JsonSection>* out) {
+  size_t i = 0;
+  SkipWs(text, &i);
+  if (i >= text.size() || text[i] != '{') return false;
+  i++;
+  while (true) {
+    SkipWs(text, &i);
+    if (i >= text.size()) return false;  // truncated
+    if (text[i] == '}') return true;
+    const size_t key_begin = i;
+    if (!SkipString(text, &i)) return false;
+    const std::string key = text.substr(key_begin + 1, i - key_begin - 2);
+    SkipWs(text, &i);
+    if (i >= text.size() || text[i] != ':') return false;
+    i++;
+    SkipWs(text, &i);
+    const size_t val_begin = i;
+    if (!SkipValue(text, &i)) return false;
+    size_t val_end = i;
+    while (val_end > val_begin &&
+           std::isspace(static_cast<unsigned char>(text[val_end - 1])) != 0) {
+      val_end--;
+    }
+    out->push_back({key, text.substr(val_begin, val_end - val_begin)});
+    SkipWs(text, &i);
+    if (i < text.size() && text[i] == ',') i++;
+  }
+}
+
+}  // namespace json_detail
+
+/// Parses `path` as a flat JSON object into ordered (key, raw-value)
+/// sections. A missing or empty file yields an empty list silently (the
+/// writer then produces a fresh object); a file with content that fails
+/// to parse also yields an empty list but warns on stderr, because the
+/// caller's next write will not carry the unparsed sections forward.
+inline std::vector<JsonSection> ReadJsonSections(const char* path) {
+  std::vector<JsonSection> sections;
+  std::string text;
+  if (std::FILE* f = std::fopen(path, "r")) {
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+      text.append(buf, got);
+    }
+    std::fclose(f);
+  }
+  if (!json_detail::ParseSections(text, &sections)) {
+    sections.clear();
+    for (const char c : text) {
+      if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+        std::fprintf(stderr,
+                     "progidx: %s is not a parseable JSON object; its "
+                     "existing sections will not be preserved\n",
+                     path);
+        break;
+      }
+    }
+  }
+  return sections;
+}
+
+/// Replaces the section named `key` (in place, preserving order) or
+/// appends it.
+inline void UpsertJsonSection(std::vector<JsonSection>* sections,
+                              const std::string& key, std::string raw) {
+  for (JsonSection& s : *sections) {
+    if (s.key == key) {
+      s.raw = std::move(raw);
+      return;
+    }
+  }
+  sections->push_back({key, std::move(raw)});
+}
+
+/// Writes the sections back as one flat JSON object, through a
+/// temp-file + rename so an interrupted write never leaves a truncated
+/// file for the next tool to mis-parse; returns false on any failure.
+inline bool WriteJsonSections(const char* path,
+                              const std::vector<JsonSection>& sections) {
+  const std::string tmp = std::string(path) + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  for (size_t i = 0; i < sections.size(); i++) {
+    std::fprintf(f, "  \"%s\": %s%s\n", sections[i].key.c_str(),
+                 sections[i].raw.c_str(),
+                 i + 1 < sections.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return std::rename(tmp.c_str(), path) == 0;
+}
+
+/// printf-append onto a std::string (the section builders' workhorse).
+/// Output longer than the scratch buffer appends the truncated prefix
+/// (snprintf reports the would-be length; never read past the buffer).
+template <typename... Args>
+inline void AppendF(std::string* out, const char* fmt, Args... args) {
+  char buf[512];
+  const int len = std::snprintf(buf, sizeof buf, fmt, args...);
+  if (len <= 0) return;
+  const size_t take =
+      std::min(static_cast<size_t>(len), sizeof buf - 1);
+  out->append(buf, take);
+}
+
+}  // namespace bench
+}  // namespace progidx
+
+#endif  // PROGIDX_BENCH_JSON_STORE_H_

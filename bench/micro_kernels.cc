@@ -23,6 +23,7 @@
 
 #include "baselines/avl_tree.h"
 #include "baselines/cracking_kernels.h"
+#include "bench/json_store.h"
 #include "btree/btree.h"
 #include "common/predication.h"
 #include "common/rng.h"
@@ -552,51 +553,60 @@ void WriteKernelThroughputJson(const char* path) {
     scatter64.push_back(shape);
   }
 
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path);
-    return;
-  }
-  std::fprintf(f, "{\n  \"dispatched_tier\": \"%s\",\n  \"elements\": %zu,\n",
-               active.name, kN);
-  std::fprintf(f, "  \"hardware_threads\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(f, "  \"kernels\": [\n");
+  // Read-merge-write: this tool owns the kernel/tier/thread sections
+  // and must preserve everything else (the `batch` rows merged by
+  // bench/batch_throughput, and any future sections), whichever tool
+  // ran first.
+  std::vector<bench::JsonSection> sections = bench::ReadJsonSections(path);
+  bench::UpsertJsonSection(&sections, "dispatched_tier",
+                           std::string("\"") + active.name + "\"");
+  bench::UpsertJsonSection(&sections, "elements", std::to_string(kN));
+  bench::UpsertJsonSection(
+      &sections, "hardware_threads",
+      std::to_string(std::thread::hardware_concurrency()));
+  std::string kernels_raw = "[\n";
   for (size_t i = 0; i < rows.size(); i++) {
     const ResultRow& row = rows[i];
     const double scalar_gbps = row.tier_gbps[0];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"scalar_gbps\": %.3f, "
-                 "\"dispatched_gbps\": %.3f, \"speedup\": %.3f,\n"
-                 "     \"tiers\": {",
-                 row.name, scalar_gbps, row.dispatched_gbps,
-                 row.dispatched_gbps / scalar_gbps);
+    bench::AppendF(&kernels_raw,
+                   "    {\"name\": \"%s\", \"scalar_gbps\": %.3f, "
+                   "\"dispatched_gbps\": %.3f, \"speedup\": %.3f,\n"
+                   "     \"tiers\": {",
+                   row.name, scalar_gbps, row.dispatched_gbps,
+                   row.dispatched_gbps / scalar_gbps);
     for (size_t t = 0; t < tiers.size(); t++) {
-      std::fprintf(f, "%s\"%s\": %.3f", t == 0 ? "" : ", ", tiers[t]->name,
-                   row.tier_gbps[t]);
+      bench::AppendF(&kernels_raw, "%s\"%s\": %.3f", t == 0 ? "" : ", ",
+                     tiers[t]->name, row.tier_gbps[t]);
     }
-    std::fprintf(f, "}");
+    kernels_raw += "}";
     if (!row.thread_gbps.empty()) {
-      std::fprintf(f, ",\n     \"threads\": {");
+      kernels_raw += ",\n     \"threads\": {";
       for (size_t t = 0; t < row.thread_gbps.size(); t++) {
-        std::fprintf(f, "%s\"%zu\": %.3f", t == 0 ? "" : ", ",
-                     kThreadCounts[t], row.thread_gbps[t]);
+        bench::AppendF(&kernels_raw, "%s\"%zu\": %.3f", t == 0 ? "" : ", ",
+                       kThreadCounts[t], row.thread_gbps[t]);
       }
-      std::fprintf(f, "}");
+      kernels_raw += "}";
     }
-    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+    bench::AppendF(&kernels_raw, "}%s\n", i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"scatter_64bucket\": [\n");
+  kernels_raw += "  ]";
+  bench::UpsertJsonSection(&sections, "kernels", std::move(kernels_raw));
+  std::string scatter_raw = "[\n";
   for (size_t i = 0; i < scatter64.size(); i++) {
     const Scatter64Shape& s = scatter64[i];
-    std::fprintf(f,
-                 "    {\"elements\": %zu, \"direct_gbps\": %.3f, "
-                 "\"wc_memcpy_gbps\": %.3f, \"conflict_wc_gbps\": %.3f}%s\n",
-                 s.elements, s.direct_gbps, s.wc_gbps, s.conflict_gbps,
-                 i + 1 < scatter64.size() ? "," : "");
+    bench::AppendF(&scatter_raw,
+                   "    {\"elements\": %zu, \"direct_gbps\": %.3f, "
+                   "\"wc_memcpy_gbps\": %.3f, \"conflict_wc_gbps\": %.3f}%s\n",
+                   s.elements, s.direct_gbps, s.wc_gbps, s.conflict_gbps,
+                   i + 1 < scatter64.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  scatter_raw += "  ]";
+  bench::UpsertJsonSection(&sections, "scatter_64bucket",
+                           std::move(scatter_raw));
+  if (!bench::WriteJsonSections(path, sections)) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
   std::printf("kernel throughput (dispatched tier=%s) -> %s\n", active.name,
               path);
   for (const ResultRow& row : rows) {
@@ -628,8 +638,9 @@ void WriteKernelThroughputJson(const char* path) {
 }  // namespace progidx
 
 int main(int argc, char** argv) {
-  // The hand-timed sweep costs a few seconds and overwrites
-  // BENCH_kernels.json in cwd; skip it for listing-only invocations.
+  // The hand-timed sweep costs a few seconds and rewrites this tool's
+  // sections of BENCH_kernels.json in cwd (preserving everyone
+  // else's); skip it for listing-only invocations.
   // (Scan before Initialize: benchmark strips its flags from argv.)
   bool listing_only = false;
   for (int i = 1; i < argc; i++) {

@@ -18,11 +18,17 @@ class StandardCracking : public IndexBase {
   explicit StandardCracking(const Column& column) : cracker_(column) {}
 
   QueryResult Query(const RangeQuery& q) override;
-  /// One per-batch indexing budget: the batch head cracks (cracking's
-  /// whole indexing effort is predicate-driven, so the head's two
-  /// cracks are its per-query unit of work), then every query answers
-  /// from one shared PredicateSet pass over the merged piece-aligned
-  /// regions the batch covers.
+  /// One per-batch indexing pass covering *every* member's bounds:
+  /// cracking's indexing effort is predicate-driven, so the batch's
+  /// unit of work is the deduplicated multi-pivot crack over all 2N
+  /// bound values, performed in ascending bound order (deterministic
+  /// regardless of the queries' arrival order, and the same total crack
+  /// work the sequential stream would have paid). Consecutive unknown
+  /// bounds that land in the same piece crack in one three-way pass,
+  /// like the single-query path. Then every query answers from one
+  /// shared PredicateSet pass over the merged piece-aligned regions the
+  /// batch covers. A batch of one routes through the exact Query()
+  /// crack (including its crack-in-three), so it stays bit-identical.
   void QueryBatch(const RangeQuery* qs, size_t count,
                   QueryResult* out) override;
   bool converged() const override { return false; }
@@ -34,13 +40,16 @@ class StandardCracking : public IndexBase {
   /// Cracks the piece containing `v` at `v` (no-op if already a
   /// boundary).
   void CrackAt(value_t v);
-  /// The crack-then-index side effect of Query(q), shared by the batch
-  /// path.
+  /// The crack-then-index side effect of Query(q), shared by the
+  /// batch-of-1 path.
   void CrackForQuery(const RangeQuery& q);
+  /// Multi-pivot crack on every batch member's bounds, ascending.
+  void CrackForBatch(const RangeQuery* qs, size_t count);
 
   CrackerColumn cracker_;
   exec::PredicateSet pset_;
   std::vector<exec::PosRange> scratch_regions_;
+  std::vector<value_t> scratch_bounds_;
 };
 
 }  // namespace progidx

@@ -1,0 +1,34 @@
+#ifndef PROGIDX_COMMON_ENV_H_
+#define PROGIDX_COMMON_ENV_H_
+
+#include <cstddef>
+
+namespace progidx {
+namespace env {
+
+/// The one parser behind every PROGIDX_* integer seam (PROGIDX_BATCH,
+/// PROGIDX_THREADS): reads `name` as a base-10 integer and returns it
+/// when it lies in [lo, hi]. Unset or empty returns `fallback`
+/// silently; anything else that fails to parse or lands outside the
+/// range warns once per variable (thread-safe) and returns `fallback`.
+/// `what` names the quantity in the warning ("batch size", "thread
+/// count"); `fallback_note` describes the fallback ("running
+/// unbatched", "hardware concurrency"), or nullptr for none.
+size_t BoundedSizeFromEnv(const char* name, size_t lo, size_t hi,
+                          size_t fallback, const char* what,
+                          const char* fallback_note);
+
+/// True when `name` is set to a non-empty value other than "0" (the
+/// PROGIDX_FORCE_SCALAR convention).
+bool FlagFromEnv(const char* name);
+
+/// Thread-safe warn-once gate, keyed by `key`: true exactly once per
+/// process for each distinct key. Shared by the env parsers above and
+/// by other warn-once diagnostics (PROGIDX_FORCE_KERNEL fallback), so
+/// no seam carries its own racy `static bool warned`.
+bool WarnOnce(const char* key);
+
+}  // namespace env
+}  // namespace progidx
+
+#endif  // PROGIDX_COMMON_ENV_H_

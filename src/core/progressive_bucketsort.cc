@@ -6,6 +6,7 @@
 
 #include "common/predication.h"
 #include "common/rng.h"
+#include "exec/batch_refine.h"
 #include "kernels/kernels.h"
 #include "parallel/primitives.h"
 
@@ -116,6 +117,7 @@ double ProgressiveBucketsort::EstimateAnswerSecs(const RangeQuery& q) const {
           if (!r.sorted) elems += static_cast<double>(r.end - r.start);
         }
       }
+      est_chain_elems_ = elems;
       const double matched = SelectivityEstimate(q) * static_cast<double>(n);
       return model_.BinarySearchSecs() + bucket_elem * elems +
              mc.seq_read_secs * matched;
@@ -350,6 +352,7 @@ void ProgressiveBucketsort::PrepareQuery(const RangeQuery& q) {
           std::max(1.0 - rho - delta, 0.0) * model_.ScanSecs();
       pred_private_secs_ =
           std::max(predicted_ - pred_index_secs_ - pred_shared_secs_, 0.0);
+      pred_shared_elem_secs_ = model_.constants().seq_read_secs;
       break;
     }
     case Phase::kRefinement: {
@@ -366,27 +369,37 @@ void ProgressiveBucketsort::PrepareQuery(const RangeQuery& q) {
               : 0.0;
       predicted_ = model_.QuicksortRefineWithLeafFloor(
           active_sorter_.height(), std::min(alpha, 1.0), delta, leaf_secs);
-      // Refinement data is bucket-pruned or sorted — no shared term.
+      // Candidate chains (and the active bucket's unsorted parts) scan
+      // once per batch at the chain rate; the binary search and the
+      // sorted-prefix matched scan stay per query.
+      const double chain_elem = model_.BucketScanSecs() / n;
+      const double chain_secs = est_chain_elems_ * chain_elem;
       pred_index_secs_ = std::max(delta * model_.SwapSecs(), leaf_secs);
-      pred_shared_secs_ = 0;
-      pred_private_secs_ = std::max(predicted_ - pred_index_secs_, 0.0);
+      pred_shared_secs_ = chain_secs;
+      pred_private_secs_ =
+          std::max(predicted_ - pred_index_secs_ - pred_shared_secs_, 0.0);
+      pred_shared_elem_secs_ = chain_elem;
       break;
     }
     case Phase::kConsolidation: {
-      predicted_ = model_.Consolidate(options_.btree_fanout,
-                                      SelectivityEstimate(q), delta);
+      const double alpha = SelectivityEstimate(q);
+      predicted_ = model_.Consolidate(options_.btree_fanout, alpha, delta);
+      // Matched leaf runs scan once per batch (exec::BatchBTreeRangeSum).
       pred_index_secs_ =
           delta * model_.ConsolidateSecs(options_.btree_fanout);
-      pred_shared_secs_ = 0;
-      pred_private_secs_ = std::max(predicted_ - pred_index_secs_, 0.0);
+      pred_shared_secs_ = alpha * model_.ScanSecs();
+      pred_private_secs_ = std::max(
+          predicted_ - pred_index_secs_ - pred_shared_secs_, 0.0);
+      pred_shared_elem_secs_ = model_.constants().seq_read_secs;
       break;
     }
     case Phase::kDone: {
-      predicted_ = model_.BinarySearchSecs() +
-                   SelectivityEstimate(q) * model_.ScanSecs();
+      const double alpha = SelectivityEstimate(q);
+      predicted_ = model_.BinarySearchSecs() + alpha * model_.ScanSecs();
       pred_index_secs_ = 0;
-      pred_shared_secs_ = 0;
-      pred_private_secs_ = predicted_;
+      pred_shared_secs_ = alpha * model_.ScanSecs();
+      pred_private_secs_ = std::max(predicted_ - pred_shared_secs_, 0.0);
+      pred_shared_elem_secs_ = model_.constants().seq_read_secs;
       break;
     }
   }
@@ -409,37 +422,111 @@ void ProgressiveBucketsort::QueryBatch(const RangeQuery* qs, size_t count,
   PrepareQuery(qs[0]);  // one per-batch indexing budget
   AnswerBatch(qs, count, out);
   if (count > 1) {
-    predicted_ = model_.BatchPerQuerySecs(pred_index_secs_,
-                                          pred_shared_secs_,
-                                          pred_private_secs_, count);
+    predicted_ = model_.BatchPerQuerySecs(
+        pred_index_secs_, pred_shared_secs_, pred_private_secs_, count,
+        pred_shared_elem_secs_);
   }
 }
 
 void ProgressiveBucketsort::AnswerBatch(const RangeQuery* qs, size_t count,
                                         QueryResult* out) const {
   std::fill(out, out + count, QueryResult{});
-  if (phase_ != Phase::kCreation) {
-    // Refinement onwards the data is a sorted prefix, one actively
-    // sorted segment, and value-pruned pending buckets — the per-query
-    // paths are already sublinear; run them as-is.
-    for (size_t i = 0; i < count; i++) out[i] = Answer(qs[i]);
-    return;
-  }
-  // Creation: equi-height buckets answer per query (value-range
-  // pruning); the uncopied tail of the base column is scanned once for
-  // the whole batch.
   const size_t n = column_.size();
-  for (size_t i = 0; i < count; i++) {
-    for (size_t b = 0; b < buckets_.size(); b++) {
-      if (BucketHi(b) < qs[i].low || BucketLo(b) > qs[i].high) continue;
-      const QueryResult part = buckets_[b].RangeSum(qs[i]);
-      out[i].sum += part.sum;
-      out[i].count += part.count;
+  switch (phase_) {
+    case Phase::kCreation: {
+      // Equi-height buckets answer per query (value-range pruning); the
+      // uncopied tail of the base column is scanned once for the whole
+      // batch.
+      for (size_t i = 0; i < count; i++) {
+        for (size_t b = 0; b < buckets_.size(); b++) {
+          if (BucketHi(b) < qs[i].low || BucketLo(b) > qs[i].high) continue;
+          const QueryResult part = buckets_[b].RangeSum(qs[i]);
+          out[i].sum += part.sum;
+          out[i].count += part.count;
+        }
+      }
+      pset_.Reset(qs, count);
+      pset_.Scan(column_.data() + copy_pos_, n - copy_pos_);
+      pset_.AccumulateInto(out);
+      return;
+    }
+    case Phase::kRefinement: {
+      // Sorted merged prefix: per-query sorted lookups.
+      for (size_t i = 0; i < count; i++) {
+        const QueryResult part =
+            SortedRangeSum(final_.data(), sorted_end_, qs[i]);
+        out[i].sum += part.sum;
+        out[i].count += part.count;
+      }
+      // Everything still unrefined scans once for the whole batch: the
+      // active bucket's mid-fill region + undrained chain (or its
+      // sorter's merged unsorted ranges), plus every pending chain any
+      // batch member's value range reaches. A chain outside a query's
+      // range holds no values it can match (bucket values are bounded
+      // by [BucketLo, BucketHi]), and a pivot-tree range a query did
+      // not collect holds none either, so the union scan adds exactly
+      // zero for those queries — totals stay bit-identical to the
+      // per-query pruned walks.
+      pset_.Reset(qs, count);
+      scratch_runs_.clear();
+      if (merge_bucket_ < buckets_.size()) {
+        bool active_candidate = false;
+        for (size_t i = 0; i < count && !active_candidate; i++) {
+          active_candidate = BucketHi(merge_bucket_) >= qs[i].low &&
+                             BucketLo(merge_bucket_) <= qs[i].high;
+        }
+        if (active_candidate) {
+          if (filling_) {
+            scratch_runs_.push_back(
+                {final_.data() + sorted_end_, fill_pos_ - sorted_end_});
+            exec::CollectChainRuns(buckets_[merge_bucket_], fill_cursor_,
+                                   &scratch_runs_);
+          } else if (sorter_active_) {
+            const value_t* base = final_.data() + sorted_end_;
+            scratch_pos_ranges_.clear();
+            for (size_t i = 0; i < count; i++) {
+              if (BucketHi(merge_bucket_) < qs[i].low ||
+                  BucketLo(merge_bucket_) > qs[i].high) {
+                continue;
+              }
+              scratch_ranges_.clear();
+              active_sorter_.CollectRanges(qs[i], &scratch_ranges_);
+              for (const ScanRange& r : scratch_ranges_) {
+                if (r.sorted) {
+                  const QueryResult part =
+                      SortedRangeSum(base + r.start, r.end - r.start, qs[i]);
+                  out[i].sum += part.sum;
+                  out[i].count += part.count;
+                } else {
+                  scratch_pos_ranges_.push_back({r.start, r.end});
+                }
+              }
+            }
+            exec::MergePosRanges(&scratch_pos_ranges_);
+            for (const exec::PosRange& r : scratch_pos_ranges_) {
+              scratch_runs_.push_back({base + r.begin, r.end - r.begin});
+            }
+          }
+        }
+      }
+      for (size_t b = merge_bucket_ + 1; b < buckets_.size(); b++) {
+        bool candidate = false;
+        for (size_t i = 0; i < count && !candidate; i++) {
+          candidate = BucketHi(b) >= qs[i].low && BucketLo(b) <= qs[i].high;
+        }
+        if (candidate) exec::CollectChainRuns(buckets_[b], &scratch_runs_);
+      }
+      pset_.ScanRuns(scratch_runs_.data(), scratch_runs_.size());
+      pset_.AccumulateInto(out);
+      return;
+    }
+    case Phase::kConsolidation:
+    case Phase::kDone: {
+      exec::BatchBTreeRangeSum(btree_, qs, count, out, &pset_,
+                               &scratch_pos_ranges_);
+      return;
     }
   }
-  pset_.Reset(qs, count);
-  pset_.Scan(column_.data() + copy_pos_, n - copy_pos_);
-  pset_.AccumulateInto(out);
 }
 
 }  // namespace progidx

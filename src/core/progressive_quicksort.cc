@@ -5,6 +5,7 @@
 
 #include "common/predication.h"
 #include "common/rng.h"
+#include "exec/batch_refine.h"
 #include "kernels/kernels.h"
 #include "parallel/primitives.h"
 
@@ -71,6 +72,7 @@ double ProgressiveQuicksort::EstimateAnswerSecs(const RangeQuery& q) const {
       for (const ScanRange& r : scratch_ranges_) {
         if (!r.sorted) unsorted += static_cast<double>(r.end - r.start);
       }
+      est_unsorted_elems_ = unsorted;
       const double matched = SelectivityEstimate(q) * static_cast<double>(n);
       return model_.TreeLookupSecs(sorter_.height()) +
              mc.seq_read_secs * (unsorted + matched);
@@ -249,6 +251,7 @@ void ProgressiveQuicksort::PrepareQuery(const RangeQuery& q) {
       pred_index_secs_ = delta * model_.PivotSecs();
       pred_shared_secs_ = scan_term;
       pred_private_secs_ = 0;
+      pred_shared_elem_secs_ = model_.constants().seq_read_secs;
       break;
     }
     case Phase::kRefinement: {
@@ -270,30 +273,39 @@ void ProgressiveQuicksort::PrepareQuery(const RangeQuery& q) {
       const double scan_threaded =
           model_.ThreadedSecs(scan_term, parallel::PlannedLanes(scanned));
       predicted_ += scan_threaded - scan_term;
-      // Serial-priced decomposition (see the creation-phase note).
+      // Serial-priced decomposition (see the creation-phase note). The
+      // shared term is exactly the unsorted pivot-tree union the batch
+      // scans once; sorted-range lookups and the tree descent stay per
+      // query.
+      const double unsorted_secs =
+          model_.constants().seq_read_secs * est_unsorted_elems_;
       pred_index_secs_ = std::max(delta * model_.SwapSecs(), leaf_secs);
-      pred_shared_secs_ = scan_term;
-      pred_private_secs_ = model_.TreeLookupSecs(sorter_.height());
+      pred_shared_secs_ = unsorted_secs;
+      pred_private_secs_ = std::max(answer_est - unsorted_secs, 0.0);
+      pred_shared_elem_secs_ = model_.constants().seq_read_secs;
       break;
     }
     case Phase::kConsolidation: {
       const double alpha = SelectivityEstimate(q);
       predicted_ =
           model_.Consolidate(options_.btree_fanout, alpha, delta);
-      // Consolidation answers come from the B+-tree per query — no
-      // shared scan; only the δ·t_copy indexing term amortizes.
+      // The matched leaf runs scan once per batch
+      // (exec::BatchBTreeRangeSum); the tree descent stays per query.
       pred_index_secs_ =
           delta * model_.ConsolidateSecs(options_.btree_fanout);
-      pred_shared_secs_ = 0;
-      pred_private_secs_ = predicted_ - pred_index_secs_;
+      pred_shared_secs_ = alpha * model_.ScanSecs();
+      pred_private_secs_ = std::max(
+          predicted_ - pred_index_secs_ - pred_shared_secs_, 0.0);
+      pred_shared_elem_secs_ = model_.constants().seq_read_secs;
       break;
     }
     case Phase::kDone: {
-      predicted_ = model_.BinarySearchSecs() +
-                   SelectivityEstimate(q) * model_.ScanSecs();
+      const double alpha = SelectivityEstimate(q);
+      predicted_ = model_.BinarySearchSecs() + alpha * model_.ScanSecs();
       pred_index_secs_ = 0;
-      pred_shared_secs_ = 0;
-      pred_private_secs_ = predicted_;
+      pred_shared_secs_ = alpha * model_.ScanSecs();
+      pred_private_secs_ = std::max(predicted_ - pred_shared_secs_, 0.0);
+      pred_shared_elem_secs_ = model_.constants().seq_read_secs;
       break;
     }
   }
@@ -319,9 +331,9 @@ void ProgressiveQuicksort::QueryBatch(const RangeQuery* qs, size_t count,
   PrepareQuery(qs[0]);
   AnswerBatch(qs, count, out);
   if (count > 1) {
-    predicted_ = model_.BatchPerQuerySecs(pred_index_secs_,
-                                          pred_shared_secs_,
-                                          pred_private_secs_, count);
+    predicted_ = model_.BatchPerQuerySecs(
+        pred_index_secs_, pred_shared_secs_, pred_private_secs_, count,
+        pred_shared_elem_secs_);
   }
 }
 
@@ -377,7 +389,10 @@ void ProgressiveQuicksort::AnswerBatch(const RangeQuery* qs, size_t count,
     }
     case Phase::kConsolidation:
     case Phase::kDone: {
-      for (size_t i = 0; i < count; i++) out[i] = btree_.RangeSum(qs[i]);
+      // Matched B+-tree leaf runs merge across the batch and scan once
+      // (overlapping queries load each leaf a single time).
+      exec::BatchBTreeRangeSum(btree_, qs, count, out, &pset_,
+                               &scratch_pos_ranges_);
       return;
     }
   }

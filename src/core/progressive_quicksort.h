@@ -119,10 +119,17 @@ class ProgressiveQuicksort : public IndexBase {
   double predicted_ = 0;
   /// Decomposition of predicted_ for batch pricing (set by
   /// PrepareQuery): indexing charged once per batch / unrefined-scan
-  /// shared across the batch / per-query lookups.
+  /// shared across the batch / per-query lookups. The elem term is the
+  /// per-element price the shared term was built from (seq_read for
+  /// flat regions; the chain rate for bucket indexes).
   double pred_index_secs_ = 0;
   double pred_shared_secs_ = 0;
   double pred_private_secs_ = 0;
+  double pred_shared_elem_secs_ = 0;
+  /// Unsorted pivot-tree elements of the last refinement-phase
+  /// EstimateAnswerSecs — the share a batch scans once (stashed so
+  /// PrepareQuery's decomposition matches what AnswerBatch shares).
+  mutable double est_unsorted_elems_ = 0;
   RangeQuery last_query_hint_;
   mutable std::vector<ScanRange> scratch_ranges_;
   mutable exec::PredicateSet pset_;

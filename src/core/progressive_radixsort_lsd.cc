@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/predication.h"
+#include "exec/batch_refine.h"
 #include "kernels/kernels.h"
 #include "parallel/primitives.h"
 
@@ -125,6 +126,7 @@ double ProgressiveRadixsortLSD::EstimateAnswerSecs(
       const bool old_pruned = CandidateDigits(q, pass_ - 1, &of, &ol);
       const bool new_pruned = CandidateDigits(q, pass_, &nf, &nl);
       if (!old_pruned && !new_pruned) {
+        est_chain_elems_ = static_cast<double>(n);  // every chain scans
         return mc.seq_read_secs * static_cast<double>(n);  // fallback
       }
       double elems = 0;
@@ -140,6 +142,7 @@ double ProgressiveRadixsortLSD::EstimateAnswerSecs(
                                      : (b >= nf || b <= nl));
         if (new_candidate) elems += static_cast<double>(dest_[b].size());
       }
+      est_chain_elems_ = elems;
       return bucket_elem * elems;
     }
     case Phase::kMerge: {
@@ -154,6 +157,7 @@ double ProgressiveRadixsortLSD::EstimateAnswerSecs(
                                       : (b >= first || b <= last));
         if (candidate) elems += static_cast<double>(source_[b].size());
       }
+      est_chain_elems_ = elems;
       const double matched = SelectivityEstimate(q) * static_cast<double>(n);
       return model_.BinarySearchSecs() + bucket_elem * elems +
              mc.seq_read_secs * matched;
@@ -398,6 +402,7 @@ void ProgressiveRadixsortLSD::PrepareQuery(const RangeQuery& q) {
           std::max(1.0 - rho - delta, 0.0) * model_.ScanSecs();
       pred_private_secs_ =
           std::max(predicted_ - pred_index_secs_ - pred_shared_secs_, 0.0);
+      pred_shared_elem_secs_ = model_.constants().seq_read_secs;
       break;
     }
     case Phase::kRefinement: {
@@ -410,37 +415,52 @@ void ProgressiveRadixsortLSD::PrepareQuery(const RangeQuery& q) {
       const double bucket_threaded =
           model_.ThreadedSecs(bucket_term, parallel::PlannedLanes(slice));
       predicted_ += bucket_threaded - bucket_term;
+      // The union of candidate chains scans once per batch at the
+      // chain rate (exec::PredicateSet::ScanRuns).
+      const double chain_elem = model_.BucketScanSecs() / n;
+      const double chain_secs = est_chain_elems_ * chain_elem;
       pred_index_secs_ = bucket_threaded;
-      pred_shared_secs_ = 0;  // all chain-resident: per-query pruning
-      pred_private_secs_ = std::max(predicted_ - pred_index_secs_, 0.0);
+      pred_shared_secs_ = chain_secs;
+      pred_private_secs_ =
+          std::max(predicted_ - pred_index_secs_ - pred_shared_secs_, 0.0);
+      pred_shared_elem_secs_ = chain_elem;
       break;
     }
     case Phase::kMerge: {
-      // The merge copies whole block runs — parallel across runs, but
-      // with no shared-scan term (chains are value-clustered already).
+      // The merge copies whole block runs — parallel across runs; the
+      // remaining candidate chains scan once per batch, the sorted
+      // prefix per query.
       const double alpha =
           answer_est / std::max(model_.BucketScanSecs(), 1e-30);
       predicted_ = model_.RadixRefine(std::min(alpha, 1.0), delta);
+      const double chain_elem = model_.BucketScanSecs() / n;
+      const double chain_secs = est_chain_elems_ * chain_elem;
       pred_index_secs_ = delta * model_.BucketAppendSecs();
-      pred_shared_secs_ = 0;
-      pred_private_secs_ = std::max(predicted_ - pred_index_secs_, 0.0);
+      pred_shared_secs_ = chain_secs;
+      pred_private_secs_ =
+          std::max(predicted_ - pred_index_secs_ - pred_shared_secs_, 0.0);
+      pred_shared_elem_secs_ = chain_elem;
       break;
     }
     case Phase::kConsolidation: {
-      predicted_ = model_.Consolidate(options_.btree_fanout,
-                                      SelectivityEstimate(q), delta);
+      const double alpha = SelectivityEstimate(q);
+      predicted_ = model_.Consolidate(options_.btree_fanout, alpha, delta);
+      // Matched leaf runs scan once per batch (exec::BatchBTreeRangeSum).
       pred_index_secs_ =
           delta * model_.ConsolidateSecs(options_.btree_fanout);
-      pred_shared_secs_ = 0;
-      pred_private_secs_ = std::max(predicted_ - pred_index_secs_, 0.0);
+      pred_shared_secs_ = alpha * model_.ScanSecs();
+      pred_private_secs_ = std::max(
+          predicted_ - pred_index_secs_ - pred_shared_secs_, 0.0);
+      pred_shared_elem_secs_ = model_.constants().seq_read_secs;
       break;
     }
     case Phase::kDone: {
-      predicted_ = model_.BinarySearchSecs() +
-                   SelectivityEstimate(q) * model_.ScanSecs();
+      const double alpha = SelectivityEstimate(q);
+      predicted_ = model_.BinarySearchSecs() + alpha * model_.ScanSecs();
       pred_index_secs_ = 0;
-      pred_shared_secs_ = 0;
-      pred_private_secs_ = predicted_;
+      pred_shared_secs_ = alpha * model_.ScanSecs();
+      pred_private_secs_ = std::max(predicted_ - pred_shared_secs_, 0.0);
+      pred_shared_elem_secs_ = model_.constants().seq_read_secs;
       break;
     }
   }
@@ -463,20 +483,98 @@ void ProgressiveRadixsortLSD::QueryBatch(const RangeQuery* qs, size_t count,
   PrepareQuery(qs[0]);  // one per-batch indexing budget
   AnswerBatch(qs, count, out);
   if (count > 1) {
-    predicted_ = model_.BatchPerQuerySecs(pred_index_secs_,
-                                          pred_shared_secs_,
-                                          pred_private_secs_, count);
+    predicted_ = model_.BatchPerQuerySecs(
+        pred_index_secs_, pred_shared_secs_, pred_private_secs_, count,
+        pred_shared_elem_secs_);
   }
 }
+
+namespace {
+
+/// Union of one query's candidate buckets into a 64-bit mask (bit b =
+/// bucket b must be scanned). `pruned` false means all 64.
+uint64_t CandidateMask(bool pruned, size_t first, size_t last) {
+  if (!pruned) return ~uint64_t{0};
+  uint64_t mask = 0;
+  for (size_t b = first;; b = (b + 1) & 63u) {
+    mask |= uint64_t{1} << b;
+    if (b == last) break;
+  }
+  return mask;
+}
+
+}  // namespace
 
 void ProgressiveRadixsortLSD::AnswerBatch(const RangeQuery* qs, size_t count,
                                           QueryResult* out) const {
   std::fill(out, out + count, QueryResult{});
-  if (phase_ != Phase::kCreation) {
-    // Refinement onwards every element lives in value-clustered chains
-    // (or the sorted prefix); the per-query pruned paths are already
-    // sublinear, so the batch runs them as-is.
-    for (size_t i = 0; i < count; i++) out[i] = Answer(qs[i]);
+  if (phase_ == Phase::kRefinement) {
+    // Both generations of chains scan once for the whole batch, over
+    // the union of every member's candidate buckets. A chain outside a
+    // query's candidate range cannot hold values in its [low, high]
+    // (the digit-clustering invariant CandidateDigits prunes by), so
+    // the union scan adds exactly zero for that query and totals stay
+    // bit-identical to the per-query pruned walks.
+    uint64_t old_mask = 0;
+    uint64_t new_mask = 0;
+    for (size_t i = 0; i < count; i++) {
+      size_t f = 0;
+      size_t l = 0;
+      const bool old_pruned = CandidateDigits(qs[i], pass_ - 1, &f, &l);
+      old_mask |= CandidateMask(old_pruned, f, l);
+      const bool new_pruned = CandidateDigits(qs[i], pass_, &f, &l);
+      new_mask |= CandidateMask(new_pruned, f, l);
+    }
+    pset_.Reset(qs, count);
+    scratch_runs_.clear();
+    for (size_t b = 0; b < 64; b++) {
+      if ((old_mask >> b & 1) != 0 && b >= drain_bucket_) {
+        if (b == drain_bucket_) {
+          exec::CollectChainRuns(source_[b], drain_cursor_, &scratch_runs_);
+        } else {
+          exec::CollectChainRuns(source_[b], &scratch_runs_);
+        }
+      }
+      if ((new_mask >> b & 1) != 0) {
+        exec::CollectChainRuns(dest_[b], &scratch_runs_);
+      }
+    }
+    pset_.ScanRuns(scratch_runs_.data(), scratch_runs_.size());
+    pset_.AccumulateInto(out);
+    return;
+  }
+  if (phase_ == Phase::kMerge) {
+    // Sorted merged prefix per query; the remaining source chains scan
+    // once over the union of candidates.
+    for (size_t i = 0; i < count; i++) {
+      const QueryResult part = SortedRangeSum(final_.data(), merged_, qs[i]);
+      out[i].sum += part.sum;
+      out[i].count += part.count;
+    }
+    uint64_t mask = 0;
+    for (size_t i = 0; i < count; i++) {
+      size_t f = 0;
+      size_t l = 0;
+      const bool pruned = CandidateDigits(qs[i], total_passes_ - 1, &f, &l);
+      mask |= CandidateMask(pruned, f, l);
+    }
+    pset_.Reset(qs, count);
+    scratch_runs_.clear();
+    for (size_t b = drain_bucket_; b < 64; b++) {
+      if ((mask >> b & 1) == 0) continue;
+      if (b == drain_bucket_) {
+        exec::CollectChainRuns(source_[b], drain_cursor_, &scratch_runs_);
+      } else {
+        exec::CollectChainRuns(source_[b], &scratch_runs_);
+      }
+    }
+    pset_.ScanRuns(scratch_runs_.data(), scratch_runs_.size());
+    pset_.AccumulateInto(out);
+    return;
+  }
+  if (phase_ == Phase::kConsolidation || phase_ == Phase::kDone) {
+    exec::BatchBTreeRangeSum(btree_, qs, count, out, &pset_,
+                             &scratch_pos_ranges_);
     return;
   }
   // Creation: candidate pass-0 buckets answer per query; queries whose

@@ -96,16 +96,24 @@ class ProgressiveRadixsortLSD : public IndexBase {
   std::unique_ptr<ProgressiveBTreeBuilder> builder_;
 
   double predicted_ = 0;
-  /// predicted_ decomposed for batch pricing (see docs/batching.md).
+  /// predicted_ decomposed for batch pricing (see docs/batching.md);
+  /// the elem term prices the shared scan's per-element cost (chain
+  /// rate during refinement/merge, seq_read elsewhere).
   double pred_index_secs_ = 0;
   double pred_shared_secs_ = 0;
   double pred_private_secs_ = 0;
+  double pred_shared_elem_secs_ = 0;
+  /// Chain-resident elements of the last refinement/merge-phase
+  /// EstimateAnswerSecs — the share a batch scans once.
+  mutable double est_chain_elems_ = 0;
   mutable exec::PredicateSet pset_;
   /// AnswerBatch scratch for the α == ρ fallback subset, reused across
   /// batches so the hot path stays allocation-free.
   mutable std::vector<RangeQuery> scratch_fallback_qs_;
   mutable std::vector<size_t> scratch_fallback_idx_;
   mutable std::vector<QueryResult> scratch_partial_;
+  mutable std::vector<exec::SrcBlock> scratch_runs_;
+  mutable std::vector<exec::PosRange> scratch_pos_ranges_;
 };
 
 }  // namespace progidx

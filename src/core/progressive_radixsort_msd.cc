@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/predication.h"
+#include "exec/batch_refine.h"
 #include "kernels/kernels.h"
 #include "parallel/primitives.h"
 
@@ -95,6 +96,7 @@ double ProgressiveRadixsortMSD::EstimateAnswerSecs(
           elems += static_cast<double>(c.size());
         }
       }
+      est_chain_elems_ = elems;
       const double matched = SelectivityEstimate(q) * static_cast<double>(n);
       return model_.BinarySearchSecs() + bucket_elem * elems +
              mc.seq_read_secs * matched;
@@ -348,6 +350,7 @@ void ProgressiveRadixsortMSD::PrepareQuery(const RangeQuery& q) {
           std::max(1.0 - rho - delta, 0.0) * model_.ScanSecs();
       pred_private_secs_ =
           std::max(predicted_ - pred_index_secs_ - pred_shared_secs_, 0.0);
+      pred_shared_elem_secs_ = model_.constants().seq_read_secs;
       break;
     }
     case Phase::kRefinement: {
@@ -361,26 +364,37 @@ void ProgressiveRadixsortMSD::PrepareQuery(const RangeQuery& q) {
       const double bucket_threaded =
           model_.ThreadedSecs(bucket_term, parallel::PlannedLanes(slice));
       predicted_ += bucket_threaded - bucket_term;
+      // Candidate pending chains scan once per batch at the chain rate
+      // (exec::PredicateSet::ScanRuns); the binary search and the
+      // sorted-prefix matched scan stay per query.
+      const double chain_elem = model_.BucketScanSecs() / n;
+      const double chain_secs = est_chain_elems_ * chain_elem;
       pred_index_secs_ = bucket_threaded;
-      pred_shared_secs_ = 0;  // all chain-resident: per-query pruning
-      pred_private_secs_ = std::max(predicted_ - pred_index_secs_, 0.0);
+      pred_shared_secs_ = chain_secs;
+      pred_private_secs_ =
+          std::max(predicted_ - pred_index_secs_ - pred_shared_secs_, 0.0);
+      pred_shared_elem_secs_ = chain_elem;
       break;
     }
     case Phase::kConsolidation: {
-      predicted_ = model_.Consolidate(options_.btree_fanout,
-                                      SelectivityEstimate(q), delta);
+      const double alpha = SelectivityEstimate(q);
+      predicted_ = model_.Consolidate(options_.btree_fanout, alpha, delta);
+      // Matched leaf runs scan once per batch (exec::BatchBTreeRangeSum).
       pred_index_secs_ =
           delta * model_.ConsolidateSecs(options_.btree_fanout);
-      pred_shared_secs_ = 0;
-      pred_private_secs_ = std::max(predicted_ - pred_index_secs_, 0.0);
+      pred_shared_secs_ = alpha * model_.ScanSecs();
+      pred_private_secs_ = std::max(
+          predicted_ - pred_index_secs_ - pred_shared_secs_, 0.0);
+      pred_shared_elem_secs_ = model_.constants().seq_read_secs;
       break;
     }
     case Phase::kDone: {
-      predicted_ = model_.BinarySearchSecs() +
-                   SelectivityEstimate(q) * model_.ScanSecs();
+      const double alpha = SelectivityEstimate(q);
+      predicted_ = model_.BinarySearchSecs() + alpha * model_.ScanSecs();
       pred_index_secs_ = 0;
-      pred_shared_secs_ = 0;
-      pred_private_secs_ = predicted_;
+      pred_shared_secs_ = alpha * model_.ScanSecs();
+      pred_private_secs_ = std::max(predicted_ - pred_shared_secs_, 0.0);
+      pred_shared_elem_secs_ = model_.constants().seq_read_secs;
       break;
     }
   }
@@ -403,20 +417,60 @@ void ProgressiveRadixsortMSD::QueryBatch(const RangeQuery* qs, size_t count,
   PrepareQuery(qs[0]);  // one per-batch indexing budget
   AnswerBatch(qs, count, out);
   if (count > 1) {
-    predicted_ = model_.BatchPerQuerySecs(pred_index_secs_,
-                                          pred_shared_secs_,
-                                          pred_private_secs_, count);
+    predicted_ = model_.BatchPerQuerySecs(
+        pred_index_secs_, pred_shared_secs_, pred_private_secs_, count,
+        pred_shared_elem_secs_);
   }
 }
 
 void ProgressiveRadixsortMSD::AnswerBatch(const RangeQuery* qs, size_t count,
                                           QueryResult* out) const {
   std::fill(out, out + count, QueryResult{});
-  if (phase_ != Phase::kCreation) {
-    // Past creation every element is in value-clustered pending
-    // buckets or the sorted prefix; per-query pruning is already
-    // sublinear, so the batch runs the existing paths.
-    for (size_t i = 0; i < count; i++) out[i] = Answer(qs[i]);
+  if (phase_ == Phase::kRefinement) {
+    // Sorted merged prefix per query; every pending bucket (and split
+    // child) whose value range any batch member reaches scans once for
+    // the whole batch. Pending buckets are value-bounded
+    // ([lo_value, hi_value]), so the union scan adds exactly zero for
+    // queries the per-query path would have pruned — totals stay
+    // bit-identical to the per-query walks.
+    for (size_t i = 0; i < count; i++) {
+      const QueryResult part = SortedRangeSum(final_.data(), merged_, qs[i]);
+      out[i].sum += part.sum;
+      out[i].count += part.count;
+    }
+    auto any_intersect = [&](value_t lo, value_t hi) {
+      for (size_t i = 0; i < count; i++) {
+        if (hi >= qs[i].low && lo <= qs[i].high) return true;
+      }
+      return false;
+    };
+    pset_.Reset(qs, count);
+    scratch_runs_.clear();
+    for (const PendingBucket& p : pending_) {
+      if (!any_intersect(p.lo_value, p.hi_value)) continue;
+      if (p.splitting) {
+        exec::CollectChainRuns(p.chain, p.cursor, &scratch_runs_);
+        const int child_shift = p.shift >= 6 ? p.shift - 6 : 0;
+        for (size_t i = 0; i < p.children.size(); i++) {
+          const value_t c_lo =
+              p.lo_value + static_cast<value_t>(i) *
+                               (static_cast<value_t>(1) << child_shift);
+          const value_t c_hi =
+              c_lo + (static_cast<value_t>(1) << child_shift) - 1;
+          if (!any_intersect(c_lo, c_hi)) continue;
+          exec::CollectChainRuns(p.children[i], &scratch_runs_);
+        }
+      } else {
+        exec::CollectChainRuns(p.chain, &scratch_runs_);
+      }
+    }
+    pset_.ScanRuns(scratch_runs_.data(), scratch_runs_.size());
+    pset_.AccumulateInto(out);
+    return;
+  }
+  if (phase_ == Phase::kConsolidation || phase_ == Phase::kDone) {
+    exec::BatchBTreeRangeSum(btree_, qs, count, out, &pset_,
+                             &scratch_pos_ranges_);
     return;
   }
   // Creation: candidate root buckets answer per query; the uncopied

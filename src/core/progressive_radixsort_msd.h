@@ -103,11 +103,19 @@ class ProgressiveRadixsortMSD : public IndexBase {
   std::unique_ptr<ProgressiveBTreeBuilder> builder_;
 
   double predicted_ = 0;
-  /// predicted_ decomposed for batch pricing (see docs/batching.md).
+  /// predicted_ decomposed for batch pricing (see docs/batching.md);
+  /// the elem term prices the shared scan's per-element cost (chain
+  /// rate during refinement, seq_read elsewhere).
   double pred_index_secs_ = 0;
   double pred_shared_secs_ = 0;
   double pred_private_secs_ = 0;
+  double pred_shared_elem_secs_ = 0;
+  /// Chain-resident elements of the last refinement-phase
+  /// EstimateAnswerSecs — the share a batch scans once.
+  mutable double est_chain_elems_ = 0;
   mutable exec::PredicateSet pset_;
+  mutable std::vector<exec::SrcBlock> scratch_runs_;
+  mutable std::vector<exec::PosRange> scratch_pos_ranges_;
 };
 
 }  // namespace progidx

@@ -119,11 +119,16 @@ double CostModel::BucketsortCreate(double rho, double alpha,
 }
 
 double CostModel::SharedScanSecs(double scan_secs, size_t batch) const {
+  return SharedScanSecs(scan_secs, batch, constants_.seq_read_secs);
+}
+
+double CostModel::SharedScanSecs(double scan_secs, size_t batch,
+                                 double elem_secs) const {
   if (batch <= 1 || scan_secs <= 0) return scan_secs;
-  // scan_secs is `fraction-of-column · t_scan`; recover the element
-  // count it covers to price the per-element interval lookup.
-  const double elems =
-      scan_secs / std::max(constants_.seq_read_secs, kMinWorkUnitSecs);
+  // scan_secs is `fraction-of-column · t_scan` (or the chain analog);
+  // recover the element count it covers to price the per-element
+  // interval lookup.
+  const double elems = scan_secs / std::max(elem_secs, kMinWorkUnitSecs);
   const double log2_bounds =
       std::log2(static_cast<double>(2 * batch));
   return scan_secs + elems * constants_.batch_lookup_secs * log2_bounds;
@@ -139,8 +144,17 @@ double CostModel::BatchPerQuerySecs(double index_secs,
                                     double shared_scan_secs,
                                     double private_secs,
                                     size_t batch) const {
+  return BatchPerQuerySecs(index_secs, shared_scan_secs, private_secs, batch,
+                           constants_.seq_read_secs);
+}
+
+double CostModel::BatchPerQuerySecs(double index_secs,
+                                    double shared_scan_secs,
+                                    double private_secs, size_t batch,
+                                    double shared_elem_secs) const {
   if (batch <= 1) return index_secs + shared_scan_secs + private_secs;
-  return (index_secs + SharedScanSecs(shared_scan_secs, batch)) /
+  return (index_secs +
+          SharedScanSecs(shared_scan_secs, batch, shared_elem_secs)) /
              static_cast<double>(batch) +
          private_secs;
 }

@@ -86,6 +86,14 @@ class CostModel {
   /// (batch_lookup_secs). batch <= 1 returns scan_secs unchanged.
   double SharedScanSecs(double scan_secs, size_t batch) const;
 
+  /// Refinement-shared form: `elem_secs` is the per-element price the
+  /// `scan_secs` term was built from — seq_read_secs for flat column
+  /// scans (the two-arg overload), BucketScanSecs()/n for the
+  /// bucket-chain walks the refinement phases share — so the interval
+  /// surcharge scales off the element count actually scanned.
+  double SharedScanSecs(double scan_secs, size_t batch,
+                        double elem_secs) const;
+
   /// Per-query share of a batched shared scan — the "shared-scan bytes
   /// ÷ batch size" price the batch executor and bench tables report.
   double SharedScanPerQuerySecs(double scan_secs, size_t batch) const;
@@ -95,9 +103,14 @@ class CostModel {
   /// once per batch), `shared_scan_secs` (unrefined-data scanning,
   /// shared across the batch), and `private_secs` (per-query lookups,
   /// paid by every query). batch <= 1 returns the plain sum — the
-  /// single-query prediction.
+  /// single-query prediction. `shared_elem_secs` prices the shared
+  /// term's per-element cost (see SharedScanSecs); the three-decomp
+  /// overload assumes flat-column seq_read_secs.
   double BatchPerQuerySecs(double index_secs, double shared_scan_secs,
                            double private_secs, size_t batch) const;
+  double BatchPerQuerySecs(double index_secs, double shared_scan_secs,
+                           double private_secs, size_t batch,
+                           double shared_elem_secs) const;
 
   // --- Budget→delta conversions (the "Indexing Budget" paragraphs) ------
 

@@ -1,0 +1,29 @@
+#include "exec/batch_refine.h"
+
+#include <limits>
+
+namespace progidx {
+namespace exec {
+
+void BatchBTreeRangeSum(const BPlusTree& tree, const RangeQuery* qs,
+                        size_t count, QueryResult* out, PredicateSet* pset,
+                        std::vector<PosRange>* scratch) {
+  constexpr value_t kTop = std::numeric_limits<value_t>::max();
+  const value_t* leaves = tree.leaf_data();
+  scratch->clear();
+  for (size_t i = 0; i < count; i++) {
+    const size_t begin = tree.LowerBound(qs[i].low);
+    const size_t end = qs[i].high == kTop ? tree.leaf_count()
+                                          : tree.LowerBound(qs[i].high + 1);
+    if (begin < end) scratch->push_back({begin, end});
+  }
+  MergePosRanges(scratch);
+  pset->Reset(qs, count);
+  for (const PosRange& r : *scratch) {
+    pset->Scan(leaves + r.begin, r.end - r.begin);
+  }
+  pset->AccumulateInto(out);
+}
+
+}  // namespace exec
+}  // namespace progidx

@@ -1,0 +1,32 @@
+#ifndef PROGIDX_EXEC_BATCH_REFINE_H_
+#define PROGIDX_EXEC_BATCH_REFINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/types.h"
+#include "exec/shared_scan.h"
+
+namespace progidx {
+namespace exec {
+
+/// Consolidation/converged-phase batch answer: each query's matched
+/// region in the tree's sorted leaf array becomes a leaf run
+/// [LowerBound(low), LowerBound(high + 1)); overlapping runs merge and
+/// scan once for the whole batch. Adds into out[0, count) (callers
+/// zero-fill). Bit-identical to per-query BPlusTree::RangeSum — a run
+/// holds exactly a query's matched elements, the shared predicate
+/// re-check keeps other queries' contributions at zero, and sums are
+/// exact 64-bit integers.
+///
+/// `pset` and `scratch` are caller-owned scratch, reused across batches
+/// (the same pattern as the creation-phase shared scans).
+void BatchBTreeRangeSum(const BPlusTree& tree, const RangeQuery* qs,
+                        size_t count, QueryResult* out, PredicateSet* pset,
+                        std::vector<PosRange>* scratch);
+
+}  // namespace exec
+}  // namespace progidx
+
+#endif  // PROGIDX_EXEC_BATCH_REFINE_H_

@@ -1,30 +1,13 @@
 #include "exec/query_batch.h"
 
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include "common/env.h"
 
 namespace progidx {
 namespace exec {
 
 size_t BatchSizeFromEnv() {
-  const char* env = std::getenv("PROGIDX_BATCH");
-  if (env == nullptr || *env == '\0') return 1;
-  char* end = nullptr;
-  const long parsed = std::strtol(env, &end, 10);
-  if (end != nullptr && *end == '\0' && parsed >= 1 &&
-      parsed <= static_cast<long>(kMaxBatchSize)) {
-    return static_cast<size_t>(parsed);
-  }
-  static bool warned = false;
-  if (!warned) {
-    warned = true;
-    std::fprintf(stderr,
-                 "PROGIDX_BATCH='%s' invalid (want 1..%zu); running "
-                 "unbatched\n",
-                 env, kMaxBatchSize);
-  }
-  return 1;
+  return env::BoundedSizeFromEnv("PROGIDX_BATCH", 1, kMaxBatchSize, 1,
+                                 "batch size", "running unbatched");
 }
 
 std::vector<QueryResult> BatchExecutor::Execute(

@@ -44,6 +44,16 @@ constexpr size_t kSharedScanGrain = size_t{1} << 16;
 
 }  // namespace
 
+void CollectChainRuns(const BucketChain& chain, BucketChain::Cursor cursor,
+                      std::vector<SrcBlock>* out) {
+  while (!chain.AtEnd(cursor)) {
+    const value_t* run = nullptr;
+    const size_t len = chain.ContiguousRun(cursor, &run);
+    out->push_back({run, len});
+    chain.Advance(&cursor, len);
+  }
+}
+
 void MergePosRanges(std::vector<PosRange>* ranges) {
   if (ranges->size() <= 1) return;
   std::sort(ranges->begin(), ranges->end(),
@@ -201,6 +211,87 @@ void PredicateSet::Scan(const value_t* data, size_t n) {
     ScanDispatch<true>(data, n);
   } else {
     ScanDispatch<false>(data, n);
+  }
+}
+
+void PredicateSet::ScanRuns(const SrcBlock* runs, size_t count) {
+  if (query_count_ == 0) return;
+  size_t total = 0;
+  for (size_t i = 0; i < count; i++) total += runs[i].len;
+  if (total == 0) return;
+  scanned_ += total;
+  if (query_count_ == 1) {
+    // Single predicate: the dispatched kernel per run, exactly like the
+    // per-query block-wise chain scans (integer sums make the run split
+    // irrelevant to the totals).
+    int64_t sum = 0;
+    int64_t cnt = 0;
+    for (size_t i = 0; i < count; i++) {
+      if (runs[i].len == 0) continue;
+      const QueryResult part =
+          PredicatedRangeSum(runs[i].data, runs[i].len, single_);
+      sum += part.sum;
+      cnt += part.count;
+    }
+    sums_[0] += sum;
+    counts_[0] += cnt;
+    return;
+  }
+  const size_t stride = tiled_ ? query_count_ : bounds_.size();
+  const size_t lanes = parallel::PlannedLanes(total);
+  if (lanes <= 1 || total <= kSharedScanGrain) {
+    for (size_t i = 0; i < count; i++) {
+      if (runs[i].len == 0) continue;
+      if (tiled_) {
+        ScanTiledInto(runs[i].data, 0, runs[i].len, sums_.data(),
+                      counts_.data());
+      } else {
+        ScanSerialInto(runs[i].data, 0, runs[i].len, sums_.data(),
+                       counts_.data());
+      }
+    }
+    return;
+  }
+  // Parallel run-list scan: whole runs group into spans of at least
+  // kSharedScanGrain elements; each span accumulates into a private
+  // table, merged in span order. Span boundaries depend only on the
+  // run list, never the lane count, and integer partials add exactly,
+  // so the totals are bit-identical to the serial walk for every T.
+  scratch_span_starts_.clear();
+  size_t acc = 0;
+  for (size_t i = 0; i < count; i++) {
+    if (acc == 0) scratch_span_starts_.push_back(i);
+    acc += runs[i].len;
+    if (acc >= kSharedScanGrain) acc = 0;
+  }
+  const size_t spans = scratch_span_starts_.size();
+  scratch_sums_.assign(spans * stride, 0);
+  scratch_counts_.assign(spans * stride, 0);
+  parallel::ParallelFor(
+      0, spans, 1, std::min(lanes, spans), [&](size_t b, size_t e) {
+        for (size_t s = b; s < e; s++) {
+          const size_t run_begin = scratch_span_starts_[s];
+          const size_t run_end =
+              s + 1 < spans ? scratch_span_starts_[s + 1] : count;
+          int64_t* sums = scratch_sums_.data() + s * stride;
+          int64_t* counts = scratch_counts_.data() + s * stride;
+          for (size_t i = run_begin; i < run_end; i++) {
+            if (runs[i].len == 0) continue;
+            if (tiled_) {
+              ScanTiledInto(runs[i].data, 0, runs[i].len, sums, counts);
+            } else {
+              ScanSerialInto(runs[i].data, 0, runs[i].len, sums, counts);
+            }
+          }
+        }
+      });
+  for (size_t s = 0; s < spans; s++) {
+    const int64_t* ps = scratch_sums_.data() + s * stride;
+    const int64_t* pc = scratch_counts_.data() + s * stride;
+    for (size_t k = 0; k < stride; k++) {
+      sums_[k] += ps[k];
+      counts_[k] += pc[k];
+    }
   }
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "storage/bucket_chain.h"
 
 namespace progidx {
 namespace exec {
@@ -22,6 +23,25 @@ struct PosRange {
 /// entries in place. Scanning the merged list visits every position of
 /// the input list exactly once.
 void MergePosRanges(std::vector<PosRange>* ranges);
+
+/// A discontiguous block of batch-scannable data: `len` contiguous
+/// elements at `data`. The refinement-phase currency of the batch
+/// executor — bucket-chain block runs, cracked pieces, B+-tree leaf
+/// runs — fed to PredicateSet::ScanRuns as one logical sequence.
+struct SrcBlock {
+  const value_t* data = nullptr;
+  size_t len = 0;
+};
+
+/// Appends `chain`'s contiguous block runs, from `cursor` to the end of
+/// the chain, onto `out` (append order, like the per-query chain
+/// scans). The default cursor covers the whole chain.
+void CollectChainRuns(const BucketChain& chain, BucketChain::Cursor cursor,
+                      std::vector<SrcBlock>* out);
+inline void CollectChainRuns(const BucketChain& chain,
+                             std::vector<SrcBlock>* out) {
+  CollectChainRuns(chain, BucketChain::Cursor{}, out);
+}
 
 /// The shared-scan heart of the batch executor (src/exec/): N range
 /// predicates serviced by one pass over unrefined data, so every cache
@@ -67,6 +87,15 @@ class PredicateSet {
   /// May be called many times between Reset and AccumulateInto (once
   /// per unrefined region).
   void Scan(const value_t* data, size_t n);
+
+  /// Scans runs[0, count) as one logical sequence: every block is
+  /// loaded once and serves all predicates — the refinement-phase
+  /// counterpart of Scan for data that lives in discontiguous blocks
+  /// (bucket-chain runs, cracked pieces, B+-tree leaf runs). Large run
+  /// lists split across the thread pool by whole runs, grouped into
+  /// fixed-geometry spans whose integer partials merge exactly, so the
+  /// totals are bit-identical to the serial walk at any lane count.
+  void ScanRuns(const SrcBlock* runs, size_t count);
 
   /// Adds each query's share of everything scanned since Reset into
   /// out[0, query_count()). Does not clear the accumulators.
@@ -119,6 +148,8 @@ class PredicateSet {
   /// Per-chunk partials of the parallel scan (chunk-major).
   std::vector<int64_t> scratch_sums_;
   std::vector<int64_t> scratch_counts_;
+  /// First-run index of each span of the parallel run-list scan.
+  std::vector<size_t> scratch_span_starts_;
 };
 
 }  // namespace exec

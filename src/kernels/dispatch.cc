@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/env.h"
+
 #if defined(PROGIDX_HAVE_SIMD_TIERS) && defined(__GNUC__)
 #include <cpuid.h>
 #endif
@@ -61,18 +63,12 @@ bool CpuHasAvx512f() {
 }
 #endif  // PROGIDX_HAVE_SIMD_TIERS
 
-bool EnvFlagSet(const char* name) {
-  const char* v = std::getenv(name);
-  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
-}
-
 /// A typo'd or unsupported PROGIDX_FORCE_KERNEL must be loud: parity
 /// suites forced onto a tier cannot otherwise tell a misspelled tier
-/// from a genuine scalar run. Warned once per process.
+/// from a genuine scalar run. Warned once per process (through the
+/// shared thread-safe gate in common/env.h).
 void WarnForcedTierFallback(const char* force, const char* reason) {
-  static bool warned = false;
-  if (warned) return;
-  warned = true;
+  if (!env::WarnOnce("PROGIDX_FORCE_KERNEL")) return;
   std::fprintf(stderr,
                "progidx: PROGIDX_FORCE_KERNEL=%s %s; falling back to the "
                "scalar tier (known tiers: scalar, sse2, avx2, avx512)\n",
@@ -149,7 +145,7 @@ const KernelOps& ResolveKernels(const char* force, bool force_scalar,
 const KernelOps& Dispatch() {
   static const KernelOps* const selected =
       &ResolveKernels(std::getenv("PROGIDX_FORCE_KERNEL"),
-                      EnvFlagSet("PROGIDX_FORCE_SCALAR"),
+                      env::FlagFromEnv("PROGIDX_FORCE_SCALAR"),
                       /*warn_on_fallback=*/true);
   return *selected;
 }

@@ -1,5 +1,7 @@
 #include "parallel/thread_pool.h"
 
+#include "common/env.h"
+
 #include <algorithm>
 #include <condition_variable>
 #include <cstdio>
@@ -27,18 +29,9 @@ size_t HardwareLanes() {
 /// stderr and falls back to the hardware count instead of silently
 /// running serial (or wild).
 size_t LanesFromEnvironment() {
-  const char* v = std::getenv("PROGIDX_THREADS");
-  if (v == nullptr || v[0] == '\0') return HardwareLanes();
-  char* end = nullptr;
-  const unsigned long parsed = std::strtoul(v, &end, 10);
-  if (end != v && *end == '\0' && parsed >= 1 && parsed <= kMaxLanes) {
-    return static_cast<size_t>(parsed);
-  }
-  std::fprintf(stderr,
-               "progidx: PROGIDX_THREADS=%s is not a valid thread count "
-               "(expected 1..%zu); using %zu (hardware concurrency)\n",
-               v, kMaxLanes, HardwareLanes());
-  return HardwareLanes();
+  return env::BoundedSizeFromEnv("PROGIDX_THREADS", 1, kMaxLanes,
+                                 HardwareLanes(), "thread count",
+                                 "hardware concurrency");
 }
 
 std::atomic<size_t> g_test_lanes{0};   // 0 = no override

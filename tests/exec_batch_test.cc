@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <limits>
 #include <memory>
@@ -149,6 +150,102 @@ TEST(PredicateSetTest, ScanIsBitIdenticalAcrossLaneCounts) {
     pset.AccumulateInto(out.data());
     for (size_t i = 0; i < qs.size(); i++) {
       EXPECT_EQ(out[i], reference[i]) << "T=" << t << " query " << i;
+    }
+  }
+}
+
+/// Compares one PredicateSet pass against per-query PredicatedRangeSum
+/// over the same data — the exactness oracle for every regime.
+void ExpectMatchesPerQueryScans(const std::vector<value_t>& data,
+                                const std::vector<RangeQuery>& qs,
+                                const char* label) {
+  exec::PredicateSet pset;
+  pset.Reset(qs.data(), qs.size());
+  pset.Scan(data.data(), data.size());
+  std::vector<QueryResult> out(qs.size());
+  pset.AccumulateInto(out.data());
+  for (size_t i = 0; i < qs.size(); i++) {
+    const QueryResult expected =
+        PredicatedRangeSum(data.data(), data.size(), qs[i]);
+    EXPECT_EQ(out[i], expected) << label << " query " << i;
+  }
+}
+
+TEST(PredicateSetTest, DegenerateAndDuplicatePredicates) {
+  const std::vector<value_t> data = RandomValues(20000, 77);
+  constexpr value_t kMin = std::numeric_limits<value_t>::min();
+  constexpr value_t kMax = std::numeric_limits<value_t>::max();
+  // Empty (low > high), duplicate, full-domain, and point predicates
+  // together in the tiled regime.
+  const std::vector<RangeQuery> mixed = {
+      {100, 50},         // empty: low > high
+      {kMax, kMax - 1},  // empty at the very top of the domain
+      {500, 1000},       {500, 1000}, {500, 1000},  // duplicates
+      {kMin, kMax},      {kMin, kMax},              // full domain
+      {42, 42},                                     // point
+  };
+  ExpectMatchesPerQueryScans(data, mixed, "tiled mixed");
+  // The same shapes pushed past kTiledBatchMax, so the interval index
+  // (bounds dedupe, empty spans, the open-top path) faces them too.
+  std::vector<RangeQuery> big = mixed;
+  while (big.size() <= exec::PredicateSet::kTiledBatchMax + 4) {
+    big.insert(big.end(), mixed.begin(), mixed.end());
+  }
+  ExpectMatchesPerQueryScans(data, big, "interval mixed");
+  // A batch made entirely of full-domain queries: one bound, open top.
+  const std::vector<RangeQuery> full_domain(
+      exec::PredicateSet::kTiledBatchMax + 8, RangeQuery{kMin, kMax});
+  ExpectMatchesPerQueryScans(data, full_domain, "interval full-domain");
+  // A batch made entirely of empty predicates.
+  const std::vector<RangeQuery> all_empty(
+      exec::PredicateSet::kTiledBatchMax + 8, RangeQuery{100, 50});
+  ExpectMatchesPerQueryScans(data, all_empty, "interval all-empty");
+  // Batch > kTiledBatchMax with one distinct bound pair.
+  const std::vector<RangeQuery> one_bound(
+      exec::PredicateSet::kTiledBatchMax + 9, RangeQuery{123, 4567});
+  ExpectMatchesPerQueryScans(data, one_bound, "interval one-bound");
+  // ... and the saturated-high variant (a single low bound, open top).
+  const std::vector<RangeQuery> one_bound_open(
+      exec::PredicateSet::kTiledBatchMax + 9, RangeQuery{123, kMax});
+  ExpectMatchesPerQueryScans(data, one_bound_open, "interval open-top");
+}
+
+TEST(PredicateSetTest, ScanRunsMatchesWholeScan) {
+  const std::vector<value_t> data = RandomValues(120000, 91);
+  for (const size_t nq : {size_t{1}, size_t{3}, size_t{33}, size_t{60}}) {
+    const std::vector<RangeQuery> qs =
+        RandomQueries(nq, static_cast<value_t>(data.size()), 101 + nq);
+    std::vector<QueryResult> reference(nq);
+    {
+      exec::PredicateSet pset;
+      pset.Reset(qs.data(), qs.size());
+      pset.Scan(data.data(), data.size());
+      pset.AccumulateInto(reference.data());
+    }
+    // The same data split into uneven discontiguous runs (zero-length
+    // runs included), across serial and parallel run-list paths.
+    std::vector<exec::SrcBlock> runs;
+    size_t pos = 0;
+    size_t step = 1;
+    while (pos < data.size()) {
+      const size_t len = std::min(step % 7001 + 1, data.size() - pos);
+      runs.push_back({data.data() + pos, len});
+      if (step % 5 == 0) runs.push_back({data.data() + pos, 0});
+      pos += len;
+      step = step * 3 + 1;
+    }
+    for (const size_t t : {size_t{1}, size_t{4}}) {
+      ScopedLanes lanes(t);
+      exec::PredicateSet pset;
+      pset.Reset(qs.data(), qs.size());
+      pset.ScanRuns(runs.data(), runs.size());
+      EXPECT_EQ(pset.scanned_elements(), data.size());
+      std::vector<QueryResult> out(nq);
+      pset.AccumulateInto(out.data());
+      for (size_t i = 0; i < nq; i++) {
+        EXPECT_EQ(out[i], reference[i])
+            << "nq=" << nq << " T=" << t << " query " << i;
+      }
     }
   }
 }
@@ -308,6 +405,107 @@ TEST(BatchOfOneParityTest, FullScanAndStandardCracking) {
   }
 }
 
+/// Drives two fresh instances of `Index` through the same stream — one
+/// via Query, one via QueryBatch(count=1) — asserting bitwise parity of
+/// results, predictions, and phase at every step, and requiring that
+/// the stream actually exercised the refinement phase (so the
+/// refinement-sharing batch paths are what parity is proven on).
+template <typename Index>
+void DriveRefinementBatchOfOne(const std::vector<value_t>& values,
+                               const std::vector<RangeQuery>& qs,
+                               const char* label) {
+  Column col_a{std::vector<value_t>(values)};
+  Column col_b{std::vector<value_t>(values)};
+  const BudgetSpec budget = BudgetSpec::FixedDelta(0.2);
+  Index single(col_a, budget);
+  Index batched(col_b, budget);
+  size_t refinement_steps = 0;
+  for (size_t i = 0; i < qs.size(); i++) {
+    const QueryResult expected = single.Query(qs[i]);
+    QueryResult got;
+    batched.QueryBatch(&qs[i], 1, &got);
+    ASSERT_EQ(got, expected) << label << " query " << i;
+    ASSERT_EQ(batched.last_predicted_cost(), single.last_predicted_cost())
+        << label << " prediction diverged at query " << i;
+    ASSERT_EQ(static_cast<int>(batched.phase()),
+              static_cast<int>(single.phase()))
+        << label << " phase diverged at query " << i;
+    if (single.phase() == Index::Phase::kRefinement) refinement_steps++;
+  }
+  EXPECT_GT(refinement_steps, 0u)
+      << label << " never reached refinement; parity proves nothing";
+}
+
+TEST(BatchOfOneParityTest, RefinementPhasePerIndex) {
+  const size_t n = 30000;
+  const std::vector<value_t> values = RandomValues(n, 67);
+  const std::vector<RangeQuery> qs =
+      RandomQueries(120, static_cast<value_t>(n), 71);
+  DriveRefinementBatchOfOne<ProgressiveQuicksort>(values, qs, "pq");
+  DriveRefinementBatchOfOne<ProgressiveBucketsort>(values, qs, "pb");
+  DriveRefinementBatchOfOne<ProgressiveRadixsortLSD>(values, qs, "plsd");
+  DriveRefinementBatchOfOne<ProgressiveRadixsortMSD>(values, qs, "pmsd");
+}
+
+// ---- Multi-bound cracking --------------------------------------------------
+
+TEST(StandardCrackingBatchTest, MultiBoundCrackMatchesSequentialState) {
+  const size_t n = 40000;
+  const std::vector<value_t> values = RandomValues(n, 83);
+  const std::vector<RangeQuery> qs =
+      RandomQueries(24, static_cast<value_t>(n), 89);
+  Column col_seq{std::vector<value_t>(values)};
+  Column col_bat{std::vector<value_t>(values)};
+  StandardCracking sequential(col_seq);
+  StandardCracking batched(col_bat);
+  std::vector<QueryResult> expected;
+  expected.reserve(qs.size());
+  for (const RangeQuery& q : qs) expected.push_back(sequential.Query(q));
+  // One batch: cracks on *every* member's bounds (not just the head's)
+  // under the single per-batch indexing pass, then answers all queries
+  // against the fully cracked state.
+  std::vector<QueryResult> got(qs.size());
+  batched.QueryBatch(qs.data(), qs.size(), got.data());
+  for (size_t i = 0; i < qs.size(); i++) {
+    EXPECT_EQ(got[i], expected[i]) << "batched answer " << i;
+  }
+  // Index-state parity vs sequential cracking: a boundary's position is
+  // the global count of elements below its value, so the same bound set
+  // must yield identical boundary positions regardless of crack order —
+  // and identical pieces (same [start, end) and same element multiset;
+  // only the within-piece order may differ between crack orders).
+  constexpr value_t kTop = std::numeric_limits<value_t>::max();
+  std::vector<value_t> bounds;
+  for (const RangeQuery& q : qs) {
+    bounds.push_back(q.low);
+    if (q.high != kTop) bounds.push_back(q.high + 1);
+  }
+  for (const value_t b : bounds) {
+    ASSERT_EQ(batched.cracker().index().Contains(b),
+              sequential.cracker().index().Contains(b))
+        << "bound " << b;
+    const AvlTree::Piece ps = sequential.cracker().PieceFor(b);
+    const AvlTree::Piece pb = batched.cracker().PieceFor(b);
+    ASSERT_EQ(pb.start, ps.start) << "piece start for bound " << b;
+    ASSERT_EQ(pb.end, ps.end) << "piece end for bound " << b;
+    std::vector<value_t> slice_seq(sequential.cracker().data() + ps.start,
+                                   sequential.cracker().data() + ps.end);
+    std::vector<value_t> slice_bat(batched.cracker().data() + pb.start,
+                                   batched.cracker().data() + pb.end);
+    std::sort(slice_seq.begin(), slice_seq.end());
+    std::sort(slice_bat.begin(), slice_bat.end());
+    ASSERT_EQ(slice_bat, slice_seq) << "piece content for bound " << b;
+  }
+  // Follow-up queries agree too (the cracked structures stay coherent).
+  const std::vector<RangeQuery> follow =
+      RandomQueries(16, static_cast<value_t>(n), 97);
+  for (const RangeQuery& q : follow) {
+    QueryResult g;
+    batched.QueryBatch(&q, 1, &g);
+    EXPECT_EQ(g, sequential.Query(q));
+  }
+}
+
 // ---- Batched vs sequential result parity ----------------------------------
 
 TEST(BatchExecutionTest, BatchedAnswersEqualSequentialAnswers) {
@@ -342,11 +540,38 @@ TEST(BatchExecutionTest, BatchedAnswersEqualSequentialAnswers) {
   }
 }
 
+TEST(BatchExecutionTest, RefinementPhaseBatchesMatchOracle) {
+  // Batches driven deep past the creation phase: every refinement /
+  // merge / consolidation batch path answers against the full-scan
+  // oracle. (The per-batch budget at delta 0.25 converges the
+  // progressive indexes well before the stream ends.)
+  const size_t n = 30000;
+  const std::vector<value_t> values = RandomValues(n, 103);
+  const std::vector<RangeQuery> qs =
+      RandomQueries(320, static_cast<value_t>(n), 107);
+  std::vector<std::string> ids = ProgressiveIndexIds();
+  ids.push_back("std");
+  Column oracle_col{std::vector<value_t>(values)};
+  FullScan oracle(oracle_col);
+  for (const std::string& id : ids) {
+    Column col{std::vector<value_t>(values)};
+    auto index = MakeIndex(id, col, BudgetSpec::FixedDelta(0.25));
+    std::vector<QueryResult> out(8);
+    for (size_t start = 0; start < qs.size(); start += 8) {
+      index->QueryBatch(qs.data() + start, 8, out.data());
+      for (size_t i = 0; i < 8; i++) {
+        EXPECT_EQ(out[i], oracle.Query(qs[start + i]))
+            << id << " query " << start + i;
+      }
+    }
+  }
+}
+
 TEST(BatchExecutionTest, BatchStateIsBitIdenticalAcrossLaneCounts) {
   const size_t n = 200000;  // large enough to engage the parallel paths
   const std::vector<value_t> values = RandomValues(n, 47);
   const std::vector<RangeQuery> qs =
-      RandomQueries(96, static_cast<value_t>(n), 53);
+      RandomQueries(160, static_cast<value_t>(n), 53);
   const BudgetSpec budget = BudgetSpec::FixedDelta(0.2);
   std::vector<QueryResult> reference;
   std::vector<value_t> reference_array;
