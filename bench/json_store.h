@@ -125,9 +125,12 @@ inline bool ParseSections(const std::string& text,
 
 /// Parses `path` as a flat JSON object into ordered (key, raw-value)
 /// sections. A missing or empty file yields an empty list silently (the
-/// writer then produces a fresh object); a file with content that fails
-/// to parse also yields an empty list but warns on stderr, because the
-/// caller's next write will not carry the unparsed sections forward.
+/// writer then produces a fresh object). A file with content that fails
+/// to parse — truncated by a crash predating the atomic-rename writer,
+/// or hand-edited into invalidity — yields an empty list, but first the
+/// bad bytes are copied to `<path>.bak` so nothing is silently lost
+/// when the caller's next write starts a fresh object; one warning on
+/// stderr names the backup.
 inline std::vector<JsonSection> ReadJsonSections(const char* path) {
   std::vector<JsonSection> sections;
   std::string text;
@@ -143,10 +146,19 @@ inline std::vector<JsonSection> ReadJsonSections(const char* path) {
     sections.clear();
     for (const char c : text) {
       if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+        const std::string bak = std::string(path) + ".bak";
+        bool saved = false;
+        if (std::FILE* f = std::fopen(bak.c_str(), "w")) {
+          saved = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+          saved = (std::fclose(f) == 0) && saved;
+        }
+        const std::string note =
+            saved ? "unparsed content backed up to " + bak
+                  : std::string("backup failed; unparsed content discarded");
         std::fprintf(stderr,
-                     "progidx: %s is not a parseable JSON object; its "
-                     "existing sections will not be preserved\n",
-                     path);
+                     "progidx: %s is not a parseable JSON object; starting "
+                     "fresh (%s)\n",
+                     path, note.c_str());
         break;
       }
     }

@@ -1,0 +1,229 @@
+// Serving-layer throughput: queries/sec and p50/p99 client latency vs
+// client count (1/2/4/8) against one shared progressive index behind
+// the epoch scheduler (docs/serving.md), plus an overload-shedding
+// curve: a deliberately tiny admission queue driven through TrySubmit
+// at increasing offered load, reporting the shed fraction and the
+// degraded fraction under a per-query deadline.
+//
+// Emits a `serving` section merged into BENCH_kernels.json through the
+// shared read-merge-write store — micro_kernels' and
+// batch_throughput's sections pass through untouched in any run order
+// — plus a stdout table.
+//
+// PROGIDX_CLIENTS overrides the client counts swept (a single value);
+// PROGIDX_DEADLINE_US applies a per-query deadline to the throughput
+// sweep as well. PROGIDX_FAULT makes the fault seams live here too —
+// useful for eyeballing how much service degrades under each mode.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/json_store.h"
+#include "common/env.h"
+#include "common/timer.h"
+#include "eval/registry.h"
+#include "serve/server.h"
+#include "workload/data_generator.h"
+#include "workload/synthetic.h"
+
+namespace progidx {
+namespace {
+
+struct ServeRow {
+  std::string index_id;
+  std::string mode;  ///< "throughput" or "overload"
+  size_t clients = 0;
+  size_t queries = 0;
+  double queries_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double shed_frac = 0;
+  double degraded_frac = 0;
+  double read_epoch_frac = 0;
+};
+
+double PercentileUs(std::vector<double>* lat, double p) {
+  if (lat->empty()) return 0;
+  std::sort(lat->begin(), lat->end());
+  const size_t i = std::min(
+      lat->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(lat->size() - 1)));
+  return (*lat)[i];
+}
+
+/// One throughput point: `clients` threads drive `per_client` blocking
+/// submits each against a fresh index behind a fresh server.
+ServeRow RunThroughput(const std::string& index_id, const Column& column,
+                       const std::vector<RangeQuery>& queries, size_t clients,
+                       size_t per_client, const serve::ServerConfig& config) {
+  auto index = MakeIndex(index_id, column, BudgetSpec::FixedDelta(0.05));
+  serve::Server server(index.get(), column, config);
+  std::vector<std::vector<double>> lat(clients);
+  std::vector<std::thread> threads;
+  Timer timer;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      lat[c].reserve(per_client);
+      for (size_t i = 0; i < per_client; ++i) {
+        const RangeQuery& q = queries[(c * per_client + i) % queries.size()];
+        Timer t;
+        server.Submit(q);
+        lat[c].push_back(t.ElapsedSeconds() * 1e6);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double secs = timer.ElapsedSeconds();
+  const serve::ServeStats stats = server.stats();
+
+  std::vector<double> all;
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  ServeRow row;
+  row.index_id = index_id;
+  row.mode = "throughput";
+  row.clients = clients;
+  row.queries = clients * per_client;
+  row.queries_per_sec =
+      secs > 0 ? static_cast<double>(row.queries) / secs : 0;
+  row.p50_us = PercentileUs(&all, 0.50);
+  row.p99_us = PercentileUs(&all, 0.99);
+  const double total = static_cast<double>(stats.submitted);
+  row.degraded_frac = total > 0 ? static_cast<double>(stats.degraded) / total
+                                : 0;
+  row.read_epoch_frac =
+      total > 0 ? static_cast<double>(stats.read_epoch) / total : 0;
+  return row;
+}
+
+/// One overload point: `clients` threads hammer TrySubmit against a
+/// tiny queue; refused queries are shed (counted, not retried) — the
+/// load-shedding curve.
+ServeRow RunOverload(const std::string& index_id, const Column& column,
+                     const std::vector<RangeQuery>& queries, size_t clients,
+                     size_t per_client) {
+  auto index = MakeIndex(index_id, column, BudgetSpec::FixedDelta(0.05));
+  serve::ServerConfig config;
+  config.queue_capacity = 2;
+  config.batch_size = 2;
+  serve::Server server(index.get(), column, config);
+  std::vector<std::thread> threads;
+  Timer timer;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::Response resp;
+      for (size_t i = 0; i < per_client; ++i) {
+        const RangeQuery& q = queries[(c * per_client + i) % queries.size()];
+        server.TrySubmit(q, &resp);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double secs = timer.ElapsedSeconds();
+  const serve::ServeStats stats = server.stats();
+
+  ServeRow row;
+  row.index_id = index_id;
+  row.mode = "overload";
+  row.clients = clients;
+  row.queries = clients * per_client;
+  row.queries_per_sec =
+      secs > 0 ? static_cast<double>(stats.served + stats.read_epoch) / secs
+               : 0;
+  const double total = static_cast<double>(stats.submitted);
+  row.shed_frac = total > 0 ? static_cast<double>(stats.shed) / total : 0;
+  row.degraded_frac = total > 0 ? static_cast<double>(stats.degraded) / total
+                                : 0;
+  row.read_epoch_frac =
+      total > 0 ? static_cast<double>(stats.read_epoch) / total : 0;
+  return row;
+}
+
+void PrintRows(const std::vector<ServeRow>& rows) {
+  std::printf("%-6s %-10s %8s %8s %12s %9s %9s %6s %9s %6s\n", "index",
+              "mode", "clients", "queries", "q/s", "p50us", "p99us", "shed",
+              "degraded", "read");
+  for (const ServeRow& r : rows) {
+    std::printf("%-6s %-10s %8zu %8zu %12.1f %9.1f %9.1f %5.1f%% %8.1f%% "
+                "%5.1f%%\n",
+                r.index_id.c_str(), r.mode.c_str(), r.clients, r.queries,
+                r.queries_per_sec, r.p50_us, r.p99_us, r.shed_frac * 100,
+                r.degraded_frac * 100, r.read_epoch_frac * 100);
+  }
+}
+
+/// Merges the `serving` rows into BENCH_kernels.json; every section
+/// this tool does not own passes through untouched.
+void WriteServingJson(const char* path, const std::vector<ServeRow>& rows) {
+  std::vector<bench::JsonSection> sections = bench::ReadJsonSections(path);
+  std::string raw = "[\n";
+  for (size_t i = 0; i < rows.size(); i++) {
+    const ServeRow& r = rows[i];
+    bench::AppendF(
+        &raw,
+        "    {\"index\": \"%s\", \"mode\": \"%s\", \"clients\": %zu, "
+        "\"queries\": %zu, \"queries_per_sec\": %.1f, \"p50_us\": %.1f, "
+        "\"p99_us\": %.1f, \"shed_frac\": %.4f, \"degraded_frac\": %.4f, "
+        "\"read_epoch_frac\": %.4f}%s\n",
+        r.index_id.c_str(), r.mode.c_str(), r.clients, r.queries,
+        r.queries_per_sec, r.p50_us, r.p99_us, r.shed_frac, r.degraded_frac,
+        r.read_epoch_frac, i + 1 < rows.size() ? "," : "");
+  }
+  raw += "  ]";
+  bench::UpsertJsonSection(&sections, "serving", std::move(raw));
+  if (!bench::WriteJsonSections(path, sections)) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::printf("serving rows -> %s\n", path);
+}
+
+}  // namespace
+}  // namespace progidx
+
+int main(int argc, char** argv) {
+  using namespace progidx;
+  CommandLine cli;
+  bench::AddCommonFlags(&cli);
+  cli.AddFlag("json", "BENCH_kernels.json", "merged JSON output path");
+  cli.AddFlag("index", "pq", "index id served (see eval/registry.h)");
+  cli.AddFlag("per-client", "400", "blocking submits per client thread");
+  if (!cli.Parse(argc, argv)) return 0;
+  const size_t n = static_cast<size_t>(
+      cli.GetIntInRange("n", 1, static_cast<int64_t>(1) << 32));
+  const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed"));
+  const size_t per_client = static_cast<size_t>(
+      cli.GetIntInRange("per-client", 1, 1 << 24));
+  const std::string index_id = cli.GetString("index");
+
+  const Column column = MakeUniformColumn(n, seed);
+  const std::vector<RangeQuery> queries = WorkloadGenerator::Generate(
+      WorkloadPattern::kRandom, column.min_value(), column.max_value(),
+      4096, 0.05, seed + 13);
+
+  // PROGIDX_CLIENTS pins the sweep to one client count.
+  const size_t forced = env::BoundedSizeFromEnv(
+      "PROGIDX_CLIENTS", 1, 64, 0, "client thread count", "full 1/2/4/8 sweep");
+  std::vector<size_t> client_counts = {1, 2, 4, 8};
+  if (forced != 0) client_counts = {forced};
+
+  const serve::ServerConfig config = serve::ServerConfig::FromEnv();
+  std::vector<ServeRow> rows;
+  std::printf("serving %s, n=%zu, %zu submits/client:\n", index_id.c_str(), n,
+              per_client);
+  for (const size_t clients : client_counts) {
+    rows.push_back(RunThroughput(index_id, column, queries, clients,
+                                 per_client, config));
+  }
+  for (const size_t clients : client_counts) {
+    rows.push_back(RunOverload(index_id, column, queries, clients,
+                               per_client));
+  }
+  PrintRows(rows);
+  WriteServingJson(cli.GetString("json").c_str(), rows);
+  return 0;
+}

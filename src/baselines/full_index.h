@@ -22,6 +22,14 @@ class FullIndex : public IndexBase {
   bool converged() const override { return built_; }
   std::string name() const override { return "Full Index"; }
 
+  /// Read-epoch path (docs/serving.md): after the first query built the
+  /// tree, answers are pure lookups, race-free for concurrent readers.
+  bool TryReadOnlyQuery(const RangeQuery& q, QueryResult* out) const override {
+    if (!built_) return false;
+    *out = btree_.RangeSum(q);
+    return true;
+  }
+
  private:
   const Column& column_;
   size_t fanout_;

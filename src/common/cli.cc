@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/types.h"
+#include "common/validate.h"
 
 namespace progidx {
 
@@ -63,6 +64,18 @@ double CommandLine::GetDouble(const std::string& name) const {
 bool CommandLine::GetBool(const std::string& name) const {
   const std::string v = GetString(name);
   return v == "true" || v == "1" || v == "yes";
+}
+
+int64_t CommandLine::GetIntInRange(const std::string& name, int64_t lo,
+                                   int64_t hi) const {
+  const std::string text = GetString(name);
+  char* end = nullptr;
+  const int64_t v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || v < lo || v > hi) {
+    FailInvalidArgument("--" + name + "=" + text + " must be an integer in [" +
+                        std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
 }
 
 }  // namespace progidx

@@ -26,6 +26,12 @@ class CommandLine {
   double GetDouble(const std::string& name) const;
   bool GetBool(const std::string& name) const;
 
+  /// GetInt plus range validation: values outside [lo, hi] exit with a
+  /// one-line invalid-argument error naming the flag
+  /// (common/validate.h), so a bad sweep parameter fails before any
+  /// work is done instead of aborting mid-run on an internal check.
+  int64_t GetIntInRange(const std::string& name, int64_t lo, int64_t hi) const;
+
  private:
   struct Flag {
     std::string value;

@@ -1,0 +1,135 @@
+#include "common/fault.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "common/env.h"
+
+namespace progidx {
+namespace fault {
+namespace {
+
+std::atomic<int> g_armed{0};
+/// -1 = no test override; otherwise a Mode cast to int.
+std::atomic<int> g_mode_override{-1};
+std::atomic<uint64_t> g_injected{0};
+/// One global counter per Site.
+std::atomic<uint64_t> g_site_counters[4];
+
+Mode ParseModeOrWarn() {
+  const char* raw = std::getenv("PROGIDX_FAULT");
+  if (raw == nullptr || raw[0] == '\0') return Mode::kNone;
+  if (std::strcmp(raw, "budget_starvation") == 0) {
+    return Mode::kBudgetStarvation;
+  }
+  if (std::strcmp(raw, "worker_stall") == 0) return Mode::kWorkerStall;
+  if (std::strcmp(raw, "queue_full") == 0) return Mode::kQueueFull;
+  if (std::strcmp(raw, "alloc_fail") == 0) return Mode::kAllocFail;
+  if (env::WarnOnce("PROGIDX_FAULT")) {
+    std::fprintf(stderr,
+                 "progidx: PROGIDX_FAULT=%s is not a known fault mode "
+                 "(budget_starvation|worker_stall|queue_full|alloc_fail); "
+                 "injecting nothing\n",
+                 raw);
+  }
+  return Mode::kNone;
+}
+
+/// SplitMix64: a full-avalanche mix so consecutive counters fire in a
+/// pattern, not a stripe.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// About one call in four fires — frequent enough that short tests hit
+/// every seam, rare enough that faulted runs still make progress.
+constexpr uint64_t kFirePeriod = 4;
+
+bool Decide(uint64_t counter, uint64_t salt) {
+  if (Mix(SeedFromEnv() ^ salt ^ counter) % kFirePeriod != 0) return false;
+  g_injected.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace
+
+Mode ModeFromEnv() {
+  static const Mode mode = ParseModeOrWarn();
+  return mode;
+}
+
+uint64_t SeedFromEnv() {
+  static const uint64_t seed = env::BoundedSizeFromEnv(
+      "PROGIDX_FAULT_SEED", 0, SIZE_MAX, 42, "fault seed", "seed 42");
+  return seed;
+}
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kNone:
+      return "none";
+    case Mode::kBudgetStarvation:
+      return "budget_starvation";
+    case Mode::kWorkerStall:
+      return "worker_stall";
+    case Mode::kQueueFull:
+      return "queue_full";
+    case Mode::kAllocFail:
+      return "alloc_fail";
+  }
+  return "unknown";
+}
+
+ArmScope::ArmScope() { g_armed.fetch_add(1, std::memory_order_acq_rel); }
+ArmScope::~ArmScope() { g_armed.fetch_sub(1, std::memory_order_acq_rel); }
+
+bool Armed() { return g_armed.load(std::memory_order_acquire) > 0; }
+
+Mode ActiveMode() {
+  if (!Armed()) return Mode::kNone;
+  const int over = g_mode_override.load(std::memory_order_acquire);
+  if (over >= 0) return static_cast<Mode>(over);
+  return ModeFromEnv();
+}
+
+void SetModeForTesting(Mode mode) {
+  g_mode_override.store(static_cast<int>(mode), std::memory_order_release);
+}
+
+void ClearModeForTesting() {
+  g_mode_override.store(-1, std::memory_order_release);
+}
+
+bool Fires(Mode mode, Site site) {
+  if (ActiveMode() != mode) return false;
+  const uint64_t counter =
+      g_site_counters[static_cast<uint32_t>(site)].fetch_add(
+          1, std::memory_order_relaxed);
+  return Decide(counter, static_cast<uint64_t>(site) << 32);
+}
+
+bool FiresCounted(Mode mode, uint64_t* counter) {
+  if (ActiveMode() != mode) return false;
+  return Decide((*counter)++, 0x5157ull << 40);
+}
+
+void MaybeStall(Site site) {
+  if (!Fires(Mode::kWorkerStall, site)) return;
+  // Long enough to reorder scheduling and trip deadlines in tests,
+  // short enough that a faulted suite run stays fast.
+  std::this_thread::sleep_for(std::chrono::microseconds(200));
+}
+
+uint64_t InjectedCount() {
+  return g_injected.load(std::memory_order_relaxed);
+}
+
+}  // namespace fault
+}  // namespace progidx

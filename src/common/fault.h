@@ -1,0 +1,105 @@
+#ifndef PROGIDX_COMMON_FAULT_H_
+#define PROGIDX_COMMON_FAULT_H_
+
+#include <cstdint>
+
+// Deterministic fault injection for the serving layer (docs/serving.md,
+// "Fault-injection matrix").
+//
+// PROGIDX_FAULT names one failure mode to inject; PROGIDX_FAULT_SEED
+// (default 42) seeds the deterministic firing sequence. The seams live
+// in the components a served system leans on — budget accounting
+// (core/budget.cc), the thread pool (parallel/thread_pool.cc), and the
+// admission queue (serve/) — but they only fire while a
+// serve::Server is alive (ArmScope): fault injection exercises the
+// serving layer's degradation paths without perturbing the single-query
+// drivers, calibration, or cost-model tests that share those
+// components. Every fault must degrade service (starved refinement,
+// stalled workers, shed or degraded queries), never corrupt an answer:
+// the fault ctest lane cycles the serve and thread-pool tests through
+// every mode and asserts exactness throughout.
+//
+// Determinism: each seam advances a counter and fires when a seeded
+// hash of that counter lands in a fixed residue class (about one call
+// in four). Seams whose firing pattern must survive serial replay (the
+// budget seam, replayed by the epoch-determinism test) use a
+// caller-owned counter so a fresh index replaying the same call
+// sequence sees the same starvation pattern.
+
+namespace progidx {
+namespace fault {
+
+enum class Mode {
+  kNone,
+  kBudgetStarvation,  ///< DeltaForQuery returns 0: refinement starves
+  kWorkerStall,       ///< pool workers / the epoch scheduler stall
+  kQueueFull,         ///< admission pretends the queue is full
+  kAllocFail,         ///< admission-side allocation failures
+};
+
+/// Stable per-seam identifiers; each owns one firing sequence.
+enum class Site : uint32_t {
+  kPoolWorker = 0,      ///< thread-pool worker, before running a task
+  kScheduler = 1,       ///< epoch scheduler, before a write epoch
+  kAdmissionFull = 2,   ///< admission queue capacity check
+  kAdmissionAlloc = 3,  ///< admission slot allocation
+};
+
+/// PROGIDX_FAULT parsed once per process: one of "budget_starvation",
+/// "worker_stall", "queue_full", "alloc_fail". Unset/empty is kNone;
+/// anything else warns once on stderr (the PROGIDX_FORCE_KERNEL
+/// contract) and injects nothing.
+Mode ModeFromEnv();
+
+/// PROGIDX_FAULT_SEED as an unsigned integer; default 42.
+uint64_t SeedFromEnv();
+
+/// Name used in warnings, stats and the bench JSON ("none",
+/// "budget_starvation", ...).
+const char* ModeName(Mode mode);
+
+/// Arms fault injection for the scope's lifetime (nesting counts).
+/// serve::Server holds one, so the seams are live exactly while a
+/// server is.
+class ArmScope {
+ public:
+  ArmScope();
+  ~ArmScope();
+  ArmScope(const ArmScope&) = delete;
+  ArmScope& operator=(const ArmScope&) = delete;
+};
+
+bool Armed();
+
+/// The mode injection currently runs under: the test override if one is
+/// set, else the environment mode — but kNone whenever disarmed.
+Mode ActiveMode();
+
+/// Overrides the environment mode for tests (still requires an
+/// ArmScope to fire); ClearModeForTesting restores the environment.
+void SetModeForTesting(Mode mode);
+void ClearModeForTesting();
+
+/// True when injection is armed, the active mode is `mode`, and the
+/// deterministic sequence of `site` fires at this call. Counts into
+/// InjectedCount() when true.
+bool Fires(Mode mode, Site site);
+
+/// Fires() with a caller-owned counter instead of the site-global one,
+/// for seams that must replay identically on a fresh instance (the
+/// budget seam).
+bool FiresCounted(Mode mode, uint64_t* counter);
+
+/// Under kWorkerStall, sleeps a few hundred microseconds when `site`
+/// fires; otherwise returns immediately. The stall seam of the thread
+/// pool and the epoch scheduler.
+void MaybeStall(Site site);
+
+/// Faults injected (Fires/FiresCounted returning true) since process
+/// start; tests assert the seams actually exercised.
+uint64_t InjectedCount();
+
+}  // namespace fault
+}  // namespace progidx
+
+#endif  // PROGIDX_COMMON_FAULT_H_

@@ -1,0 +1,14 @@
+#include "common/validate.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace progidx {
+
+void FailInvalidArgument(const std::string& what) {
+  std::fprintf(stderr, "progidx: invalid argument: %s\n", what.c_str());
+  std::fflush(stderr);
+  std::exit(1);
+}
+
+}  // namespace progidx

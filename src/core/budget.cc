@@ -1,5 +1,6 @@
 #include "core/budget.h"
 
+#include "common/fault.h"
 #include "common/types.h"
 
 namespace progidx {
@@ -17,6 +18,16 @@ double BudgetController::adaptive_target_secs() const {
 }
 
 double BudgetController::DeltaForQuery(double op_secs, double answer_secs) {
+  // Serving-layer fault seam (PROGIDX_FAULT=budget_starvation, armed
+  // while a serve::Server is alive): the query's indexing budget
+  // starves to zero, so refinement stalls but the answer — a scan of
+  // whatever is unrefined — stays exact. The counter is per controller
+  // instance: a fresh index replaying the same query sequence starves
+  // at the same calls, which keeps the epoch-determinism contract
+  // intact under injection.
+  if (fault::FiresCounted(fault::Mode::kBudgetStarvation, &fault_calls_)) {
+    return 0;
+  }
   switch (spec_.mode) {
     case BudgetMode::kFixedDelta:
       return spec_.delta;

@@ -2,6 +2,7 @@
 #define PROGIDX_CORE_BUDGET_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "cost/cost_model.h"
 
@@ -85,6 +86,9 @@ class BudgetController {
   const CostModel& model_;
   double budget_secs_ = 0;
   double pinned_delta_ = -1;  // kFixedBudget: resolved on first query
+  /// budget_starvation fault counter — per instance, so a replayed
+  /// query sequence starves at the same calls (common/fault.h).
+  uint64_t fault_calls_ = 0;
 };
 
 }  // namespace progidx

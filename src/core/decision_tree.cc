@@ -1,5 +1,7 @@
 #include "core/decision_tree.h"
 
+#include "common/validate.h"
+
 namespace progidx {
 
 ProgressiveTechnique Recommend(const Scenario& scenario) {
@@ -56,6 +58,8 @@ std::string TechniqueId(ProgressiveTechnique technique) {
 
 double PreConvergencePerQuerySecs(const Scenario& scenario,
                                   const CostModel& model, double delta) {
+  CheckArg(scenario.concurrent_queries > 0,
+           "scenario: concurrent_queries must be > 0");
   // First-query shape of every technique's creation phase: the whole
   // column is unindexed, so the answer share is one full scan and the
   // indexing share is δ of the phase's per-column operation. The scan

@@ -51,6 +51,23 @@ class IndexBase {
   /// converge only if the workload happens to fully refine them.
   virtual bool converged() const = 0;
 
+  /// Answers `q` against the current structure without performing any
+  /// indexing work or writing any state — not even mutable scratch — so
+  /// any number of threads may call it concurrently as long as no
+  /// Query/QueryBatch runs at the same time. This is the serving
+  /// layer's read-epoch path (docs/serving.md): once the epoch
+  /// scheduler observes converged() and publishes the fact, client
+  /// threads answer directly through this call, lock-free.
+  ///
+  /// Returns false when the technique has no race-free read path for
+  /// its current phase (the default); the caller then falls back to a
+  /// scan of the immutable base column, which is equally exact.
+  virtual bool TryReadOnlyQuery(const RangeQuery& q, QueryResult* out) const {
+    (void)q;
+    (void)out;
+    return false;
+  }
+
   /// Human-readable name used in reports ("P. Quicksort", "Std.
   /// Cracking", ...).
   virtual std::string name() const = 0;

@@ -66,6 +66,16 @@ class ProgressiveQuicksort : public IndexBase {
   std::string name() const override { return "P. Quicksort"; }
   double last_predicted_cost() const override { return predicted_; }
 
+  /// Read-epoch path (docs/serving.md): once converged the answer is a
+  /// pure B+-tree lookup over the final sorted array — no work charged,
+  /// no state (not even mutable scratch) touched, so any number of
+  /// reader threads may call this concurrently.
+  bool TryReadOnlyQuery(const RangeQuery& q, QueryResult* out) const override {
+    if (phase_ != Phase::kDone) return false;
+    *out = btree_.RangeSum(q);
+    return true;
+  }
+
   /// §6 extension: answers approximately within the interactivity
   /// budget. Performs the same per-query indexing work as Query(), then
   /// answers exactly from the indexed part and estimates the

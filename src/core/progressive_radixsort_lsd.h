@@ -39,6 +39,14 @@ class ProgressiveRadixsortLSD : public IndexBase {
   std::string name() const override { return "P. Radixsort (LSD)"; }
   double last_predicted_cost() const override { return predicted_; }
 
+  /// Read-epoch path (docs/serving.md): converged answers are pure
+  /// B+-tree lookups, race-free for concurrent readers.
+  bool TryReadOnlyQuery(const RangeQuery& q, QueryResult* out) const override {
+    if (phase_ != Phase::kDone) return false;
+    *out = btree_.RangeSum(q);
+    return true;
+  }
+
   Phase phase() const { return phase_; }
   const std::vector<value_t>& final_array() const { return final_; }
   size_t total_passes() const { return total_passes_; }

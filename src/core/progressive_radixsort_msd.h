@@ -38,6 +38,14 @@ class ProgressiveRadixsortMSD : public IndexBase {
   std::string name() const override { return "P. Radixsort (MSD)"; }
   double last_predicted_cost() const override { return predicted_; }
 
+  /// Read-epoch path (docs/serving.md): converged answers are pure
+  /// B+-tree lookups, race-free for concurrent readers.
+  bool TryReadOnlyQuery(const RangeQuery& q, QueryResult* out) const override {
+    if (phase_ != Phase::kDone) return false;
+    *out = btree_.RangeSum(q);
+    return true;
+  }
+
   Phase phase() const { return phase_; }
   const std::vector<value_t>& final_array() const { return final_; }
   const CostModel& cost_model() const { return model_; }

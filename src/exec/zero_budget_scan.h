@@ -1,0 +1,32 @@
+#ifndef PROGIDX_EXEC_ZERO_BUDGET_SCAN_H_
+#define PROGIDX_EXEC_ZERO_BUDGET_SCAN_H_
+
+#include "common/types.h"
+#include "kernels/kernels.h"
+#include "storage/column.h"
+
+namespace progidx {
+namespace exec {
+
+/// Zero-budget degraded answer (docs/serving.md): a predicated scan of
+/// the immutable base column, run entirely on the calling thread. This
+/// is the graceful-degradation floor of the serving layer — a query
+/// whose deadline expired, or that was refused admission by a fault,
+/// still gets an *exact* answer; it just pays a full scan and charges
+/// the index no refinement budget.
+///
+/// Deliberately not PredicatedRangeSum: that seam fans work out across
+/// the shared thread pool, which belongs to the scheduler's write epoch.
+/// A degraded client scans serially, so any number of client threads
+/// can degrade concurrently while an epoch runs. The base column is
+/// immutable (indexes are out-of-place, storage/column.h), so the scan
+/// is race-free by construction.
+inline QueryResult ZeroBudgetScan(const Column& column, const RangeQuery& q) {
+  return kernels::Dispatch().range_sum_predicated(column.data(), column.size(),
+                                                  q);
+}
+
+}  // namespace exec
+}  // namespace progidx
+
+#endif  // PROGIDX_EXEC_ZERO_BUDGET_SCAN_H_

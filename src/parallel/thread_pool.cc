@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.h"
 
 #include "common/env.h"
+#include "common/fault.h"
 
 #include <algorithm>
 #include <condition_variable>
@@ -87,47 +88,71 @@ struct ThreadPool::Impl {
       std::function<void()> task;
       if (PopOrSteal(self, &task)) {
         pending.fetch_sub(1, std::memory_order_acq_rel);
+        fault::MaybeStall(fault::Site::kPoolWorker);
         task();
         continue;
       }
       std::unique_lock<std::mutex> lk(sleep_m);
+      // Shutdown ordering: a stopping worker first drains every queued
+      // task — exit only once stop is set AND nothing is pending, so a
+      // RunOnLanes caller blocked on its lanes is never stranded by
+      // teardown (the drain-before-exit contract of Shutdown()).
+      if (stop.load(std::memory_order_acquire) &&
+          pending.load(std::memory_order_acquire) == 0) {
+        return;
+      }
       sleep_cv.wait(lk, [this] {
         return stop.load(std::memory_order_acquire) ||
                pending.load(std::memory_order_acquire) > 0;
       });
-      if (stop.load(std::memory_order_acquire)) return;
+      if (stop.load(std::memory_order_acquire) &&
+          pending.load(std::memory_order_acquire) == 0) {
+        return;
+      }
     }
   }
 
-  void Submit(std::function<void()> task) {
+  /// False when the pool has stopped: the task was not queued and the
+  /// caller must run it inline. The push happens under sleep_m so it
+  /// serializes against the workers' stop-and-drained exit check — a
+  /// submit that wins the race is guaranteed to be drained.
+  bool Submit(std::function<void()> task) {
     const size_t count = worker_count.load(std::memory_order_acquire);
     const size_t target = next_push.fetch_add(1, std::memory_order_relaxed) %
                           std::max<size_t>(count, 1);
     {
-      std::lock_guard<std::mutex> lk(deques[target].m);
-      deques[target].q.push_back(std::move(task));
-    }
-    pending.fetch_add(1, std::memory_order_acq_rel);
-    {
-      // Pairs with the wait predicate: the lock orders the pending
-      // increment before the wakeup check, so no worker sleeps through
-      // a submit.
       std::lock_guard<std::mutex> lk(sleep_m);
+      if (stop.load(std::memory_order_acquire) || count == 0) return false;
+      {
+        std::lock_guard<std::mutex> dq(deques[target].m);
+        deques[target].q.push_back(std::move(task));
+      }
+      pending.fetch_add(1, std::memory_order_acq_rel);
     }
     sleep_cv.notify_one();
+    return true;
   }
 };
 
 ThreadPool::ThreadPool() : impl_(new Impl) {}
 
 ThreadPool::~ThreadPool() {
+  Shutdown();
+  delete impl_;
+}
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lk(impl_->sleep_m);
     impl_->stop.store(true, std::memory_order_release);
   }
   impl_->sleep_cv.notify_all();
-  for (std::thread& t : impl_->workers) t.join();
-  delete impl_;
+  // grow_m also makes a second concurrent Shutdown wait for the first
+  // join pass instead of racing it.
+  std::lock_guard<std::mutex> lk(impl_->grow_m);
+  for (std::thread& t : impl_->workers) {
+    if (t.joinable()) t.join();
+  }
 }
 
 ThreadPool& ThreadPool::Global() {
@@ -142,6 +167,7 @@ void ThreadPool::EnsureWorkers(size_t count) {
   count = std::min(count, kMaxLanes - 1);
   if (impl_->worker_count.load(std::memory_order_acquire) >= count) return;
   std::lock_guard<std::mutex> lk(impl_->grow_m);
+  if (impl_->stop.load(std::memory_order_acquire)) return;
   while (impl_->workers.size() < count) {
     const size_t self = impl_->workers.size();
     impl_->workers.emplace_back([this, self] { impl_->WorkerLoop(self); });
@@ -171,8 +197,9 @@ void ThreadPool::RunOnLanes(size_t lanes,
     std::exception_ptr error;
   } sync;
   sync.remaining = lanes - 1;
+  std::exception_ptr caller_err;
   for (size_t l = 1; l < lanes; l++) {
-    impl_->Submit([&body, &sync, l] {
+    const bool queued = impl_->Submit([&body, &sync, l] {
       std::exception_ptr err;
       try {
         body(l);
@@ -183,8 +210,18 @@ void ThreadPool::RunOnLanes(size_t lanes,
       if (err && !sync.error) sync.error = err;
       if (--sync.remaining == 0) sync.cv.notify_one();
     });
+    if (!queued) {
+      // Pool already shut down: run the lane inline on the caller so
+      // post-shutdown RunOnLanes still completes every lane.
+      try {
+        body(l);
+      } catch (...) {
+        if (!caller_err) caller_err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lk(sync.m);
+      sync.remaining--;
+    }
   }
-  std::exception_ptr caller_err;
   try {
     body(0);
   } catch (...) {

@@ -52,10 +52,19 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Spawns workers until at least `count` exist (capped at
-  /// kMaxLanes - 1). Thread-safe; cheap when already satisfied.
+  /// kMaxLanes - 1). Thread-safe; cheap when already satisfied. No-op
+  /// after Shutdown().
   void EnsureWorkers(size_t count);
 
   size_t worker_count() const;
+
+  /// Stops the pool: already-queued tasks are drained (never
+  /// abandoned — a RunOnLanes in flight when Shutdown begins completes
+  /// normally), then every worker is joined. Idempotent and safe to
+  /// call twice or from the destructor; RunOnLanes calls issued after
+  /// shutdown run all lanes inline on the caller. Must not be called
+  /// from a pool worker.
+  void Shutdown();
 
   /// Runs body(0), ..., body(lanes - 1): lane 0 on the calling thread,
   /// the rest as stealable pool tasks. Blocks until every lane

@@ -1,0 +1,97 @@
+#include "serve/admission_queue.h"
+
+#include "common/fault.h"
+
+namespace progidx {
+namespace serve {
+
+AdmitResult AdmissionQueue::AdmissionFault() {
+  if (fault::Fires(fault::Mode::kQueueFull, fault::Site::kAdmissionFull)) {
+    return AdmitResult::kOverloaded;
+  }
+  if (fault::Fires(fault::Mode::kAllocFail, fault::Site::kAdmissionAlloc)) {
+    return AdmitResult::kOverloaded;
+  }
+  return AdmitResult::kAdmitted;
+}
+
+AdmitResult AdmissionQueue::Admit(ServeSlot* slot) {
+  std::unique_lock<std::mutex> lk(m_);
+  if (closed_) return AdmitResult::kClosed;
+  AdmitResult fault = AdmissionFault();
+  if (fault != AdmitResult::kAdmitted) return fault;
+  while (q_.size() >= capacity_) {
+    if (closed_) return AdmitResult::kClosed;
+    if (slot->deadline == std::chrono::steady_clock::time_point::max()) {
+      not_full_.wait(lk);
+    } else if (not_full_.wait_until(lk, slot->deadline) ==
+                   std::cv_status::timeout &&
+               q_.size() >= capacity_ && !closed_) {
+      return AdmitResult::kExpired;
+    }
+  }
+  if (closed_) return AdmitResult::kClosed;
+  q_.push_back(slot);
+  not_empty_.notify_one();
+  return AdmitResult::kAdmitted;
+}
+
+AdmitResult AdmissionQueue::TryAdmit(ServeSlot* slot) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (closed_) return AdmitResult::kClosed;
+  AdmitResult fault = AdmissionFault();
+  if (fault != AdmitResult::kAdmitted) return fault;
+  if (q_.size() >= capacity_) return AdmitResult::kOverloaded;
+  q_.push_back(slot);
+  not_empty_.notify_one();
+  return AdmitResult::kAdmitted;
+}
+
+AdmitResult AdmissionQueue::AdmitOrdered(uint64_t ticket, ServeSlot* slot) {
+  std::unique_lock<std::mutex> lk(m_);
+  next_ticket_cv_.wait(lk, [&] { return closed_ || next_ticket_ == ticket; });
+  if (closed_) return AdmitResult::kClosed;
+  // The sequence advances whatever the outcome: a fault-refused ticket
+  // must not wedge every later submitter behind it.
+  AdmitResult fault = AdmissionFault();
+  if (fault != AdmitResult::kAdmitted) {
+    ++next_ticket_;
+    next_ticket_cv_.notify_all();
+    return fault;
+  }
+  while (q_.size() >= capacity_ && !closed_) not_full_.wait(lk);
+  if (closed_) return AdmitResult::kClosed;
+  q_.push_back(slot);
+  ++next_ticket_;
+  not_empty_.notify_one();
+  next_ticket_cv_.notify_all();
+  return AdmitResult::kAdmitted;
+}
+
+size_t AdmissionQueue::PopBatch(std::vector<ServeSlot*>* out, size_t max,
+                                bool exact) {
+  out->clear();
+  std::unique_lock<std::mutex> lk(m_);
+  not_empty_.wait(
+      lk, [&] { return closed_ || q_.size() >= (exact ? max : size_t{1}); });
+  size_t take = q_.size() < max ? q_.size() : max;
+  for (size_t i = 0; i < take; ++i) {
+    out->push_back(q_.front());
+    q_.pop_front();
+  }
+  if (take > 0) not_full_.notify_all();
+  return take;
+}
+
+void AdmissionQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+  next_ticket_cv_.notify_all();
+}
+
+}  // namespace serve
+}  // namespace progidx

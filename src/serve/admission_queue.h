@@ -1,0 +1,128 @@
+#ifndef PROGIDX_SERVE_ADMISSION_QUEUE_H_
+#define PROGIDX_SERVE_ADMISSION_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace progidx {
+namespace serve {
+
+/// One in-flight query, owned by the submitting client's stack frame.
+/// The client parks on Wait() after admission; the epoch scheduler (or
+/// the admission path, for queries refused before admission) hands the
+/// slot back with Complete(). Each slot carries its own mutex/condvar
+/// so completion wakes exactly the one waiting client.
+struct ServeSlot {
+  enum class State {
+    kQueued,    ///< admitted, waiting for a write epoch
+    kServed,    ///< answered by a write epoch; `result` is set
+    kDegraded,  ///< deadline expired at epoch formation; client must
+                ///< answer itself with a zero-budget scan
+  };
+
+  RangeQuery query;
+  /// Absolute deadline; time_point::max() means none. Checked while the
+  /// client blocks for queue space and again when the scheduler forms
+  /// an epoch — once a query makes it into a write epoch it is served.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
+  void Complete(State s, QueryResult r) {
+    std::lock_guard<std::mutex> lk(m);
+    state = s;
+    result = r;
+    // Notify *under the mutex*: the waiter owns this slot's storage and
+    // may destroy it as soon as Wait() returns, so the signal must
+    // finish before the waiter can reacquire the lock and leave.
+    cv.notify_one();
+  }
+
+  State Wait() {
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&] { return state != State::kQueued; });
+    return state;
+  }
+
+  std::mutex m;
+  std::condition_variable cv;
+  State state = State::kQueued;
+  QueryResult result;
+};
+
+enum class AdmitResult {
+  kAdmitted,    ///< slot is in the queue; caller must Wait()
+  kOverloaded,  ///< queue full (TryAdmit) or admission fault fired
+  kExpired,     ///< deadline passed while blocked waiting for space
+  kClosed,      ///< queue closed (server shutting down)
+};
+
+/// Bounded MPMC admission queue: the backpressure point of the serving
+/// layer (docs/serving.md). Clients admit slots — blocking (Admit),
+/// non-blocking (TryAdmit → kOverloaded when full), or ticket-sequenced
+/// (AdmitOrdered, for the deterministic-epoch harness) — and the epoch
+/// scheduler pops them in admission order with PopBatch. The fault
+/// seams kAdmissionFull (queue_full) and kAdmissionAlloc (alloc_fail)
+/// live at the head of every admit path and turn an admit into
+/// kOverloaded without touching the queue.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(size_t capacity) : capacity_(capacity) {}
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Blocks until there is space (honouring slot->deadline), the queue
+  /// closes, or an admission fault fires.
+  AdmitResult Admit(ServeSlot* slot);
+
+  /// Never blocks: kOverloaded when full or a fault fires.
+  AdmitResult TryAdmit(ServeSlot* slot);
+
+  /// Blocks until `ticket` is the next in the global admission sequence
+  /// (tickets start at 0 and must each be presented exactly once), then
+  /// admits like Admit() but ignoring the deadline. A fault-refused
+  /// ticket still advances the sequence, so mixed outcomes cannot
+  /// deadlock the remaining submitters.
+  AdmitResult AdmitOrdered(uint64_t ticket, ServeSlot* slot);
+
+  /// Scheduler side: pops up to `max` slots in admission order into
+  /// `*out` (cleared first). Blocks until at least one slot is
+  /// available — or, with `exact`, until `max` are, so every epoch is a
+  /// full batch; Close() releases either wait and drains what remains.
+  /// Returns out->size(); 0 only when closed and empty.
+  size_t PopBatch(std::vector<ServeSlot*>* out, size_t max, bool exact);
+
+  /// Closes the queue: admits fail with kClosed, PopBatch drains the
+  /// remaining slots and then returns 0. Idempotent.
+  void Close();
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return q_.size();
+  }
+
+ private:
+  /// Returns the fault verdict for one admission attempt, or kAdmitted
+  /// when no fault fires. Caller holds m_.
+  AdmitResult AdmissionFault();
+
+  const size_t capacity_;
+  mutable std::mutex m_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::condition_variable next_ticket_cv_;
+  std::deque<ServeSlot*> q_;
+  uint64_t next_ticket_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace progidx
+
+#endif  // PROGIDX_SERVE_ADMISSION_QUEUE_H_

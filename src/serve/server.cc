@@ -1,0 +1,224 @@
+#include "serve/server.h"
+
+#include <chrono>
+
+#include "common/env.h"
+#include "common/validate.h"
+#include "exec/query_batch.h"
+#include "exec/zero_budget_scan.h"
+
+namespace progidx {
+namespace serve {
+
+namespace {
+
+std::chrono::steady_clock::time_point DeadlineFor(uint64_t deadline_us) {
+  if (deadline_us == 0) return std::chrono::steady_clock::time_point::max();
+  return std::chrono::steady_clock::now() +
+         std::chrono::microseconds(deadline_us);
+}
+
+}  // namespace
+
+ServerConfig ServerConfig::FromEnv() {
+  ServerConfig cfg;
+  cfg.deadline_us = static_cast<uint64_t>(env::BoundedSizeFromEnv(
+      "PROGIDX_DEADLINE_US", 0, static_cast<size_t>(1) << 40, 0,
+      "per-query deadline in microseconds", "no deadline"));
+  return cfg;
+}
+
+Server::Server(IndexBase* index, const Column& column, ServerConfig config)
+    : index_(index),
+      column_(column),
+      config_(config),
+      faults_at_start_(fault::InjectedCount()),
+      queue_(config.queue_capacity == 0 ? 1 : config.queue_capacity) {
+  CheckArg(index != nullptr, "serve: index must not be null");
+  CheckArg(config.queue_capacity > 0, "serve: queue capacity must be > 0");
+  CheckArg(config.batch_size > 0, "serve: batch size must be > 0");
+  CheckArg(config.batch_size <= exec::kMaxBatchSize,
+           "serve: batch size exceeds exec::kMaxBatchSize (" +
+               std::to_string(exec::kMaxBatchSize) + ")");
+  CheckArg(column.empty() || config.batch_size <= column.size(),
+           "serve: batch size exceeds column size");
+  CheckArg(!config.exact_batches || config.batch_size <= config.queue_capacity,
+           "serve: exact batches need batch size <= queue capacity");
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
+Server::~Server() {
+  queue_.Close();
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+Response Server::Degrade(const RangeQuery& q) {
+  degraded_.fetch_add(1, std::memory_order_relaxed);
+  return Response{exec::ZeroBudgetScan(column_, q), true};
+}
+
+bool Server::TryReadEpoch(const RangeQuery& q, Response* out) {
+  if (!config_.enable_read_epochs) return false;
+  if (!read_mode_.load(std::memory_order_acquire)) return false;
+  QueryResult r;
+  if (!index_->TryReadOnlyQuery(q, &r)) return false;
+  read_epoch_.fetch_add(1, std::memory_order_relaxed);
+  *out = Response{r, false};
+  return true;
+}
+
+Response Server::Submit(const RangeQuery& q) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Response resp;
+  if (TryReadEpoch(q, &resp)) return resp;
+  ServeSlot slot;
+  slot.query = q;
+  slot.deadline = DeadlineFor(config_.deadline_us);
+  switch (queue_.Admit(&slot)) {
+    case AdmitResult::kAdmitted:
+      break;
+    case AdmitResult::kOverloaded:  // admission fault refused the query
+    case AdmitResult::kExpired:     // deadline passed waiting for space
+    case AdmitResult::kClosed:      // shutdown race: still answer exactly
+      return Degrade(q);
+  }
+  ServeSlot::State state = slot.Wait();
+  if (state == ServeSlot::State::kServed) {
+    served_.fetch_add(1, std::memory_order_relaxed);
+    return Response{slot.result, false};
+  }
+  return Degrade(q);  // deadline expired at epoch formation
+}
+
+SubmitStatus Server::TrySubmit(const RangeQuery& q, Response* out) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (TryReadEpoch(q, out)) return SubmitStatus::kOk;
+  ServeSlot slot;
+  slot.query = q;
+  slot.deadline = DeadlineFor(config_.deadline_us);
+  switch (queue_.TryAdmit(&slot)) {
+    case AdmitResult::kAdmitted:
+      break;
+    case AdmitResult::kOverloaded:
+    case AdmitResult::kExpired:
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return SubmitStatus::kOverloaded;
+    case AdmitResult::kClosed:
+      return SubmitStatus::kShutdown;
+  }
+  ServeSlot::State state = slot.Wait();
+  if (state == ServeSlot::State::kServed) {
+    served_.fetch_add(1, std::memory_order_relaxed);
+    *out = Response{slot.result, false};
+  } else {
+    *out = Degrade(q);
+  }
+  return SubmitStatus::kOk;
+}
+
+Response Server::SubmitOrdered(uint64_t ticket, const RangeQuery& q) {
+  ServeSlot slot;
+  SubmitOrderedStart(ticket, q, &slot);
+  return SubmitOrderedFinish(&slot);
+}
+
+void Server::SubmitOrderedStart(uint64_t ticket, const RangeQuery& q,
+                                ServeSlot* slot) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  slot->query = q;  // no deadline: ordered mode is the determinism harness
+  switch (queue_.AdmitOrdered(ticket, slot)) {
+    case AdmitResult::kAdmitted:
+      return;
+    case AdmitResult::kOverloaded:
+    case AdmitResult::kExpired:
+    case AdmitResult::kClosed:
+      // Refused before admission (fault or shutdown): resolve the slot
+      // now so Finish degrades without waiting on an epoch that will
+      // never see it.
+      slot->Complete(ServeSlot::State::kDegraded, QueryResult{});
+      return;
+  }
+}
+
+Response Server::SubmitOrderedFinish(ServeSlot* slot) {
+  if (slot->Wait() == ServeSlot::State::kServed) {
+    served_.fetch_add(1, std::memory_order_relaxed);
+    return Response{slot->result, false};
+  }
+  return Degrade(slot->query);
+}
+
+void Server::SchedulerLoop() {
+  std::vector<ServeSlot*> batch;
+  std::vector<ServeSlot*> live;
+  std::vector<RangeQuery> qs;
+  std::vector<QueryResult> rs;
+  batch.reserve(config_.batch_size);
+  for (;;) {
+    if (queue_.PopBatch(&batch, config_.batch_size, config_.exact_batches) ==
+        0) {
+      return;  // closed and drained
+    }
+    // Under kWorkerStall the scheduler itself occasionally stalls
+    // before an epoch — the serving layer must absorb it as latency,
+    // never as a wrong answer.
+    fault::MaybeStall(fault::Site::kScheduler);
+    const auto now = std::chrono::steady_clock::now();
+    live.clear();
+    qs.clear();
+    for (ServeSlot* slot : batch) {
+      if (slot->deadline < now) {
+        // Expired while queued: hand it back for a client-side
+        // zero-budget scan instead of charging the epoch for it.
+        slot->Complete(ServeSlot::State::kDegraded, QueryResult{});
+        continue;
+      }
+      live.push_back(slot);
+      qs.push_back(slot->query);
+    }
+    if (!qs.empty()) {
+      rs.resize(qs.size());
+      index_->QueryBatch(qs.data(), qs.size(), rs.data());
+      write_epochs_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lk(log_m_);
+        admitted_log_.insert(admitted_log_.end(), qs.begin(), qs.end());
+        epoch_sizes_.push_back(qs.size());
+      }
+      // Publish read mode *before* waking this epoch's clients: a
+      // client whose submit has returned is then guaranteed to see the
+      // converged index on its next query and go lock-free.
+      if (config_.enable_read_epochs && index_->converged()) {
+        read_mode_.store(true, std::memory_order_release);
+      }
+      for (size_t i = 0; i < live.size(); ++i) {
+        live[i]->Complete(ServeSlot::State::kServed, rs[i]);
+      }
+    }
+  }
+}
+
+ServeStats Server::stats() const {
+  ServeStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.read_epoch = read_epoch_.load(std::memory_order_relaxed);
+  s.write_epochs = write_epochs_.load(std::memory_order_relaxed);
+  s.faults_injected = fault::InjectedCount() - faults_at_start_;
+  return s;
+}
+
+std::vector<RangeQuery> Server::admitted_log() const {
+  std::lock_guard<std::mutex> lk(log_m_);
+  return admitted_log_;
+}
+
+std::vector<size_t> Server::epoch_sizes() const {
+  std::lock_guard<std::mutex> lk(log_m_);
+  return epoch_sizes_;
+}
+
+}  // namespace serve
+}  // namespace progidx

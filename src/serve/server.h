@@ -1,0 +1,178 @@
+#ifndef PROGIDX_SERVE_SERVER_H_
+#define PROGIDX_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/types.h"
+#include "core/index_base.h"
+#include "serve/admission_queue.h"
+#include "storage/column.h"
+
+namespace progidx {
+namespace serve {
+
+/// Serving-layer configuration. Validated by the Server constructor
+/// (common/validate.h): zero capacities, batch sizes above
+/// exec::kMaxBatchSize or the column size, and exact batches larger
+/// than the queue are rejected with a clear error.
+struct ServerConfig {
+  /// Admission-queue capacity: the backpressure bound.
+  size_t queue_capacity = 64;
+  /// Write-epoch batch size: how many admitted queries one
+  /// IndexBase::QueryBatch call serves (one budget per epoch).
+  size_t batch_size = 16;
+  /// Per-query deadline in microseconds; 0 disables deadlines.
+  uint64_t deadline_us = 0;
+  /// When set, write epochs only form full batches (the epoch schedule
+  /// is then a pure function of admission order — the determinism
+  /// harness uses this). The submitted count must be a multiple of
+  /// batch_size, or the tail is only drained at server destruction.
+  bool exact_batches = false;
+  /// Once the index converges, answer via the lock-free read-epoch
+  /// path (IndexBase::TryReadOnlyQuery) instead of enqueueing. The
+  /// determinism harness disables this so the admitted log covers the
+  /// whole workload.
+  bool enable_read_epochs = true;
+
+  /// Reads PROGIDX_DEADLINE_US on top of the defaults.
+  static ServerConfig FromEnv();
+};
+
+enum class SubmitStatus {
+  kOk,          ///< answered (possibly degraded — see Response)
+  kOverloaded,  ///< refused: queue full; caller sheds or retries
+  kShutdown,    ///< server is shutting down
+};
+
+struct Response {
+  QueryResult result;
+  /// True when the answer came from the zero-budget degraded scan
+  /// (deadline expired or admission fault) instead of the index. The
+  /// answer is exact either way.
+  bool degraded = false;
+};
+
+struct ServeStats {
+  uint64_t submitted = 0;
+  uint64_t served = 0;       ///< answered by a write epoch
+  uint64_t degraded = 0;     ///< answered by the zero-budget scan
+  uint64_t shed = 0;         ///< TrySubmit refused with kOverloaded
+  uint64_t read_epoch = 0;   ///< answered on the lock-free read path
+  uint64_t write_epochs = 0; ///< QueryBatch calls issued
+  uint64_t faults_injected = 0;  ///< fault::InjectedCount() delta
+};
+
+/// Concurrent serving layer over one shared progressive index
+/// (docs/serving.md). N client threads submit range queries; a single
+/// scheduler thread alternates *write epochs* — it pops a batch from
+/// the admission queue and runs IndexBase::QueryBatch exclusively, so
+/// the index's single-writer contract holds — with *read epochs*: once
+/// the index converges, clients answer themselves through the
+/// race-free TryReadOnlyQuery path without ever touching the queue.
+///
+/// Graceful degradation: a query whose deadline expires (while blocked
+/// on a full queue, or queued when its epoch forms), or that an
+/// injected admission fault refuses, is answered by the *client* thread
+/// with a zero-budget scan of the immutable base column — exact, just
+/// slower, and counted in ServeStats::degraded.
+///
+/// Determinism: with SubmitOrdered + exact_batches (+ read epochs off,
+/// no deadline), the epoch schedule is fixed by admission order, so the
+/// final index state is bit-identical to serially replaying
+/// admitted_log() in epoch_sizes() chunks — regardless of client count.
+/// The epoch-determinism test enforces this for T ∈ {1, 2, 4}.
+///
+/// Destroy the server only after all submitting threads have returned;
+/// destruction closes the queue, drains remaining slots through final
+/// write epochs, and joins the scheduler.
+class Server {
+ public:
+  Server(IndexBase* index, const Column& column, ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Blocking submit: backpressure-blocks when the queue is full,
+  /// degrades on deadline expiry or admission fault. Always returns an
+  /// exact answer.
+  Response Submit(const RangeQuery& q);
+
+  /// Non-blocking submit: kOverloaded when the queue is full (the
+  /// overload-shedding path — no answer is produced), kOk otherwise
+  /// with *out filled.
+  SubmitStatus TrySubmit(const RangeQuery& q, Response* out);
+
+  /// Submit with a global admission ticket (0, 1, 2, ... each presented
+  /// exactly once across all threads): admission order — and with
+  /// exact_batches the entire epoch schedule — is then independent of
+  /// thread interleaving. Ignores deadlines and the read-epoch path.
+  ///
+  /// Blocks until the answer is ready, so with exact_batches there
+  /// must be at least batch_size concurrently submitting threads to
+  /// fill an epoch; use the two-phase form below otherwise.
+  Response SubmitOrdered(uint64_t ticket, const RangeQuery& q);
+
+  /// Two-phase ordered submit, for harnesses where one thread keeps
+  /// many tickets in flight (the epoch-determinism test): Start blocks
+  /// only for the ticket's turn and queue space — not for the answer —
+  /// and Finish waits for the epoch and resolves degradation. The
+  /// caller owns the slot and must keep it alive, untouched, between
+  /// the two calls; every Start must be paired with exactly one
+  /// Finish.
+  void SubmitOrderedStart(uint64_t ticket, const RangeQuery& q,
+                          ServeSlot* slot);
+  Response SubmitOrderedFinish(ServeSlot* slot);
+
+  ServeStats stats() const;
+
+  /// Queries served by write epochs, in admission order, and the epoch
+  /// boundaries over that log. Snapshot is only meaningful while no
+  /// submits are in flight.
+  std::vector<RangeQuery> admitted_log() const;
+  std::vector<size_t> epoch_sizes() const;
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  void SchedulerLoop();
+  Response Degrade(const RangeQuery& q);
+  /// Read-epoch fast path; true when answered.
+  bool TryReadEpoch(const RangeQuery& q, Response* out);
+
+  IndexBase* const index_;
+  const Column& column_;
+  const ServerConfig config_;
+  /// Fault seams fire only while a server is alive (common/fault.h).
+  fault::ArmScope arm_;
+  const uint64_t faults_at_start_;
+  AdmissionQueue queue_;
+
+  /// Set (release) by the scheduler when the index converges; clients
+  /// load-acquire it before taking the lock-free read path.
+  std::atomic<bool> read_mode_{false};
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> read_epoch_{0};
+  std::atomic<uint64_t> write_epochs_{0};
+
+  mutable std::mutex log_m_;
+  std::vector<RangeQuery> admitted_log_;
+  std::vector<size_t> epoch_sizes_;
+
+  std::thread scheduler_;
+};
+
+}  // namespace serve
+}  // namespace progidx
+
+#endif  // PROGIDX_SERVE_SERVER_H_

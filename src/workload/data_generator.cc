@@ -5,10 +5,12 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/validate.h"
 
 namespace progidx {
 
 Column MakeUniformColumn(size_t n, uint64_t seed) {
+  CheckArg(n > 0, "data generator: column size must be > 0");
   std::vector<value_t> values(n);
   std::iota(values.begin(), values.end(), 0);
   Rng rng(seed);
@@ -19,6 +21,10 @@ Column MakeUniformColumn(size_t n, uint64_t seed) {
 }
 
 Column MakeSkewedColumn(size_t n, uint64_t seed, double concentration) {
+  CheckArg(n > 0, "data generator: column size must be > 0");
+  CheckArg(concentration >= 0 && concentration <= 1,
+           "data generator: concentration must be in [0, 1], got " +
+               std::to_string(concentration));
   std::vector<value_t> values(n);
   Rng rng(seed);
   const value_t domain = static_cast<value_t>(n);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/validate.h"
+
 namespace progidx {
 
 const std::vector<WorkloadPattern>& AllWorkloadPatterns() {
@@ -59,7 +61,15 @@ WorkloadGenerator::WorkloadGenerator(WorkloadPattern pattern,
       domain_(std::max(1.0, hi_ - lo_ + 1.0)),
       total_queries_(std::max<size_t>(total_queries, 1)),
       selectivity_(selectivity),
-      rng_(seed) {}
+      rng_(seed) {
+  CheckArg(domain_lo <= domain_hi,
+           "workload: domain_lo " + std::to_string(domain_lo) +
+               " > domain_hi " + std::to_string(domain_hi));
+  CheckArg(total_queries > 0, "workload: total_queries must be > 0");
+  CheckArg(selectivity > 0 && selectivity <= 1,
+           "workload: selectivity must be in (0, 1], got " +
+               std::to_string(selectivity));
+}
 
 value_t WorkloadGenerator::ClampLow(double lo) const {
   return static_cast<value_t>(std::clamp(lo, lo_, hi_));
