@@ -121,6 +121,21 @@ inline bool ParseSections(const std::string& text,
   }
 }
 
+/// First unused backup path: `<path>.bak`, then `.bak.1`, `.bak.2`, …
+/// — a second corruption event must not clobber the bytes the first
+/// one saved. Bounded at .bak.99: beyond that the oldest evidence
+/// matters more than the newest, so the probe gives up and reuses it.
+inline std::string FreshBackupPath(const std::string& path) {
+  std::string bak = path + ".bak";
+  for (int n = 1; n <= 99; n++) {
+    std::FILE* f = std::fopen(bak.c_str(), "r");
+    if (f == nullptr) return bak;
+    std::fclose(f);
+    bak = path + ".bak." + std::to_string(n);
+  }
+  return bak;
+}
+
 }  // namespace json_detail
 
 /// Parses `path` as a flat JSON object into ordered (key, raw-value)
@@ -128,9 +143,10 @@ inline bool ParseSections(const std::string& text,
 /// writer then produces a fresh object). A file with content that fails
 /// to parse — truncated by a crash predating the atomic-rename writer,
 /// or hand-edited into invalidity — yields an empty list, but first the
-/// bad bytes are copied to `<path>.bak` so nothing is silently lost
-/// when the caller's next write starts a fresh object; one warning on
-/// stderr names the backup.
+/// bad bytes are copied to `<path>.bak` (or `.bak.1`, `.bak.2`, … when
+/// earlier backups exist — each corruption event keeps its own
+/// evidence) so nothing is silently lost when the caller's next write
+/// starts a fresh object; one warning on stderr names the backup.
 inline std::vector<JsonSection> ReadJsonSections(const char* path) {
   std::vector<JsonSection> sections;
   std::string text;
@@ -146,7 +162,7 @@ inline std::vector<JsonSection> ReadJsonSections(const char* path) {
     sections.clear();
     for (const char c : text) {
       if (std::isspace(static_cast<unsigned char>(c)) == 0) {
-        const std::string bak = std::string(path) + ".bak";
+        const std::string bak = json_detail::FreshBackupPath(path);
         bool saved = false;
         if (std::FILE* f = std::fopen(bak.c_str(), "w")) {
           saved = std::fwrite(text.data(), 1, text.size(), f) == text.size();

@@ -10,6 +10,16 @@
 // batch_throughput's sections pass through untouched in any run order
 // — plus a stdout table.
 //
+// Two further modes ride along:
+//   open_loop — fixed-rate arrivals over a timed window (offered load
+//     swept, or pinned with PROGIDX_ARRIVAL_QPS). Latency is measured
+//     from each query's *scheduled* arrival, not from when a worker
+//     got around to submitting it, so queueing delay shows up in
+//     p50/p99 instead of being coordinated-omitted away.
+//   checkpoint — durability costs (docs/recovery.md): snapshot bytes
+//     and write ms for the served index, and cold recovery-replay ms
+//     as a function of admitted-log length.
+//
 // PROGIDX_CLIENTS overrides the client counts swept (a single value);
 // PROGIDX_DEADLINE_US applies a per-query deadline to the throughput
 // sweep as well. PROGIDX_FAULT makes the fault seams live here too —
@@ -17,7 +27,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +39,10 @@
 #include "common/env.h"
 #include "common/timer.h"
 #include "eval/registry.h"
+#include "persist/calibration_store.h"
+#include "persist/checkpoint.h"
+#include "persist/wal.h"
+#include "serve/recovery.h"
 #include "serve/server.h"
 #include "workload/data_generator.h"
 #include "workload/synthetic.h"
@@ -36,7 +52,7 @@ namespace {
 
 struct ServeRow {
   std::string index_id;
-  std::string mode;  ///< "throughput" or "overload"
+  std::string mode;  ///< "throughput", "overload", "open_loop", "checkpoint"
   size_t clients = 0;
   size_t queries = 0;
   double queries_per_sec = 0;
@@ -45,6 +61,10 @@ struct ServeRow {
   double shed_frac = 0;
   double degraded_frac = 0;
   double read_epoch_frac = 0;
+  double offered_qps = 0;      ///< open_loop: the fixed arrival rate
+  size_t snapshot_bytes = 0;   ///< checkpoint: published snapshot size
+  double ckpt_write_ms = 0;    ///< checkpoint: snapshot publish time
+  double replay_ms = 0;        ///< checkpoint: cold replay of the log
 };
 
 double PercentileUs(std::vector<double>* lat, double p) {
@@ -143,16 +163,140 @@ ServeRow RunOverload(const std::string& index_id, const Column& column,
   return row;
 }
 
+/// One open-loop point: arrivals are *scheduled* at a fixed rate over a
+/// timed window, and a small worker pool dispatches them as they come
+/// due. Latency runs from the scheduled arrival to the answer, so a
+/// server that falls behind the offered load accumulates visible
+/// queueing delay instead of silently slowing the arrival clock
+/// (coordinated omission).
+ServeRow RunOpenLoop(const std::string& index_id, const Column& column,
+                     const std::vector<RangeQuery>& queries, double qps,
+                     double window_secs, const serve::ServerConfig& config) {
+  auto index = MakeIndex(index_id, column, BudgetSpec::FixedDelta(0.05));
+  serve::Server server(index.get(), column, config);
+  const size_t total =
+      std::max<size_t>(1, static_cast<size_t>(qps * window_secs));
+  constexpr size_t kWorkers = 8;
+  std::atomic<size_t> next{0};
+  std::vector<std::vector<double>> lat(kWorkers);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  Timer timer;
+  for (size_t w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= total) return;
+        const auto scheduled =
+            start + std::chrono::nanoseconds(static_cast<int64_t>(
+                        1e9 * static_cast<double>(i) / qps));
+        std::this_thread::sleep_until(scheduled);
+        server.Submit(queries[i % queries.size()]);
+        lat[w].push_back(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - scheduled)
+                             .count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double secs = timer.ElapsedSeconds();
+  const serve::ServeStats stats = server.stats();
+
+  std::vector<double> all;
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  ServeRow row;
+  row.index_id = index_id;
+  row.mode = "open_loop";
+  row.clients = kWorkers;
+  row.queries = total;
+  row.offered_qps = qps;
+  row.queries_per_sec = secs > 0 ? static_cast<double>(total) / secs : 0;
+  row.p50_us = PercentileUs(&all, 0.50);
+  row.p99_us = PercentileUs(&all, 0.99);
+  const double submitted = static_cast<double>(stats.submitted);
+  row.degraded_frac =
+      submitted > 0 ? static_cast<double>(stats.degraded) / submitted : 0;
+  row.read_epoch_frac =
+      submitted > 0 ? static_cast<double>(stats.read_epoch) / submitted : 0;
+  return row;
+}
+
+/// One checkpoint point (docs/recovery.md): a durable admitted log of
+/// `log_len` queries is written, cold recovery over it is timed, and a
+/// snapshot of the recovered index is published and sized — the
+/// snapshot-write vs replay-time tradeoff PROGIDX_CHECKPOINT_EVERY
+/// tunes.
+ServeRow RunCheckpoint(const std::string& index_id, const Column& column,
+                       const std::vector<RangeQuery>& queries,
+                       size_t log_len) {
+  ServeRow row;
+  row.index_id = index_id;
+  row.mode = "checkpoint";
+  row.queries = log_len;
+
+  char tmpl[] = "/tmp/progidx_bench_ckpt_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  if (dir == nullptr) return row;
+  {
+    persist::WalWriter wal;
+    if (!wal.Open(std::string(dir) + "/wal")) return row;
+    constexpr size_t kEpoch = 16;
+    for (size_t i = 0; i < log_len; i += kEpoch) {
+      const size_t off = i % queries.size();
+      const size_t count =
+          std::min({kEpoch, log_len - i, queries.size() - off});
+      wal.AppendEpoch(i, &queries[off], count);
+    }
+    wal.Close();
+  }
+
+  auto make_fresh = [&](const MachineConstants& mc) {
+    ProgressiveOptions opt;
+    opt.machine = &mc;
+    return MakeIndex(index_id, column, BudgetSpec::FixedDelta(0.05), opt);
+  };
+  serve::RecoveryStats stats;
+  Timer replay_timer;
+  auto recovered = serve::RecoverIndex(dir, column, make_fresh, &stats);
+  row.replay_ms = replay_timer.ElapsedSeconds() * 1e3;
+
+  if (recovered->SupportsPersistence()) {
+    persist::Checkpointer ckpt(dir, column);
+    persist::SnapshotMeta meta;
+    meta.applied_queries = stats.replayed_queries;
+    if (const MachineConstants* mc = recovered->machine_constants()) {
+      meta.calibration_crc = persist::CalibrationFingerprint(*mc);
+    }
+    Timer write_timer;
+    if (ckpt.Save(*recovered, meta)) {
+      row.ckpt_write_ms = write_timer.ElapsedSeconds() * 1e3;
+      row.snapshot_bytes = ckpt.last_snapshot_bytes();
+    }
+  }
+  const std::string cleanup = std::string("rm -rf ") + dir;
+  (void)std::system(cleanup.c_str());
+  return row;
+}
+
 void PrintRows(const std::vector<ServeRow>& rows) {
   std::printf("%-6s %-10s %8s %8s %12s %9s %9s %6s %9s %6s\n", "index",
               "mode", "clients", "queries", "q/s", "p50us", "p99us", "shed",
               "degraded", "read");
   for (const ServeRow& r : rows) {
+    if (r.mode == "checkpoint") {
+      std::printf("%-6s %-10s log=%zu snapshot=%zuB write=%.2fms "
+                  "replay=%.2fms\n",
+                  r.index_id.c_str(), r.mode.c_str(), r.queries,
+                  r.snapshot_bytes, r.ckpt_write_ms, r.replay_ms);
+      continue;
+    }
     std::printf("%-6s %-10s %8zu %8zu %12.1f %9.1f %9.1f %5.1f%% %8.1f%% "
-                "%5.1f%%\n",
+                "%5.1f%%",
                 r.index_id.c_str(), r.mode.c_str(), r.clients, r.queries,
                 r.queries_per_sec, r.p50_us, r.p99_us, r.shed_frac * 100,
                 r.degraded_frac * 100, r.read_epoch_frac * 100);
+    if (r.mode == "open_loop") std::printf("  offered=%.0f/s", r.offered_qps);
+    std::printf("\n");
   }
 }
 
@@ -163,15 +307,30 @@ void WriteServingJson(const char* path, const std::vector<ServeRow>& rows) {
   std::string raw = "[\n";
   for (size_t i = 0; i < rows.size(); i++) {
     const ServeRow& r = rows[i];
+    const char* sep = i + 1 < rows.size() ? "," : "";
+    if (r.mode == "checkpoint") {
+      bench::AppendF(
+          &raw,
+          "    {\"index\": \"%s\", \"mode\": \"checkpoint\", "
+          "\"log_queries\": %zu, \"snapshot_bytes\": %zu, "
+          "\"write_ms\": %.3f, \"replay_ms\": %.3f}%s\n",
+          r.index_id.c_str(), r.queries, r.snapshot_bytes, r.ckpt_write_ms,
+          r.replay_ms, sep);
+      continue;
+    }
     bench::AppendF(
         &raw,
         "    {\"index\": \"%s\", \"mode\": \"%s\", \"clients\": %zu, "
         "\"queries\": %zu, \"queries_per_sec\": %.1f, \"p50_us\": %.1f, "
         "\"p99_us\": %.1f, \"shed_frac\": %.4f, \"degraded_frac\": %.4f, "
-        "\"read_epoch_frac\": %.4f}%s\n",
+        "\"read_epoch_frac\": %.4f",
         r.index_id.c_str(), r.mode.c_str(), r.clients, r.queries,
         r.queries_per_sec, r.p50_us, r.p99_us, r.shed_frac, r.degraded_frac,
-        r.read_epoch_frac, i + 1 < rows.size() ? "," : "");
+        r.read_epoch_frac);
+    if (r.mode == "open_loop") {
+      bench::AppendF(&raw, ", \"offered_qps\": %.1f", r.offered_qps);
+    }
+    bench::AppendF(&raw, "}%s\n", sep);
   }
   raw += "  ]";
   bench::UpsertJsonSection(&sections, "serving", std::move(raw));
@@ -222,6 +381,22 @@ int main(int argc, char** argv) {
   for (const size_t clients : client_counts) {
     rows.push_back(RunOverload(index_id, column, queries, clients,
                                per_client));
+  }
+  // Open loop: PROGIDX_ARRIVAL_QPS pins one offered rate, otherwise a
+  // small sweep maps latency vs offered load around saturation.
+  const size_t forced_qps = env::BoundedSizeFromEnv(
+      "PROGIDX_ARRIVAL_QPS", 1, 1 << 24, 0, "open-loop arrival rate",
+      "1k/4k/16k sweep");
+  std::vector<double> rates = {1000, 4000, 16000};
+  if (forced_qps != 0) rates = {static_cast<double>(forced_qps)};
+  for (const double qps : rates) {
+    rows.push_back(
+        RunOpenLoop(index_id, column, queries, qps, /*window_secs=*/1.0,
+                    config));
+  }
+  // Durability costs vs admitted-log length.
+  for (const size_t log_len : {size_t{512}, size_t{2048}}) {
+    rows.push_back(RunCheckpoint(index_id, column, queries, log_len));
   }
   PrintRows(rows);
   WriteServingJson(cli.GetString("json").c_str(), rows);

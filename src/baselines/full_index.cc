@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "parallel/primitives.h"
+#include "persist/io.h"
 
 namespace progidx {
 
@@ -23,6 +24,25 @@ QueryResult FullIndex::Query(const RangeQuery& q) {
     built_ = true;
   }
   return btree_.RangeSum(q);
+}
+
+void FullIndex::SaveState(persist::Writer* w) const {
+  w->WriteBool(built_);
+  if (!built_) return;  // unbuilt baseline has no state beyond the flag
+  w->WriteValueVector(sorted_);
+  btree_.SaveState(w);
+}
+
+bool FullIndex::LoadState(persist::Reader* r) {
+  built_ = r->ReadBool();
+  if (!r->ok()) return false;
+  if (!built_) return true;
+  const size_t n = column_.size();
+  if (!r->ReadValueVector(&sorted_) || sorted_.size() != n) return false;
+  if (!btree_.LoadState(r, sorted_.data()) || btree_.leaf_count() != n) {
+    return false;
+  }
+  return r->ok();
 }
 
 }  // namespace progidx

@@ -22,6 +22,13 @@ class FullIndex : public IndexBase {
   bool converged() const override { return built_; }
   std::string name() const override { return "Full Index"; }
 
+  /// Checkpointing seam (docs/recovery.md): whether the first query has
+  /// paid for the build, plus the sorted array and finished tree — so a
+  /// recovered baseline never pays the build cost twice.
+  bool SupportsPersistence() const override { return true; }
+  void SaveState(persist::Writer* w) const override;
+  bool LoadState(persist::Reader* r) override;
+
   /// Read-epoch path (docs/serving.md): after the first query built the
   /// tree, answers are pure lookups, race-free for concurrent readers.
   bool TryReadOnlyQuery(const RangeQuery& q, QueryResult* out) const override {

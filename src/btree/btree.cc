@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "parallel/primitives.h"
+#include "persist/io.h"
 
 namespace progidx {
 
@@ -65,10 +66,44 @@ QueryResult BPlusTree::RangeSum(const RangeQuery& q) const {
   return {sum, count};
 }
 
+void BPlusTree::SaveState(persist::Writer* w) const {
+  w->WriteU64(n_);
+  w->WriteU64(fanout_);
+  w->WriteBool(complete_);
+  w->WriteU64(levels_.size());
+  for (const auto& level : levels_) w->WriteValueVector(level);
+}
+
+bool BPlusTree::LoadState(persist::Reader* r, const value_t* sorted) {
+  n_ = r->ReadU64();
+  fanout_ = r->ReadU64();
+  complete_ = r->ReadBool();
+  const size_t level_count = r->ReadU64();
+  if (!r->ok() || fanout_ < 2 || level_count > 64) return false;
+  sorted_ = sorted;
+  levels_.clear();
+  levels_.resize(level_count);
+  for (auto& level : levels_) {
+    if (!r->ReadValueVector(&level)) return false;
+  }
+  return r->ok();
+}
+
 ProgressiveBTreeBuilder::ProgressiveBTreeBuilder(BPlusTree* tree)
     : tree_(tree) {
   remaining_ = tree_->TotalInternalKeys();
   if (remaining_ == 0) tree_->complete_ = true;
+}
+
+void ProgressiveBTreeBuilder::SaveState(persist::Writer* w) const {
+  w->WriteU64(source_pos_);
+  w->WriteU64(remaining_);
+}
+
+bool ProgressiveBTreeBuilder::LoadState(persist::Reader* r) {
+  source_pos_ = r->ReadU64();
+  remaining_ = r->ReadU64();
+  return r->ok();
 }
 
 const value_t* ProgressiveBTreeBuilder::CurrentSource(

@@ -8,6 +8,11 @@
 
 namespace progidx {
 
+namespace persist {
+class Writer;
+class Reader;
+}  // namespace persist
+
 /// A read-only B+-tree over an externally owned *sorted* array, in the
 /// implicit layout of the paper's consolidation phase (§3.1,
 /// "Consolidation Phase"): level k+1 holds every β-th key of level k,
@@ -58,6 +63,15 @@ class BPlusTree {
   /// SUM/COUNT of elements in [q.low, q.high].
   QueryResult RangeSum(const RangeQuery& q) const;
 
+  /// Serializes n_, fanout and the internal levels built so far
+  /// (docs/recovery.md). The leaf array is external and saved by the
+  /// owning index.
+  void SaveState(persist::Writer* w) const;
+  /// Restores a tree saved by SaveState over `sorted` (the reloaded
+  /// leaf array, which must hold the saved n_ elements). Returns false
+  /// on a corrupt payload.
+  bool LoadState(persist::Reader* r, const value_t* sorted);
+
  private:
   friend class ProgressiveBTreeBuilder;
 
@@ -75,8 +89,9 @@ class BPlusTree {
 /// phase's unit of budgeted work.
 class ProgressiveBTreeBuilder {
  public:
-  /// `tree` must outlive the builder. The tree must be freshly
-  /// constructed (no levels built).
+  /// `tree` must outlive the builder. The tree must either be freshly
+  /// constructed (no levels built) or have LoadState applied, with this
+  /// builder's own LoadState restoring the matching build position.
   explicit ProgressiveBTreeBuilder(BPlusTree* tree);
 
   /// Copies up to `max_keys` keys into internal levels; returns the
@@ -87,6 +102,13 @@ class ProgressiveBTreeBuilder {
 
   /// Keys remaining to copy until the tree is complete.
   size_t remaining() const { return remaining_; }
+
+  /// Serializes the build position (the level contents live in the
+  /// tree's own SaveState).
+  void SaveState(persist::Writer* w) const;
+  /// Restores the build position saved by SaveState; call after the
+  /// tree itself has been restored with BPlusTree::LoadState.
+  bool LoadState(persist::Reader* r);
 
  private:
   /// Source array of the level currently being built.

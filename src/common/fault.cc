@@ -18,7 +18,7 @@ std::atomic<int> g_armed{0};
 std::atomic<int> g_mode_override{-1};
 std::atomic<uint64_t> g_injected{0};
 /// One global counter per Site.
-std::atomic<uint64_t> g_site_counters[4];
+std::atomic<uint64_t> g_site_counters[8];
 
 Mode ParseModeOrWarn() {
   const char* raw = std::getenv("PROGIDX_FAULT");
@@ -29,10 +29,15 @@ Mode ParseModeOrWarn() {
   if (std::strcmp(raw, "worker_stall") == 0) return Mode::kWorkerStall;
   if (std::strcmp(raw, "queue_full") == 0) return Mode::kQueueFull;
   if (std::strcmp(raw, "alloc_fail") == 0) return Mode::kAllocFail;
+  if (std::strcmp(raw, "crash_pre_rename") == 0) return Mode::kCrashPreRename;
+  if (std::strcmp(raw, "snapshot_torn") == 0) return Mode::kSnapshotTorn;
+  if (std::strcmp(raw, "log_torn") == 0) return Mode::kLogTorn;
+  if (std::strcmp(raw, "fsync_fail") == 0) return Mode::kFsyncFail;
   if (env::WarnOnce("PROGIDX_FAULT")) {
     std::fprintf(stderr,
                  "progidx: PROGIDX_FAULT=%s is not a known fault mode "
-                 "(budget_starvation|worker_stall|queue_full|alloc_fail); "
+                 "(budget_starvation|worker_stall|queue_full|alloc_fail|"
+                 "crash_pre_rename|snapshot_torn|log_torn|fsync_fail); "
                  "injecting nothing\n",
                  raw);
   }
@@ -83,6 +88,14 @@ const char* ModeName(Mode mode) {
       return "queue_full";
     case Mode::kAllocFail:
       return "alloc_fail";
+    case Mode::kCrashPreRename:
+      return "crash_pre_rename";
+    case Mode::kSnapshotTorn:
+      return "snapshot_torn";
+    case Mode::kLogTorn:
+      return "log_torn";
+    case Mode::kFsyncFail:
+      return "fsync_fail";
   }
   return "unknown";
 }

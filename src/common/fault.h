@@ -35,6 +35,15 @@ enum class Mode {
   kWorkerStall,       ///< pool workers / the epoch scheduler stall
   kQueueFull,         ///< admission pretends the queue is full
   kAllocFail,         ///< admission-side allocation failures
+  // Crash-point modes for the durability layer (docs/recovery.md).
+  // These never degrade a live answer; they damage or abandon durable
+  // state so recovery must cope: skipped checkpoints, torn snapshots
+  // that must be rejected at load, and a write-ahead log that stops
+  // short (as after a real crash).
+  kCrashPreRename,  ///< snapshot temp written but never published
+  kSnapshotTorn,    ///< published snapshot truncated after the rename
+  kLogTorn,         ///< WAL append writes a partial record, then stops
+  kFsyncFail,       ///< fsync fails: checkpoint / log append abandoned
 };
 
 /// Stable per-seam identifiers; each owns one firing sequence.
@@ -43,10 +52,15 @@ enum class Site : uint32_t {
   kScheduler = 1,       ///< epoch scheduler, before a write epoch
   kAdmissionFull = 2,   ///< admission queue capacity check
   kAdmissionAlloc = 3,  ///< admission slot allocation
+  kPersistFsync = 4,    ///< persist::Writer::Publish, at the fsync
+  kPersistRename = 5,   ///< persist::Writer::Publish, before the rename
+  kPersistTorn = 6,     ///< persist::Writer::Publish, after the rename
+  kWalAppend = 7,       ///< persist::Wal::AppendEpoch
 };
 
 /// PROGIDX_FAULT parsed once per process: one of "budget_starvation",
-/// "worker_stall", "queue_full", "alloc_fail". Unset/empty is kNone;
+/// "worker_stall", "queue_full", "alloc_fail", "crash_pre_rename",
+/// "snapshot_torn", "log_torn", "fsync_fail". Unset/empty is kNone;
 /// anything else warns once on stderr (the PROGIDX_FORCE_KERNEL
 /// contract) and injects nothing.
 Mode ModeFromEnv();

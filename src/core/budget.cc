@@ -2,6 +2,7 @@
 
 #include "common/fault.h"
 #include "common/types.h"
+#include "persist/io.h"
 
 namespace progidx {
 
@@ -15,6 +16,17 @@ BudgetController::BudgetController(const BudgetSpec& spec,
 
 double BudgetController::adaptive_target_secs() const {
   return model_.ScanSecs() + budget_secs_;
+}
+
+void BudgetController::SaveState(persist::Writer* w) const {
+  w->WriteDouble(pinned_delta_);
+  w->WriteU64(fault_calls_);
+}
+
+bool BudgetController::LoadState(persist::Reader* r) {
+  pinned_delta_ = r->ReadDouble();
+  fault_calls_ = r->ReadU64();
+  return r->ok();
 }
 
 double BudgetController::DeltaForQuery(double op_secs, double answer_secs) {

@@ -8,6 +8,11 @@
 
 namespace progidx {
 
+namespace persist {
+class Writer;
+class Reader;
+}  // namespace persist
+
 /// How much indexing work each query may perform (§3, "Indexing
 /// Budget").
 enum class BudgetMode {
@@ -80,6 +85,14 @@ class BudgetController {
   double adaptive_target_secs() const;
 
   BudgetMode mode() const { return spec_.mode; }
+
+  /// Serializes the query-dependent part of the controller: the pinned
+  /// δ (kFixedBudget resolves it on the first query) and the
+  /// budget-starvation fault counter, so a recovered index starves at
+  /// exactly the calls the crashed one would have (docs/recovery.md).
+  /// The spec and model are reconstructed by the owning index's ctor.
+  void SaveState(persist::Writer* w) const;
+  bool LoadState(persist::Reader* r);
 
  private:
   BudgetSpec spec_;

@@ -5,6 +5,7 @@
 
 #include "kernels/kernels.h"
 #include "parallel/thread_pool.h"
+#include "persist/io.h"
 
 namespace progidx {
 
@@ -227,6 +228,73 @@ void IncrementalQuicksort::CollectRangesImpl(
 void IncrementalQuicksort::CollectRanges(const RangeQuery& q,
                                          std::vector<ScanRange>* out) const {
   CollectRangesImpl(root_.get(), q, out);
+}
+
+void IncrementalQuicksort::SaveNode(const Node* node,
+                                    persist::Writer* w) const {
+  w->WriteBool(node != nullptr);
+  if (node == nullptr) return;
+  w->WriteU64(node->start);
+  w->WriteU64(node->end);
+  w->WriteI64(node->pivot);
+  w->WriteI64(node->min_v);
+  w->WriteI64(node->max_v);
+  w->WriteU64(node->lo);
+  w->WriteU64(node->hi);
+  w->WriteBool(node->partitioned);
+  w->WriteBool(node->sorted);
+  SaveNode(node->left.get(), w);
+  SaveNode(node->right.get(), w);
+}
+
+bool IncrementalQuicksort::LoadNode(persist::Reader* r,
+                                    std::unique_ptr<Node>* out) const {
+  if (!r->ReadBool()) {
+    out->reset();
+    return r->ok();
+  }
+  auto node = std::make_unique<Node>();
+  node->start = r->ReadU64();
+  node->end = r->ReadU64();
+  node->pivot = r->ReadI64();
+  node->min_v = r->ReadI64();
+  node->max_v = r->ReadI64();
+  node->lo = r->ReadU64();
+  node->hi = r->ReadU64();
+  node->partitioned = r->ReadBool();
+  node->sorted = r->ReadBool();
+  // Reject spans that would index outside the bound array; lo/hi are
+  // only meaningful mid-partition, where they must sit inside the span
+  // (hi is inclusive and may wrap to SIZE_MAX when a partition consumed
+  // a whole span starting at 0, which AtEnd-style checks handle).
+  if (!r->ok() || node->end > n_ || node->start > node->end) return false;
+  if (!node->sorted && !node->partitioned && node->end > node->start &&
+      (node->lo < node->start || node->lo > node->end)) {
+    return false;
+  }
+  if (!LoadNode(r, &node->left) || !LoadNode(r, &node->right)) return false;
+  *out = std::move(node);
+  return true;
+}
+
+void IncrementalQuicksort::SaveState(persist::Writer* w) const {
+  w->WriteU64(n_);
+  w->WriteU64(l1_elements_);
+  w->WriteDouble(sort_unit_scale_);
+  w->WriteU64(height_);
+  SaveNode(root_.get(), w);
+}
+
+bool IncrementalQuicksort::LoadState(persist::Reader* r, value_t* data) {
+  n_ = r->ReadU64();
+  l1_elements_ = r->ReadU64();
+  sort_unit_scale_ = r->ReadDouble();
+  height_ = r->ReadU64();
+  if (!r->ok() || l1_elements_ == 0 || sort_unit_scale_ <= 0) return false;
+  data_ = data;
+  pending_leaf_sorts_.clear();
+  defer_leaf_sorts_ = false;
+  return LoadNode(r, &root_) && r->ok();
 }
 
 }  // namespace progidx

@@ -9,6 +9,11 @@
 
 namespace progidx {
 
+namespace persist {
+class Writer;
+class Reader;
+}  // namespace persist
+
 /// A contiguous region of an index array a query must inspect, produced
 /// by IncrementalQuicksort::CollectRanges.
 struct ScanRange {
@@ -95,6 +100,15 @@ class IncrementalQuicksort {
   /// Height of the pivot tree (h in the refinement cost model).
   size_t height() const { return height_; }
 
+  /// Serializes the pivot tree and resumable partition cursors in
+  /// preorder (docs/recovery.md). Must only be called between DoWork
+  /// calls (pending_leaf_sorts_ is empty then, by invariant).
+  void SaveState(persist::Writer* w) const;
+  /// Restores a sort saved by SaveState, rebinding it to `data` (the
+  /// owning index's reloaded array). Returns false on a corrupt
+  /// payload or an impossible node span.
+  bool LoadState(persist::Reader* r, value_t* data);
+
  private:
   struct Node {
     size_t start = 0;
@@ -127,6 +141,8 @@ class IncrementalQuicksort {
   void FinishPartition(Node* node, size_t depth);
   void CollectRangesImpl(const Node* node, const RangeQuery& q,
                          std::vector<ScanRange>* out) const;
+  void SaveNode(const Node* node, persist::Writer* w) const;
+  bool LoadNode(persist::Reader* r, std::unique_ptr<Node>* out) const;
 
   value_t* data_ = nullptr;
   size_t n_ = 0;

@@ -9,6 +9,13 @@
 
 namespace progidx {
 
+namespace persist {
+class Writer;
+class Reader;
+}  // namespace persist
+
+struct MachineConstants;
+
 /// Common interface of every indexing technique in this library — the
 /// four progressive algorithms, all adaptive-indexing baselines, full
 /// scan, and full index. The experiment harness drives all of them
@@ -65,6 +72,43 @@ class IndexBase {
   virtual bool TryReadOnlyQuery(const RangeQuery& q, QueryResult* out) const {
     (void)q;
     (void)out;
+    return false;
+  }
+
+  /// True when this technique implements SaveState/LoadState. The
+  /// checkpointer (src/persist/) skips snapshots for techniques that
+  /// don't; they still recover exactly, by cold replay of the full
+  /// admitted log (docs/recovery.md).
+  virtual bool SupportsPersistence() const { return false; }
+
+  /// The §4.3 machine constants this instance's budget math runs on,
+  /// or nullptr when the technique has no cost model (its refinement
+  /// trajectory then cannot depend on measured constants). The
+  /// durability layer fingerprints these into every snapshot and pins
+  /// them per persistence directory (persist/calibration_store.h), so
+  /// replay in a fresh process — whose own measurement would differ —
+  /// reproduces the crashed process's trajectory bit-identically.
+  virtual const MachineConstants* machine_constants() const {
+    return nullptr;
+  }
+
+  /// Serializes the complete resumable state — everything a fresh
+  /// instance over the same column needs to continue the refinement
+  /// trajectory bit-identically: phase, partially built arrays, and
+  /// the per-technique refinement position (pivot tree, bucket chains
+  /// + fill cursor, radix generations + digit cursor, B+-tree build
+  /// progress). Must only be called between queries (never mid-epoch),
+  /// and only when SupportsPersistence().
+  virtual void SaveState(persist::Writer* w) const { (void)w; }
+
+  /// Restores state saved by SaveState into this instance, which must
+  /// have been freshly constructed over a column with identical
+  /// contents and the same budget spec. Returns false (leaving the
+  /// instance in an unspecified state — discard it) when the payload
+  /// is corrupt or structurally impossible; callers fall back to an
+  /// older snapshot or a cold start.
+  virtual bool LoadState(persist::Reader* r) {
+    (void)r;
     return false;
   }
 

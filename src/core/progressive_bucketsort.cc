@@ -9,6 +9,7 @@
 #include "exec/batch_refine.h"
 #include "kernels/kernels.h"
 #include "parallel/primitives.h"
+#include "persist/io.h"
 
 namespace progidx {
 
@@ -404,6 +405,84 @@ void ProgressiveBucketsort::PrepareQuery(const RangeQuery& q) {
     }
   }
   if (delta > 0) DoWorkSecs(delta * op_secs);
+}
+
+void ProgressiveBucketsort::SaveState(persist::Writer* w) const {
+  w->WriteU64(static_cast<uint64_t>(phase_));
+  w->WriteI64(min_);
+  w->WriteI64(max_);
+  w->WriteValueVector(boundaries_);
+  w->WriteU64(copy_pos_);
+  // final_ precedes the active sorter: LoadState rebinds the sorter to
+  // final_'s reloaded storage.
+  w->WriteValueVector(final_);
+  w->WriteU64(buckets_.size());
+  for (const BucketChain& chain : buckets_) chain.SaveState(w);
+  w->WriteU64(merge_bucket_);
+  w->WriteU64(sorted_end_);
+  w->WriteU64(fill_pos_);
+  w->WriteBool(filling_);
+  w->WriteU64(fill_cursor_.block);
+  w->WriteU64(fill_cursor_.offset);
+  w->WriteBool(sorter_active_);
+  if (sorter_active_) active_sorter_.SaveState(w);
+  budget_.SaveState(w);
+  if (phase_ == Phase::kConsolidation || phase_ == Phase::kDone) {
+    btree_.SaveState(w);
+    builder_->SaveState(w);
+  }
+}
+
+bool ProgressiveBucketsort::LoadState(persist::Reader* r) {
+  const uint64_t phase = r->ReadU64();
+  if (!r->ok() || phase > static_cast<uint64_t>(Phase::kDone)) return false;
+  min_ = r->ReadI64();
+  max_ = r->ReadI64();
+  // The snapshot's sampled bounds replace the ctor's: bucket membership
+  // of every chain element depends on them.
+  if (!r->ReadValueVector(&boundaries_)) return false;
+  copy_pos_ = r->ReadU64();
+  if (!r->ReadValueVector(&final_)) return false;
+  const size_t n = column_.size();
+  if (final_.size() != n || copy_pos_ > n ||
+      boundaries_.size() >= options_.bucket_count) {
+    return false;
+  }
+  const size_t bucket_count = r->ReadU64();
+  if (!r->ok() || bucket_count != buckets_.size()) return false;
+  for (BucketChain& chain : buckets_) {
+    if (!chain.LoadState(r)) return false;
+  }
+  merge_bucket_ = r->ReadU64();
+  sorted_end_ = r->ReadU64();
+  fill_pos_ = r->ReadU64();
+  filling_ = r->ReadBool();
+  fill_cursor_.block = r->ReadU64();
+  fill_cursor_.offset = r->ReadU64();
+  sorter_active_ = r->ReadBool();
+  if (!r->ok() || merge_bucket_ > buckets_.size() || sorted_end_ > n ||
+      fill_pos_ > n || sorted_end_ > fill_pos_) {
+    return false;
+  }
+  if (filling_ && (merge_bucket_ >= buckets_.size() ||
+                   !buckets_[merge_bucket_].CursorValid(fill_cursor_))) {
+    return false;
+  }
+  phase_ = static_cast<Phase>(phase);
+  if (sorter_active_) {
+    if (!active_sorter_.LoadState(r, final_.data() + sorted_end_)) {
+      return false;
+    }
+  }
+  if (!budget_.LoadState(r)) return false;
+  if (phase_ == Phase::kConsolidation || phase_ == Phase::kDone) {
+    if (!btree_.LoadState(r, final_.data()) || btree_.leaf_count() != n) {
+      return false;
+    }
+    builder_ = std::make_unique<ProgressiveBTreeBuilder>(&btree_);
+    if (!builder_->LoadState(r)) return false;
+  }
+  return r->ok();
 }
 
 QueryResult ProgressiveBucketsort::Query(const RangeQuery& q) {

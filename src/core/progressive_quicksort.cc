@@ -8,6 +8,7 @@
 #include "exec/batch_refine.h"
 #include "kernels/kernels.h"
 #include "parallel/primitives.h"
+#include "persist/io.h"
 
 namespace progidx {
 
@@ -398,6 +399,52 @@ void ProgressiveQuicksort::AnswerBatch(const RangeQuery* qs, size_t count,
   }
 }
 
+
+void ProgressiveQuicksort::SaveState(persist::Writer* w) const {
+  w->WriteU64(static_cast<uint64_t>(phase_));
+  w->WriteValueVector(index_);
+  w->WriteI64(pivot_);
+  w->WriteU64(copy_pos_);
+  w->WriteU64(low_pos_);
+  w->WriteI64(high_pos_);
+  budget_.SaveState(w);
+  // Only the live machinery of the current phase: the sorter is dead
+  // weight after consolidation starts and the tree does not exist
+  // before it.
+  if (phase_ == Phase::kRefinement) sorter_.SaveState(w);
+  if (phase_ == Phase::kConsolidation || phase_ == Phase::kDone) {
+    btree_.SaveState(w);
+    builder_->SaveState(w);
+  }
+}
+
+bool ProgressiveQuicksort::LoadState(persist::Reader* r) {
+  const uint64_t phase = r->ReadU64();
+  if (!r->ok() || phase > static_cast<uint64_t>(Phase::kDone)) return false;
+  if (!r->ReadValueVector(&index_)) return false;
+  pivot_ = r->ReadI64();
+  copy_pos_ = r->ReadU64();
+  low_pos_ = r->ReadU64();
+  high_pos_ = r->ReadI64();
+  if (!budget_.LoadState(r)) return false;
+  const size_t n = column_.size();
+  if (index_.size() != n || copy_pos_ > n || low_pos_ > n ||
+      high_pos_ >= static_cast<int64_t>(n)) {
+    return false;
+  }
+  phase_ = static_cast<Phase>(phase);
+  if (phase_ == Phase::kRefinement) {
+    if (!sorter_.LoadState(r, index_.data())) return false;
+  }
+  if (phase_ == Phase::kConsolidation || phase_ == Phase::kDone) {
+    if (!btree_.LoadState(r, index_.data()) || btree_.leaf_count() != n) {
+      return false;
+    }
+    builder_ = std::make_unique<ProgressiveBTreeBuilder>(&btree_);
+    if (!builder_->LoadState(r)) return false;
+  }
+  return r->ok();
+}
 
 ApproximateResult ProgressiveQuicksort::QueryApproximate(const RangeQuery& q,
                                                          size_t samples,

@@ -66,6 +66,15 @@ class ProgressiveQuicksort : public IndexBase {
   std::string name() const override { return "P. Quicksort"; }
   double last_predicted_cost() const override { return predicted_; }
 
+  /// Checkpointing seam (docs/recovery.md): phase, the partition
+  /// fringes, the pivot-tree sort, and B+-tree build progress.
+  bool SupportsPersistence() const override { return true; }
+  const MachineConstants* machine_constants() const override {
+    return &model_.constants();
+  }
+  void SaveState(persist::Writer* w) const override;
+  bool LoadState(persist::Reader* r) override;
+
   /// Read-epoch path (docs/serving.md): once converged the answer is a
   /// pure B+-tree lookup over the final sorted array — no work charged,
   /// no state (not even mutable scratch) touched, so any number of

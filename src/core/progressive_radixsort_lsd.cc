@@ -9,6 +9,7 @@
 #include "exec/batch_refine.h"
 #include "kernels/kernels.h"
 #include "parallel/primitives.h"
+#include "persist/io.h"
 
 namespace progidx {
 namespace {
@@ -269,6 +270,7 @@ void ProgressiveRadixsortLSD::DoWorkSecs(double secs) {
             batched += len;
           }
           if (batched > 0) {
+            PROGIDX_CHECK(merged_ + batched <= n);
             parallel::CopyRunsTo(runs.data(), runs.size(),
                                  final_.data() + merged_);
             merged_ += batched;
@@ -616,6 +618,89 @@ void ProgressiveRadixsortLSD::AnswerBatch(const RangeQuery* qs, size_t count,
   pset_.Reset(qs, count);
   pset_.Scan(column_.data() + copy_pos_, n - copy_pos_);
   pset_.AccumulateInto(out);
+}
+
+void ProgressiveRadixsortLSD::SaveState(persist::Writer* w) const {
+  w->WriteU64(static_cast<uint64_t>(phase_));
+  w->WriteI64(min_);
+  w->WriteI64(max_);
+  w->WriteU64(total_passes_);
+  w->WriteU64(copy_pos_);
+  w->WriteU64(pass_);
+  w->WriteU64(drain_bucket_);
+  w->WriteU64(drain_cursor_.block);
+  w->WriteU64(drain_cursor_.offset);
+  w->WriteU64(merged_);
+  budget_.SaveState(w);
+  // Only the live machinery of the current phase: both chain
+  // generations exist until the merge finishes, after which everything
+  // lives in final_ and the tree under construction.
+  if (phase_ == Phase::kCreation || phase_ == Phase::kRefinement ||
+      phase_ == Phase::kMerge) {
+    w->WriteU64(source_.size());
+    for (const BucketChain& chain : source_) chain.SaveState(w);
+    w->WriteU64(dest_.size());
+    for (const BucketChain& chain : dest_) chain.SaveState(w);
+  }
+  if (phase_ == Phase::kMerge) {
+    w->WriteValueVector(final_);
+  }
+  if (phase_ == Phase::kConsolidation || phase_ == Phase::kDone) {
+    w->WriteValueVector(final_);
+    btree_.SaveState(w);
+    builder_->SaveState(w);
+  }
+}
+
+bool ProgressiveRadixsortLSD::LoadState(persist::Reader* r) {
+  const uint64_t phase = r->ReadU64();
+  if (!r->ok() || phase > static_cast<uint64_t>(Phase::kDone)) return false;
+  min_ = r->ReadI64();
+  max_ = r->ReadI64();
+  total_passes_ = r->ReadU64();
+  copy_pos_ = r->ReadU64();
+  pass_ = r->ReadU64();
+  drain_bucket_ = r->ReadU64();
+  drain_cursor_.block = r->ReadU64();
+  drain_cursor_.offset = r->ReadU64();
+  merged_ = r->ReadU64();
+  if (!budget_.LoadState(r)) return false;
+  const size_t n = column_.size();
+  if (min_ > max_ || total_passes_ == 0 || total_passes_ > 11 ||
+      copy_pos_ > n || pass_ > total_passes_ || drain_bucket_ > 64 ||
+      merged_ > n) {
+    return false;
+  }
+  phase_ = static_cast<Phase>(phase);
+  if (phase_ == Phase::kCreation || phase_ == Phase::kRefinement ||
+      phase_ == Phase::kMerge) {
+    if (r->ReadU64() != source_.size()) return false;
+    for (BucketChain& chain : source_) {
+      if (!chain.LoadState(r)) return false;
+    }
+    if (r->ReadU64() != dest_.size()) return false;
+    for (BucketChain& chain : dest_) {
+      if (!chain.LoadState(r)) return false;
+    }
+    // The drain cursor must point into the bucket being drained (or be
+    // the fresh cursor when no drain is in progress).
+    if (drain_bucket_ < source_.size() &&
+        !source_[drain_bucket_].CursorValid(drain_cursor_)) {
+      return false;
+    }
+  }
+  if (phase_ == Phase::kMerge) {
+    if (!r->ReadValueVector(&final_) || final_.size() != n) return false;
+  }
+  if (phase_ == Phase::kConsolidation || phase_ == Phase::kDone) {
+    if (!r->ReadValueVector(&final_) || final_.size() != n) return false;
+    if (!btree_.LoadState(r, final_.data()) || btree_.leaf_count() != n) {
+      return false;
+    }
+    builder_ = std::make_unique<ProgressiveBTreeBuilder>(&btree_);
+    if (!builder_->LoadState(r)) return false;
+  }
+  return r->ok();
 }
 
 }  // namespace progidx

@@ -8,6 +8,7 @@
 #include "exec/batch_refine.h"
 #include "kernels/kernels.h"
 #include "parallel/primitives.h"
+#include "persist/io.h"
 
 namespace progidx {
 namespace {
@@ -126,6 +127,7 @@ size_t ProgressiveRadixsortMSD::RefineFront(size_t budget) {
     // are "immediately insert[ed] ... in sorted order into the final
     // sorted array".
     const size_t size = front.chain.size();
+    PROGIDX_CHECK(merged_ + size <= final_.size());
     front.chain.CopyTo(final_.data() + merged_);
     std::sort(final_.begin() + static_cast<int64_t>(merged_),
               final_.begin() + static_cast<int64_t>(merged_ + size));
@@ -490,6 +492,119 @@ void ProgressiveRadixsortMSD::AnswerBatch(const RangeQuery* qs, size_t count,
   pset_.Reset(qs, count);
   pset_.Scan(column_.data() + copy_pos_, n - copy_pos_);
   pset_.AccumulateInto(out);
+}
+
+void ProgressiveRadixsortMSD::SaveState(persist::Writer* w) const {
+  w->WriteU64(static_cast<uint64_t>(phase_));
+  w->WriteI64(min_);
+  w->WriteI64(max_);
+  w->WriteI64(root_shift_);
+  w->WriteU64(root_mask_);
+  w->WriteU64(copy_pos_);
+  w->WriteU64(merged_);
+  budget_.SaveState(w);
+  // Only the live machinery of the current phase: the root buckets are
+  // moved into the pending worklist when creation ends, and everything
+  // lives in final_ once refinement completes.
+  if (phase_ == Phase::kCreation) {
+    w->WriteU64(root_buckets_.size());
+    for (const BucketChain& chain : root_buckets_) chain.SaveState(w);
+  }
+  if (phase_ == Phase::kRefinement) {
+    w->WriteValueVector(final_);
+    w->WriteU64(pending_.size());
+    for (const PendingBucket& p : pending_) {
+      w->WriteI64(p.lo_value);
+      w->WriteI64(p.hi_value);
+      w->WriteI64(p.shift);
+      p.chain.SaveState(w);
+      w->WriteBool(p.splitting);
+      w->WriteU64(p.cursor.block);
+      w->WriteU64(p.cursor.offset);
+      w->WriteU64(p.children.size());
+      for (const BucketChain& child : p.children) child.SaveState(w);
+    }
+  }
+  if (phase_ == Phase::kConsolidation || phase_ == Phase::kDone) {
+    w->WriteValueVector(final_);
+    btree_.SaveState(w);
+    builder_->SaveState(w);
+  }
+}
+
+bool ProgressiveRadixsortMSD::LoadState(persist::Reader* r) {
+  const uint64_t phase = r->ReadU64();
+  if (!r->ok() || phase > static_cast<uint64_t>(Phase::kDone)) return false;
+  min_ = r->ReadI64();
+  max_ = r->ReadI64();
+  const int64_t root_shift = r->ReadI64();
+  root_mask_ = r->ReadU32();
+  copy_pos_ = r->ReadU64();
+  merged_ = r->ReadU64();
+  if (!budget_.LoadState(r)) return false;
+  const size_t n = column_.size();
+  if (min_ > max_ || root_shift < 0 || root_shift > 63 || copy_pos_ > n ||
+      merged_ > n) {
+    return false;
+  }
+  root_shift_ = static_cast<int>(root_shift);
+  phase_ = static_cast<Phase>(phase);
+  if (phase_ == Phase::kCreation) {
+    if (r->ReadU64() != root_buckets_.size()) return false;
+    for (BucketChain& chain : root_buckets_) {
+      if (!chain.LoadState(r)) return false;
+    }
+  } else {
+    // Creation's end moves every root bucket into pending_ and clears
+    // the vector; match that so recovered saves stay byte-identical.
+    root_buckets_.clear();
+  }
+  if (phase_ == Phase::kRefinement) {
+    if (!r->ReadValueVector(&final_) || final_.size() != n) return false;
+    const uint64_t pending_count = r->ReadU64();
+    if (!r->ok() || pending_count > n) return false;
+    pending_.clear();
+    for (uint64_t i = 0; i < pending_count; i++) {
+      PendingBucket p;
+      p.lo_value = r->ReadI64();
+      p.hi_value = r->ReadI64();
+      const int64_t shift = r->ReadI64();
+      if (!p.chain.LoadState(r)) return false;
+      p.splitting = r->ReadBool();
+      p.cursor.block = r->ReadU64();
+      p.cursor.offset = r->ReadU64();
+      const uint64_t child_count = r->ReadU64();
+      if (!r->ok() || p.lo_value > p.hi_value || shift < 0 || shift > 63 ||
+          child_count > 64) {
+        return false;
+      }
+      p.shift = static_cast<int>(shift);
+      // The split cursor must point into the chain being drained; an
+      // idle bucket carries the fresh cursor and no children.
+      if (p.splitting) {
+        if (!p.chain.CursorValid(p.cursor)) return false;
+      } else if (child_count != 0 || p.cursor.block != 0 ||
+                 p.cursor.offset != 0) {
+        return false;
+      }
+      for (uint64_t c = 0; c < child_count; c++) {
+        BucketChain child;
+        if (!child.LoadState(r)) return false;
+        p.children.push_back(std::move(child));
+      }
+      pending_.push_back(std::move(p));
+    }
+  }
+  if (phase_ == Phase::kConsolidation || phase_ == Phase::kDone) {
+    pending_.clear();
+    if (!r->ReadValueVector(&final_) || final_.size() != n) return false;
+    if (!btree_.LoadState(r, final_.data()) || btree_.leaf_count() != n) {
+      return false;
+    }
+    builder_ = std::make_unique<ProgressiveBTreeBuilder>(&btree_);
+    if (!builder_->LoadState(r)) return false;
+  }
+  return r->ok();
 }
 
 }  // namespace progidx

@@ -38,6 +38,16 @@ class ProgressiveRadixsortMSD : public IndexBase {
   std::string name() const override { return "P. Radixsort (MSD)"; }
   double last_predicted_cost() const override { return predicted_; }
 
+  /// Checkpointing seam (docs/recovery.md): phase, root buckets, the
+  /// pending-bucket worklist (including an in-progress split's cursor
+  /// and children), merge progress, and B+-tree build progress.
+  bool SupportsPersistence() const override { return true; }
+  const MachineConstants* machine_constants() const override {
+    return &model_.constants();
+  }
+  void SaveState(persist::Writer* w) const override;
+  bool LoadState(persist::Reader* r) override;
+
   /// Read-epoch path (docs/serving.md): converged answers are pure
   /// B+-tree lookups, race-free for concurrent readers.
   bool TryReadOnlyQuery(const RangeQuery& q, QueryResult* out) const override {

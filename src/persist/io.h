@@ -1,0 +1,131 @@
+#ifndef PROGIDX_PERSIST_IO_H_
+#define PROGIDX_PERSIST_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+// Serialization substrate of the durability layer (docs/recovery.md).
+//
+// A snapshot is a flat byte payload assembled by Writer and published
+// to disk in a CRC32-framed container:
+//
+//   magic "PIDXSNP1" (8 bytes)
+//   frame*          u32 length (<= 1 MiB) | u32 crc32(chunk) | chunk
+//   terminator      u32 0 | u32 crc32(whole payload)
+//
+// Publication is crash-atomic: the container is written to
+// `<path>.tmp`, fsync'd, renamed over `path`, and the parent directory
+// fsync'd — a reader never observes a half-written file under POSIX
+// rename semantics. Torn writes (missing terminator, short tail frame)
+// and bit flips (frame or payload CRC mismatch) are detected by Reader
+// and reported as !ok(), never as silently wrong bytes.
+//
+// This header is a leaf utility: core/ index classes include it for
+// their SaveState/LoadState implementations, so it must not depend on
+// anything above common/.
+//
+// Crash-fault seams (common/fault.h) live in Writer::Publish:
+// `fsync_fail` aborts before the data reaches disk, `crash_pre_rename`
+// leaves only the temp file (a crash between write and publish), and
+// `snapshot_torn` truncates the published file (lost tail pages after
+// a crash that beat the rename to disk but not the data).
+
+namespace progidx {
+namespace persist {
+
+/// CRC-32 (IEEE 802.3, reflected poly 0xEDB88320). `seed` chains
+/// incremental computation: pass the previous return value.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+/// Accumulates a serialization payload in memory. Every field is
+/// written as a fixed 8-byte little-endian unit (strings are padded to
+/// an 8-byte boundary), so payload bytes — and therefore the
+/// state-equality comparisons in the crash harness — are
+/// platform-stable, and value runs are always 8-byte aligned for
+/// direct typed reads out of the payload buffer.
+class Writer {
+ public:
+  void WriteU32(uint32_t v) { WriteU64(v); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteBool(bool v) { WriteU64(v ? 1 : 0); }
+  /// Bit pattern, not text: exact round trip of doubles.
+  void WriteDouble(double v);
+  void WriteString(const std::string& s);
+  /// u64 count followed by the raw values.
+  void WriteValues(const value_t* p, size_t n);
+  void WriteValueVector(const std::vector<value_t>& v) {
+    WriteValues(v.data(), v.size());
+  }
+
+  /// The raw payload accumulated so far. State equality between two
+  /// index instances is defined as equality of these bytes.
+  const std::string& payload() const { return payload_; }
+
+  /// Frames the payload and atomically publishes it at `path` (temp
+  /// file + fsync + rename + directory fsync). Returns false when an
+  /// IO error or an armed crash fault aborted publication; `path` then
+  /// still holds its previous content (or is absent) — except under
+  /// the `snapshot_torn` fault, which deliberately publishes a
+  /// truncated file and returns true so recovery must catch it.
+  bool Publish(const std::string& path) const;
+
+ private:
+  void WriteRaw(const void* p, size_t n);
+
+  std::string payload_;
+};
+
+/// Sequential reader over a validated payload. Construction via
+/// FromFile performs the full container validation up front (magic,
+/// every frame CRC, terminator, whole-payload CRC); any torn,
+/// truncated, or bit-flipped file yields ok() == false and zero
+/// readable bytes. Read past the payload end flips ok() to false and
+/// returns zeros, so loaders can read optimistically and check ok()
+/// once at the end.
+class Reader {
+ public:
+  /// Reads and validates a framed container from disk.
+  static Reader FromFile(const std::string& path);
+  /// Wraps an in-memory payload (no framing): the round-trip path used
+  /// by tests and the crash harness.
+  static Reader FromPayload(std::string payload);
+
+  bool ok() const { return ok_; }
+  /// Marks the payload invalid from the loader's side (a semantic
+  /// check failed, e.g. an impossible cursor position).
+  void MarkCorrupt() { ok_ = false; }
+
+  uint32_t ReadU32() { return static_cast<uint32_t>(ReadU64()); }
+  uint64_t ReadU64();
+  int64_t ReadI64();
+  bool ReadBool() { return ReadU64() != 0; }
+  double ReadDouble();
+  std::string ReadString();
+  /// Reads the u64 count written by WriteValues and returns a pointer
+  /// to the contiguous values inside the payload (valid while the
+  /// Reader lives), or nullptr on corruption. `*n` receives the count.
+  const value_t* ReadValueRun(size_t* n);
+  bool ReadValueVector(std::vector<value_t>* out);
+
+  /// True when the whole payload has been consumed — loaders assert
+  /// this to catch format drift between Save and Load.
+  bool AtEnd() const { return ok_ && pos_ == payload_.size(); }
+
+ private:
+  Reader() = default;
+  bool ReadRaw(void* p, size_t n);
+
+  std::string payload_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace persist
+}  // namespace progidx
+
+#endif  // PROGIDX_PERSIST_IO_H_

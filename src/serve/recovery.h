@@ -1,0 +1,71 @@
+#ifndef PROGIDX_SERVE_RECOVERY_H_
+#define PROGIDX_SERVE_RECOVERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/index_base.h"
+#include "cost/calibration.h"
+#include "storage/column.h"
+
+namespace progidx {
+namespace serve {
+
+/// What recovery found and did (docs/recovery.md). Exposed so tests
+/// and the crash harness can assert the exact recovery path taken.
+struct RecoveryStats {
+  bool snapshot_loaded = false;  ///< a snapshot passed full validation
+  uint64_t snapshot_seq = 0;     ///< sequence of the loaded snapshot
+  size_t snapshots_rejected = 0; ///< corrupt/mismatched snapshots skipped
+  uint64_t log_queries = 0;      ///< queries in the durable admitted log
+  uint64_t log_epochs = 0;       ///< epochs in the durable admitted log
+  uint64_t replayed_queries = 0; ///< log suffix replayed after the snapshot
+  bool log_tail_truncated = false;  ///< a torn tail record was dropped
+  bool log_unreadable = false;   ///< WAL had a foreign magic; ignored
+  /// This call created the directory's calibration pin (no valid pin
+  /// existed). With a non-empty log this forces a cold replay: old
+  /// snapshots carry the lost pin's fingerprint and are rejected.
+  bool calibration_pinned_now = false;
+};
+
+/// Deterministic crash recovery for one served index over `column` in
+/// persistence directory `dir`:
+///
+///   1. Read the durable admitted log, truncating any torn tail.
+///   2. Pin-or-load the directory's machine-constant calibration
+///      (persist/calibration_store.h). `make_fresh` receives the
+///      pinned constants and must construct every instance from them
+///      (ProgressiveOptions::machine), so replay in this process runs
+///      the exact budget arithmetic of the crashed one.
+///   3. Walk snapshots newest-first; load the first that passes full
+///      validation into a *fresh* instance from `make_fresh` (a failed
+///      load discards the partial instance — fallback is an older
+///      snapshot, then a cold start). A snapshot whose recorded
+///      calibration fingerprint does not match the pin is rejected
+///      like a corrupt file: extending it under different constants
+///      would pause refinement at different cursors than the crashed
+///      server did. Fingerprint 0 (no cost model) always matches.
+///   4. Replay the log suffix the snapshot does not cover through
+///      QueryBatch in the recorded epoch sizes.
+///
+/// Because the serving layer admits queries in a durable order and
+/// writes the log ahead of executing each epoch, the returned index is
+/// bit-identical (SaveState payload bytes) to an uninterrupted run
+/// over the same log — the Silo/SiloR recovery argument.
+///
+/// A snapshot claiming to cover more of the log than exists, or a
+/// prefix that does not land on an epoch boundary, is rejected like a
+/// corrupt file. Indexes without persistence support skip straight to
+/// cold replay of the whole log.
+std::unique_ptr<IndexBase> RecoverIndex(
+    const std::string& dir, const Column& column,
+    const std::function<std::unique_ptr<IndexBase>(const MachineConstants&)>&
+        make_fresh,
+    RecoveryStats* stats);
+
+}  // namespace serve
+}  // namespace progidx
+
+#endif  // PROGIDX_SERVE_RECOVERY_H_

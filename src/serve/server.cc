@@ -1,11 +1,17 @@
 #include "serve/server.h"
 
+#include <sys/stat.h>
+
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/env.h"
 #include "common/validate.h"
 #include "exec/query_batch.h"
 #include "exec/zero_budget_scan.h"
+#include "persist/calibration_store.h"
+#include "persist/wal.h"
 
 namespace progidx {
 namespace serve {
@@ -13,7 +19,12 @@ namespace serve {
 namespace {
 
 std::chrono::steady_clock::time_point DeadlineFor(uint64_t deadline_us) {
-  if (deadline_us == 0) return std::chrono::steady_clock::time_point::max();
+  if (deadline_us == ServerConfig::kNoDeadline) {
+    return std::chrono::steady_clock::time_point::max();
+  }
+  // deadline_us == 0 yields an already-expired deadline: admission
+  // still succeeds when there is space, but the query degrades to the
+  // exact zero-budget scan at epoch formation.
   return std::chrono::steady_clock::now() +
          std::chrono::microseconds(deadline_us);
 }
@@ -22,9 +33,17 @@ std::chrono::steady_clock::time_point DeadlineFor(uint64_t deadline_us) {
 
 ServerConfig ServerConfig::FromEnv() {
   ServerConfig cfg;
-  cfg.deadline_us = static_cast<uint64_t>(env::BoundedSizeFromEnv(
-      "PROGIDX_DEADLINE_US", 0, static_cast<size_t>(1) << 40, 0,
-      "per-query deadline in microseconds", "no deadline"));
+  // SIZE_MAX doubles as the "unset" sentinel: an explicit 0 means an
+  // immediately-expiring deadline, absence means no deadline at all.
+  const size_t us = env::BoundedSizeFromEnv(
+      "PROGIDX_DEADLINE_US", 0, static_cast<size_t>(1) << 40, SIZE_MAX,
+      "per-query deadline in microseconds", "no deadline");
+  cfg.deadline_us = us == SIZE_MAX ? kNoDeadline : static_cast<uint64_t>(us);
+  const char* dir = std::getenv("PROGIDX_PERSIST_DIR");
+  if (dir != nullptr && dir[0] != '\0') cfg.persist_dir = dir;
+  cfg.checkpoint_every = env::BoundedSizeFromEnv(
+      "PROGIDX_CHECKPOINT_EVERY", 1, static_cast<size_t>(1) << 20, 8,
+      "write epochs between snapshots", nullptr);
   return cfg;
 }
 
@@ -44,7 +63,48 @@ Server::Server(IndexBase* index, const Column& column, ServerConfig config)
            "serve: batch size exceeds column size");
   CheckArg(!config.exact_batches || config.batch_size <= config.queue_capacity,
            "serve: exact batches need batch size <= queue capacity");
+  CheckArg(config.persist_dir.empty() || config.checkpoint_every > 0,
+           "serve: checkpoint interval must be > 0");
+  if (!config_.persist_dir.empty()) SetUpDurability();
   scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
+void Server::SetUpDurability() {
+  const std::string& dir = config_.persist_dir;
+  ::mkdir(dir.c_str(), 0777);  // EEXIST is the common case
+  // Re-validate the log even though recovery normally ran first: a
+  // foreign file must never be appended to, and a torn tail (crash
+  // without a recovery pass) must be dropped before the next record.
+  std::vector<persist::WalEpoch> epochs;
+  bool torn = false;
+  if (!persist::ReadWal(dir + "/wal", &epochs, &torn) ||
+      !wal_.Open(dir + "/wal")) {
+    if (env::WarnOnce("serve-persist-dir")) {
+      std::fprintf(stderr,
+                   "progidx: PROGIDX_PERSIST_DIR %s unusable; serving "
+                   "without durability\n",
+                   dir.c_str());
+    }
+    return;
+  }
+  for (const persist::WalEpoch& e : epochs) wal_queries_ += e.queries.size();
+  durable_queries_.store(wal_queries_, std::memory_order_relaxed);
+  if (index_->SupportsPersistence()) {
+    checkpointer_ = std::make_unique<persist::Checkpointer>(dir, column_);
+  }
+  // Publish this directory's calibration pin if it has none yet
+  // (first server wins), and stamp snapshots with the fingerprint of
+  // the constants index_ *actually* runs on. In the intended flow the
+  // caller built index_ from the pin (serve::RecoverIndex), so the two
+  // match; if a caller bypassed that, the mismatch makes recovery
+  // reject this server's snapshots rather than extend them under a
+  // different trajectory.
+  if (const MachineConstants* mc = index_->machine_constants()) {
+    MachineConstants pinned = *mc;
+    persist::PinOrLoadCalibration(dir, &pinned);
+    calibration_crc_ = persist::CalibrationFingerprint(*mc);
+  }
+  persist_enabled_ = true;
 }
 
 Server::~Server() {
@@ -157,7 +217,19 @@ void Server::SchedulerLoop() {
   for (;;) {
     if (queue_.PopBatch(&batch, config_.batch_size, config_.exact_batches) ==
         0) {
-      return;  // closed and drained
+      // Closed and drained: one last snapshot so a clean shutdown
+      // recovers without replay.
+      if (persist_enabled_ && !wal_.broken() && checkpointer_ != nullptr &&
+          epochs_since_ckpt_ > 0) {
+        persist::SnapshotMeta meta;
+        meta.applied_queries = wal_queries_;
+        meta.epochs = write_epochs_.load(std::memory_order_relaxed);
+        meta.calibration_crc = calibration_crc_;
+        if (checkpointer_->Save(*index_, meta)) {
+          checkpoints_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      return;
     }
     // Under kWorkerStall the scheduler itself occasionally stalls
     // before an epoch — the serving layer must absorb it as latency,
@@ -177,6 +249,19 @@ void Server::SchedulerLoop() {
       qs.push_back(slot->query);
     }
     if (!qs.empty()) {
+      if (persist_enabled_ && !wal_.broken()) {
+        // Write-ahead: the epoch is durably promised before it
+        // executes, so the index state is always ≤ one epoch ahead of
+        // nothing — a pure function of the durable log. A failed
+        // append freezes the log (and checkpointing) at its valid
+        // prefix; serving continues undegraded.
+        if (wal_.AppendEpoch(wal_queries_, qs.data(), qs.size())) {
+          wal_queries_ += qs.size();
+          durable_queries_.store(wal_queries_, std::memory_order_relaxed);
+        } else {
+          wal_broken_.store(true, std::memory_order_relaxed);
+        }
+      }
       rs.resize(qs.size());
       index_->QueryBatch(qs.data(), qs.size(), rs.data());
       write_epochs_.fetch_add(1, std::memory_order_relaxed);
@@ -194,6 +279,21 @@ void Server::SchedulerLoop() {
       for (size_t i = 0; i < live.size(); ++i) {
         live[i]->Complete(ServeSlot::State::kServed, rs[i]);
       }
+      // Snapshot after waking the epoch's clients: checkpoint cost is
+      // scheduler time, not client latency. Only while the WAL is
+      // healthy — a snapshot must never cover queries the durable log
+      // lost.
+      if (persist_enabled_ && !wal_.broken() && checkpointer_ != nullptr &&
+          ++epochs_since_ckpt_ >= config_.checkpoint_every) {
+        persist::SnapshotMeta meta;
+        meta.applied_queries = wal_queries_;
+        meta.epochs = write_epochs_.load(std::memory_order_relaxed);
+        meta.calibration_crc = calibration_crc_;
+        if (checkpointer_->Save(*index_, meta)) {
+          checkpoints_.fetch_add(1, std::memory_order_relaxed);
+        }
+        epochs_since_ckpt_ = 0;
+      }
     }
   }
 }
@@ -207,6 +307,9 @@ ServeStats Server::stats() const {
   s.read_epoch = read_epoch_.load(std::memory_order_relaxed);
   s.write_epochs = write_epochs_.load(std::memory_order_relaxed);
   s.faults_injected = fault::InjectedCount() - faults_at_start_;
+  s.durable_queries = durable_queries_.load(std::memory_order_relaxed);
+  s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  s.wal_broken = wal_broken_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -11,6 +12,8 @@
 #include "common/fault.h"
 #include "common/types.h"
 #include "core/index_base.h"
+#include "persist/checkpoint.h"
+#include "persist/wal.h"
 #include "serve/admission_queue.h"
 #include "storage/column.h"
 
@@ -22,13 +25,27 @@ namespace serve {
 /// exec::kMaxBatchSize or the column size, and exact batches larger
 /// than the queue are rejected with a clear error.
 struct ServerConfig {
+  /// deadline_us value meaning "no deadline" (the default).
+  static constexpr uint64_t kNoDeadline = ~uint64_t{0};
+
   /// Admission-queue capacity: the backpressure bound.
   size_t queue_capacity = 64;
   /// Write-epoch batch size: how many admitted queries one
   /// IndexBase::QueryBatch call serves (one budget per epoch).
   size_t batch_size = 16;
-  /// Per-query deadline in microseconds; 0 disables deadlines.
-  uint64_t deadline_us = 0;
+  /// Per-query deadline in microseconds; kNoDeadline disables
+  /// deadlines. 0 is a real (already-expired) deadline: every query
+  /// degrades immediately to the exact zero-budget scan — the
+  /// "serve exactly, never wait" extreme.
+  uint64_t deadline_us = kNoDeadline;
+  /// Durability (docs/recovery.md): when non-empty, the scheduler
+  /// write-ahead-logs every epoch to `<persist_dir>/wal` and publishes
+  /// a crash-atomic index snapshot every `checkpoint_every` epochs.
+  /// Pass an index produced by serve::RecoverIndex over the same
+  /// directory, or an empty directory for a fresh serving run.
+  std::string persist_dir;
+  /// Write epochs between snapshots when persist_dir is set.
+  size_t checkpoint_every = 8;
   /// When set, write epochs only form full batches (the epoch schedule
   /// is then a pure function of admission order — the determinism
   /// harness uses this). The submitted count must be a multiple of
@@ -40,7 +57,8 @@ struct ServerConfig {
   /// whole workload.
   bool enable_read_epochs = true;
 
-  /// Reads PROGIDX_DEADLINE_US on top of the defaults.
+  /// Reads PROGIDX_DEADLINE_US, PROGIDX_PERSIST_DIR, and
+  /// PROGIDX_CHECKPOINT_EVERY on top of the defaults.
   static ServerConfig FromEnv();
 };
 
@@ -66,6 +84,12 @@ struct ServeStats {
   uint64_t read_epoch = 0;   ///< answered on the lock-free read path
   uint64_t write_epochs = 0; ///< QueryBatch calls issued
   uint64_t faults_injected = 0;  ///< fault::InjectedCount() delta
+  uint64_t durable_queries = 0;  ///< queries in the durable admitted log
+  uint64_t checkpoints = 0;      ///< snapshots published this run
+  /// True once a WAL append failed: the durable log is frozen at its
+  /// valid prefix and no further checkpoints are taken (serving
+  /// continues — durability degrades, answers never do).
+  bool wal_broken = false;
 };
 
 /// Concurrent serving layer over one shared progressive index
@@ -145,6 +169,10 @@ class Server {
   Response Degrade(const RangeQuery& q);
   /// Read-epoch fast path; true when answered.
   bool TryReadEpoch(const RangeQuery& q, Response* out);
+  /// Opens the WAL and checkpointer under config_.persist_dir;
+  /// disables durability (with a warn-once) when the directory or its
+  /// log is unusable.
+  void SetUpDurability();
 
   IndexBase* const index_;
   const Column& column_;
@@ -168,6 +196,22 @@ class Server {
   mutable std::mutex log_m_;
   std::vector<RangeQuery> admitted_log_;
   std::vector<size_t> epoch_sizes_;
+
+  /// Durability state (docs/recovery.md). Written by the scheduler
+  /// thread only, after construction; the atomics mirror the counters
+  /// for stats() readers.
+  bool persist_enabled_ = false;
+  persist::WalWriter wal_;
+  std::unique_ptr<persist::Checkpointer> checkpointer_;
+  uint64_t wal_queries_ = 0;       ///< queries durably logged so far
+  size_t epochs_since_ckpt_ = 0;
+  /// Fingerprint of the machine constants index_ actually runs on
+  /// (0 when it has no cost model); stamped into every snapshot so
+  /// recovery can refuse to extend a snapshot under a different pin.
+  uint64_t calibration_crc_ = 0;
+  std::atomic<uint64_t> durable_queries_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<bool> wal_broken_{false};
 
   std::thread scheduler_;
 };

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "kernels/kernels.h"
+#include "persist/io.h"
 
 namespace progidx {
 
@@ -68,6 +69,31 @@ void BucketChain::Clear() {
   blocks_.clear();
   tail_ = nullptr;
   size_ = 0;
+}
+
+void BucketChain::SaveState(persist::Writer* w) const {
+  w->WriteU64(block_capacity_);
+  w->WriteU64(size_);
+  for (const auto& block : blocks_) {
+    w->WriteValues(block->values.get(), block->count);
+  }
+}
+
+bool BucketChain::LoadState(persist::Reader* r) {
+  const size_t capacity = r->ReadU64();
+  const size_t total = r->ReadU64();
+  if (!r->ok() || capacity == 0) return false;
+  Clear();
+  block_capacity_ = capacity;
+  size_t loaded = 0;
+  while (loaded < total) {
+    size_t n = 0;
+    const value_t* run = r->ReadValueRun(&n);
+    if (run == nullptr || n == 0 || loaded + n > total) return false;
+    AppendRun(run, n);
+    loaded += n;
+  }
+  return r->ok();
 }
 
 void ScatterToChains(const value_t* src, size_t n, value_t base, int shift,

@@ -11,6 +11,11 @@
 
 namespace progidx {
 
+namespace persist {
+class Writer;
+class Reader;
+}  // namespace persist
+
 /// A bucket implemented as a linked list of fixed-size memory blocks,
 /// exactly as §3.2 ("Bucket Layout") describes: appending allocates a
 /// new block every `block_capacity` elements, which costs τ in the cost
@@ -134,6 +139,26 @@ class BucketChain {
   /// RangeSum over the not-yet-drained suffix starting at `cursor`,
   /// without advancing it; block-wise through the dispatched kernel.
   QueryResult RangeSumFrom(const Cursor& cursor, const RangeQuery& q) const;
+
+  /// Serializes block capacity + contents in append order
+  /// (docs/recovery.md). Because every block except the tail is always
+  /// full, reloading through AppendRun reproduces the block geometry
+  /// exactly, so saved Cursors remain valid against the reloaded chain.
+  void SaveState(persist::Writer* w) const;
+  /// Replaces this chain's contents with state saved by SaveState
+  /// (adopting the saved block capacity). Returns false on a corrupt
+  /// payload.
+  bool LoadState(persist::Reader* r);
+
+  /// True when `cursor` is a position this chain could yield: within
+  /// bounds and normalized (never resting at the end of a block).
+  /// Loaders validate deserialized cursors with this before use.
+  bool CursorValid(const Cursor& cursor) const {
+    if (cursor.block >= blocks_.size()) {
+      return cursor.block == blocks_.size() && cursor.offset == 0;
+    }
+    return cursor.offset < blocks_[cursor.block]->count;
+  }
 
   /// Invokes `fn(value)` for every element from `cursor` (inclusive) to
   /// the end, without advancing the cursor. Used to answer queries over

@@ -112,7 +112,22 @@ TEST_P(ProgressiveExtremeBudgetTest, TinyFixedDeltaStaysCorrect) {
 
 TEST_P(ProgressiveExtremeBudgetTest, DeltaOneConvergesQuickly) {
   const Column column = MakeUniformColumn(5000, 9);
-  auto index = MakeIndex(GetParam(), column, BudgetSpec::FixedDelta(1.0));
+  // Synthetic machine constants: the measured ones vary with ambient
+  // load and steer the budget → work-unit conversion, so the
+  // convergence count is only deterministic when they are pinned.
+  MachineConstants mc;
+  mc.seq_read_secs = 1e-9;
+  mc.seq_write_secs = 2e-9;
+  mc.random_access_secs = 5e-8;
+  mc.swap_secs = 3e-9;
+  mc.alloc_secs = 1e-7;
+  mc.bucket_scan_secs = 2e-9;
+  mc.bucket_append_secs = 3e-9;
+  mc.batch_lookup_secs = 1e-9;
+  ProgressiveOptions options;
+  options.machine = &mc;
+  auto index =
+      MakeIndex(GetParam(), column, BudgetSpec::FixedDelta(1.0), options);
   FullScan oracle(column);
   int queries = 0;
   while (!index->converged()) {

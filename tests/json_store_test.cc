@@ -93,6 +93,30 @@ TEST(JsonStoreTest, GarbageContentIsBackedUp) {
   EXPECT_EQ(ReadFile(path + ".bak"), "not json at all");
 }
 
+TEST(JsonStoreTest, RepeatedCorruptionKeepsEveryBackup) {
+  // A second corruption event must not clobber the first event's
+  // backup: the suffixes number upward (.bak, .bak.1, .bak.2, …).
+  const std::string path = TempPath("json_store_repeat.json");
+  std::remove((path + ".bak").c_str());
+  std::remove((path + ".bak.1").c_str());
+  std::remove((path + ".bak.2").c_str());
+
+  WriteFile(path, "first corruption");
+  EXPECT_TRUE(ReadJsonSections(path.c_str()).empty());
+  WriteFile(path, "second corruption");
+  EXPECT_TRUE(ReadJsonSections(path.c_str()).empty());
+  WriteFile(path, "third corruption");
+  EXPECT_TRUE(ReadJsonSections(path.c_str()).empty());
+
+  EXPECT_EQ(ReadFile(path + ".bak"), "first corruption");
+  EXPECT_EQ(ReadFile(path + ".bak.1"), "second corruption");
+  EXPECT_EQ(ReadFile(path + ".bak.2"), "third corruption");
+
+  std::remove((path + ".bak").c_str());
+  std::remove((path + ".bak.1").c_str());
+  std::remove((path + ".bak.2").c_str());
+}
+
 TEST(JsonStoreTest, WhitespaceOnlyFileIsFreshNotCorrupt) {
   const std::string path = TempPath("json_store_blank.json");
   const std::string bak = path + ".bak";

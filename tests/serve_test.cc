@@ -6,6 +6,7 @@
 // query is answered exactly.
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -206,6 +207,154 @@ TEST(ServeTest, DeadlineExpiryDegradesToExactScan) {
   EXPECT_GT(stats.degraded, 0u) << "1us deadline should expire some queries";
   EXPECT_EQ(stats.served + stats.degraded + stats.read_epoch,
             stats.submitted);
+}
+
+TEST(ServeTest, DeadlineZeroDegradesEveryQueryImmediately) {
+  // deadline_us = 0 is a *real* deadline that has already expired at
+  // submit time — not "no deadline" (that is kNoDeadline, the default).
+  // Every query must degrade to the exact zero-budget scan without ever
+  // reaching a write epoch: the "serve exactly, never wait" extreme.
+  const Column column = MakeUniformColumn(20000, 61);
+  const auto workload = WorkloadGenerator::Generate(
+      WorkloadPattern::kRandom, column.min_value(), column.max_value(), 64,
+      0.1, 67);
+  auto index = MakeIndex("pq", column, BudgetSpec::FixedDelta(0.1));
+  serve::ServerConfig cfg;
+  cfg.deadline_us = 0;
+  cfg.enable_read_epochs = false;
+  serve::Server server(index.get(), column, cfg);
+  for (const RangeQuery& q : workload) {
+    const serve::Response r = server.Submit(q);
+    EXPECT_TRUE(r.degraded);
+    EXPECT_EQ(r.result, exec::ZeroBudgetScan(column, q));
+  }
+  const serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.degraded, stats.submitted);
+  EXPECT_EQ(stats.served, 0u);
+}
+
+TEST(ServeTest, DeadlineExpiresWhileBlockedInAdmit) {
+  // A 1-deep queue under several clients forces submitters to block
+  // *inside* AdmissionQueue::Admit waiting for space; a short deadline
+  // then expires on that wait (AdmitResult::kExpired), and the client
+  // must answer itself — exactly. The large column + tiny delta keeps
+  // each epoch slow enough that the queue stays full.
+  constexpr size_t kClients = 4;
+  constexpr size_t kPerClient = 25;
+  const Column column = MakeUniformColumn(400000, 71);
+  const auto workload = WorkloadGenerator::Generate(
+      WorkloadPattern::kRandom, column.min_value(), column.max_value(),
+      kClients * kPerClient, 0.1, 73);
+  auto index = MakeIndex("pq", column, BudgetSpec::FixedDelta(0.01));
+  serve::ServerConfig cfg;
+  cfg.queue_capacity = 1;
+  cfg.batch_size = 1;
+  cfg.deadline_us = 200;
+  cfg.enable_read_epochs = false;
+  serve::Server server(index.get(), column, cfg);
+  std::atomic<size_t> wrong{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = 0; i < kPerClient; ++i) {
+        const RangeQuery& q = workload[c * kPerClient + i];
+        const serve::Response r = server.Submit(q);
+        if (!(r.result == exec::ZeroBudgetScan(column, q))) wrong++;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(wrong.load(), 0u);
+  const serve::ServeStats stats = server.stats();
+  EXPECT_GT(stats.degraded, 0u)
+      << "queue_capacity=1 under 4 clients must expire some admits";
+  EXPECT_EQ(stats.served + stats.degraded + stats.read_epoch,
+            stats.submitted);
+}
+
+TEST(ServeTest, DeadlineAndQueueFullFaultComposeExactly) {
+  // Deadlines and injected admission refusals armed *together*: both
+  // degradation causes are live at once, and every query must still
+  // come back exact with the accounting closed.
+  FaultModeGuard guard(fault::Mode::kQueueFull);
+  constexpr size_t kClients = 4;
+  constexpr size_t kPerClient = 25;
+  const Column column = MakeUniformColumn(200000, 79);
+  const auto workload = WorkloadGenerator::Generate(
+      WorkloadPattern::kRandom, column.min_value(), column.max_value(),
+      kClients * kPerClient, 0.1, 83);
+  auto index = MakeIndex("pq", column, BudgetSpec::FixedDelta(0.02));
+  serve::ServerConfig cfg;
+  cfg.batch_size = 4;
+  cfg.deadline_us = 500;
+  serve::Server server(index.get(), column, cfg);
+  std::atomic<size_t> wrong{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = 0; i < kPerClient; ++i) {
+        const RangeQuery& q = workload[c * kPerClient + i];
+        const serve::Response r = server.Submit(q);
+        if (!(r.result == exec::ZeroBudgetScan(column, q))) wrong++;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(wrong.load(), 0u);
+  const serve::ServeStats stats = server.stats();
+  EXPECT_GT(stats.degraded, 0u);
+  EXPECT_GT(stats.faults_injected, 0u) << "queue_full seam never fired";
+  EXPECT_EQ(stats.served + stats.degraded + stats.read_epoch,
+            stats.submitted);
+}
+
+TEST(ServeTest, CloseRacingOrderedAdmitsNeverWedges) {
+  // Regression test for AdmissionQueue::Close racing AdmitOrdered:
+  // tickets in flight when the queue closes — waiting for their turn,
+  // or for space — must resolve as kClosed (the caller then answers
+  // itself, mirroring Server::Degrade) or complete normally; none may
+  // wedge. Run under the TSan lane, this also proves the close/admit
+  // handshake race-free. Several rounds vary where Close lands.
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 25;
+  for (int round = 0; round < 4; ++round) {
+    serve::AdmissionQueue queue(4);
+    std::atomic<uint64_t> next_ticket{0};
+    std::atomic<size_t> served{0};
+    std::atomic<size_t> refused{0};
+    std::thread popper([&] {
+      std::vector<serve::ServeSlot*> batch;
+      while (queue.PopBatch(&batch, 3, /*exact=*/false) > 0) {
+        for (serve::ServeSlot* s : batch) {
+          s->Complete(serve::ServeSlot::State::kServed, QueryResult{});
+        }
+      }
+    });
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kThreads; ++c) {
+      clients.emplace_back([&] {
+        for (size_t i = 0; i < kPerThread; ++i) {
+          const uint64_t ticket = next_ticket.fetch_add(1);
+          serve::ServeSlot slot;
+          slot.query = RangeQuery{0, 1};
+          if (queue.AdmitOrdered(ticket, &slot) ==
+              serve::AdmitResult::kAdmitted) {
+            slot.Wait();
+            served++;
+          } else {
+            refused++;  // kClosed or fault-refused: caller resolves
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100 * (round + 1)));
+    queue.Close();
+    for (std::thread& t : clients) t.join();
+    popper.join();
+    // The joins completing *is* the regression assertion; the ledger
+    // must balance on top.
+    EXPECT_EQ(served.load() + refused.load(), kThreads * kPerThread);
+  }
 }
 
 TEST(ServeTest, OverloadShedsInsteadOfBlocking) {
