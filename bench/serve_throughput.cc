@@ -39,6 +39,8 @@
 #include "common/env.h"
 #include "common/timer.h"
 #include "eval/registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/calibration_store.h"
 #include "persist/checkpoint.h"
 #include "persist/wal.h"
@@ -67,33 +69,25 @@ struct ServeRow {
   double replay_ms = 0;        ///< checkpoint: cold replay of the log
 };
 
-double PercentileUs(std::vector<double>* lat, double p) {
-  if (lat->empty()) return 0;
-  std::sort(lat->begin(), lat->end());
-  const size_t i = std::min(
-      lat->size() - 1,
-      static_cast<size_t>(p * static_cast<double>(lat->size() - 1)));
-  return (*lat)[i];
-}
-
 /// One throughput point: `clients` threads drive `per_client` blocking
-/// submits each against a fresh index behind a fresh server.
+/// submits each against a fresh index behind a fresh server. Latency
+/// quantiles come from the shared obs histogram (bench::LatencyRecorder)
+/// — the same bucket layout Server::DumpMetrics exposes.
 ServeRow RunThroughput(const std::string& index_id, const Column& column,
                        const std::vector<RangeQuery>& queries, size_t clients,
                        size_t per_client, const serve::ServerConfig& config) {
   auto index = MakeIndex(index_id, column, BudgetSpec::FixedDelta(0.05));
   serve::Server server(index.get(), column, config);
-  std::vector<std::vector<double>> lat(clients);
+  std::vector<bench::LatencyRecorder> lat(clients);
   std::vector<std::thread> threads;
   Timer timer;
   for (size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      lat[c].reserve(per_client);
       for (size_t i = 0; i < per_client; ++i) {
         const RangeQuery& q = queries[(c * per_client + i) % queries.size()];
         Timer t;
         server.Submit(q);
-        lat[c].push_back(t.ElapsedSeconds() * 1e6);
+        lat[c].RecordNs(t.ElapsedNanos());
       }
     });
   }
@@ -101,8 +95,8 @@ ServeRow RunThroughput(const std::string& index_id, const Column& column,
   const double secs = timer.ElapsedSeconds();
   const serve::ServeStats stats = server.stats();
 
-  std::vector<double> all;
-  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  bench::LatencyRecorder all;
+  for (const bench::LatencyRecorder& r : lat) all.MergeFrom(r);
   ServeRow row;
   row.index_id = index_id;
   row.mode = "throughput";
@@ -110,8 +104,8 @@ ServeRow RunThroughput(const std::string& index_id, const Column& column,
   row.queries = clients * per_client;
   row.queries_per_sec =
       secs > 0 ? static_cast<double>(row.queries) / secs : 0;
-  row.p50_us = PercentileUs(&all, 0.50);
-  row.p99_us = PercentileUs(&all, 0.99);
+  row.p50_us = all.PercentileUs(0.50);
+  row.p99_us = all.PercentileUs(0.99);
   const double total = static_cast<double>(stats.submitted);
   row.degraded_frac = total > 0 ? static_cast<double>(stats.degraded) / total
                                 : 0;
@@ -178,7 +172,7 @@ ServeRow RunOpenLoop(const std::string& index_id, const Column& column,
       std::max<size_t>(1, static_cast<size_t>(qps * window_secs));
   constexpr size_t kWorkers = 8;
   std::atomic<size_t> next{0};
-  std::vector<std::vector<double>> lat(kWorkers);
+  std::vector<bench::LatencyRecorder> lat(kWorkers);
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   Timer timer;
@@ -192,9 +186,9 @@ ServeRow RunOpenLoop(const std::string& index_id, const Column& column,
                         1e9 * static_cast<double>(i) / qps));
         std::this_thread::sleep_until(scheduled);
         server.Submit(queries[i % queries.size()]);
-        lat[w].push_back(std::chrono::duration<double, std::micro>(
-                             std::chrono::steady_clock::now() - scheduled)
-                             .count());
+        lat[w].RecordSecs(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - scheduled)
+                              .count());
       }
     });
   }
@@ -202,8 +196,8 @@ ServeRow RunOpenLoop(const std::string& index_id, const Column& column,
   const double secs = timer.ElapsedSeconds();
   const serve::ServeStats stats = server.stats();
 
-  std::vector<double> all;
-  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  bench::LatencyRecorder all;
+  for (const bench::LatencyRecorder& r : lat) all.MergeFrom(r);
   ServeRow row;
   row.index_id = index_id;
   row.mode = "open_loop";
@@ -211,8 +205,8 @@ ServeRow RunOpenLoop(const std::string& index_id, const Column& column,
   row.queries = total;
   row.offered_qps = qps;
   row.queries_per_sec = secs > 0 ? static_cast<double>(total) / secs : 0;
-  row.p50_us = PercentileUs(&all, 0.50);
-  row.p99_us = PercentileUs(&all, 0.99);
+  row.p50_us = all.PercentileUs(0.50);
+  row.p99_us = all.PercentileUs(0.99);
   const double submitted = static_cast<double>(stats.submitted);
   row.degraded_frac =
       submitted > 0 ? static_cast<double>(stats.degraded) / submitted : 0;
@@ -278,6 +272,65 @@ ServeRow RunCheckpoint(const std::string& index_id, const Column& column,
   return row;
 }
 
+/// Telemetry overhead, measured (docs/observability.md "Overhead
+/// budget"): the same blocking-throughput point under three telemetry
+/// configurations — everything off, metrics on / tracing off (the
+/// production default this code ships with), and metrics + tracing on.
+/// Best-of-3 q/s per config so scheduler noise does not masquerade as
+/// overhead. The budget line is tracing-off: metrics-on q/s must be
+/// within 2% of telemetry-off q/s.
+struct ObsOverhead {
+  size_t clients = 0;
+  size_t queries = 0;
+  double qps_off = 0;
+  double qps_metrics = 0;
+  double qps_trace = 0;
+  /// (qps_off - qps_metrics) / qps_off; negative values are run noise.
+  double tracing_off_overhead_frac = 0;
+};
+
+ObsOverhead RunObsOverhead(const std::string& index_id, const Column& column,
+                           const std::vector<RangeQuery>& queries,
+                           size_t clients, size_t per_client,
+                           const serve::ServerConfig& config) {
+  auto best_of_3 = [&] {
+    double best = 0;
+    for (int rep = 0; rep < 3; rep++) {
+      best = std::max(best, RunThroughput(index_id, column, queries, clients,
+                                          per_client, config)
+                                .queries_per_sec);
+    }
+    return best;
+  };
+
+  ObsOverhead o;
+  o.clients = clients;
+  o.queries = clients * per_client;
+  const bool metrics_before = obs::MetricsEnabled();
+  const bool trace_before = obs::TracingEnabled();
+  const std::string path_before = obs::TracePath();
+
+  obs::SetMetricsEnabledForTesting(false);
+  if (trace_before) obs::DisableTracing();
+  o.qps_off = best_of_3();
+
+  obs::SetMetricsEnabledForTesting(true);
+  o.qps_metrics = best_of_3();
+
+  const std::string trace_path = "/tmp/progidx_bench_overhead_trace.json";
+  obs::EnableTracing(trace_path);
+  o.qps_trace = best_of_3();
+  obs::FlushTrace();
+  obs::DisableTracing();
+  std::remove(trace_path.c_str());
+
+  obs::SetMetricsEnabledForTesting(metrics_before);
+  if (trace_before) obs::EnableTracing(path_before);
+  o.tracing_off_overhead_frac =
+      o.qps_off > 0 ? (o.qps_off - o.qps_metrics) / o.qps_off : 0;
+  return o;
+}
+
 void PrintRows(const std::vector<ServeRow>& rows) {
   std::printf("%-6s %-10s %8s %8s %12s %9s %9s %6s %9s %6s\n", "index",
               "mode", "clients", "queries", "q/s", "p50us", "p99us", "shed",
@@ -341,6 +394,28 @@ void WriteServingJson(const char* path, const std::vector<ServeRow>& rows) {
   std::printf("serving rows -> %s\n", path);
 }
 
+/// Merges the `observability` overhead row into BENCH_kernels.json.
+void WriteObservabilityJson(const char* path, const std::string& index_id,
+                            const ObsOverhead& o) {
+  std::vector<bench::JsonSection> sections = bench::ReadJsonSections(path);
+  std::string raw = "[\n";
+  bench::AppendF(
+      &raw,
+      "    {\"index\": \"%s\", \"clients\": %zu, \"queries\": %zu, "
+      "\"qps_telemetry_off\": %.1f, \"qps_metrics_on\": %.1f, "
+      "\"qps_metrics_and_trace_on\": %.1f, "
+      "\"tracing_off_overhead_frac\": %.4f, \"budget_frac\": 0.02}\n",
+      index_id.c_str(), o.clients, o.queries, o.qps_off, o.qps_metrics,
+      o.qps_trace, o.tracing_off_overhead_frac);
+  raw += "  ]";
+  bench::UpsertJsonSection(&sections, "observability", std::move(raw));
+  if (!bench::WriteJsonSections(path, sections)) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::printf("observability row -> %s\n", path);
+}
+
 }  // namespace
 }  // namespace progidx
 
@@ -400,5 +475,17 @@ int main(int argc, char** argv) {
   }
   PrintRows(rows);
   WriteServingJson(cli.GetString("json").c_str(), rows);
+
+  // Telemetry overhead rows (docs/observability.md): three configs at
+  // a fixed client count, best-of-3 each.
+  const ObsOverhead o =
+      RunObsOverhead(index_id, column, queries, /*clients=*/4, per_client,
+                     config);
+  std::printf(
+      "observability: off=%.1f q/s metrics=%.1f q/s metrics+trace=%.1f q/s "
+      "tracing-off overhead=%.2f%% (budget 2%%)\n",
+      o.qps_off, o.qps_metrics, o.qps_trace,
+      o.tracing_off_overhead_frac * 100);
+  WriteObservabilityJson(cli.GetString("json").c_str(), index_id, o);
   return 0;
 }

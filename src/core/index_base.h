@@ -58,6 +58,13 @@ class IndexBase {
   /// converge only if the workload happens to fully refine them.
   virtual bool converged() const = 0;
 
+  /// Coarse progress toward convergence in [0, 1], for telemetry only
+  /// (Server::DumpMetrics). Progressive techniques report a
+  /// phase-weighted estimate from their refinement cursors; the
+  /// default collapses to the converged() bit. Never used in any
+  /// execution decision, so its precision does not affect results.
+  virtual double ConvergenceFraction() const { return converged() ? 1.0 : 0.0; }
+
   /// Answers `q` against the current structure without performing any
   /// indexing work or writing any state — not even mutable scratch — so
   /// any number of threads may call it concurrently as long as no

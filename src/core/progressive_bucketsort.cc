@@ -485,10 +485,50 @@ bool ProgressiveBucketsort::LoadState(persist::Reader* r) {
   return r->ok();
 }
 
+namespace {
+const char* PbPhaseName(ProgressiveBucketsort::Phase p) {
+  switch (p) {
+    case ProgressiveBucketsort::Phase::kCreation: return "creation";
+    case ProgressiveBucketsort::Phase::kRefinement: return "refinement";
+    case ProgressiveBucketsort::Phase::kConsolidation: return "consolidation";
+    case ProgressiveBucketsort::Phase::kDone: return "done";
+  }
+  return "unknown";
+}
+}  // namespace
+
+double ProgressiveBucketsort::ConvergenceFraction() const {
+  const double n = static_cast<double>(column_.size());
+  if (n == 0) return 1.0;
+  switch (phase_) {
+    case Phase::kCreation:
+      return 0.5 * static_cast<double>(copy_pos_) / n;
+    case Phase::kRefinement:
+      return 0.5 + 0.4 * static_cast<double>(fill_pos_) / n;
+    case Phase::kConsolidation:
+      return 0.9;
+    case Phase::kDone:
+      return 1.0;
+  }
+  return 0.0;
+}
+
 QueryResult ProgressiveBucketsort::Query(const RangeQuery& q) {
   if (column_.empty()) return {};
-  PrepareQuery(q);
-  return Answer(q);
+  const Phase phase_at_start = phase_;
+  obs::QueryTimer qt;
+  QueryResult r;
+  {
+    obs::TraceScope span("refine", telemetry_.category());
+    PrepareQuery(q);
+  }
+  {
+    obs::TraceScope span("shared_scan", telemetry_.category());
+    r = Answer(q);
+  }
+  telemetry_.RecordResidual(PbPhaseName(phase_at_start), predicted_,
+                            static_cast<double>(qt.ElapsedNs()) * 1e-9);
+  return r;
 }
 
 void ProgressiveBucketsort::QueryBatch(const RangeQuery* qs, size_t count,
@@ -498,13 +538,24 @@ void ProgressiveBucketsort::QueryBatch(const RangeQuery* qs, size_t count,
     std::fill(out, out + count, QueryResult{});
     return;
   }
-  PrepareQuery(qs[0]);  // one per-batch indexing budget
-  AnswerBatch(qs, count, out);
+  const Phase phase_at_start = phase_;
+  obs::QueryTimer qt;
+  {
+    obs::TraceScope span("refine", telemetry_.category());
+    PrepareQuery(qs[0]);  // one per-batch indexing budget
+  }
+  {
+    obs::TraceScope span("shared_scan", telemetry_.category());
+    AnswerBatch(qs, count, out);
+  }
   if (count > 1) {
     predicted_ = model_.BatchPerQuerySecs(
         pred_index_secs_, pred_shared_secs_, pred_private_secs_, count,
         pred_shared_elem_secs_);
   }
+  telemetry_.RecordResidual(
+      PbPhaseName(phase_at_start), predicted_,
+      static_cast<double>(qt.ElapsedNs()) * 1e-9 / static_cast<double>(count));
 }
 
 void ProgressiveBucketsort::AnswerBatch(const RangeQuery* qs, size_t count,

@@ -12,6 +12,7 @@
 #include "core/progressive_quicksort.h"
 #include "cost/cost_model.h"
 #include "exec/shared_scan.h"
+#include "obs/telemetry.h"
 #include "storage/bucket_chain.h"
 
 namespace progidx {
@@ -38,6 +39,7 @@ class ProgressiveBucketsort : public IndexBase {
   void QueryBatch(const RangeQuery* qs, size_t count,
                   QueryResult* out) override;
   bool converged() const override { return phase_ == Phase::kDone; }
+  double ConvergenceFraction() const override;
   std::string name() const override { return "P. Bucketsort"; }
   double last_predicted_cost() const override { return predicted_; }
 
@@ -124,6 +126,9 @@ class ProgressiveBucketsort : public IndexBase {
   /// EstimateAnswerSecs — the share a batch scans once.
   mutable double est_chain_elems_ = 0;
   RangeQuery last_query_hint_;
+  /// Residual + span telemetry (docs/observability.md); written only
+  /// by the Query/QueryBatch thread, never consulted for decisions.
+  obs::IndexTelemetry telemetry_{"pb"};
   mutable std::vector<ScanRange> scratch_ranges_;
   mutable exec::PredicateSet pset_;
   mutable std::vector<exec::SrcBlock> scratch_runs_;

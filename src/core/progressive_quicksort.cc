@@ -313,10 +313,50 @@ void ProgressiveQuicksort::PrepareQuery(const RangeQuery& q) {
   if (delta > 0) DoWorkSecs(delta * op_secs);
 }
 
+namespace {
+const char* QsPhaseName(ProgressiveQuicksort::Phase p) {
+  switch (p) {
+    case ProgressiveQuicksort::Phase::kCreation: return "creation";
+    case ProgressiveQuicksort::Phase::kRefinement: return "refinement";
+    case ProgressiveQuicksort::Phase::kConsolidation: return "consolidation";
+    case ProgressiveQuicksort::Phase::kDone: return "done";
+  }
+  return "unknown";
+}
+}  // namespace
+
+double ProgressiveQuicksort::ConvergenceFraction() const {
+  const double n = static_cast<double>(column_.size());
+  if (n == 0) return 1.0;
+  switch (phase_) {
+    case Phase::kCreation:
+      return 0.5 * static_cast<double>(copy_pos_) / n;
+    case Phase::kRefinement:
+      return 0.6;
+    case Phase::kConsolidation:
+      return 0.9;
+    case Phase::kDone:
+      return 1.0;
+  }
+  return 0.0;
+}
+
 QueryResult ProgressiveQuicksort::Query(const RangeQuery& q) {
   if (column_.empty()) return {};
-  PrepareQuery(q);
-  return Answer(q);
+  const Phase phase_at_start = phase_;
+  obs::QueryTimer qt;
+  {
+    obs::TraceScope span("refine", telemetry_.category());
+    PrepareQuery(q);
+  }
+  QueryResult r;
+  {
+    obs::TraceScope span("shared_scan", telemetry_.category());
+    r = Answer(q);
+  }
+  telemetry_.RecordResidual(QsPhaseName(phase_at_start), predicted_,
+                            static_cast<double>(qt.ElapsedNs()) * 1e-9);
+  return r;
 }
 
 void ProgressiveQuicksort::QueryBatch(const RangeQuery* qs, size_t count,
@@ -326,16 +366,27 @@ void ProgressiveQuicksort::QueryBatch(const RangeQuery* qs, size_t count,
     std::fill(out, out + count, QueryResult{});
     return;
   }
+  const Phase phase_at_start = phase_;
+  obs::QueryTimer qt;
   // One per-batch indexing budget, hinted by the batch head — the
   // exact Query() prologue, so a batch of one leaves bit-identical
   // state.
-  PrepareQuery(qs[0]);
-  AnswerBatch(qs, count, out);
+  {
+    obs::TraceScope span("refine", telemetry_.category());
+    PrepareQuery(qs[0]);
+  }
+  {
+    obs::TraceScope span("shared_scan", telemetry_.category());
+    AnswerBatch(qs, count, out);
+  }
   if (count > 1) {
     predicted_ = model_.BatchPerQuerySecs(
         pred_index_secs_, pred_shared_secs_, pred_private_secs_, count,
         pred_shared_elem_secs_);
   }
+  telemetry_.RecordResidual(
+      QsPhaseName(phase_at_start), predicted_,
+      static_cast<double>(qt.ElapsedNs()) * 1e-9 / static_cast<double>(count));
 }
 
 void ProgressiveQuicksort::AnswerBatch(const RangeQuery* qs, size_t count,

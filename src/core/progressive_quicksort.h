@@ -12,6 +12,7 @@
 #include "cost/calibration.h"
 #include "cost/cost_model.h"
 #include "exec/shared_scan.h"
+#include "obs/telemetry.h"
 
 namespace progidx {
 
@@ -63,6 +64,7 @@ class ProgressiveQuicksort : public IndexBase {
   void QueryBatch(const RangeQuery* qs, size_t count,
                   QueryResult* out) override;
   bool converged() const override { return phase_ == Phase::kDone; }
+  double ConvergenceFraction() const override;
   std::string name() const override { return "P. Quicksort"; }
   double last_predicted_cost() const override { return predicted_; }
 
@@ -150,6 +152,9 @@ class ProgressiveQuicksort : public IndexBase {
   /// PrepareQuery's decomposition matches what AnswerBatch shares).
   mutable double est_unsorted_elems_ = 0;
   RangeQuery last_query_hint_;
+  /// Residual + span telemetry (docs/observability.md); written only
+  /// by the Query/QueryBatch thread, never consulted for decisions.
+  obs::IndexTelemetry telemetry_{"pq"};
   mutable std::vector<ScanRange> scratch_ranges_;
   mutable exec::PredicateSet pset_;
   mutable std::vector<exec::PosRange> scratch_pos_ranges_;

@@ -469,10 +469,58 @@ void ProgressiveRadixsortLSD::PrepareQuery(const RangeQuery& q) {
   if (delta > 0) DoWorkSecs(delta * op_secs);
 }
 
+namespace {
+const char* LsdPhaseName(ProgressiveRadixsortLSD::Phase p) {
+  switch (p) {
+    case ProgressiveRadixsortLSD::Phase::kCreation: return "creation";
+    case ProgressiveRadixsortLSD::Phase::kRefinement: return "refinement";
+    case ProgressiveRadixsortLSD::Phase::kMerge: return "merge";
+    case ProgressiveRadixsortLSD::Phase::kConsolidation:
+      return "consolidation";
+    case ProgressiveRadixsortLSD::Phase::kDone: return "done";
+  }
+  return "unknown";
+}
+}  // namespace
+
+double ProgressiveRadixsortLSD::ConvergenceFraction() const {
+  const double n = static_cast<double>(column_.size());
+  if (n == 0) return 1.0;
+  switch (phase_) {
+    case Phase::kCreation:
+      return 0.4 * static_cast<double>(copy_pos_) / n;
+    case Phase::kRefinement: {
+      // Progress through the LSD passes (pass_ counts 1..total_passes).
+      const double passes = static_cast<double>(total_passes_);
+      return 0.4 + 0.3 * (static_cast<double>(pass_) - 1.0) /
+                       (passes > 1 ? passes : 1.0);
+    }
+    case Phase::kMerge:
+      return 0.7 + 0.2 * static_cast<double>(merged_) / n;
+    case Phase::kConsolidation:
+      return 0.9;
+    case Phase::kDone:
+      return 1.0;
+  }
+  return 0.0;
+}
+
 QueryResult ProgressiveRadixsortLSD::Query(const RangeQuery& q) {
   if (column_.empty()) return {};
-  PrepareQuery(q);
-  return Answer(q);
+  const Phase phase_at_start = phase_;
+  obs::QueryTimer qt;
+  QueryResult r;
+  {
+    obs::TraceScope span("refine", telemetry_.category());
+    PrepareQuery(q);
+  }
+  {
+    obs::TraceScope span("shared_scan", telemetry_.category());
+    r = Answer(q);
+  }
+  telemetry_.RecordResidual(LsdPhaseName(phase_at_start), predicted_,
+                            static_cast<double>(qt.ElapsedNs()) * 1e-9);
+  return r;
 }
 
 void ProgressiveRadixsortLSD::QueryBatch(const RangeQuery* qs, size_t count,
@@ -482,13 +530,24 @@ void ProgressiveRadixsortLSD::QueryBatch(const RangeQuery* qs, size_t count,
     std::fill(out, out + count, QueryResult{});
     return;
   }
-  PrepareQuery(qs[0]);  // one per-batch indexing budget
-  AnswerBatch(qs, count, out);
+  const Phase phase_at_start = phase_;
+  obs::QueryTimer qt;
+  {
+    obs::TraceScope span("refine", telemetry_.category());
+    PrepareQuery(qs[0]);  // one per-batch indexing budget
+  }
+  {
+    obs::TraceScope span("shared_scan", telemetry_.category());
+    AnswerBatch(qs, count, out);
+  }
   if (count > 1) {
     predicted_ = model_.BatchPerQuerySecs(
         pred_index_secs_, pred_shared_secs_, pred_private_secs_, count,
         pred_shared_elem_secs_);
   }
+  telemetry_.RecordResidual(
+      LsdPhaseName(phase_at_start), predicted_,
+      static_cast<double>(qt.ElapsedNs()) * 1e-9 / static_cast<double>(count));
 }
 
 namespace {

@@ -11,6 +11,7 @@
 #include "core/progressive_quicksort.h"
 #include "cost/cost_model.h"
 #include "exec/shared_scan.h"
+#include "obs/telemetry.h"
 #include "storage/bucket_chain.h"
 
 namespace progidx {
@@ -36,6 +37,7 @@ class ProgressiveRadixsortLSD : public IndexBase {
   void QueryBatch(const RangeQuery* qs, size_t count,
                   QueryResult* out) override;
   bool converged() const override { return phase_ == Phase::kDone; }
+  double ConvergenceFraction() const override;
   std::string name() const override { return "P. Radixsort (LSD)"; }
   double last_predicted_cost() const override { return predicted_; }
 
@@ -124,6 +126,9 @@ class ProgressiveRadixsortLSD : public IndexBase {
   /// Chain-resident elements of the last refinement/merge-phase
   /// EstimateAnswerSecs — the share a batch scans once.
   mutable double est_chain_elems_ = 0;
+  /// Residual + span telemetry (docs/observability.md); written only
+  /// by the Query/QueryBatch thread, never consulted for decisions.
+  obs::IndexTelemetry telemetry_{"plsd"};
   mutable exec::PredicateSet pset_;
   /// AnswerBatch scratch for the α == ρ fallback subset, reused across
   /// batches so the hot path stays allocation-free.

@@ -403,10 +403,51 @@ void ProgressiveRadixsortMSD::PrepareQuery(const RangeQuery& q) {
   if (delta > 0) DoWorkSecs(delta * op_secs);
 }
 
+namespace {
+const char* MsdPhaseName(ProgressiveRadixsortMSD::Phase p) {
+  switch (p) {
+    case ProgressiveRadixsortMSD::Phase::kCreation: return "creation";
+    case ProgressiveRadixsortMSD::Phase::kRefinement: return "refinement";
+    case ProgressiveRadixsortMSD::Phase::kConsolidation:
+      return "consolidation";
+    case ProgressiveRadixsortMSD::Phase::kDone: return "done";
+  }
+  return "unknown";
+}
+}  // namespace
+
+double ProgressiveRadixsortMSD::ConvergenceFraction() const {
+  const double n = static_cast<double>(column_.size());
+  if (n == 0) return 1.0;
+  switch (phase_) {
+    case Phase::kCreation:
+      return 0.5 * static_cast<double>(copy_pos_) / n;
+    case Phase::kRefinement:
+      return 0.5 + 0.4 * static_cast<double>(merged_) / n;
+    case Phase::kConsolidation:
+      return 0.9;
+    case Phase::kDone:
+      return 1.0;
+  }
+  return 0.0;
+}
+
 QueryResult ProgressiveRadixsortMSD::Query(const RangeQuery& q) {
   if (column_.empty()) return {};
-  PrepareQuery(q);
-  return Answer(q);
+  const Phase phase_at_start = phase_;
+  obs::QueryTimer qt;
+  QueryResult r;
+  {
+    obs::TraceScope span("refine", telemetry_.category());
+    PrepareQuery(q);
+  }
+  {
+    obs::TraceScope span("shared_scan", telemetry_.category());
+    r = Answer(q);
+  }
+  telemetry_.RecordResidual(MsdPhaseName(phase_at_start), predicted_,
+                            static_cast<double>(qt.ElapsedNs()) * 1e-9);
+  return r;
 }
 
 void ProgressiveRadixsortMSD::QueryBatch(const RangeQuery* qs, size_t count,
@@ -416,13 +457,24 @@ void ProgressiveRadixsortMSD::QueryBatch(const RangeQuery* qs, size_t count,
     std::fill(out, out + count, QueryResult{});
     return;
   }
-  PrepareQuery(qs[0]);  // one per-batch indexing budget
-  AnswerBatch(qs, count, out);
+  const Phase phase_at_start = phase_;
+  obs::QueryTimer qt;
+  {
+    obs::TraceScope span("refine", telemetry_.category());
+    PrepareQuery(qs[0]);  // one per-batch indexing budget
+  }
+  {
+    obs::TraceScope span("shared_scan", telemetry_.category());
+    AnswerBatch(qs, count, out);
+  }
   if (count > 1) {
     predicted_ = model_.BatchPerQuerySecs(
         pred_index_secs_, pred_shared_secs_, pred_private_secs_, count,
         pred_shared_elem_secs_);
   }
+  telemetry_.RecordResidual(
+      MsdPhaseName(phase_at_start), predicted_,
+      static_cast<double>(qt.ElapsedNs()) * 1e-9 / static_cast<double>(count));
 }
 
 void ProgressiveRadixsortMSD::AnswerBatch(const RangeQuery* qs, size_t count,

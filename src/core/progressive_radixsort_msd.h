@@ -12,6 +12,7 @@
 #include "core/progressive_quicksort.h"
 #include "cost/cost_model.h"
 #include "exec/shared_scan.h"
+#include "obs/telemetry.h"
 #include "storage/bucket_chain.h"
 
 namespace progidx {
@@ -35,6 +36,7 @@ class ProgressiveRadixsortMSD : public IndexBase {
   void QueryBatch(const RangeQuery* qs, size_t count,
                   QueryResult* out) override;
   bool converged() const override { return phase_ == Phase::kDone; }
+  double ConvergenceFraction() const override;
   std::string name() const override { return "P. Radixsort (MSD)"; }
   double last_predicted_cost() const override { return predicted_; }
 
@@ -131,6 +133,9 @@ class ProgressiveRadixsortMSD : public IndexBase {
   /// Chain-resident elements of the last refinement-phase
   /// EstimateAnswerSecs — the share a batch scans once.
   mutable double est_chain_elems_ = 0;
+  /// Residual + span telemetry (docs/observability.md); written only
+  /// by the Query/QueryBatch thread, never consulted for decisions.
+  obs::IndexTelemetry telemetry_{"pmsd"};
   mutable exec::PredicateSet pset_;
   mutable std::vector<exec::SrcBlock> scratch_runs_;
   mutable std::vector<exec::PosRange> scratch_pos_ranges_;

@@ -1,0 +1,298 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace progidx {
+namespace obs {
+
+namespace {
+
+// One relaxed-load + relaxed-store bump: the owning thread is the only
+// writer of a shard cell, so no read-modify-write is needed and the
+// compiler emits a plain add+mov. Concurrent snapshot readers may see
+// a value that is at most one in-flight delta stale, never torn.
+inline void BumpRelaxed(std::atomic<uint64_t>& cell, uint64_t delta) {
+  cell.store(cell.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+// Per-thread storage: counters inline, histogram bucket arrays
+// allocated lazily on first Record of that histogram from this thread
+// (a shard with all 96 histograms materialized would be ~1.5 MB;
+// typical threads touch a handful).
+struct Shard {
+  std::atomic<uint64_t> counters[kMaxCounters] = {};
+  std::atomic<std::atomic<uint64_t>*> hist_buckets[kMaxHistograms] = {};
+  std::atomic<uint64_t> hist_count[kMaxHistograms] = {};
+  std::atomic<uint64_t> hist_sum[kMaxHistograms] = {};
+
+  ~Shard() {
+    for (auto& p : hist_buckets) delete[] p.load(std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t>* BucketsFor(uint32_t id) {
+    std::atomic<uint64_t>* b = hist_buckets[id].load(std::memory_order_relaxed);
+    if (b == nullptr) {
+      b = new std::atomic<uint64_t>[Buckets::kCount]();
+      // Release so a snapshot reader that acquires the pointer sees
+      // zero-initialized buckets.
+      hist_buckets[id].store(b, std::memory_order_release);
+    }
+    return b;
+  }
+};
+
+std::atomic<bool> g_metrics_enabled{true};
+
+bool InitEnabledFromEnv() {
+  const char* v = std::getenv("PROGIDX_METRICS");
+  const bool enabled = !(v != nullptr && std::strcmp(v, "0") == 0);
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+  return enabled;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabledForTesting(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+const char* MetricsDumpPathFromEnv() {
+  const char* v = std::getenv("PROGIDX_METRICS");
+  if (v == nullptr || v[0] == '\0' || std::strcmp(v, "0") == 0) return nullptr;
+  return v;
+}
+
+struct Registry::Impl {
+  mutable std::mutex m;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> hist_names;
+  // Live shards (one per thread that ever recorded) plus the merged
+  // remains of exited threads, so values survive thread churn.
+  std::vector<Shard*> shards;
+  uint64_t retired_counters[kMaxCounters] = {};
+  std::vector<LocalHistogram> retired_hists;  // grown with hist_names
+
+  bool env_initialized = InitEnabledFromEnv();
+
+  Shard* NewShardLocked() {
+    Shard* s = new Shard();
+    shards.push_back(s);
+    return s;
+  }
+
+  void Retire(Shard* s) {
+    std::lock_guard<std::mutex> lock(m);
+    for (size_t i = 0; i < counter_names.size(); i++) {
+      retired_counters[i] += s->counters[i].load(std::memory_order_relaxed);
+    }
+    for (size_t i = 0; i < hist_names.size(); i++) {
+      MergeShardHistLocked(*s, static_cast<uint32_t>(i), &retired_hists[i]);
+    }
+    for (size_t i = 0; i < shards.size(); i++) {
+      if (shards[i] == s) {
+        shards.erase(shards.begin() + i);
+        break;
+      }
+    }
+    delete s;
+  }
+
+  // Folds one shard's view of histogram `id` into `out`. Bucket
+  // counts and the (count, sum) totals are plain sums, so merging T
+  // shards is exact: bit-identical to one serial histogram fed the
+  // same values. Concurrent recording can make a snapshot lag the
+  // latest samples, never corrupt it.
+  static void MergeShardHistLocked(const Shard& s, uint32_t id,
+                                   LocalHistogram* out) {
+    const std::atomic<uint64_t>* b =
+        s.hist_buckets[id].load(std::memory_order_acquire);
+    if (b == nullptr) return;
+    for (size_t i = 0; i < Buckets::kCount; i++) {
+      const uint64_t c = b[i].load(std::memory_order_relaxed);
+      if (c != 0) out->AccumulateBucket(i, c);
+    }
+    out->AccumulateTotals(s.hist_count[id].load(std::memory_order_relaxed),
+                          s.hist_sum[id].load(std::memory_order_relaxed));
+  }
+};
+
+namespace {
+
+// Thread-exit hook: fold this thread's shard into the retired
+// accumulators so nothing is lost when worker threads wind down.
+struct ShardHolder {
+  Shard* shard = nullptr;
+  Registry::Impl* impl = nullptr;
+  ~ShardHolder() {
+    if (shard != nullptr && impl != nullptr) impl->Retire(shard);
+  }
+};
+
+thread_local ShardHolder t_holder;
+
+}  // namespace
+
+Registry& Registry::Global() {
+  // Leaked singleton: shards may retire during process teardown and
+  // must always find a live registry.
+  static Registry* const g = new Registry();
+  return *g;
+}
+
+Registry::Registry() : impl_(new Impl()) {}
+
+uint32_t Registry::RegisterCounter(const char* name) {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  for (size_t i = 0; i < impl_->counter_names.size(); i++) {
+    if (impl_->counter_names[i] == name) return static_cast<uint32_t>(i);
+  }
+  if (impl_->counter_names.size() >= kMaxCounters) {
+    std::fprintf(stderr, "progidx: obs counter capacity exceeded at '%s'\n",
+                 name);
+    std::abort();
+  }
+  impl_->counter_names.emplace_back(name);
+  return static_cast<uint32_t>(impl_->counter_names.size() - 1);
+}
+
+uint32_t Registry::RegisterHistogram(const char* name) {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  for (size_t i = 0; i < impl_->hist_names.size(); i++) {
+    if (impl_->hist_names[i] == name) return static_cast<uint32_t>(i);
+  }
+  if (impl_->hist_names.size() >= kMaxHistograms) {
+    std::fprintf(stderr, "progidx: obs histogram capacity exceeded at '%s'\n",
+                 name);
+    std::abort();
+  }
+  impl_->hist_names.emplace_back(name);
+  impl_->retired_hists.emplace_back();
+  return static_cast<uint32_t>(impl_->hist_names.size() - 1);
+}
+
+void Registry::Add(uint32_t id, uint64_t delta) {
+  Shard* s = t_holder.shard;
+  if (s == nullptr) {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    s = impl_->NewShardLocked();
+    t_holder.shard = s;
+    t_holder.impl = impl_;
+  }
+  BumpRelaxed(s->counters[id], delta);
+}
+
+void Registry::Record(uint32_t id, uint64_t value) {
+  Shard* s = t_holder.shard;
+  if (s == nullptr) {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    s = impl_->NewShardLocked();
+    t_holder.shard = s;
+    t_holder.impl = impl_;
+  }
+  std::atomic<uint64_t>* b = s->BucketsFor(id);
+  BumpRelaxed(b[Buckets::IndexFor(value)], 1);
+  BumpRelaxed(s->hist_count[id], 1);
+  BumpRelaxed(s->hist_sum[id], value);
+}
+
+uint64_t Registry::CounterValue(uint32_t id) const {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  uint64_t v = impl_->retired_counters[id];
+  for (const Shard* s : impl_->shards) {
+    v += s->counters[id].load(std::memory_order_relaxed);
+  }
+  return v;
+}
+
+LocalHistogram Registry::SnapshotHistogram(uint32_t id) const {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  LocalHistogram out = impl_->retired_hists[id];
+  for (const Shard* s : impl_->shards) {
+    Impl::MergeShardHistLocked(*s, id, &out);
+  }
+  return out;
+}
+
+uint64_t LocalHistogram::ValueAtQuantile(double q) const {
+  if (total_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(total_) + 0.5);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < Buckets::kCount; i++) {
+    cum += counts_[i];
+    if (counts_[i] != 0 && cum >= target) return Buckets::UpperBound(i);
+  }
+  // Fall through only when target exceeds total by rounding; report
+  // the max recorded bucket.
+  for (size_t i = Buckets::kCount; i-- > 0;) {
+    if (counts_[i] != 0) return Buckets::UpperBound(i);
+  }
+  return 0;
+}
+
+namespace {
+
+void AppendSanitized(const std::string& name, std::string* out) {
+  out->append("progidx_");
+  for (char c : name) out->push_back(c == '.' ? '_' : c);
+}
+
+void AppendMetricLine(const std::string& name, const char* suffix,
+                      const char* labels, double value, std::string* out) {
+  AppendSanitized(name, out);
+  out->append(suffix);
+  out->append(labels);
+  char buf[64];
+  if (value == static_cast<double>(static_cast<uint64_t>(value)) &&
+      value >= 0) {
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), " %.6g\n", value);
+  }
+  out->append(buf);
+}
+
+}  // namespace
+
+void Registry::TextExposition(std::string* out) const {
+  // Copy names under the lock, then read values through the public
+  // accessors (which take the lock per metric — exposition is cold).
+  std::vector<std::string> counters, hists;
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    counters = impl_->counter_names;
+    hists = impl_->hist_names;
+  }
+  for (size_t i = 0; i < counters.size(); i++) {
+    AppendMetricLine(counters[i], "", "",
+                     static_cast<double>(CounterValue(static_cast<uint32_t>(i))),
+                     out);
+  }
+  static const double kQuantiles[] = {0.5, 0.9, 0.99, 1.0};
+  for (size_t i = 0; i < hists.size(); i++) {
+    LocalHistogram h = SnapshotHistogram(static_cast<uint32_t>(i));
+    AppendMetricLine(hists[i], "_count", "", static_cast<double>(h.total()),
+                     out);
+    AppendMetricLine(hists[i], "_sum", "", static_cast<double>(h.sum()), out);
+    for (double q : kQuantiles) {
+      char label[40];
+      std::snprintf(label, sizeof(label), "{quantile=\"%g\"}", q);
+      AppendMetricLine(hists[i], "", label,
+                       static_cast<double>(h.ValueAtQuantile(q)), out);
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace progidx

@@ -1,0 +1,213 @@
+#ifndef PROGIDX_OBS_METRICS_H_
+#define PROGIDX_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Lock-free runtime metrics (docs/observability.md).
+//
+// The registry holds named counters and log-bucketed latency
+// histograms, both sharded per thread: every recording thread owns a
+// private shard and updates it with plain relaxed loads/stores — no
+// atomic read-modify-write, no fence, no lock anywhere on the hot
+// path. Readers (the text exposition, tests) merge shards under the
+// registry mutex; because bucket counts and counter cells are plain
+// sums, the merge is *exact* — the merged histogram of T threads is
+// bit-identical to a serial histogram fed the same values, which the
+// obs tests enforce for T ∈ {1, 2, 4, 8}.
+//
+// Handles are registered at startup (static-duration obs::Counter /
+// obs::Histogram objects at the instrumentation site) and are plain
+// indices into fixed-capacity shard arrays, so a recording is: one
+// TLS load, one branch on the global enable flag, one array store.
+//
+// PROGIDX_METRICS=0 disables collection process-wide (the overhead
+// kill switch the serve_throughput observability rows measure);
+// PROGIDX_METRICS=<path> additionally makes serve::Server write its
+// Prometheus-style snapshot to <path> at shutdown ("-" for stderr).
+// Telemetry never feeds back into any decision: answers, admitted
+// logs, and index state are bit-identical with metrics on or off
+// (test-enforced, docs/observability.md "Determinism contract").
+
+namespace progidx {
+namespace obs {
+
+/// Capacity of the per-thread shard arrays. Registration past these
+/// limits fails the process loudly (it is a startup-time programming
+/// error, not a runtime condition).
+constexpr size_t kMaxCounters = 192;
+constexpr size_t kMaxHistograms = 96;
+
+/// Log-linear ("HDR-style") bucket layout shared by every histogram in
+/// the process — the registry's sharded ones and the benches' local
+/// ones — so bench and server quantiles are the same function of the
+/// same buckets. Values below 32 get exact unit buckets; above, each
+/// power-of-two range splits into 32 sub-buckets (relative resolution
+/// <= 1/32 ~ 3.1%). Covers the full uint64 range in 1920 buckets.
+struct Buckets {
+  static constexpr size_t kSubBuckets = 32;  // 2^5
+  static constexpr size_t kCount = 1920;
+
+  static size_t IndexFor(uint64_t v) {
+    if (v < kSubBuckets) return static_cast<size_t>(v);
+    // Bit width of v (>= 6 here); v >> (w - 6) lands in [32, 64).
+    size_t w = 64;
+    uint64_t x = v;
+    if ((x >> 32) == 0) { w -= 32; x <<= 32; }
+    if ((x >> 48) == 0) { w -= 16; x <<= 16; }
+    if ((x >> 56) == 0) { w -= 8; x <<= 8; }
+    if ((x >> 60) == 0) { w -= 4; x <<= 4; }
+    if ((x >> 62) == 0) { w -= 2; x <<= 2; }
+    if ((x >> 63) == 0) { w -= 1; }
+    const size_t shift = w - 6;
+    return shift * kSubBuckets + static_cast<size_t>(v >> shift);
+  }
+
+  /// Largest value mapping to `bucket` (quantiles report this bound,
+  /// identically everywhere).
+  static uint64_t UpperBound(size_t bucket) {
+    if (bucket < kSubBuckets) return bucket;
+    const size_t shift = bucket / kSubBuckets - 1;
+    const uint64_t sub = bucket - shift * kSubBuckets;
+    return ((sub + 1) << shift) - 1;
+  }
+};
+
+/// Single-threaded histogram over the shared bucket layout: the merge
+/// target for registry snapshots and the latency accumulator of the
+/// bench drivers (bench_util.h), so both report the same quantile
+/// definition by construction.
+class LocalHistogram {
+ public:
+  LocalHistogram() : counts_(Buckets::kCount, 0) {}
+
+  void Record(uint64_t v) {
+    counts_[Buckets::IndexFor(v)]++;
+    total_++;
+    sum_ += v;
+  }
+
+  void MergeFrom(const LocalHistogram& other) {
+    for (size_t i = 0; i < Buckets::kCount; i++) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+  }
+
+  uint64_t total() const { return total_; }
+  uint64_t sum() const { return sum_; }
+  const std::vector<uint64_t>& counts() const { return counts_; }
+  double Mean() const {
+    return total_ == 0 ? 0 : static_cast<double>(sum_) / static_cast<double>(total_);
+  }
+
+  /// Upper bound of the first bucket whose cumulative count reaches
+  /// q * total (q in [0, 1]); 0 when empty. Deterministic and
+  /// identical for any sharding of the same value multiset.
+  uint64_t ValueAtQuantile(double q) const;
+
+  bool operator==(const LocalHistogram& o) const {
+    return total_ == o.total_ && sum_ == o.sum_ && counts_ == o.counts_;
+  }
+
+  /// Exact-merge primitives used by registry shard snapshots: fold raw
+  /// bucket counts and the exact (count, sum) totals a shard carries.
+  void AccumulateBucket(size_t bucket, uint64_t c) { counts_[bucket] += c; }
+  void AccumulateTotals(uint64_t count, uint64_t sum) {
+    total_ += count;
+    sum_ += sum;
+  }
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  uint64_t sum_ = 0;
+};
+
+/// True unless PROGIDX_METRICS=0 (or a test override) switched
+/// collection off. One relaxed load — the entire disabled-path cost.
+bool MetricsEnabled();
+/// Overrides the environment for tests and the overhead bench;
+/// restore with the value MetricsEnabled() had before.
+void SetMetricsEnabledForTesting(bool enabled);
+/// PROGIDX_METRICS when it names a dump path (anything but "" / "0"),
+/// else nullptr.
+const char* MetricsDumpPathFromEnv();
+
+/// The process-wide metrics registry. Use the Counter / Histogram
+/// handle classes below instead of talking to it directly; exposed for
+/// the exposition writer and tests.
+class Registry {
+ public:
+  static Registry& Global();
+
+  /// Registers (or finds, by name) a counter/histogram; returns its
+  /// shard index. Thread-safe, cold path only.
+  uint32_t RegisterCounter(const char* name);
+  uint32_t RegisterHistogram(const char* name);
+
+  /// Hot path: plain relaxed load+store on this thread's shard cell.
+  void Add(uint32_t id, uint64_t delta);
+  void Record(uint32_t id, uint64_t value);
+
+  /// Exact merged value across all live and retired shards.
+  uint64_t CounterValue(uint32_t id) const;
+  LocalHistogram SnapshotHistogram(uint32_t id) const;
+
+  /// Prometheus-style text exposition of every registered metric:
+  /// `progidx_<name> <value>` for counters; `_count`, `_sum`, and
+  /// {quantile="0.5|0.9|0.99|1"} lines for histograms. Dots in names
+  /// become underscores.
+  void TextExposition(std::string* out) const;
+
+  /// Opaque shard-table state; public so the thread-exit hook in
+  /// metrics.cc can retire shards without friending file-local types.
+  struct Impl;
+
+ private:
+  Registry();
+  Impl* impl_;
+};
+
+/// A named process-global counter. Construct once (static duration) at
+/// the instrumentation site; Add() is wait-free and never blocks the
+/// instrumented code.
+class Counter {
+ public:
+  explicit Counter(const char* name)
+      : id_(Registry::Global().RegisterCounter(name)) {}
+  void Add(uint64_t delta = 1) const {
+    if (MetricsEnabled()) Registry::Global().Add(id_, delta);
+  }
+  uint64_t Value() const { return Registry::Global().CounterValue(id_); }
+  uint32_t id() const { return id_; }
+
+ private:
+  uint32_t id_;
+};
+
+/// A named process-global log-bucketed histogram (values are unsigned
+/// integers; by convention durations are recorded in nanoseconds and
+/// the name carries a `_ns` suffix).
+class Histogram {
+ public:
+  explicit Histogram(const char* name)
+      : id_(Registry::Global().RegisterHistogram(name)) {}
+  void Record(uint64_t value) const {
+    if (MetricsEnabled()) Registry::Global().Record(id_, value);
+  }
+  LocalHistogram Snapshot() const {
+    return Registry::Global().SnapshotHistogram(id_);
+  }
+  uint32_t id() const { return id_; }
+
+ private:
+  uint32_t id_;
+};
+
+}  // namespace obs
+}  // namespace progidx
+
+#endif  // PROGIDX_OBS_METRICS_H_

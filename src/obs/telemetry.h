@@ -1,0 +1,101 @@
+#ifndef PROGIDX_OBS_TELEMETRY_H_
+#define PROGIDX_OBS_TELEMETRY_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+// Live cost-model residual tracking (docs/observability.md).
+//
+// The paper's core claim is *predictable* per-query cost; the fig8/
+// fig9 benches check that offline. IndexTelemetry checks it
+// continuously: each progressive index embeds one instance, and every
+// Query/QueryBatch folds |predicted - actual| / actual (as parts per
+// million) into a per-index, per-phase registry histogram
+// `residual.<index>.<phase>_relerr_ppm`, so prediction drift in a
+// served deployment shows up in Server::DumpMetrics instead of
+// waiting for a hand-run bench.
+//
+// Single-writer contract: an IndexTelemetry belongs to the one thread
+// driving its index's write path (the serve scheduler or a bench
+// loop), matching the indexes' own threading rules. Lock-free read
+// epochs never touch it.
+
+namespace progidx {
+namespace obs {
+
+/// Starts a clock only when metrics are enabled, so the disabled path
+/// skips the steady_clock reads entirely.
+class QueryTimer {
+ public:
+  QueryTimer() {
+    if (MetricsEnabled()) {
+      armed_ = true;
+      start_ns_ = TraceNowNs();
+    }
+  }
+  bool armed() const { return armed_; }
+  uint64_t ElapsedNs() const { return armed_ ? TraceNowNs() - start_ns_ : 0; }
+
+ private:
+  uint64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+/// Per-index residual + span bookkeeping. Histograms are registered
+/// lazily per phase name on first use (cold path) and process-global,
+/// so indexes constructed repeatedly (tests, recovery) accumulate into
+/// the same series.
+class IndexTelemetry {
+ public:
+  /// `index_id` is the index's stable short name ("pq", "pb", ...).
+  explicit IndexTelemetry(const char* index_id)
+      : id_(index_id), cat_(InternName(id_)) {}
+
+  /// Trace category for this index's refine/shared_scan spans.
+  const char* category() const { return cat_; }
+
+  /// Folds one Query/QueryBatch sample into the per-phase residual
+  /// histogram. `predicted_secs` and `actual_secs` are per-query
+  /// (batch totals divided by batch size). No-op when metrics are
+  /// disabled or either side is non-positive.
+  void RecordResidual(const char* phase, double predicted_secs,
+                      double actual_secs) {
+    if (!MetricsEnabled()) return;
+    if (!(predicted_secs > 0.0) || !(actual_secs > 0.0)) return;
+    const double rel = std::fabs(predicted_secs - actual_secs) / actual_secs;
+    // Cap at 1000x so pathological samples stay in-range instead of
+    // saturating the top bucket's resolution.
+    const double ppm = rel < 1000.0 ? rel * 1e6 : 1e9;
+    SlotFor(phase).Record(static_cast<uint64_t>(ppm));
+  }
+
+ private:
+  Histogram& SlotFor(const char* phase) {
+    for (auto& s : slots_) {
+      if (s.phase == phase || std::string(s.phase) == phase) return s.hist;
+    }
+    slots_.push_back(
+        Slot{phase, Histogram(("residual." + id_ + "." + phase + "_relerr_ppm")
+                                  .c_str())});
+    return slots_.back().hist;
+  }
+
+  struct Slot {
+    const char* phase;
+    Histogram hist;
+  };
+
+  std::string id_;
+  const char* cat_;
+  std::vector<Slot> slots_;  // tiny (one per phase), single-writer
+};
+
+}  // namespace obs
+}  // namespace progidx
+
+#endif  // PROGIDX_OBS_TELEMETRY_H_

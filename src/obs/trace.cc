@@ -1,0 +1,251 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+namespace progidx {
+namespace obs {
+
+namespace {
+
+constexpr size_t kDefaultRingCapacity = 16384;
+
+// Every field individually atomic so the cross-thread flusher never
+// races a writer at the byte level; relaxed is enough because the
+// ring's published-count release/acquire pair orders slot contents for
+// all slots completed before the count was read.
+struct TraceEvent {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<const char*> cat{nullptr};
+  std::atomic<uint64_t> start_ns{0};
+  std::atomic<uint64_t> dur_ns{0};
+};
+
+struct Ring {
+  Ring(size_t cap, uint32_t tid_in)
+      : events(new TraceEvent[cap]), capacity(cap), tid(tid_in) {}
+  std::unique_ptr<TraceEvent[]> events;
+  size_t capacity;
+  uint32_t tid;
+  // Monotone count of spans ever published; slot = count % capacity.
+  std::atomic<uint64_t> count{0};
+};
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  std::mutex m;
+  std::string path;                          // guarded by m
+  std::vector<std::unique_ptr<Ring>> rings;  // guarded by m; never shrinks
+  size_t ring_capacity = kDefaultRingCapacity;  // guarded by m
+  uint32_t next_tid = 1;                        // guarded by m
+  bool atexit_registered = false;               // guarded by m
+  std::unordered_set<std::string> interned;     // guarded by m
+  // Last path successfully written, so an empty flush (e.g. the
+  // atexit one after an explicit FlushTrace already drained the
+  // rings) does not truncate a file that already holds the spans.
+  std::string wrote_path;                       // guarded by m
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+TraceState& State() {
+  // Leaked: rings are recorded into until the very end of the process
+  // (atexit flush) and thread exit order is arbitrary.
+  static TraceState* const s = new TraceState();
+  return *s;
+}
+
+thread_local Ring* t_ring = nullptr;
+
+Ring* RingForThisThread() {
+  Ring* r = t_ring;
+  if (r == nullptr) {
+    TraceState& s = State();
+    std::lock_guard<std::mutex> lock(s.m);
+    s.rings.push_back(std::unique_ptr<Ring>(new Ring(s.ring_capacity,
+                                                     s.next_tid++)));
+    r = s.rings.back().get();
+    t_ring = r;
+  }
+  return r;
+}
+
+void FlushAtExit() { FlushTrace(); }
+
+// PROGIDX_TRACE picked up once at static-init time (same pattern as
+// the other PROGIDX_* seams in common/env.h, kept local because obs
+// sits below common consumers).
+struct EnvInit {
+  EnvInit() {
+    const char* v = std::getenv("PROGIDX_TRACE");
+    if (v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0) {
+      EnableTracing(v);
+    }
+  }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+bool TracingEnabled() {
+  return State().enabled.load(std::memory_order_relaxed);
+}
+
+void EnableTracing(const std::string& path) {
+  TraceState& s = State();
+  {
+    std::lock_guard<std::mutex> lock(s.m);
+    s.path = path;
+    if (!s.atexit_registered) {
+      std::atexit(FlushAtExit);
+      s.atexit_registered = true;
+    }
+  }
+  s.enabled.store(true, std::memory_order_release);
+}
+
+void DisableTracing() {
+  State().enabled.store(false, std::memory_order_release);
+}
+
+std::string TracePath() {
+  TraceState& s = State();
+  std::lock_guard<std::mutex> lock(s.m);
+  return s.path;
+}
+
+void SetRingCapacityForTesting(size_t capacity) {
+  TraceState& s = State();
+  std::lock_guard<std::mutex> lock(s.m);
+  s.ring_capacity = capacity == 0 ? kDefaultRingCapacity : capacity;
+  // Existing rings keep their size; the calling thread usually wants
+  // the new capacity for itself, so detach its ring — the old ring
+  // stays owned by the state and gets flushed/reset as usual.
+  t_ring = nullptr;
+}
+
+uint64_t DroppedSpans() {
+  TraceState& s = State();
+  std::lock_guard<std::mutex> lock(s.m);
+  uint64_t dropped = 0;
+  for (const auto& r : s.rings) {
+    const uint64_t c = r->count.load(std::memory_order_acquire);
+    if (c > r->capacity) dropped += c - r->capacity;
+  }
+  return dropped;
+}
+
+const char* InternName(const std::string& name) {
+  TraceState& s = State();
+  std::lock_guard<std::mutex> lock(s.m);
+  return s.interned.insert(name).first->c_str();
+}
+
+uint64_t TraceNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - State().epoch)
+          .count());
+}
+
+void RecordSpan(const char* name, const char* cat, uint64_t start_ns,
+                uint64_t end_ns) {
+  if (!TracingEnabled()) return;
+  Ring* r = RingForThisThread();
+  const uint64_t c = r->count.load(std::memory_order_relaxed);
+  TraceEvent& e = r->events[c % r->capacity];
+  e.name.store(name, std::memory_order_relaxed);
+  e.cat.store(cat, std::memory_order_relaxed);
+  e.start_ns.store(start_ns, std::memory_order_relaxed);
+  e.dur_ns.store(end_ns > start_ns ? end_ns - start_ns : 0,
+                 std::memory_order_relaxed);
+  r->count.store(c + 1, std::memory_order_release);
+}
+
+void TraceScope::Begin(const char* name, const char* cat) {
+  name_ = name;
+  cat_ = cat;
+  start_ns_ = TraceNowNs();
+  armed_ = true;
+}
+
+void TraceScope::End() {
+  // Tracing may have been disabled mid-span; record anyway so the
+  // span is not lost — RecordSpan rechecks nothing here on purpose.
+  Ring* r = RingForThisThread();
+  const uint64_t end_ns = TraceNowNs();
+  const uint64_t c = r->count.load(std::memory_order_relaxed);
+  TraceEvent& e = r->events[c % r->capacity];
+  e.name.store(name_, std::memory_order_relaxed);
+  e.cat.store(cat_, std::memory_order_relaxed);
+  e.start_ns.store(start_ns_, std::memory_order_relaxed);
+  e.dur_ns.store(end_ns > start_ns_ ? end_ns - start_ns_ : 0,
+                 std::memory_order_relaxed);
+  r->count.store(c + 1, std::memory_order_release);
+}
+
+bool FlushTrace() {
+  TraceState& s = State();
+  std::lock_guard<std::mutex> lock(s.m);
+  if (s.path.empty()) return false;
+  uint64_t buffered = 0;
+  for (const auto& r : s.rings) {
+    buffered += r->count.load(std::memory_order_acquire);
+  }
+  if (buffered == 0 && s.wrote_path == s.path) return true;
+  std::FILE* f = s.path == "-" ? stderr : std::fopen(s.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "progidx: cannot write trace file '%s'\n",
+                 s.path.c_str());
+    return false;
+  }
+  std::fputs("{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [", f);
+  bool first = true;
+  uint64_t written = 0;
+  uint64_t dropped = 0;
+  for (const auto& r : s.rings) {
+    const uint64_t c = r->count.load(std::memory_order_acquire);
+    const uint64_t n = c < r->capacity ? c : r->capacity;
+    if (c > r->capacity) dropped += c - r->capacity;
+    const uint64_t start = c - n;  // oldest retained span
+    for (uint64_t i = start; i < c; i++) {
+      const TraceEvent& e = r->events[i % r->capacity];
+      const char* name = e.name.load(std::memory_order_relaxed);
+      const char* cat = e.cat.load(std::memory_order_relaxed);
+      if (name == nullptr || cat == nullptr) continue;
+      std::fprintf(
+          f,
+          "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+          "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+          first ? "" : ",", name, cat,
+          static_cast<double>(e.start_ns.load(std::memory_order_relaxed)) /
+              1e3,
+          static_cast<double>(e.dur_ns.load(std::memory_order_relaxed)) / 1e3,
+          r->tid);
+      first = false;
+      written++;
+    }
+    r->count.store(0, std::memory_order_release);
+  }
+  std::fputs("\n]\n}\n", f);
+  bool ok = true;
+  if (f != stderr) ok = std::fclose(f) == 0;
+  if (ok) s.wrote_path = s.path;
+  if (dropped > 0) {
+    std::fprintf(stderr,
+                 "progidx: trace '%s': %llu spans written, %llu dropped by "
+                 "ring wraparound (raise ring capacity)\n",
+                 s.path.c_str(), static_cast<unsigned long long>(written),
+                 static_cast<unsigned long long>(dropped));
+  }
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace progidx

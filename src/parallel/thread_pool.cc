@@ -14,11 +14,30 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace progidx {
 namespace parallel {
 namespace {
 
 thread_local bool tls_on_worker = false;
+
+// Pool health counters (docs/observability.md): executed tasks, how
+// many of them were stolen from another lane's deque, and how often a
+// worker went to sleep empty-handed — the balance/starvation signals
+// behind multi-lane scaling numbers.
+const obs::Counter& TasksCounter() {
+  static const obs::Counter c("pool.tasks");
+  return c;
+}
+const obs::Counter& StealsCounter() {
+  static const obs::Counter c("pool.steals");
+  return c;
+}
+const obs::Counter& SleepsCounter() {
+  static const obs::Counter c("pool.sleeps");
+  return c;
+}
 
 size_t HardwareLanes() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -76,6 +95,7 @@ struct ThreadPool::Impl {
       if (!victim.q.empty()) {
         *out = std::move(victim.q.back());
         victim.q.pop_back();
+        StealsCounter().Add();
         return true;
       }
     }
@@ -89,9 +109,11 @@ struct ThreadPool::Impl {
       if (PopOrSteal(self, &task)) {
         pending.fetch_sub(1, std::memory_order_acq_rel);
         fault::MaybeStall(fault::Site::kPoolWorker);
+        TasksCounter().Add();
         task();
         continue;
       }
+      SleepsCounter().Add();
       std::unique_lock<std::mutex> lk(sleep_m);
       // Shutdown ordering: a stopping worker first drains every queued
       // task — exit only once stop is set AND nothing is pending, so a

@@ -7,11 +7,24 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/io.h"
 
 namespace progidx {
 namespace persist {
 namespace {
+
+// Snapshot counters (docs/observability.md), exposed through
+// Server::DumpMetrics as progidx_persist_snapshot_*.
+const obs::Counter& SnapshotBytesCounter() {
+  static const obs::Counter c("persist.snapshot_bytes");
+  return c;
+}
+const obs::Counter& SnapshotsCounter() {
+  static const obs::Counter c("persist.snapshots");
+  return c;
+}
 
 constexpr char kSnapshotPrefix[] = "snapshot-";
 
@@ -55,6 +68,7 @@ std::vector<uint64_t> Checkpointer::ListSnapshots() const {
 
 bool Checkpointer::Save(const IndexBase& index, const SnapshotMeta& meta) {
   if (!index.SupportsPersistence()) return false;
+  obs::TraceScope span("checkpoint", "persist");
   Writer w;
   w.WriteString(index.name());
   w.WriteU64(column_.size());
@@ -67,6 +81,8 @@ bool Checkpointer::Save(const IndexBase& index, const SnapshotMeta& meta) {
   if (!w.Publish(PathForSeq(seq))) return false;
   next_seq_ = seq + 1;
   last_snapshot_bytes_ = w.payload().size();
+  SnapshotBytesCounter().Add(last_snapshot_bytes_);
+  SnapshotsCounter().Add();
   // Prune: everything older than the newest kKeepSnapshots goes. The
   // fallback copy survives a torn newest snapshot (crash matrix in
   // docs/recovery.md).

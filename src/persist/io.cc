@@ -9,10 +9,23 @@
 #include <cstring>
 
 #include "common/fault.h"
+#include "obs/metrics.h"
 
 namespace progidx {
 namespace persist {
 namespace {
+
+// Publication counters (docs/observability.md): bytes made durable
+// through the crash-atomic temp+fsync+rename path, and how many
+// publishes (≈ 2 fsyncs each: file + parent directory) happened.
+const obs::Counter& PublishedBytesCounter() {
+  static const obs::Counter c("persist.published_bytes");
+  return c;
+}
+const obs::Counter& PublishesCounter() {
+  static const obs::Counter c("persist.publishes");
+  return c;
+}
 
 constexpr char kMagic[8] = {'P', 'I', 'D', 'X', 'S', 'N', 'P', '1'};
 /// Frames cap at 1 MiB so a corrupt length field can never drive a
@@ -130,6 +143,8 @@ bool Writer::Publish(const std::string& path) const {
     return false;
   }
   FsyncParentDir(path);
+  PublishedBytesCounter().Add(payload_.size());
+  PublishesCounter().Add();
 
   if (fault::Fires(fault::Mode::kSnapshotTorn, fault::Site::kPersistTorn)) {
     // Simulated torn publish: the rename reached disk but the tail of

@@ -5,11 +5,25 @@
 #include <cstring>
 
 #include "common/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/io.h"
 
 namespace progidx {
 namespace persist {
 namespace {
+
+// Durability counters (docs/observability.md): how many bytes the WAL
+// has fsynced and how many appends it has served — the
+// progidx_persist_wal_* lines of Server::DumpMetrics.
+const obs::Counter& WalBytesCounter() {
+  static const obs::Counter c("persist.wal_bytes");
+  return c;
+}
+const obs::Counter& WalAppendsCounter() {
+  static const obs::Counter c("persist.wal_appends");
+  return c;
+}
 
 constexpr char kWalMagic[8] = {'P', 'I', 'D', 'X', 'W', 'A', 'L', '1'};
 
@@ -141,11 +155,16 @@ bool WalWriter::AppendEpoch(uint64_t first_ticket, const RangeQuery* qs,
     broken_ = true;
     return false;
   }
-  if (std::fwrite(record.data(), 1, record.size(), f_) != record.size() ||
-      std::fflush(f_) != 0 || ::fsync(::fileno(f_)) != 0) {
-    broken_ = true;
-    return false;
+  {
+    obs::TraceScope span("wal_fsync", "persist");
+    if (std::fwrite(record.data(), 1, record.size(), f_) != record.size() ||
+        std::fflush(f_) != 0 || ::fsync(::fileno(f_)) != 0) {
+      broken_ = true;
+      return false;
+    }
   }
+  WalBytesCounter().Add(record.size());
+  WalAppendsCounter().Add();
   return true;
 }
 

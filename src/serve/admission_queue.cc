@@ -1,15 +1,39 @@
 #include "serve/admission_queue.h"
 
 #include "common/fault.h"
+#include "obs/metrics.h"
 
 namespace progidx {
 namespace serve {
 
+namespace {
+
+// Queue-level pressure counters (docs/observability.md): how often
+// admission actually blocked on a full queue, timed out, or was
+// refused by an injected fault — the inputs behind a rising
+// serve.queue_wait_ns tail.
+const obs::Counter& BlockedCounter() {
+  static const obs::Counter c("serve.admit_blocked");
+  return c;
+}
+const obs::Counter& ExpiredCounter() {
+  static const obs::Counter c("serve.admit_expired");
+  return c;
+}
+const obs::Counter& FaultRefusedCounter() {
+  static const obs::Counter c("serve.admit_fault_refused");
+  return c;
+}
+
+}  // namespace
+
 AdmitResult AdmissionQueue::AdmissionFault() {
   if (fault::Fires(fault::Mode::kQueueFull, fault::Site::kAdmissionFull)) {
+    FaultRefusedCounter().Add();
     return AdmitResult::kOverloaded;
   }
   if (fault::Fires(fault::Mode::kAllocFail, fault::Site::kAdmissionAlloc)) {
+    FaultRefusedCounter().Add();
     return AdmitResult::kOverloaded;
   }
   return AdmitResult::kAdmitted;
@@ -20,6 +44,7 @@ AdmitResult AdmissionQueue::Admit(ServeSlot* slot) {
   if (closed_) return AdmitResult::kClosed;
   AdmitResult fault = AdmissionFault();
   if (fault != AdmitResult::kAdmitted) return fault;
+  if (q_.size() >= capacity_) BlockedCounter().Add();
   while (q_.size() >= capacity_) {
     if (closed_) return AdmitResult::kClosed;
     if (slot->deadline == std::chrono::steady_clock::time_point::max()) {
@@ -27,6 +52,7 @@ AdmitResult AdmissionQueue::Admit(ServeSlot* slot) {
     } else if (not_full_.wait_until(lk, slot->deadline) ==
                    std::cv_status::timeout &&
                q_.size() >= capacity_ && !closed_) {
+      ExpiredCounter().Add();
       return AdmitResult::kExpired;
     }
   }

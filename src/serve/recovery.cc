@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "common/timer.h"
+#include "obs/trace.h"
 #include "persist/calibration_store.h"
 #include "persist/checkpoint.h"
 #include "persist/wal.h"
@@ -41,11 +43,16 @@ std::unique_ptr<IndexBase> RecoverIndex(
   st = RecoveryStats{};
 
   std::vector<persist::WalEpoch> epochs;
-  if (!persist::ReadWal(dir + "/wal", &epochs, &st.log_tail_truncated)) {
-    // Foreign or unreadable log: never replay it, never append to it —
-    // the server will refuse durability on this directory too.
-    st.log_unreadable = true;
-    epochs.clear();
+  {
+    obs::TraceScope span("recovery.wal_read", "recovery");
+    Timer t;
+    if (!persist::ReadWal(dir + "/wal", &epochs, &st.log_tail_truncated)) {
+      // Foreign or unreadable log: never replay it, never append to it
+      // — the server will refuse durability on this directory too.
+      st.log_unreadable = true;
+      epochs.clear();
+    }
+    st.wal_read_ms = t.ElapsedSeconds() * 1e3;
   }
   st.log_epochs = epochs.size();
   for (const persist::WalEpoch& e : epochs) st.log_queries += e.queries.size();
@@ -69,6 +76,8 @@ std::unique_ptr<IndexBase> RecoverIndex(
           : 0;
   size_t start_epoch = 0;
   if (index->SupportsPersistence() && !st.log_unreadable) {
+    obs::TraceScope span("recovery.snapshot_load", "recovery");
+    Timer snap_timer;
     const std::vector<uint64_t> seqs = ckpt.ListSnapshots();
     for (size_t i = seqs.size(); i-- > 0;) {
       std::unique_ptr<IndexBase> candidate = make_fresh(constants);
@@ -92,18 +101,24 @@ std::unique_ptr<IndexBase> RecoverIndex(
       }
       st.snapshots_rejected++;
     }
+    st.snapshot_load_ms = snap_timer.ElapsedSeconds() * 1e3;
   }
 
   // Replay the uncovered suffix in the recorded epoch sizes: the same
   // QueryBatch calls the crashed scheduler made (or durably promised to
   // make), so the state trajectory is reproduced exactly.
-  std::vector<QueryResult> sink;
-  for (size_t i = start_epoch; i < epochs.size(); i++) {
-    const std::vector<RangeQuery>& qs = epochs[i].queries;
-    if (qs.empty()) continue;
-    sink.resize(qs.size());
-    index->QueryBatch(qs.data(), qs.size(), sink.data());
-    st.replayed_queries += qs.size();
+  {
+    obs::TraceScope span("recovery.replay", "recovery");
+    Timer replay_timer;
+    std::vector<QueryResult> sink;
+    for (size_t i = start_epoch; i < epochs.size(); i++) {
+      const std::vector<RangeQuery>& qs = epochs[i].queries;
+      if (qs.empty()) continue;
+      sink.resize(qs.size());
+      index->QueryBatch(qs.data(), qs.size(), sink.data());
+      st.replayed_queries += qs.size();
+    }
+    st.replay_ms = replay_timer.ElapsedSeconds() * 1e3;
   }
   return index;
 }

@@ -28,6 +28,14 @@ struct RecoveryStats {
   /// existed). With a non-empty log this forces a cold replay: old
   /// snapshots carry the lost pin's fingerprint and are rejected.
   bool calibration_pinned_now = false;
+  /// Phase timings (milliseconds), mirroring the recovery.* trace
+  /// spans so harnesses (tools/crash_harness) can report where
+  /// recovery time went instead of one opaque wall-clock total.
+  /// snapshot_load_ms covers the whole newest-first walk, including
+  /// rejected candidates.
+  double wal_read_ms = 0;
+  double snapshot_load_ms = 0;
+  double replay_ms = 0;
 };
 
 /// Deterministic crash recovery for one served index over `column` in

@@ -5,11 +5,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/env.h"
 #include "common/validate.h"
 #include "exec/query_batch.h"
 #include "exec/zero_budget_scan.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "persist/calibration_store.h"
 #include "persist/wal.h"
 
@@ -17,6 +20,24 @@ namespace progidx {
 namespace serve {
 
 namespace {
+
+// Process-global serve histograms (docs/observability.md). The
+// per-server lifecycle counts stay in the Server's own atomics (they
+// are per-instance state surfaced by stats()/DumpMetrics); the
+// registry carries the distributions, which want the lock-free
+// sharded recording path because clients write them concurrently.
+const obs::Histogram& SubmitLatencyHist() {
+  static const obs::Histogram h("serve.submit_latency_ns");
+  return h;
+}
+const obs::Histogram& QueueWaitHist() {
+  static const obs::Histogram h("serve.queue_wait_ns");
+  return h;
+}
+const obs::Histogram& EpochSizeHist() {
+  static const obs::Histogram h("serve.epoch_size");
+  return h;
+}
 
 std::chrono::steady_clock::time_point DeadlineFor(uint64_t deadline_us) {
   if (deadline_us == ServerConfig::kNoDeadline) {
@@ -65,6 +86,7 @@ Server::Server(IndexBase* index, const Column& column, ServerConfig config)
            "serve: exact batches need batch size <= queue capacity");
   CheckArg(config.persist_dir.empty() || config.checkpoint_every > 0,
            "serve: checkpoint interval must be > 0");
+  start_ns_ = obs::TraceNowNs();
   if (!config_.persist_dir.empty()) SetUpDurability();
   scheduler_ = std::thread([this] { SchedulerLoop(); });
 }
@@ -110,6 +132,18 @@ void Server::SetUpDurability() {
 Server::~Server() {
   queue_.Close();
   if (scheduler_.joinable()) scheduler_.join();
+  if (const char* path = obs::MetricsDumpPathFromEnv()) {
+    const std::string dump = DumpMetrics();
+    if (std::strcmp(path, "-") == 0) {
+      std::fputs(dump.c_str(), stderr);
+    } else if (std::FILE* f = std::fopen(path, "w")) {
+      std::fputs(dump.c_str(), f);
+      std::fclose(f);
+    } else if (env::WarnOnce("serve-metrics-path")) {
+      std::fprintf(stderr, "progidx: cannot write PROGIDX_METRICS file %s\n",
+                   path);
+    }
+  }
 }
 
 Response Server::Degrade(const RangeQuery& q) {
@@ -128,13 +162,20 @@ bool Server::TryReadEpoch(const RangeQuery& q, Response* out) {
 }
 
 Response Server::Submit(const RangeQuery& q) {
+  obs::TraceScope submit_span("submit", "serve");
+  obs::QueryTimer qt;
   submitted_.fetch_add(1, std::memory_order_relaxed);
   Response resp;
   if (TryReadEpoch(q, &resp)) return resp;
   ServeSlot slot;
   slot.query = q;
   slot.deadline = DeadlineFor(config_.deadline_us);
-  switch (queue_.Admit(&slot)) {
+  AdmitResult admit;
+  {
+    obs::TraceScope admit_span("admit", "serve");
+    admit = queue_.Admit(&slot);
+  }
+  switch (admit) {
     case AdmitResult::kAdmitted:
       break;
     case AdmitResult::kOverloaded:  // admission fault refused the query
@@ -142,7 +183,14 @@ Response Server::Submit(const RangeQuery& q) {
     case AdmitResult::kClosed:      // shutdown race: still answer exactly
       return Degrade(q);
   }
-  ServeSlot::State state = slot.Wait();
+  ServeSlot::State state;
+  {
+    obs::TraceScope wait_span("queue_wait", "serve");
+    const uint64_t wait_start = qt.armed() ? obs::TraceNowNs() : 0;
+    state = slot.Wait();
+    if (qt.armed()) QueueWaitHist().Record(obs::TraceNowNs() - wait_start);
+  }
+  if (qt.armed()) SubmitLatencyHist().Record(qt.ElapsedNs());
   if (state == ServeSlot::State::kServed) {
     served_.fetch_add(1, std::memory_order_relaxed);
     return Response{slot.result, false};
@@ -151,6 +199,8 @@ Response Server::Submit(const RangeQuery& q) {
 }
 
 SubmitStatus Server::TrySubmit(const RangeQuery& q, Response* out) {
+  obs::TraceScope submit_span("submit", "serve");
+  obs::QueryTimer qt;
   submitted_.fetch_add(1, std::memory_order_relaxed);
   if (TryReadEpoch(q, out)) return SubmitStatus::kOk;
   ServeSlot slot;
@@ -166,7 +216,14 @@ SubmitStatus Server::TrySubmit(const RangeQuery& q, Response* out) {
     case AdmitResult::kClosed:
       return SubmitStatus::kShutdown;
   }
-  ServeSlot::State state = slot.Wait();
+  ServeSlot::State state;
+  {
+    obs::TraceScope wait_span("queue_wait", "serve");
+    const uint64_t wait_start = qt.armed() ? obs::TraceNowNs() : 0;
+    state = slot.Wait();
+    if (qt.armed()) QueueWaitHist().Record(obs::TraceNowNs() - wait_start);
+  }
+  if (qt.armed()) SubmitLatencyHist().Record(qt.ElapsedNs());
   if (state == ServeSlot::State::kServed) {
     served_.fetch_add(1, std::memory_order_relaxed);
     *out = Response{slot.result, false};
@@ -201,7 +258,14 @@ void Server::SubmitOrderedStart(uint64_t ticket, const RangeQuery& q,
 }
 
 Response Server::SubmitOrderedFinish(ServeSlot* slot) {
-  if (slot->Wait() == ServeSlot::State::kServed) {
+  ServeSlot::State state;
+  {
+    obs::TraceScope wait_span("queue_wait", "serve");
+    obs::QueryTimer qt;
+    state = slot->Wait();
+    if (qt.armed()) QueueWaitHist().Record(qt.ElapsedNs());
+  }
+  if (state == ServeSlot::State::kServed) {
     served_.fetch_add(1, std::memory_order_relaxed);
     return Response{slot->result, false};
   }
@@ -215,8 +279,13 @@ void Server::SchedulerLoop() {
   std::vector<QueryResult> rs;
   batch.reserve(config_.batch_size);
   for (;;) {
-    if (queue_.PopBatch(&batch, config_.batch_size, config_.exact_batches) ==
-        0) {
+    size_t popped;
+    {
+      obs::TraceScope form_span("epoch_formation", "serve");
+      popped =
+          queue_.PopBatch(&batch, config_.batch_size, config_.exact_batches);
+    }
+    if (popped == 0) {
       // Closed and drained: one last snapshot so a clean shutdown
       // recovers without replay.
       if (persist_enabled_ && !wal_.broken() && checkpointer_ != nullptr &&
@@ -227,6 +296,8 @@ void Server::SchedulerLoop() {
         meta.calibration_crc = calibration_crc_;
         if (checkpointer_->Save(*index_, meta)) {
           checkpoints_.fetch_add(1, std::memory_order_relaxed);
+          last_snapshot_ns_.store(obs::TraceNowNs(),
+                                  std::memory_order_relaxed);
         }
       }
       return;
@@ -265,6 +336,7 @@ void Server::SchedulerLoop() {
       rs.resize(qs.size());
       index_->QueryBatch(qs.data(), qs.size(), rs.data());
       write_epochs_.fetch_add(1, std::memory_order_relaxed);
+      EpochSizeHist().Record(qs.size());
       {
         std::lock_guard<std::mutex> lk(log_m_);
         admitted_log_.insert(admitted_log_.end(), qs.begin(), qs.end());
@@ -276,8 +348,11 @@ void Server::SchedulerLoop() {
       if (config_.enable_read_epochs && index_->converged()) {
         read_mode_.store(true, std::memory_order_release);
       }
-      for (size_t i = 0; i < live.size(); ++i) {
-        live[i]->Complete(ServeSlot::State::kServed, rs[i]);
+      {
+        obs::TraceScope complete_span("complete", "serve");
+        for (size_t i = 0; i < live.size(); ++i) {
+          live[i]->Complete(ServeSlot::State::kServed, rs[i]);
+        }
       }
       // Snapshot after waking the epoch's clients: checkpoint cost is
       // scheduler time, not client latency. Only while the WAL is
@@ -291,6 +366,8 @@ void Server::SchedulerLoop() {
         meta.calibration_crc = calibration_crc_;
         if (checkpointer_->Save(*index_, meta)) {
           checkpoints_.fetch_add(1, std::memory_order_relaxed);
+          last_snapshot_ns_.store(obs::TraceNowNs(),
+                                  std::memory_order_relaxed);
         }
         epochs_since_ckpt_ = 0;
       }
@@ -311,6 +388,45 @@ ServeStats Server::stats() const {
   s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
   s.wal_broken = wal_broken_.load(std::memory_order_relaxed);
   return s;
+}
+
+std::string Server::DumpMetrics() const {
+  std::string out;
+  char buf[160];
+  auto line = [&](const char* name, double v) {
+    if (v == static_cast<double>(static_cast<int64_t>(v))) {
+      std::snprintf(buf, sizeof(buf), "progidx_%s %lld\n", name,
+                    static_cast<long long>(v));
+    } else {
+      std::snprintf(buf, sizeof(buf), "progidx_%s %.6g\n", name, v);
+    }
+    out.append(buf);
+  };
+  const ServeStats s = stats();
+  const uint64_t now_ns = obs::TraceNowNs();
+  const double uptime =
+      static_cast<double>(now_ns - start_ns_) * 1e-9;
+  const double answered =
+      static_cast<double>(s.served + s.degraded + s.read_epoch);
+  line("serve_uptime_seconds", uptime);
+  line("serve_qps", uptime > 0 ? answered / uptime : 0);
+  line("serve_submitted", static_cast<double>(s.submitted));
+  line("serve_served", static_cast<double>(s.served));
+  line("serve_degraded", static_cast<double>(s.degraded));
+  line("serve_shed", static_cast<double>(s.shed));
+  line("serve_read_epoch", static_cast<double>(s.read_epoch));
+  line("serve_write_epochs", static_cast<double>(s.write_epochs));
+  line("serve_faults_injected", static_cast<double>(s.faults_injected));
+  line("serve_durable_queries", static_cast<double>(s.durable_queries));
+  line("serve_checkpoints", static_cast<double>(s.checkpoints));
+  line("serve_wal_broken", s.wal_broken ? 1 : 0);
+  line("index_converged", index_->converged() ? 1 : 0);
+  line("index_convergence_fraction", index_->ConvergenceFraction());
+  const uint64_t snap_ns = last_snapshot_ns_.load(std::memory_order_relaxed);
+  line("snapshot_age_seconds",
+       snap_ns == 0 ? -1.0 : static_cast<double>(now_ns - snap_ns) * 1e-9);
+  obs::Registry::Global().TextExposition(&out);
+  return out;
 }
 
 std::vector<RangeQuery> Server::admitted_log() const {

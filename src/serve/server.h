@@ -12,6 +12,7 @@
 #include "common/fault.h"
 #include "common/types.h"
 #include "core/index_base.h"
+#include "obs/metrics.h"
 #include "persist/checkpoint.h"
 #include "persist/wal.h"
 #include "serve/admission_queue.h"
@@ -156,6 +157,17 @@ class Server {
 
   ServeStats stats() const;
 
+  /// Prometheus-style text snapshot (docs/observability.md): this
+  /// server's lifecycle counters and derived gauges (q/s, convergence
+  /// fraction, snapshot age) followed by the process-wide obs registry
+  /// exposition (latency/epoch-size/residual histograms, WAL bytes,
+  /// pool counters). The convergence gauges read the index directly,
+  /// so call it while no write epoch can be mutating the index — i.e.
+  /// from the submitting side only when submits are quiesced (the
+  /// destructor's PROGIDX_METRICS dump runs after the scheduler has
+  /// joined). `tools/metrics_dump` demonstrates the format.
+  std::string DumpMetrics() const;
+
   /// Queries served by write epochs, in admission order, and the epoch
   /// boundaries over that log. Snapshot is only meaningful while no
   /// submits are in flight.
@@ -212,6 +224,12 @@ class Server {
   std::atomic<uint64_t> durable_queries_{0};
   std::atomic<uint64_t> checkpoints_{0};
   std::atomic<bool> wal_broken_{false};
+
+  /// Telemetry-only timestamps (obs trace clock, ns): server start for
+  /// uptime/qps, last published snapshot for the snapshot-age gauge
+  /// (0 = none this run). Never consulted for execution decisions.
+  uint64_t start_ns_ = 0;
+  std::atomic<uint64_t> last_snapshot_ns_{0};
 
   std::thread scheduler_;
 };

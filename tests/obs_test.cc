@@ -1,0 +1,401 @@
+// Observability subsystem tests (docs/observability.md): bucket-layout
+// invariants, exact histogram merges across thread counts, counter
+// shard exactness, trace ring wraparound, trace JSON well-formedness,
+// residual tracking, the Prometheus-style dump format — and the
+// determinism contract itself: answers, admitted log, epoch schedule,
+// and final index state are bit-identical with telemetry on vs off.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <stdlib.h>
+#include <unistd.h>
+
+#include "bench/bench_util.h"
+#include "core/budget.h"
+#include "core/progressive_quicksort.h"
+#include "core/progressive_radixsort_lsd.h"
+#include "exec/zero_budget_scan.h"
+#include "eval/registry.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "persist/io.h"
+#include "serve/server.h"
+#include "workload/data_generator.h"
+#include "workload/synthetic.h"
+
+namespace progidx {
+namespace {
+
+/// Saves the process-wide telemetry switches and restores them on scope
+/// exit, so these tests compose with the PROGIDX_TRACE ctest lane (and
+/// with each other in any order).
+struct TelemetryGuard {
+  bool metrics = obs::MetricsEnabled();
+  bool tracing = obs::TracingEnabled();
+  std::string path = obs::TracePath();
+  ~TelemetryGuard() {
+    obs::SetMetricsEnabledForTesting(metrics);
+    obs::SetRingCapacityForTesting(0);
+    // Restore the path in both branches: leaving a test's (deleted)
+    // temp path behind would make the atexit flush warn at exit.
+    obs::EnableTracing(path);
+    if (!tracing) obs::DisableTracing();
+  }
+};
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/progidx_obs_XXXXXX";
+  const char* d = ::mkdtemp(tmpl);
+  EXPECT_NE(d, nullptr);
+  return d == nullptr ? "/tmp" : d;
+}
+
+void RemoveDir(const std::string& dir, const std::string& file) {
+  std::remove((dir + "/" + file).c_str());
+  ::rmdir(dir.c_str());
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Minimal structural JSON check: quoted strings honored (with escape
+/// handling), braces/brackets balanced and properly nested, non-empty.
+bool JsonWellFormed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  bool saw_value = false;
+  for (const char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; saw_value = true; break;
+      case '{': case '[': stack.push_back(c); saw_value = true; break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty() && saw_value;
+}
+
+size_t CountOccurrences(const std::string& haystack, const std::string& s) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(s); pos != std::string::npos;
+       pos = haystack.find(s, pos + s.size())) {
+    count++;
+  }
+  return count;
+}
+
+TEST(ObsTest, BucketLayoutInvariants) {
+  // Values below the sub-bucket count get exact unit buckets.
+  for (uint64_t v = 0; v < obs::Buckets::kSubBuckets; v++) {
+    EXPECT_EQ(obs::Buckets::IndexFor(v), v);
+    EXPECT_EQ(obs::Buckets::UpperBound(v), v);
+  }
+  // Every value lands at or below its bucket's upper bound, with
+  // relative error bounded by one sub-bucket (1/32).
+  uint64_t prev_bucket = 0;
+  for (uint64_t v = 1; v != 0 && v < (uint64_t{1} << 62); v = v * 3 + 1) {
+    const size_t b = obs::Buckets::IndexFor(v);
+    ASSERT_LT(b, obs::Buckets::kCount);
+    ASSERT_GE(b, prev_bucket);  // monotone in v
+    prev_bucket = b;
+    const uint64_t ub = obs::Buckets::UpperBound(b);
+    ASSERT_GE(ub, v);
+    ASSERT_LE(static_cast<double>(ub - v),
+              static_cast<double>(v) / 16.0 + 1.0);
+    // The upper bound itself maps back to the same bucket.
+    ASSERT_EQ(obs::Buckets::IndexFor(ub), b);
+  }
+}
+
+TEST(ObsTest, HistogramMergeExactAcrossThreadCounts) {
+  TelemetryGuard guard;
+  obs::SetMetricsEnabledForTesting(true);
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    const std::string name =
+        "test.merge_t" + std::to_string(threads) + "_ns";
+    const obs::Histogram hist(name.c_str());
+    // Deterministic per-thread value streams spanning the exact and
+    // log-bucketed ranges.
+    auto value_at = [](size_t t, size_t i) {
+      return (uint64_t{t} * 1000003 + uint64_t{i} * 7919) %
+             (uint64_t{1} << (8 + (i % 40)));
+    };
+    constexpr size_t kPerThread = 5000;
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < threads; t++) {
+      workers.emplace_back([&, t] {
+        for (size_t i = 0; i < kPerThread; i++) hist.Record(value_at(t, i));
+      });
+    }
+    for (std::thread& w : workers) w.join();
+
+    obs::LocalHistogram serial;
+    for (size_t t = 0; t < threads; t++) {
+      for (size_t i = 0; i < kPerThread; i++) serial.Record(value_at(t, i));
+    }
+    // Bit-identical merge: same buckets, same total, same exact sum —
+    // so every quantile and the mean agree with the serial run.
+    const obs::LocalHistogram merged = hist.Snapshot();
+    EXPECT_TRUE(merged == serial) << "threads=" << threads;
+    EXPECT_EQ(merged.ValueAtQuantile(0.99), serial.ValueAtQuantile(0.99));
+  }
+}
+
+TEST(ObsTest, CounterShardsSumExactly) {
+  TelemetryGuard guard;
+  obs::SetMetricsEnabledForTesting(true);
+  const obs::Counter counter("test.shard_sum");
+  const uint64_t before = counter.Value();
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; t++) {
+    workers.emplace_back([&] {
+      for (uint64_t i = 0; i < kPerThread; i++) counter.Add();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(counter.Value(), before + kThreads * kPerThread);
+
+  // Disabled metrics record nothing.
+  obs::SetMetricsEnabledForTesting(false);
+  counter.Add(100);
+  EXPECT_EQ(counter.Value(), before + kThreads * kPerThread);
+}
+
+TEST(ObsTest, RingWraparoundKeepsNewestSpans) {
+  TelemetryGuard guard;
+  const std::string dir = MakeTempDir();
+  const std::string path = dir + "/wrap.json";
+  obs::EnableTracing(path);
+  obs::FlushTrace();  // reset every ring so counts below are ours alone
+  obs::SetRingCapacityForTesting(8);  // detaches this thread onto a tiny ring
+  const uint64_t dropped_before = obs::DroppedSpans();
+  for (uint64_t i = 0; i < 20; i++) {
+    obs::RecordSpan("wrap_test", "test", i * 1000, i * 1000 + 500);
+  }
+  EXPECT_EQ(obs::DroppedSpans(), dropped_before + 12);
+  ASSERT_TRUE(obs::FlushTrace());
+  const std::string json = ReadFile(path);
+  // Only the newest 8 spans survive the wrap.
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"wrap_test\""), 8u);
+  // ...and they are the newest ones: span 19 present, span 11 gone.
+  EXPECT_NE(json.find("\"ts\":19.000"), std::string::npos);
+  EXPECT_EQ(json.find("\"ts\":11.000"), std::string::npos);
+  EXPECT_EQ(obs::DroppedSpans(), 0u);  // flush reset the rings
+  // A flush with nothing new buffered (the at-exit flush after an
+  // explicit one) must not truncate the already-written file.
+  ASSERT_TRUE(obs::FlushTrace());
+  EXPECT_EQ(CountOccurrences(ReadFile(path), "\"name\":\"wrap_test\""), 8u);
+  RemoveDir(dir, "wrap.json");
+}
+
+TEST(ObsTest, TraceJsonWellFormed) {
+  TelemetryGuard guard;
+  const std::string dir = MakeTempDir();
+  const std::string path = dir + "/trace.json";
+  obs::EnableTracing(path);
+  {
+    obs::TraceScope outer("outer", "test");
+    obs::TraceScope inner(obs::InternName("inner" + std::to_string(7)),
+                          "test");
+  }
+  obs::RecordSpan("explicit", "test", 100, 200);
+  ASSERT_TRUE(obs::FlushTrace());
+  const std::string json = ReadFile(path);
+  EXPECT_TRUE(JsonWellFormed(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner7\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  RemoveDir(dir, "trace.json");
+}
+
+TEST(ObsTest, ResidualTrackingRecordsRelativeError) {
+  TelemetryGuard guard;
+  obs::SetMetricsEnabledForTesting(true);
+  obs::IndexTelemetry telemetry("testidx");
+  // |pred - act| / act = |0.001 - 0.0012| / 0.0012 = 1/6 -> ~166667 ppm.
+  telemetry.RecordResidual("refinement", 0.001, 0.0012);
+  const obs::Histogram probe("residual.testidx.refinement_relerr_ppm");
+  const obs::LocalHistogram snap = probe.Snapshot();
+  ASSERT_EQ(snap.total(), 1u);
+  EXPECT_NEAR(snap.Mean(), 166667.0, 1.0);
+}
+
+TEST(ObsTest, ServedQueriesPopulateResidualsAndDump) {
+  TelemetryGuard guard;
+  obs::SetMetricsEnabledForTesting(true);
+  const Column column = MakeUniformColumn(20000, 29);
+  const auto workload = WorkloadGenerator::Generate(
+      WorkloadPattern::kRandom, column.min_value(), column.max_value(), 32,
+      0.1, 31);
+  auto index = MakeIndex("pq", column, BudgetSpec::FixedDelta(0.05));
+  serve::ServerConfig cfg;
+  cfg.batch_size = 4;
+  cfg.enable_read_epochs = false;
+  serve::Server server(index.get(), column, cfg);
+  const obs::Histogram residuals("residual.pq.creation_relerr_ppm");
+  const uint64_t residuals_before = residuals.Snapshot().total();
+  for (const RangeQuery& q : workload) (void)server.Submit(q);
+
+  // Every creation-phase batch folded a predicted-vs-actual residual.
+  EXPECT_GT(residuals.Snapshot().total(), residuals_before);
+
+  const std::string dump = server.DumpMetrics();
+  for (const char* needle :
+       {"progidx_serve_uptime_seconds", "progidx_serve_qps",
+        "progidx_serve_submitted 32", "progidx_serve_shed 0",
+        "progidx_index_convergence_fraction",
+        "progidx_serve_submit_latency_ns_count",
+        "progidx_serve_epoch_size{quantile=\"0.5\"}"}) {
+    EXPECT_NE(dump.find(needle), std::string::npos)
+        << "missing " << needle << " in:\n" << dump;
+  }
+}
+
+TEST(ObsTest, LatencyRecorderMatchesRegistryQuantiles) {
+  // The bench-side recorder and a registry histogram fed the same
+  // values report the same quantiles — one definition everywhere.
+  TelemetryGuard guard;
+  obs::SetMetricsEnabledForTesting(true);
+  bench::LatencyRecorder recorder;
+  const obs::Histogram hist("test.latency_agreement_ns");
+  for (uint64_t i = 1; i <= 1000; i++) {
+    recorder.RecordNs(i * i);
+    hist.Record(i * i);
+  }
+  const obs::LocalHistogram snap = hist.Snapshot();
+  for (const double q : {0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(recorder.PercentileUs(q),
+              static_cast<double>(snap.ValueAtQuantile(q)) / 1e3);
+  }
+}
+
+/// One served run of the ordered-submit workload; everything the
+/// determinism contract covers, captured for comparison.
+struct ServedOutcome {
+  std::vector<QueryResult> results;
+  std::vector<RangeQuery> admitted;
+  std::vector<size_t> epochs;
+  std::string state;
+};
+
+template <typename IndexT>
+ServedOutcome RunServed(const std::vector<value_t>& values,
+                        const std::vector<RangeQuery>& workload,
+                        size_t threads) {
+  constexpr size_t kBatch = 8;
+  const size_t total = workload.size();
+  ServedOutcome out;
+  out.results.resize(total);
+  Column column{std::vector<value_t>(values)};
+  IndexT index(column, BudgetSpec::FixedDelta(0.05));
+  {
+    serve::ServerConfig cfg;
+    cfg.queue_capacity = 16;
+    cfg.batch_size = kBatch;
+    cfg.exact_batches = true;
+    cfg.enable_read_epochs = false;
+    serve::Server server(&index, column, cfg);
+    std::vector<serve::ServeSlot> slots(total);
+    std::vector<std::thread> clients;
+    for (size_t t = 0; t < threads; ++t) {
+      clients.emplace_back([&, t] {
+        for (size_t q = t; q < total; q += threads) {
+          server.SubmitOrderedStart(q, workload[q], &slots[q]);
+        }
+        for (size_t q = t; q < total; q += threads) {
+          out.results[q] = server.SubmitOrderedFinish(&slots[q]).result;
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    out.admitted = server.admitted_log();
+    out.epochs = server.epoch_sizes();
+  }
+  persist::Writer w;
+  index.SaveState(&w);
+  out.state = w.payload();
+  return out;
+}
+
+/// The determinism contract, test-enforced: with telemetry fully on
+/// (metrics + tracing) and fully off, a served workload produces
+/// bit-identical answers, admitted log, epoch schedule, and final
+/// index state — for T in {1, 2, 4} client threads.
+template <typename IndexT>
+void CheckTelemetryParity(const char* tag) {
+  const std::vector<value_t> values = MakeUniformColumn(20000, 37).values();
+  const Column base{std::vector<value_t>(values)};
+  const auto workload = WorkloadGenerator::Generate(
+      WorkloadPattern::kRandom, base.min_value(), base.max_value(), 64, 0.1,
+      41);
+  const std::string dir = MakeTempDir();
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    TelemetryGuard guard;
+    obs::SetMetricsEnabledForTesting(true);
+    obs::EnableTracing(dir + "/parity.json");
+    const ServedOutcome on = RunServed<IndexT>(values, workload, threads);
+    obs::FlushTrace();
+    obs::DisableTracing();
+    obs::SetMetricsEnabledForTesting(false);
+    const ServedOutcome off = RunServed<IndexT>(values, workload, threads);
+
+    ASSERT_EQ(on.results.size(), off.results.size());
+    for (size_t q = 0; q < on.results.size(); q++) {
+      EXPECT_EQ(on.results[q], off.results[q]) << tag << " T=" << threads;
+      EXPECT_EQ(on.results[q], exec::ZeroBudgetScan(base, workload[q]));
+    }
+    ASSERT_EQ(on.admitted.size(), off.admitted.size());
+    for (size_t q = 0; q < on.admitted.size(); q++) {
+      EXPECT_EQ(on.admitted[q].low, off.admitted[q].low);
+      EXPECT_EQ(on.admitted[q].high, off.admitted[q].high);
+    }
+    EXPECT_EQ(on.epochs, off.epochs) << tag << " T=" << threads;
+    EXPECT_EQ(on.state, off.state)
+        << tag << " T=" << threads << ": telemetry changed index state";
+  }
+  RemoveDir(dir, "parity.json");
+}
+
+TEST(ObsTest, TelemetryOnOffParityQuicksort) {
+  CheckTelemetryParity<ProgressiveQuicksort>("pq");
+}
+
+TEST(ObsTest, TelemetryOnOffParityRadixsortLSD) {
+  CheckTelemetryParity<ProgressiveRadixsortLSD>("plsd");
+}
+
+}  // namespace
+}  // namespace progidx

@@ -148,6 +148,18 @@ int RunVerify(const std::string& dir, const std::string& algo,
   std::unique_ptr<IndexBase> recovered =
       serve::RecoverIndex(dir, column, make_fresh, &rec);
 
+  // Phase breakdown instead of one opaque wall-clock total: where the
+  // recovery time went, per serve::RecoveryStats (and the matching
+  // recovery.* trace spans when PROGIDX_TRACE is set).
+  std::printf(
+      "recovery %-4s: wal_read=%.2fms snapshot_load=%.2fms replay=%.2fms "
+      "(snapshot=%s seq=%llu rejected=%zu replayed=%llu/%llu)\n",
+      algo.c_str(), rec.wal_read_ms, rec.snapshot_load_ms, rec.replay_ms,
+      rec.snapshot_loaded ? "yes" : "no",
+      (unsigned long long)rec.snapshot_seq, rec.snapshots_rejected,
+      (unsigned long long)rec.replayed_queries,
+      (unsigned long long)rec.log_queries);
+
   // Independent cold replay of the whole durable log: the ground truth
   // the snapshot+suffix path must land on, byte for byte.
   std::vector<persist::WalEpoch> epochs;

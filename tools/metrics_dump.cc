@@ -1,0 +1,78 @@
+// Serves a short workload against one progressive index and prints the
+// Prometheus-style metrics snapshot (serve::Server::DumpMetrics) to
+// stdout — the quickest way to eyeball the metric catalog
+// (docs/observability.md) or smoke-test a scrape pipeline without
+// wiring PROGIDX_METRICS into a longer run. --trace additionally
+// records the run's query-lifecycle spans and flushes them as Chrome
+// trace_event JSON.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.h"
+#include "eval/registry.h"
+#include "obs/trace.h"
+#include "serve/server.h"
+#include "workload/data_generator.h"
+#include "workload/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace progidx;
+  CommandLine cli;
+  cli.AddFlag("index", "pq", "index id served (see eval/registry.h)");
+  cli.AddFlag("n", "200000", "column size");
+  cli.AddFlag("queries", "512", "queries served before the dump");
+  cli.AddFlag("clients", "2", "client threads");
+  cli.AddFlag("seed", "42", "RNG seed");
+  cli.AddFlag("trace", "", "optional Chrome trace_event JSON output path");
+  if (!cli.Parse(argc, argv)) return 0;
+  const size_t n = static_cast<size_t>(
+      cli.GetIntInRange("n", 1, static_cast<int64_t>(1) << 32));
+  const size_t total = static_cast<size_t>(
+      cli.GetIntInRange("queries", 1, 1 << 24));
+  const size_t clients =
+      static_cast<size_t>(cli.GetIntInRange("clients", 1, 64));
+  const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed"));
+  const std::string index_id = cli.GetString("index");
+  const std::string trace = cli.GetString("trace");
+  if (!trace.empty()) obs::EnableTracing(trace);
+
+  const Column column = MakeUniformColumn(n, seed);
+  const std::vector<RangeQuery> queries = WorkloadGenerator::Generate(
+      WorkloadPattern::kRandom, column.min_value(), column.max_value(), total,
+      0.05, seed + 13);
+
+  auto index = MakeIndex(index_id, column, BudgetSpec::FixedDelta(0.05));
+  std::string dump;
+  {
+    serve::Server server(index.get(), column, serve::ServerConfig::FromEnv());
+    std::vector<std::thread> threads;
+    const size_t per_client = (total + clients - 1) / clients;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (size_t i = c * per_client;
+             i < std::min(total, (c + 1) * per_client); ++i) {
+          (void)server.Submit(queries[i]);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    // Every Submit has returned, so no write epoch is in flight — the
+    // convergence gauges in the dump read a quiescent index.
+    dump = server.DumpMetrics();
+  }
+  std::fputs(dump.c_str(), stdout);
+  if (!trace.empty()) {
+    if (obs::FlushTrace()) {
+      std::fprintf(stderr, "trace -> %s\n", trace.c_str());
+    } else {
+      std::fprintf(stderr, "metrics_dump: cannot write trace %s\n",
+                   trace.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
