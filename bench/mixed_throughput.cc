@@ -1,0 +1,247 @@
+// Streaming-update throughput (docs/updates.md): a YCSB-style mixed
+// workload — reads, inserts, value updates (delete + re-append), and
+// deletes in configurable proportions — driven against the budgeted
+// delta-merge UpdatableIndex over each of the four progressive inners.
+//
+// Two measurements per (index, mix) cell:
+//   - ops/sec over the churn phase, the headline cost of keeping
+//     updates immediately visible while merges ride the query budget;
+//   - time-to-convergence-under-churn: once the churn stops, how many
+//     drain queries (and seconds) until the running merge is fully
+//     absorbed and the inner index over the merged base converges.
+//     A residual delta below the merge threshold stays unmerged by
+//     design, so "quiesced" — merge drained + inner converged — is the
+//     steady state being timed, not pending_count() == 0.
+//
+// Emits an `updates` section merged into BENCH_kernels.json through
+// the shared read-merge-write store (bench/json_store.h), preserving
+// every section the other drivers own.
+//
+// Environment (also see README):
+//   PROGIDX_UPDATE_MIX       "read:insert:update:delete" percentages,
+//                            e.g. "80:10:5:5" — replaces the default
+//                            mix list with this single mix
+//   PROGIDX_MERGE_THRESHOLD  delta fraction of base that triggers a
+//                            merge (default 0.02; same knob as the
+//                            --merge-threshold flag)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/json_store.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/updatable_index.h"
+
+namespace progidx {
+namespace {
+
+struct Mix {
+  std::string label;  ///< "read:insert:update:delete"
+  int read = 0, insert = 0, update = 0, del = 0;
+};
+
+/// Parses "95:5:0:0" into a Mix; false when the four fields are
+/// missing, negative, or do not sum to 100.
+bool ParseMix(const std::string& text, Mix* out) {
+  int r = 0, i = 0, u = 0, d = 0;
+  if (std::sscanf(text.c_str(), "%d:%d:%d:%d", &r, &i, &u, &d) != 4) {
+    return false;
+  }
+  if (r < 0 || i < 0 || u < 0 || d < 0 || r + i + u + d != 100) return false;
+  *out = Mix{text, r, i, u, d};
+  return true;
+}
+
+struct MixedRow {
+  std::string index_id;
+  Mix mix;
+  size_t ops = 0;
+  double ops_per_sec = 0;
+  size_t updates_applied = 0;
+  size_t merges = 0;
+  size_t drain_queries = 0;  ///< queries until quiesced after churn
+  double drain_secs = 0;
+  bool quiesced = false;
+};
+
+/// One churn-then-drain run. The value pool mirrors the index multiset
+/// so deletes always target a present occurrence (the Delete()
+/// precondition); updates are a delete of a random present value plus
+/// an append of a fresh one, counted as one operation.
+MixedRow RunCell(const std::string& index_id, const Column& column,
+                 const Mix& mix, size_t ops, double delta,
+                 double merge_threshold, uint64_t seed) {
+  UpdatableIndex index(
+      std::vector<value_t>(column.values()),
+      [&index_id, delta](const Column& c) {
+        return MakeIndex(index_id, c, BudgetSpec::FixedDelta(delta));
+      },
+      merge_threshold);
+  std::vector<value_t> pool(column.values());
+  Rng rng(seed);
+  const value_t lo = column.min_value();
+  const value_t hi = column.max_value();
+  const value_t span = (hi - lo) / 10;  // ~10% selectivity reads
+  auto read = [&] {
+    const value_t a = rng.NextInRange(lo, hi - span);
+    (void)index.Query(RangeQuery{a, a + span});
+  };
+  auto insert = [&] {
+    const value_t v = rng.NextInRange(lo, hi);
+    index.Append(v);
+    pool.push_back(v);
+  };
+  auto remove = [&] {
+    const size_t at = rng.NextBounded(pool.size());
+    index.Delete(pool[at]);
+    pool[at] = pool.back();
+    pool.pop_back();
+  };
+
+  MixedRow row;
+  row.index_id = index_id;
+  row.mix = mix;
+  row.ops = ops;
+  Timer churn;
+  for (size_t i = 0; i < ops; i++) {
+    const int roll = static_cast<int>(rng.NextBounded(100));
+    if (roll < mix.read || pool.empty()) {
+      read();
+    } else if (roll < mix.read + mix.insert) {
+      insert();
+      row.updates_applied++;
+    } else if (roll < mix.read + mix.insert + mix.update) {
+      remove();
+      insert();
+      row.updates_applied++;
+    } else {
+      remove();
+      row.updates_applied++;
+    }
+  }
+  const double churn_secs = churn.ElapsedSeconds();
+  row.ops_per_sec =
+      churn_secs > 0 ? static_cast<double>(ops) / churn_secs : 0;
+
+  Timer drain;
+  const size_t drain_cap = 20000;
+  while (row.drain_queries < drain_cap &&
+         (index.merge_in_progress() || !index.inner().converged())) {
+    read();
+    row.drain_queries++;
+  }
+  row.drain_secs = drain.ElapsedSeconds();
+  row.quiesced = !index.merge_in_progress() && index.inner().converged();
+  row.merges = index.merge_count();
+  return row;
+}
+
+/// Merges the `updates` rows into BENCH_kernels.json; sections owned by
+/// the other drivers (kernels, batch, serve, ...) pass through intact.
+void WriteUpdatesJson(const char* path, double merge_threshold,
+                      const std::vector<MixedRow>& rows) {
+  std::vector<bench::JsonSection> sections = bench::ReadJsonSections(path);
+  std::string raw = "[\n";
+  for (size_t i = 0; i < rows.size(); i++) {
+    const MixedRow& r = rows[i];
+    bench::AppendF(
+        &raw,
+        "    {\"index\": \"%s\", \"mix\": \"%s\", \"read_pct\": %d, "
+        "\"insert_pct\": %d, \"update_pct\": %d, \"delete_pct\": %d, "
+        "\"ops\": %zu, \"ops_per_sec\": %.1f, \"updates_applied\": %zu, "
+        "\"merges\": %zu, \"merge_threshold\": %.4f, "
+        "\"drain_queries_to_converge\": %zu, \"drain_secs\": %.4f, "
+        "\"quiesced\": %s}%s\n",
+        r.index_id.c_str(), r.mix.label.c_str(), r.mix.read, r.mix.insert,
+        r.mix.update, r.mix.del, r.ops, r.ops_per_sec, r.updates_applied,
+        r.merges, merge_threshold, r.drain_queries, r.drain_secs,
+        r.quiesced ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  raw += "  ]";
+  bench::UpsertJsonSection(&sections, "updates", std::move(raw));
+  if (!bench::WriteJsonSections(path, sections)) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::printf("mixed-workload update rows -> %s\n", path);
+}
+
+}  // namespace
+}  // namespace progidx
+
+int main(int argc, char** argv) {
+  using namespace progidx;
+  CommandLine cli;
+  bench::AddCommonFlags(&cli);
+  // Sized so even the 95:5:0:0 mix crosses the merge threshold
+  // (5% of 20000 ops = 1000 updates = 0.01 × 100000 base): every cell
+  // measures churn *through* at least one full budgeted merge.
+  cli.AddFlag("n", "100000", "column size");
+  cli.AddFlag("ops", "20000", "operations per (index, mix) cell");
+  cli.AddFlag("delta", "0.01", "fixed per-query indexing fraction");
+  cli.AddFlag("merge-threshold", "0.01",
+              "delta fraction of base that triggers a merge");
+  cli.AddFlag("mixes", "95:5:0:0,80:10:5:5,50:30:10:10",
+              "comma-separated read:insert:update:delete percentages");
+  cli.AddFlag("json", "BENCH_kernels.json", "merged JSON output path");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  const size_t n = static_cast<size_t>(cli.GetInt("n"));
+  const size_t ops = static_cast<size_t>(cli.GetInt("ops"));
+  const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed"));
+  const double delta = cli.GetDouble("delta");
+  double merge_threshold = cli.GetDouble("merge-threshold");
+  if (const char* env = std::getenv("PROGIDX_MERGE_THRESHOLD")) {
+    const double v = std::atof(env);
+    if (v > 0) merge_threshold = v;
+  }
+
+  std::vector<Mix> mixes;
+  std::string mix_list = cli.GetString("mixes");
+  if (const char* env = std::getenv("PROGIDX_UPDATE_MIX")) {
+    mix_list = env;  // single-mix override for ad-hoc runs
+  }
+  size_t start = 0;
+  while (start <= mix_list.size()) {
+    const size_t comma = mix_list.find(',', start);
+    const std::string one =
+        mix_list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+    Mix mix;
+    if (!ParseMix(one, &mix)) {
+      std::fprintf(stderr,
+                   "bad mix \"%s\" (want read:insert:update:delete summing "
+                   "to 100)\n",
+                   one.c_str());
+      return 1;
+    }
+    mixes.push_back(mix);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+
+  const Column column = MakeUniformColumn(n, seed);
+  std::vector<MixedRow> rows;
+  std::printf("mixed workload: n=%zu ops=%zu delta=%g merge_threshold=%g\n",
+              n, ops, delta, merge_threshold);
+  for (const std::string& id : ProgressiveIndexIds()) {
+    for (const Mix& mix : mixes) {
+      const MixedRow row =
+          RunCell(id, column, mix, ops, delta, merge_threshold, seed + 7);
+      std::printf(
+          "  %-5s %-12s %9.1f ops/s  updates %5zu  merges %2zu  "
+          "drain %5zu q / %.3fs%s\n",
+          row.index_id.c_str(), row.mix.label.c_str(), row.ops_per_sec,
+          row.updates_applied, row.merges, row.drain_queries, row.drain_secs,
+          row.quiesced ? "" : "  (drain cap hit)");
+      rows.push_back(row);
+    }
+  }
+  WriteUpdatesJson(cli.GetString("json").c_str(), merge_threshold, rows);
+  return 0;
+}

@@ -235,11 +235,13 @@ ServeRow RunCheckpoint(const std::string& index_id, const Column& column,
     persist::WalWriter wal;
     if (!wal.Open(std::string(dir) + "/wal")) return row;
     constexpr size_t kEpoch = 16;
+    std::vector<ServeRequest> ops;
     for (size_t i = 0; i < log_len; i += kEpoch) {
       const size_t off = i % queries.size();
       const size_t count =
           std::min({kEpoch, log_len - i, queries.size() - off});
-      wal.AppendEpoch(i, &queries[off], count);
+      ops.assign(queries.begin() + off, queries.begin() + off + count);
+      wal.AppendEpoch(i, ops.data(), ops.size());
     }
     wal.Close();
   }

@@ -31,6 +31,48 @@ struct QueryResult {
   friend bool operator==(const QueryResult&, const QueryResult&) = default;
 };
 
+/// Kind of one served operation: a range-aggregate query, or one of the
+/// delta-store updates (core/updatable_index.h). Updates flow through
+/// the same admission/epoch/WAL machinery as queries so the
+/// deterministic-replay contract covers mixed workloads.
+enum class OpKind : uint8_t {
+  kQuery = 0,
+  kAppend = 1,
+  kDelete = 2,
+};
+
+/// One operation submitted to the serving layer (src/serve/) or
+/// recorded in the durable admitted log (src/persist/wal.h): either a
+/// range query (`query` is meaningful) or an append/delete of `value`.
+/// Implicitly constructible from RangeQuery so pure-query call sites
+/// read unchanged.
+struct ServeRequest {
+  OpKind op = OpKind::kQuery;
+  RangeQuery query;
+  value_t value = 0;
+
+  ServeRequest() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): queries are the
+  // common case and convert transparently.
+  ServeRequest(const RangeQuery& q) : op(OpKind::kQuery), query(q) {}
+
+  static ServeRequest Append(value_t v) {
+    ServeRequest r;
+    r.op = OpKind::kAppend;
+    r.value = v;
+    return r;
+  }
+  static ServeRequest Delete(value_t v) {
+    ServeRequest r;
+    r.op = OpKind::kDelete;
+    r.value = v;
+    return r;
+  }
+
+  bool is_query() const { return op == OpKind::kQuery; }
+  bool is_update() const { return op != OpKind::kQuery; }
+};
+
 /// Lightweight assertion used across the library; active in all build
 /// types because index-structure invariants guard correctness of query
 /// answers, not just debugging.

@@ -15,6 +15,7 @@ class Reader;
 }  // namespace persist
 
 struct MachineConstants;
+class UpdatableIndex;
 
 /// Common interface of every indexing technique in this library — the
 /// four progressive algorithms, all adaptive-indexing baselines, full
@@ -127,6 +128,13 @@ class IndexBase {
   /// Query() call, in seconds; 0 for techniques without a cost model.
   /// Used to regenerate Figures 8 and 9 (measured vs. cost model).
   virtual double last_predicted_cost() const { return 0; }
+
+  /// Non-null when this technique accepts appends/deletes
+  /// (core/updatable_index.h). The serving layer keys the write path
+  /// off this: update-carrying epochs are only legal against an
+  /// updatable index, and degraded reads must then consult the delta,
+  /// not just the original base column.
+  virtual UpdatableIndex* AsUpdatable() { return nullptr; }
 };
 
 }  // namespace progidx

@@ -134,6 +134,15 @@ double CostModel::SharedScanSecs(double scan_secs, size_t batch,
   return scan_secs + elems * constants_.batch_lookup_secs * log2_bounds;
 }
 
+double CostModel::DeltaScanSecs(size_t delta_elems) const {
+  return constants_.seq_read_secs * static_cast<double>(delta_elems);
+}
+
+double CostModel::MergeSliceSecs(size_t elems) const {
+  return (constants_.seq_read_secs + constants_.seq_write_secs) *
+         static_cast<double>(elems);
+}
+
 double CostModel::SharedScanPerQuerySecs(double scan_secs,
                                          size_t batch) const {
   if (batch <= 1) return scan_secs;

@@ -112,6 +112,20 @@ class CostModel {
                            double private_secs, size_t batch,
                            double shared_elem_secs) const;
 
+  // --- Delta-store update pricing (core/updatable_index.h) ---------------
+
+  /// One predicated pass over `delta_elems` unmerged delta elements
+  /// (pending appends + tombstones): the per-query visibility tax of
+  /// the delta store. Feed through SharedScanPerQuerySecs for batches —
+  /// the delta pass is one shared scan.
+  double DeltaScanSecs(size_t delta_elems) const;
+
+  /// One budgeted-merge slice copying `elems` source elements into the
+  /// shadow column (sequential read + sequential write per element).
+  /// Prediction only: the slice size itself is a fixed fraction of the
+  /// merge, never derived from these constants (docs/updates.md).
+  double MergeSliceSecs(size_t elems) const;
+
   // --- Budget→delta conversions (the "Indexing Budget" paragraphs) ------
 
   /// δ = t_budget / t_op, clamped to [0, 1]. `op_secs` is one of the

@@ -84,16 +84,39 @@ bool ReadWal(const std::string& path, std::vector<WalEpoch>* out,
     if (Crc32(body, len) != crc) break;
     const uint64_t first_ticket = LoadU64(body);
     const uint64_t count = LoadU64(body + 8);
-    if (len != 16 + count * 16) break;
+    // Entry width discriminates the record format (header comment):
+    // count·24 op entries (current) vs count·16 query pairs (legacy).
+    const bool legacy = (len == 16 + count * 16);
+    if (!legacy && len != 16 + count * 24) break;
     WalEpoch epoch;
     epoch.first_ticket = first_ticket;
-    epoch.queries.resize(count);
+    epoch.ops.resize(count);
+    bool valid = true;
     for (uint64_t i = 0; i < count; i++) {
-      epoch.queries[i].low =
-          static_cast<value_t>(LoadU64(body + 16 + i * 16));
-      epoch.queries[i].high =
-          static_cast<value_t>(LoadU64(body + 16 + i * 16 + 8));
+      ServeRequest& req = epoch.ops[i];
+      if (legacy) {
+        req.op = OpKind::kQuery;
+        req.query.low = static_cast<value_t>(LoadU64(body + 16 + i * 16));
+        req.query.high =
+            static_cast<value_t>(LoadU64(body + 16 + i * 16 + 8));
+        continue;
+      }
+      const uint64_t op = LoadU64(body + 16 + i * 24);
+      const uint64_t a = LoadU64(body + 16 + i * 24 + 8);
+      const uint64_t b = LoadU64(body + 16 + i * 24 + 16);
+      if (op > 2) {
+        valid = false;
+        break;
+      }
+      req.op = static_cast<OpKind>(op);
+      if (req.op == OpKind::kQuery) {
+        req.query.low = static_cast<value_t>(a);
+        req.query.high = static_cast<value_t>(b);
+      } else {
+        req.value = static_cast<value_t>(a);
+      }
     }
+    if (!valid) break;
     out->push_back(std::move(epoch));
     pos += 8 + len;
   }
@@ -123,16 +146,22 @@ bool WalWriter::Open(const std::string& path) {
   return true;
 }
 
-bool WalWriter::AppendEpoch(uint64_t first_ticket, const RangeQuery* qs,
+bool WalWriter::AppendEpoch(uint64_t first_ticket, const ServeRequest* ops,
                             size_t count) {
   if (f_ == nullptr || broken_) return false;
   std::string body;
-  body.reserve(16 + count * 16);
+  body.reserve(16 + count * 24);
   AppendU64(&body, first_ticket);
   AppendU64(&body, count);
   for (size_t i = 0; i < count; i++) {
-    AppendU64(&body, static_cast<uint64_t>(qs[i].low));
-    AppendU64(&body, static_cast<uint64_t>(qs[i].high));
+    AppendU64(&body, static_cast<uint64_t>(ops[i].op));
+    if (ops[i].is_query()) {
+      AppendU64(&body, static_cast<uint64_t>(ops[i].query.low));
+      AppendU64(&body, static_cast<uint64_t>(ops[i].query.high));
+    } else {
+      AppendU64(&body, static_cast<uint64_t>(ops[i].value));
+      AppendU64(&body, 0);
+    }
   }
   std::string record;
   record.reserve(8 + body.size());

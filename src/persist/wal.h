@@ -13,12 +13,21 @@
 // The epoch scheduler appends one record per write epoch *before*
 // executing it (write-ahead), so the served index state is always a
 // pure function of this log: recovery replays the log suffix after the
-// newest snapshot through QueryBatch in the recorded epoch sizes and
-// lands on bit-identical state.
+// newest snapshot through serve::ExecuteEpoch in the recorded epoch
+// sizes and lands on bit-identical state.
 //
 //   magic "PIDXWAL1" (8 bytes)
 //   record*  u32 length | u32 crc32(body) | body
-//   body  =  u64 first_ticket | u64 count | count × (i64 low, i64 high)
+//   body  =  u64 first_ticket | u64 count | count × entry
+//   entry =  u64 op | u64 a | u64 b          (current, 24 bytes)
+//            op 0 = query (a = low, b = high)
+//            op 1 = append (a = value), op 2 = delete (a = value)
+//   entry =  i64 low | i64 high              (legacy, 16 bytes)
+//
+// The two entry widths are told apart per record from `count` and the
+// record length (len == 16 + count·24 vs 16 + count·16); legacy
+// query-only logs written before updates existed keep replaying. The
+// writer always emits the 24-byte form.
 //
 // A crash can tear only the last record (appends are sequential);
 // ReadWal validates records front to back, keeps the valid prefix, and
@@ -29,10 +38,10 @@ namespace progidx {
 namespace persist {
 
 /// One write epoch as recorded in the log. `first_ticket` is the
-/// admission sequence number of the epoch's first query.
+/// admission sequence number of the epoch's first operation.
 struct WalEpoch {
   uint64_t first_ticket = 0;
-  std::vector<RangeQuery> queries;
+  std::vector<ServeRequest> ops;
 };
 
 /// Reads every valid record of the log at `path` into `out` and
@@ -63,7 +72,8 @@ class WalWriter {
 
   /// Appends one epoch record durably. Returns false (and latches
   /// broken()) when the record may not have reached disk intact.
-  bool AppendEpoch(uint64_t first_ticket, const RangeQuery* qs, size_t count);
+  bool AppendEpoch(uint64_t first_ticket, const ServeRequest* ops,
+                   size_t count);
 
   bool broken() const { return broken_; }
   void Close();

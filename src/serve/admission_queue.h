@@ -26,7 +26,9 @@ struct ServeSlot {
                 ///< answer itself with a zero-budget scan
   };
 
-  RangeQuery query;
+  /// The operation this slot carries: a range query or (against an
+  /// updatable index) an append/delete riding the same epochs.
+  ServeRequest request;
   /// Absolute deadline; time_point::max() means none. Checked while the
   /// client blocks for queue space and again when the scheduler forms
   /// an epoch — once a query makes it into a write epoch it is served.

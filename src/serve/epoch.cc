@@ -1,0 +1,41 @@
+#include "serve/epoch.h"
+
+#include <vector>
+
+#include "core/updatable_index.h"
+
+namespace progidx {
+namespace serve {
+
+void ExecuteEpoch(IndexBase* index, const ServeRequest* ops, size_t count,
+                  QueryResult* out) {
+  std::vector<RangeQuery> qs;
+  qs.reserve(count);
+  size_t i = 0;
+  while (i < count) {
+    if (ops[i].is_query()) {
+      const size_t start = i;
+      qs.clear();
+      while (i < count && ops[i].is_query()) {
+        qs.push_back(ops[i].query);
+        i++;
+      }
+      // A contiguous query run occupies contiguous out slots, so the
+      // batch writes results in place.
+      index->QueryBatch(qs.data(), qs.size(), out + start);
+    } else {
+      UpdatableIndex* updatable = index->AsUpdatable();
+      PROGIDX_CHECK(updatable != nullptr);
+      if (ops[i].op == OpKind::kAppend) {
+        updatable->Append(ops[i].value);
+      } else {
+        updatable->Delete(ops[i].value);
+      }
+      out[i] = QueryResult{};
+      i++;
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace progidx

@@ -1,0 +1,31 @@
+#ifndef PROGIDX_SERVE_EPOCH_H_
+#define PROGIDX_SERVE_EPOCH_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+#include "core/index_base.h"
+
+namespace progidx {
+namespace serve {
+
+/// Executes one admitted epoch against the index, in admission order:
+/// maximal runs of consecutive queries are answered by a single
+/// IndexBase::QueryBatch call (one indexing budget and one shared scan
+/// per run), and updates are applied between runs — so every query
+/// sees exactly the updates admitted before it, and a pure-query epoch
+/// is one QueryBatch call, unchanged. out[i] receives the i-th op's
+/// result (updates get a zero QueryResult).
+///
+/// This function IS the epoch semantics: the scheduler, crash
+/// recovery, and the determinism/replay harnesses all execute epochs
+/// through it, so served state is bit-identical to replay of the
+/// admitted log by construction (docs/updates.md). Update ops require
+/// index->AsUpdatable() (PROGIDX_CHECK-enforced).
+void ExecuteEpoch(IndexBase* index, const ServeRequest* ops, size_t count,
+                  QueryResult* out);
+
+}  // namespace serve
+}  // namespace progidx
+
+#endif  // PROGIDX_SERVE_EPOCH_H_

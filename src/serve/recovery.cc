@@ -7,6 +7,7 @@
 #include "persist/calibration_store.h"
 #include "persist/checkpoint.h"
 #include "persist/wal.h"
+#include "serve/epoch.h"
 
 namespace progidx {
 namespace serve {
@@ -22,7 +23,7 @@ bool FindReplayStart(const std::vector<persist::WalEpoch>& epochs,
       *start_epoch = i;
       return true;
     }
-    covered += epochs[i].queries.size();
+    covered += epochs[i].ops.size();
   }
   if (covered == applied) {
     *start_epoch = epochs.size();
@@ -55,7 +56,7 @@ std::unique_ptr<IndexBase> RecoverIndex(
     st.wal_read_ms = t.ElapsedSeconds() * 1e3;
   }
   st.log_epochs = epochs.size();
-  for (const persist::WalEpoch& e : epochs) st.log_queries += e.queries.size();
+  for (const persist::WalEpoch& e : epochs) st.log_queries += e.ops.size();
 
   // Replay must run the budget arithmetic of the process that wrote
   // the log, not this process's own measurement — partition pause
@@ -104,19 +105,20 @@ std::unique_ptr<IndexBase> RecoverIndex(
     st.snapshot_load_ms = snap_timer.ElapsedSeconds() * 1e3;
   }
 
-  // Replay the uncovered suffix in the recorded epoch sizes: the same
-  // QueryBatch calls the crashed scheduler made (or durably promised to
-  // make), so the state trajectory is reproduced exactly.
+  // Replay the uncovered suffix in the recorded epoch sizes through
+  // the same ExecuteEpoch the crashed scheduler ran (or durably
+  // promised to run), so the state trajectory — query batches and
+  // updates alike — is reproduced exactly.
   {
     obs::TraceScope span("recovery.replay", "recovery");
     Timer replay_timer;
     std::vector<QueryResult> sink;
     for (size_t i = start_epoch; i < epochs.size(); i++) {
-      const std::vector<RangeQuery>& qs = epochs[i].queries;
-      if (qs.empty()) continue;
-      sink.resize(qs.size());
-      index->QueryBatch(qs.data(), qs.size(), sink.data());
-      st.replayed_queries += qs.size();
+      const std::vector<ServeRequest>& ops = epochs[i].ops;
+      if (ops.empty()) continue;
+      sink.resize(ops.size());
+      ExecuteEpoch(index.get(), ops.data(), ops.size(), sink.data());
+      st.replayed_queries += ops.size();
     }
     st.replay_ms = replay_timer.ElapsedSeconds() * 1e3;
   }

@@ -9,12 +9,14 @@
 
 #include "common/env.h"
 #include "common/validate.h"
+#include "core/updatable_index.h"
 #include "exec/query_batch.h"
 #include "exec/zero_budget_scan.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "persist/calibration_store.h"
 #include "persist/wal.h"
+#include "serve/epoch.h"
 
 namespace progidx {
 namespace serve {
@@ -70,8 +72,10 @@ ServerConfig ServerConfig::FromEnv() {
 
 Server::Server(IndexBase* index, const Column& column, ServerConfig config)
     : index_(index),
+      updatable_(index == nullptr ? nullptr : index->AsUpdatable()),
       column_(column),
       config_(config),
+      read_epochs_enabled_(config.enable_read_epochs && updatable_ == nullptr),
       faults_at_start_(fault::InjectedCount()),
       queue_(config.queue_capacity == 0 ? 1 : config.queue_capacity) {
   CheckArg(index != nullptr, "serve: index must not be null");
@@ -109,7 +113,7 @@ void Server::SetUpDurability() {
     }
     return;
   }
-  for (const persist::WalEpoch& e : epochs) wal_queries_ += e.queries.size();
+  for (const persist::WalEpoch& e : epochs) wal_queries_ += e.ops.size();
   durable_queries_.store(wal_queries_, std::memory_order_relaxed);
   if (index_->SupportsPersistence()) {
     checkpointer_ = std::make_unique<persist::Checkpointer>(dir, column_);
@@ -146,13 +150,31 @@ Server::~Server() {
   }
 }
 
-Response Server::Degrade(const RangeQuery& q) {
+Response Server::Degrade(const ServeRequest& req) {
   degraded_.fetch_add(1, std::memory_order_relaxed);
-  return Response{exec::ZeroBudgetScan(column_, q), true};
+  if (req.is_update()) {
+    // An update that missed its epoch (deadline, admission fault,
+    // shutdown) is rejected outright — there is no exact "degraded
+    // write"; the caller learns it was never applied.
+    updates_rejected_.fetch_add(1, std::memory_order_relaxed);
+    Response resp;
+    resp.degraded = true;
+    resp.rejected = true;
+    return resp;
+  }
+  if (updatable_ != nullptr) {
+    // Under updates the base column is no longer immutable (merges
+    // swap it) and a plain column scan would miss the delta, so the
+    // exact degraded answer takes the epoch lock and scans base +
+    // delta through the index's read-only path.
+    std::lock_guard<std::mutex> lk(epoch_m_);
+    return Response{updatable_->ReadOnlyScan(req.query), true};
+  }
+  return Response{exec::ZeroBudgetScan(column_, req.query), true};
 }
 
 bool Server::TryReadEpoch(const RangeQuery& q, Response* out) {
-  if (!config_.enable_read_epochs) return false;
+  if (!read_epochs_enabled_) return false;
   if (!read_mode_.load(std::memory_order_acquire)) return false;
   QueryResult r;
   if (!index_->TryReadOnlyQuery(q, &r)) return false;
@@ -161,14 +183,14 @@ bool Server::TryReadEpoch(const RangeQuery& q, Response* out) {
   return true;
 }
 
-Response Server::Submit(const RangeQuery& q) {
+Response Server::Submit(const ServeRequest& req) {
   obs::TraceScope submit_span("submit", "serve");
   obs::QueryTimer qt;
   submitted_.fetch_add(1, std::memory_order_relaxed);
   Response resp;
-  if (TryReadEpoch(q, &resp)) return resp;
+  if (req.is_query() && TryReadEpoch(req.query, &resp)) return resp;
   ServeSlot slot;
-  slot.query = q;
+  slot.request = req;
   slot.deadline = DeadlineFor(config_.deadline_us);
   AdmitResult admit;
   {
@@ -178,10 +200,10 @@ Response Server::Submit(const RangeQuery& q) {
   switch (admit) {
     case AdmitResult::kAdmitted:
       break;
-    case AdmitResult::kOverloaded:  // admission fault refused the query
+    case AdmitResult::kOverloaded:  // admission fault refused the op
     case AdmitResult::kExpired:     // deadline passed waiting for space
-    case AdmitResult::kClosed:      // shutdown race: still answer exactly
-      return Degrade(q);
+    case AdmitResult::kClosed:      // shutdown race: still resolve exactly
+      return Degrade(req);
   }
   ServeSlot::State state;
   {
@@ -195,16 +217,16 @@ Response Server::Submit(const RangeQuery& q) {
     served_.fetch_add(1, std::memory_order_relaxed);
     return Response{slot.result, false};
   }
-  return Degrade(q);  // deadline expired at epoch formation
+  return Degrade(req);  // deadline expired at epoch formation
 }
 
-SubmitStatus Server::TrySubmit(const RangeQuery& q, Response* out) {
+SubmitStatus Server::TrySubmit(const ServeRequest& req, Response* out) {
   obs::TraceScope submit_span("submit", "serve");
   obs::QueryTimer qt;
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  if (TryReadEpoch(q, out)) return SubmitStatus::kOk;
+  if (req.is_query() && TryReadEpoch(req.query, out)) return SubmitStatus::kOk;
   ServeSlot slot;
-  slot.query = q;
+  slot.request = req;
   slot.deadline = DeadlineFor(config_.deadline_us);
   switch (queue_.TryAdmit(&slot)) {
     case AdmitResult::kAdmitted:
@@ -228,21 +250,21 @@ SubmitStatus Server::TrySubmit(const RangeQuery& q, Response* out) {
     served_.fetch_add(1, std::memory_order_relaxed);
     *out = Response{slot.result, false};
   } else {
-    *out = Degrade(q);
+    *out = Degrade(req);
   }
   return SubmitStatus::kOk;
 }
 
-Response Server::SubmitOrdered(uint64_t ticket, const RangeQuery& q) {
+Response Server::SubmitOrdered(uint64_t ticket, const ServeRequest& req) {
   ServeSlot slot;
-  SubmitOrderedStart(ticket, q, &slot);
+  SubmitOrderedStart(ticket, req, &slot);
   return SubmitOrderedFinish(&slot);
 }
 
-void Server::SubmitOrderedStart(uint64_t ticket, const RangeQuery& q,
+void Server::SubmitOrderedStart(uint64_t ticket, const ServeRequest& req,
                                 ServeSlot* slot) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  slot->query = q;  // no deadline: ordered mode is the determinism harness
+  slot->request = req;  // no deadline: ordered mode is the determinism harness
   switch (queue_.AdmitOrdered(ticket, slot)) {
     case AdmitResult::kAdmitted:
       return;
@@ -269,13 +291,13 @@ Response Server::SubmitOrderedFinish(ServeSlot* slot) {
     served_.fetch_add(1, std::memory_order_relaxed);
     return Response{slot->result, false};
   }
-  return Degrade(slot->query);
+  return Degrade(slot->request);
 }
 
 void Server::SchedulerLoop() {
   std::vector<ServeSlot*> batch;
   std::vector<ServeSlot*> live;
-  std::vector<RangeQuery> qs;
+  std::vector<ServeRequest> reqs;
   std::vector<QueryResult> rs;
   batch.reserve(config_.batch_size);
   for (;;) {
@@ -308,44 +330,57 @@ void Server::SchedulerLoop() {
     fault::MaybeStall(fault::Site::kScheduler);
     const auto now = std::chrono::steady_clock::now();
     live.clear();
-    qs.clear();
+    reqs.clear();
     for (ServeSlot* slot : batch) {
       if (slot->deadline < now) {
-        // Expired while queued: hand it back for a client-side
-        // zero-budget scan instead of charging the epoch for it.
+        // Expired while queued: hand it back — a query answers itself
+        // with an exact scan, an update is rejected — instead of
+        // charging the epoch for it.
         slot->Complete(ServeSlot::State::kDegraded, QueryResult{});
         continue;
       }
       live.push_back(slot);
-      qs.push_back(slot->query);
+      reqs.push_back(slot->request);
     }
-    if (!qs.empty()) {
+    if (!reqs.empty()) {
       if (persist_enabled_ && !wal_.broken()) {
         // Write-ahead: the epoch is durably promised before it
         // executes, so the index state is always ≤ one epoch ahead of
         // nothing — a pure function of the durable log. A failed
         // append freezes the log (and checkpointing) at its valid
         // prefix; serving continues undegraded.
-        if (wal_.AppendEpoch(wal_queries_, qs.data(), qs.size())) {
-          wal_queries_ += qs.size();
+        if (wal_.AppendEpoch(wal_queries_, reqs.data(), reqs.size())) {
+          wal_queries_ += reqs.size();
           durable_queries_.store(wal_queries_, std::memory_order_relaxed);
         } else {
           wal_broken_.store(true, std::memory_order_relaxed);
         }
       }
-      rs.resize(qs.size());
-      index_->QueryBatch(qs.data(), qs.size(), rs.data());
+      rs.resize(reqs.size());
+      {
+        // The epoch lock excludes only degraded base+delta scans (see
+        // epoch_m_); queued clients are parked on their slots.
+        std::lock_guard<std::mutex> lk(epoch_m_);
+        ExecuteEpoch(index_, reqs.data(), reqs.size(), rs.data());
+      }
       write_epochs_.fetch_add(1, std::memory_order_relaxed);
-      EpochSizeHist().Record(qs.size());
+      EpochSizeHist().Record(reqs.size());
+      uint64_t epoch_updates = 0;
+      for (const ServeRequest& r : reqs) {
+        if (r.is_update()) epoch_updates++;
+      }
+      if (epoch_updates > 0) {
+        updates_applied_.fetch_add(epoch_updates, std::memory_order_relaxed);
+      }
       {
         std::lock_guard<std::mutex> lk(log_m_);
-        admitted_log_.insert(admitted_log_.end(), qs.begin(), qs.end());
-        epoch_sizes_.push_back(qs.size());
+        admitted_log_.insert(admitted_log_.end(), reqs.begin(), reqs.end());
+        epoch_sizes_.push_back(reqs.size());
       }
       // Publish read mode *before* waking this epoch's clients: a
       // client whose submit has returned is then guaranteed to see the
       // converged index on its next query and go lock-free.
-      if (config_.enable_read_epochs && index_->converged()) {
+      if (read_epochs_enabled_ && index_->converged()) {
         read_mode_.store(true, std::memory_order_release);
       }
       {
@@ -384,6 +419,8 @@ ServeStats Server::stats() const {
   s.read_epoch = read_epoch_.load(std::memory_order_relaxed);
   s.write_epochs = write_epochs_.load(std::memory_order_relaxed);
   s.faults_injected = fault::InjectedCount() - faults_at_start_;
+  s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  s.updates_rejected = updates_rejected_.load(std::memory_order_relaxed);
   s.durable_queries = durable_queries_.load(std::memory_order_relaxed);
   s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
   s.wal_broken = wal_broken_.load(std::memory_order_relaxed);
@@ -417,6 +454,8 @@ std::string Server::DumpMetrics() const {
   line("serve_read_epoch", static_cast<double>(s.read_epoch));
   line("serve_write_epochs", static_cast<double>(s.write_epochs));
   line("serve_faults_injected", static_cast<double>(s.faults_injected));
+  line("serve_updates_applied", static_cast<double>(s.updates_applied));
+  line("serve_updates_rejected", static_cast<double>(s.updates_rejected));
   line("serve_durable_queries", static_cast<double>(s.durable_queries));
   line("serve_checkpoints", static_cast<double>(s.checkpoints));
   line("serve_wal_broken", s.wal_broken ? 1 : 0);
@@ -429,7 +468,7 @@ std::string Server::DumpMetrics() const {
   return out;
 }
 
-std::vector<RangeQuery> Server::admitted_log() const {
+std::vector<ServeRequest> Server::admitted_log() const {
   std::lock_guard<std::mutex> lk(log_m_);
   return admitted_log_;
 }

@@ -55,7 +55,9 @@ struct ServerConfig {
   /// Once the index converges, answer via the lock-free read-epoch
   /// path (IndexBase::TryReadOnlyQuery) instead of enqueueing. The
   /// determinism harness disables this so the admitted log covers the
-  /// whole workload.
+  /// whole workload. Force-disabled for updatable indexes: an admitted
+  /// update would un-converge the index after read mode was published,
+  /// racing the lock-free readers (docs/updates.md).
   bool enable_read_epochs = true;
 
   /// Reads PROGIDX_DEADLINE_US, PROGIDX_PERSIST_DIR, and
@@ -75,6 +77,11 @@ struct Response {
   /// (deadline expired or admission fault) instead of the index. The
   /// answer is exact either way.
   bool degraded = false;
+  /// Updates only: true when the update was refused (admission fault,
+  /// deadline expiry, shutdown) and therefore NOT applied. Queries are
+  /// always answered exactly and never set this; an update degrades to
+  /// rejection, never to a half-applied write.
+  bool rejected = false;
 };
 
 struct ServeStats {
@@ -85,7 +92,9 @@ struct ServeStats {
   uint64_t read_epoch = 0;   ///< answered on the lock-free read path
   uint64_t write_epochs = 0; ///< QueryBatch calls issued
   uint64_t faults_injected = 0;  ///< fault::InjectedCount() delta
-  uint64_t durable_queries = 0;  ///< queries in the durable admitted log
+  uint64_t updates_applied = 0;  ///< appends/deletes applied by epochs
+  uint64_t updates_rejected = 0; ///< updates refused, not applied
+  uint64_t durable_queries = 0;  ///< ops in the durable admitted log
   uint64_t checkpoints = 0;      ///< snapshots published this run
   /// True once a WAL append failed: the durable log is frozen at its
   /// valid prefix and no further checkpoints are taken (serving
@@ -94,12 +103,14 @@ struct ServeStats {
 };
 
 /// Concurrent serving layer over one shared progressive index
-/// (docs/serving.md). N client threads submit range queries; a single
-/// scheduler thread alternates *write epochs* — it pops a batch from
-/// the admission queue and runs IndexBase::QueryBatch exclusively, so
-/// the index's single-writer contract holds — with *read epochs*: once
-/// the index converges, clients answer themselves through the
-/// race-free TryReadOnlyQuery path without ever touching the queue.
+/// (docs/serving.md). N client threads submit range queries — and,
+/// against an updatable index, appends/deletes riding the same epochs
+/// (docs/updates.md); a single scheduler thread alternates *write
+/// epochs* — it pops a batch from the admission queue and runs it
+/// through serve::ExecuteEpoch exclusively, so the index's
+/// single-writer contract holds — with *read epochs*: once the index
+/// converges, clients answer themselves through the race-free
+/// TryReadOnlyQuery path without ever touching the queue.
 ///
 /// Graceful degradation: a query whose deadline expires (while blocked
 /// on a full queue, or queued when its epoch forms), or that an
@@ -125,14 +136,16 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Blocking submit: backpressure-blocks when the queue is full,
-  /// degrades on deadline expiry or admission fault. Always returns an
-  /// exact answer.
-  Response Submit(const RangeQuery& q);
+  /// degrades on deadline expiry or admission fault. A query always
+  /// returns an exact answer; an update that cannot ride an epoch is
+  /// rejected (Response::rejected), never half-applied. RangeQuery
+  /// converts implicitly, so query call sites are unchanged.
+  Response Submit(const ServeRequest& req);
 
   /// Non-blocking submit: kOverloaded when the queue is full (the
   /// overload-shedding path — no answer is produced), kOk otherwise
   /// with *out filled.
-  SubmitStatus TrySubmit(const RangeQuery& q, Response* out);
+  SubmitStatus TrySubmit(const ServeRequest& req, Response* out);
 
   /// Submit with a global admission ticket (0, 1, 2, ... each presented
   /// exactly once across all threads): admission order — and with
@@ -142,7 +155,7 @@ class Server {
   /// Blocks until the answer is ready, so with exact_batches there
   /// must be at least batch_size concurrently submitting threads to
   /// fill an epoch; use the two-phase form below otherwise.
-  Response SubmitOrdered(uint64_t ticket, const RangeQuery& q);
+  Response SubmitOrdered(uint64_t ticket, const ServeRequest& req);
 
   /// Two-phase ordered submit, for harnesses where one thread keeps
   /// many tickets in flight (the epoch-determinism test): Start blocks
@@ -151,7 +164,7 @@ class Server {
   /// caller owns the slot and must keep it alive, untouched, between
   /// the two calls; every Start must be paired with exactly one
   /// Finish.
-  void SubmitOrderedStart(uint64_t ticket, const RangeQuery& q,
+  void SubmitOrderedStart(uint64_t ticket, const ServeRequest& req,
                           ServeSlot* slot);
   Response SubmitOrderedFinish(ServeSlot* slot);
 
@@ -168,17 +181,19 @@ class Server {
   /// joined). `tools/metrics_dump` demonstrates the format.
   std::string DumpMetrics() const;
 
-  /// Queries served by write epochs, in admission order, and the epoch
-  /// boundaries over that log. Snapshot is only meaningful while no
+  /// Operations executed by write epochs, in admission order, and the
+  /// epoch boundaries over that log. Replaying this log through
+  /// serve::ExecuteEpoch in epoch_sizes() chunks reproduces the served
+  /// index state bit-for-bit. Snapshot is only meaningful while no
   /// submits are in flight.
-  std::vector<RangeQuery> admitted_log() const;
+  std::vector<ServeRequest> admitted_log() const;
   std::vector<size_t> epoch_sizes() const;
 
   const ServerConfig& config() const { return config_; }
 
  private:
   void SchedulerLoop();
-  Response Degrade(const RangeQuery& q);
+  Response Degrade(const ServeRequest& req);
   /// Read-epoch fast path; true when answered.
   bool TryReadEpoch(const RangeQuery& q, Response* out);
   /// Opens the WAL and checkpointer under config_.persist_dir;
@@ -187,8 +202,13 @@ class Server {
   void SetUpDurability();
 
   IndexBase* const index_;
+  /// Non-null iff index_ accepts updates (IndexBase::AsUpdatable).
+  UpdatableIndex* const updatable_;
   const Column& column_;
   const ServerConfig config_;
+  /// config_.enable_read_epochs, force-disabled for updatable indexes
+  /// (see ServerConfig::enable_read_epochs).
+  const bool read_epochs_enabled_;
   /// Fault seams fire only while a server is alive (common/fault.h).
   fault::ArmScope arm_;
   const uint64_t faults_at_start_;
@@ -204,9 +224,19 @@ class Server {
   std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> read_epoch_{0};
   std::atomic<uint64_t> write_epochs_{0};
+  std::atomic<uint64_t> updates_applied_{0};
+  std::atomic<uint64_t> updates_rejected_{0};
+
+  /// Held by the scheduler around each epoch execution and by degraded
+  /// clients scanning an updatable index: the base column is no longer
+  /// immutable under updates (a finished merge swaps it), so the exact
+  /// degraded scan must not race the single writer. Non-updatable
+  /// serving never takes it — degraded scans there stay lock-free over
+  /// the truly immutable column.
+  std::mutex epoch_m_;
 
   mutable std::mutex log_m_;
-  std::vector<RangeQuery> admitted_log_;
+  std::vector<ServeRequest> admitted_log_;
   std::vector<size_t> epoch_sizes_;
 
   /// Durability state (docs/recovery.md). Written by the scheduler
@@ -215,7 +245,7 @@ class Server {
   bool persist_enabled_ = false;
   persist::WalWriter wal_;
   std::unique_ptr<persist::Checkpointer> checkpointer_;
-  uint64_t wal_queries_ = 0;       ///< queries durably logged so far
+  uint64_t wal_queries_ = 0;       ///< ops durably logged so far
   size_t epochs_since_ckpt_ = 0;
   /// Fingerprint of the machine constants index_ actually runs on
   /// (0 when it has no cost model); stamped into every snapshot so

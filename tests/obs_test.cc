@@ -306,7 +306,7 @@ TEST(ObsTest, LatencyRecorderMatchesRegistryQuantiles) {
 /// determinism contract covers, captured for comparison.
 struct ServedOutcome {
   std::vector<QueryResult> results;
-  std::vector<RangeQuery> admitted;
+  std::vector<ServeRequest> admitted;
   std::vector<size_t> epochs;
   std::string state;
 };
@@ -379,8 +379,8 @@ void CheckTelemetryParity(const char* tag) {
     }
     ASSERT_EQ(on.admitted.size(), off.admitted.size());
     for (size_t q = 0; q < on.admitted.size(); q++) {
-      EXPECT_EQ(on.admitted[q].low, off.admitted[q].low);
-      EXPECT_EQ(on.admitted[q].high, off.admitted[q].high);
+      EXPECT_EQ(on.admitted[q].query.low, off.admitted[q].query.low);
+      EXPECT_EQ(on.admitted[q].query.high, off.admitted[q].query.high);
     }
     EXPECT_EQ(on.epochs, off.epochs) << tag << " T=" << threads;
     EXPECT_EQ(on.state, off.state)

@@ -19,13 +19,16 @@
 #include <gtest/gtest.h>
 
 #include "common/fault.h"
+#include "common/rng.h"
 #include "core/budget.h"
+#include "core/updatable_index.h"
 #include "eval/registry.h"
 #include "exec/zero_budget_scan.h"
 #include "persist/calibration_store.h"
 #include "persist/checkpoint.h"
 #include "persist/io.h"
 #include "persist/wal.h"
+#include "serve/epoch.h"
 #include "serve/recovery.h"
 #include "serve/server.h"
 #include "workload/data_generator.h"
@@ -267,12 +270,13 @@ TEST(PersistCheckpointTest, RejectsWrongIndexAndWrongColumn) {
 TEST(PersistWalTest, AppendReadRoundTripAndTornTail) {
   TempDir dir;
   const std::string path = dir.path + "/wal";
-  const std::vector<RangeQuery> qs = {{1, 5}, {-3, 8}, {100, 200}};
+  const std::vector<ServeRequest> ops = {
+      RangeQuery{1, 5}, RangeQuery{-3, 8}, RangeQuery{100, 200}};
   {
     persist::WalWriter w;
     ASSERT_TRUE(w.Open(path));
-    ASSERT_TRUE(w.AppendEpoch(0, qs.data(), 2));
-    ASSERT_TRUE(w.AppendEpoch(2, qs.data() + 2, 1));
+    ASSERT_TRUE(w.AppendEpoch(0, ops.data(), 2));
+    ASSERT_TRUE(w.AppendEpoch(2, ops.data() + 2, 1));
     EXPECT_FALSE(w.broken());
   }
   std::vector<persist::WalEpoch> epochs;
@@ -281,9 +285,9 @@ TEST(PersistWalTest, AppendReadRoundTripAndTornTail) {
   EXPECT_FALSE(torn);
   ASSERT_EQ(epochs.size(), 2u);
   EXPECT_EQ(epochs[0].first_ticket, 0u);
-  ASSERT_EQ(epochs[0].queries.size(), 2u);
-  EXPECT_EQ(epochs[0].queries[1].low, -3);
-  EXPECT_EQ(epochs[1].queries[0].high, 200);
+  ASSERT_EQ(epochs[0].ops.size(), 2u);
+  EXPECT_EQ(epochs[0].ops[1].query.low, -3);
+  EXPECT_EQ(epochs[1].ops[0].query.high, 200);
 
   // Tear the tail record: the valid prefix survives, the torn bytes are
   // physically dropped, and appends continue cleanly afterwards.
@@ -300,23 +304,74 @@ TEST(PersistWalTest, AppendReadRoundTripAndTornTail) {
   {
     persist::WalWriter w;
     ASSERT_TRUE(w.Open(path));
-    ASSERT_TRUE(w.AppendEpoch(3, qs.data(), 3));
+    ASSERT_TRUE(w.AppendEpoch(3, ops.data(), 3));
   }
   ASSERT_TRUE(persist::ReadWal(path, &epochs, &torn));
   EXPECT_FALSE(torn);
   ASSERT_EQ(epochs.size(), 3u);
-  EXPECT_EQ(epochs[2].queries.size(), 3u);
+  EXPECT_EQ(epochs[2].ops.size(), 3u);
+}
+
+TEST(PersistWalTest, UpdateOpsRoundTripAndLegacyRecordsCoexist) {
+  TempDir dir;
+  const std::string path = dir.path + "/wal";
+  // A legacy record — the pre-update 16-byte query-pair entries —
+  // written by hand, exactly as an old writer laid it out.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("PIDXWAL1", 1, 8, f);
+    std::string body;
+    auto u64 = [&body](uint64_t v) {
+      body.append(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    u64(0);                              // first_ticket
+    u64(2);                              // count
+    u64(static_cast<uint64_t>(7));       // q0.low
+    u64(static_cast<uint64_t>(9));       // q0.high
+    u64(static_cast<uint64_t>(-4));      // q1.low
+    u64(static_cast<uint64_t>(12));      // q1.high
+    const uint32_t len = static_cast<uint32_t>(body.size());
+    const uint32_t crc = persist::Crc32(body.data(), body.size());
+    std::fwrite(&len, 4, 1, f);
+    std::fwrite(&crc, 4, 1, f);
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+  }
+  // Then a current-format mixed epoch appended by the writer.
+  const std::vector<ServeRequest> mixed = {
+      ServeRequest::Append(42), RangeQuery{0, 100}, ServeRequest::Delete(42)};
+  {
+    persist::WalWriter w;
+    ASSERT_TRUE(w.Open(path));
+    ASSERT_TRUE(w.AppendEpoch(2, mixed.data(), mixed.size()));
+  }
+  std::vector<persist::WalEpoch> epochs;
+  bool torn = false;
+  ASSERT_TRUE(persist::ReadWal(path, &epochs, &torn));
+  EXPECT_FALSE(torn);
+  ASSERT_EQ(epochs.size(), 2u);
+  ASSERT_EQ(epochs[0].ops.size(), 2u);
+  EXPECT_TRUE(epochs[0].ops[0].is_query());
+  EXPECT_EQ(epochs[0].ops[1].query.low, -4);
+  ASSERT_EQ(epochs[1].ops.size(), 3u);
+  EXPECT_EQ(epochs[1].ops[0].op, OpKind::kAppend);
+  EXPECT_EQ(epochs[1].ops[0].value, 42);
+  EXPECT_TRUE(epochs[1].ops[1].is_query());
+  EXPECT_EQ(epochs[1].ops[1].query.high, 100);
+  EXPECT_EQ(epochs[1].ops[2].op, OpKind::kDelete);
+  EXPECT_EQ(epochs[1].ops[2].value, 42);
 }
 
 TEST(PersistWalTest, CorruptRecordTruncatesSuffix) {
   TempDir dir;
   const std::string path = dir.path + "/wal";
-  const std::vector<RangeQuery> qs = {{1, 5}, {7, 9}};
+  const std::vector<ServeRequest> ops = {RangeQuery{1, 5}, RangeQuery{7, 9}};
   {
     persist::WalWriter w;
     ASSERT_TRUE(w.Open(path));
-    ASSERT_TRUE(w.AppendEpoch(0, qs.data(), 1));
-    ASSERT_TRUE(w.AppendEpoch(1, qs.data() + 1, 1));
+    ASSERT_TRUE(w.AppendEpoch(0, ops.data(), 1));
+    ASSERT_TRUE(w.AppendEpoch(1, ops.data() + 1, 1));
   }
   // Flip a byte inside the second record's body: everything from that
   // record on is dropped.
@@ -326,7 +381,7 @@ TEST(PersistWalTest, CorruptRecordTruncatesSuffix) {
   ASSERT_TRUE(persist::ReadWal(path, &epochs, &torn));
   EXPECT_TRUE(torn);
   ASSERT_EQ(epochs.size(), 1u);
-  EXPECT_EQ(epochs[0].queries[0].high, 5);
+  EXPECT_EQ(epochs[0].ops[0].query.high, 5);
 }
 
 TEST(PersistWalTest, RefusesForeignFile) {
@@ -597,9 +652,9 @@ TEST(PersistCalibrationTest, MismatchedSnapshotsRejectedColdReplayOnPin) {
   ASSERT_TRUE(persist::ReadWal(dir.path + "/wal", &epochs, &torn));
   std::vector<QueryResult> sink;
   for (const persist::WalEpoch& e : epochs) {
-    if (e.queries.empty()) continue;
-    sink.resize(e.queries.size());
-    cold->QueryBatch(e.queries.data(), e.queries.size(), sink.data());
+    if (e.ops.empty()) continue;
+    sink.resize(e.ops.size());
+    serve::ExecuteEpoch(cold.get(), e.ops.data(), e.ops.size(), sink.data());
   }
   EXPECT_EQ(StatePayload(*recovered), StatePayload(*cold));
   for (int i = 0; i < 8; i++) {
@@ -647,9 +702,9 @@ TEST_P(PersistFaultTest, RecoveryExactUnderCrashFaults) {
   auto cold = make_fresh(GlobalMachineConstants());
   std::vector<QueryResult> sink;
   for (const persist::WalEpoch& e : epochs) {
-    if (e.queries.empty()) continue;
-    sink.resize(e.queries.size());
-    cold->QueryBatch(e.queries.data(), e.queries.size(), sink.data());
+    if (e.ops.empty()) continue;
+    sink.resize(e.ops.size());
+    serve::ExecuteEpoch(cold.get(), e.ops.data(), e.ops.size(), sink.data());
   }
   EXPECT_EQ(StatePayload(*recovered), StatePayload(*cold))
       << "mode " << fault::ModeName(GetParam());
@@ -662,6 +717,173 @@ TEST_P(PersistFaultTest, RecoveryExactUnderCrashFaults) {
 // Instantiation name starts with "Persist" so the crash-fault ctest
 // lane's --gtest_filter='Persist*' matches the parameterized names.
 INSTANTIATE_TEST_SUITE_P(PersistCrashModes, PersistFaultTest,
+                         ::testing::Values(fault::Mode::kCrashPreRename,
+                                           fault::Mode::kSnapshotTorn,
+                                           fault::Mode::kLogTorn,
+                                           fault::Mode::kFsyncFail),
+                         [](const ::testing::TestParamInfo<fault::Mode>& i) {
+                           return std::string(fault::ModeName(i.param));
+                         });
+
+// --- durability under updates (docs/updates.md) ------------------------
+
+/// An updatable-index factory matching serve::RecoverIndex's contract:
+/// the inner factory owns a copy of the handed-back (pinned) constants,
+/// because it re-fires on every completed merge.
+std::function<std::unique_ptr<IndexBase>(const MachineConstants&)>
+UpdatableFactory(const Column& column, double merge_threshold) {
+  return [&column, merge_threshold](const MachineConstants& mc) {
+    auto pinned = std::make_shared<MachineConstants>(mc);
+    UpdatableIndex::IndexFactory inner = [pinned](const Column& c) {
+      ProgressiveOptions opt;
+      opt.machine = pinned.get();
+      return MakeIndex("pq", c, BudgetSpec::FixedDelta(0.1), opt);
+    };
+    return std::unique_ptr<IndexBase>(new UpdatableIndex(
+        std::vector<value_t>(column.values()), std::move(inner),
+        merge_threshold));
+  };
+}
+
+// Mid-merge Save/Load round trip: freeze an index while its budgeted
+// merge is part-way through, load the payload into a fresh instance,
+// and require identical bytes (delta, tombstones, merge cursor) AND an
+// identical trajectory over further queries — the loaded instance must
+// re-derive the unserialized shadow copy deterministically.
+TEST(PersistUpdatableTest, MidMergeSaveLoadRoundTripsByteForByte) {
+  const Column column = MakeUniformColumn(4000, 151);
+  auto make = UpdatableFactory(column, 0.01);
+  std::unique_ptr<IndexBase> original = make(GlobalMachineConstants());
+  UpdatableIndex* updatable = original->AsUpdatable();
+  ASSERT_NE(updatable, nullptr);
+
+  Rng rng(157);
+  auto next_query = [&] {
+    value_t a = rng.NextInRange(column.min_value(), column.max_value());
+    value_t b = rng.NextInRange(column.min_value(), column.max_value());
+    if (b < a) std::swap(a, b);
+    return RangeQuery{a, b};
+  };
+  // Cross the threshold (0.01 × 4000 = 40 delta entries), then query
+  // until the merge is strictly mid-flight.
+  for (int i = 0; i < 48; i++) {
+    updatable->Append(rng.NextInRange(column.min_value(), column.max_value()));
+  }
+  size_t guard = 0;
+  while (!updatable->merge_in_progress() && guard++ < 8) {
+    (void)updatable->Query(next_query());
+  }
+  ASSERT_TRUE(updatable->merge_in_progress());
+  ASSERT_GT(updatable->merge_cursor(), 0u);
+  ASSERT_LT(updatable->merge_cursor(), column.size() + 48);
+
+  const std::string payload = StatePayload(*original);
+  std::unique_ptr<IndexBase> loaded = make(GlobalMachineConstants());
+  persist::Reader r = persist::Reader::FromPayload(payload);
+  ASSERT_TRUE(loaded->LoadState(&r));
+  EXPECT_EQ(StatePayload(*loaded), payload);
+  EXPECT_EQ(loaded->AsUpdatable()->merge_cursor(), updatable->merge_cursor());
+
+  // Lockstep continuation: the merge finishes, the inner index is
+  // rebuilt, and every step stays bit-identical.
+  for (int i = 0; i < 64; i++) {
+    const RangeQuery q = next_query();
+    EXPECT_EQ(original->Query(q), loaded->Query(q));
+  }
+  EXPECT_GE(updatable->merge_count(), 1u);
+  EXPECT_EQ(StatePayload(*original), StatePayload(*loaded));
+}
+
+class PersistUpdateFaultTest : public ::testing::TestWithParam<fault::Mode> {};
+
+// End-to-end durable serving of a mixed query/append/delete workload
+// under every crash-fault mode: whatever the fault tore or withheld,
+// recovery must land bit-identical to a cold ExecuteEpoch replay of
+// the surviving log, and post-recovery answers must match the log
+// applied to a plain multiset (the base column is stale under updates).
+TEST_P(PersistUpdateFaultTest, MixedWorkloadRecoveryExactUnderCrashFaults) {
+  FaultModeGuard guard(GetParam());
+  TempDir dir;
+  const Column column = MakeUniformColumn(4000, 163);
+  auto make_fresh = UpdatableFactory(column, 0.01);
+  auto index = make_fresh(GlobalMachineConstants());
+  Rng rng(167);
+  std::vector<value_t> pool;
+  {
+    serve::Server server(index.get(), column, DurableConfig(dir.path));
+    for (size_t i = 0; i < 200; i++) {
+      const uint64_t roll = rng.NextBounded(10);
+      ServeRequest op;
+      size_t at = 0;
+      if (roll >= 7) {
+        const bool del = roll == 9 && !pool.empty();
+        if (del) {
+          at = rng.NextBounded(pool.size());
+          op = ServeRequest::Delete(pool[at]);
+        } else {
+          op = ServeRequest::Append(column.max_value() + 1 +
+                                    static_cast<value_t>(i));
+        }
+      } else {
+        value_t a = rng.NextInRange(column.min_value(), column.max_value());
+        value_t b = rng.NextInRange(column.min_value(), column.max_value());
+        if (b < a) std::swap(a, b);
+        op = RangeQuery{a, b};
+      }
+      const serve::Response resp = server.Submit(op);
+      if (op.is_update() && !resp.rejected) {
+        if (op.op == OpKind::kDelete) {
+          pool[at] = pool.back();
+          pool.pop_back();
+        } else {
+          pool.push_back(op.value);
+        }
+      }
+    }
+  }
+
+  // Recovery runs fault-free (no server armed).
+  serve::RecoveryStats rec;
+  auto recovered = serve::RecoverIndex(dir.path, column, make_fresh, &rec);
+  std::vector<persist::WalEpoch> epochs;
+  bool torn = false;
+  ASSERT_TRUE(persist::ReadWal(dir.path + "/wal", &epochs, &torn));
+  auto cold = make_fresh(GlobalMachineConstants());
+  std::vector<QueryResult> sink;
+  std::vector<value_t> oracle(column.values());
+  for (const persist::WalEpoch& e : epochs) {
+    if (e.ops.empty()) continue;
+    sink.resize(e.ops.size());
+    serve::ExecuteEpoch(cold.get(), e.ops.data(), e.ops.size(), sink.data());
+    for (const ServeRequest& op : e.ops) {
+      if (op.op == OpKind::kAppend) {
+        oracle.push_back(op.value);
+      } else if (op.op == OpKind::kDelete) {
+        auto it = std::find(oracle.begin(), oracle.end(), op.value);
+        ASSERT_NE(it, oracle.end()) << "durable delete of absent value";
+        *it = oracle.back();
+        oracle.pop_back();
+      }
+    }
+  }
+  EXPECT_EQ(StatePayload(*recovered), StatePayload(*cold))
+      << "mode " << fault::ModeName(GetParam());
+  for (int i = 0; i < 8; i++) {
+    value_t a = rng.NextInRange(column.min_value(), column.max_value() + 200);
+    value_t b = rng.NextInRange(column.min_value(), column.max_value() + 200);
+    if (b < a) std::swap(a, b);
+    QueryResult want;
+    for (const value_t v : oracle) {
+      if (v >= a && v <= b) {
+        want.sum += v;
+        want.count++;
+      }
+    }
+    EXPECT_EQ(recovered->Query(RangeQuery{a, b}), want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PersistUpdateCrashModes, PersistUpdateFaultTest,
                          ::testing::Values(fault::Mode::kCrashPreRename,
                                            fault::Mode::kSnapshotTorn,
                                            fault::Mode::kLogTorn,

@@ -5,6 +5,7 @@
 // scenario — overload, expiry, injected faults — is that an answered
 // query is answered exactly.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -13,10 +14,13 @@
 #include <gtest/gtest.h>
 
 #include "common/fault.h"
+#include "common/rng.h"
 #include "core/budget.h"
 #include "core/progressive_quicksort.h"
+#include "core/updatable_index.h"
 #include "exec/zero_budget_scan.h"
 #include "eval/registry.h"
+#include "serve/epoch.h"
 #include "serve/server.h"
 #include "workload/data_generator.h"
 #include "workload/synthetic.h"
@@ -106,7 +110,7 @@ TEST(ServeTest, DeterministicEpochScheduleAcrossThreadCounts) {
   for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
     Column column{std::vector<value_t>(values)};
     ProgressiveQuicksort index(column, BudgetSpec::FixedDelta(0.05));
-    std::vector<RangeQuery> admitted;
+    std::vector<ServeRequest> admitted;
     std::vector<size_t> epochs;
     std::vector<serve::Response> responses(kQueries);
     {
@@ -138,7 +142,8 @@ TEST(ServeTest, DeterministicEpochScheduleAcrossThreadCounts) {
       epochs = server.epoch_sizes();
     }
 
-    // (b) Serial replay parity, which holds even under injected faults.
+    // (b) Serial replay parity, which holds even under injected faults
+    // — through the same ExecuteEpoch the scheduler ran.
     Column replay_column{std::vector<value_t>(values)};
     ProgressiveQuicksort replay(replay_column, BudgetSpec::FixedDelta(0.05));
     std::vector<QueryResult> out(kBatch);
@@ -146,7 +151,7 @@ TEST(ServeTest, DeterministicEpochScheduleAcrossThreadCounts) {
     for (const size_t e : epochs) {
       ASSERT_LE(off + e, admitted.size());
       out.resize(e);
-      replay.QueryBatch(admitted.data() + off, e, out.data());
+      serve::ExecuteEpoch(&replay, admitted.data() + off, e, out.data());
       off += e;
     }
     EXPECT_EQ(off, admitted.size());
@@ -163,8 +168,8 @@ TEST(ServeTest, DeterministicEpochScheduleAcrossThreadCounts) {
       // epochs full, and the final state independent of client count.
       ASSERT_EQ(admitted.size(), kQueries);
       for (size_t q = 0; q < kQueries; ++q) {
-        EXPECT_EQ(admitted[q].low, workload[q].low);
-        EXPECT_EQ(admitted[q].high, workload[q].high);
+        EXPECT_EQ(admitted[q].query.low, workload[q].low);
+        EXPECT_EQ(admitted[q].query.high, workload[q].high);
         EXPECT_FALSE(responses[q].degraded);
       }
       for (const size_t e : epochs) EXPECT_EQ(e, kBatch);
@@ -336,7 +341,7 @@ TEST(ServeTest, CloseRacingOrderedAdmitsNeverWedges) {
         for (size_t i = 0; i < kPerThread; ++i) {
           const uint64_t ticket = next_ticket.fetch_add(1);
           serve::ServeSlot slot;
-          slot.query = RangeQuery{0, 1};
+          slot.request = RangeQuery{0, 1};
           if (queue.AdmitOrdered(ticket, &slot) ==
               serve::AdmitResult::kAdmitted) {
             slot.Wait();
@@ -507,6 +512,109 @@ TEST_P(ServeFaultTest, AnswersStayExactUnderInjectedFaults) {
 // Instantiation name starts with "Serve" so the fault ctest lane's
 // --gtest_filter='Serve*' matches the full parameterized test names.
 INSTANTIATE_TEST_SUITE_P(ServeAllModes, ServeFaultTest,
+                         ::testing::Values(fault::Mode::kBudgetStarvation,
+                                           fault::Mode::kWorkerStall,
+                                           fault::Mode::kQueueFull,
+                                           fault::Mode::kAllocFail),
+                         [](const ::testing::TestParamInfo<fault::Mode>& i) {
+                           return std::string(fault::ModeName(i.param));
+                         });
+
+class ServeUpdateFaultTest : public ::testing::TestWithParam<fault::Mode> {};
+
+// Update-carrying epochs under injected faults (docs/updates.md): one
+// client drives a seeded query/append/delete mix through the server
+// while the parameterized seam fires. Invariants: every answered query
+// matches a step-by-step multiset oracle exactly (including queries the
+// fault degrades, which must scan base + delta, not the stale column);
+// every update is either applied or reported rejected — never silently
+// dropped or half-applied — and the server's update ledger matches the
+// client's count; the lock-free read-epoch path stays off.
+TEST_P(ServeUpdateFaultTest, MixedEpochsStayExactAndAccounted) {
+  FaultModeGuard guard(GetParam());
+  const Column column = MakeUniformColumn(2000, 61);
+  UpdatableIndex index(
+      std::vector<value_t>(column.values()),
+      [](const Column& c) {
+        return std::unique_ptr<IndexBase>(
+            new ProgressiveQuicksort(c, BudgetSpec::FixedDelta(0.1)));
+      },
+      /*merge_threshold=*/0.02);
+  serve::ServerConfig cfg;
+  cfg.batch_size = 4;
+  cfg.queue_capacity = 16;
+  serve::Server server(&index, column, cfg);
+
+  Rng rng(67);
+  std::vector<value_t> oracle(column.values());
+  std::vector<value_t> pool;  // applied appends, safe to delete
+  uint64_t updates = 0, applied = 0, rejected = 0;
+  for (size_t i = 0; i < 400; ++i) {
+    const uint64_t roll = rng.NextBounded(10);
+    if (roll >= 7) {
+      updates++;
+      const bool del = roll == 9 && !pool.empty();
+      size_t at = 0;
+      ServeRequest op;
+      if (del) {
+        at = rng.NextBounded(pool.size());
+        op = ServeRequest::Delete(pool[at]);
+      } else {
+        // Values above the base range: presence is then decided purely
+        // by this test's own applied appends.
+        op = ServeRequest::Append(column.max_value() + 1 +
+                                  static_cast<value_t>(i));
+      }
+      const serve::Response r = server.Submit(op);
+      if (r.rejected) {
+        rejected++;
+        continue;
+      }
+      applied++;
+      if (del) {
+        const value_t v = pool[at];
+        pool[at] = pool.back();
+        pool.pop_back();
+        auto it = std::find(oracle.begin(), oracle.end(), v);
+        ASSERT_NE(it, oracle.end());
+        *it = oracle.back();
+        oracle.pop_back();
+      } else {
+        oracle.push_back(op.value);
+        pool.push_back(op.value);
+      }
+    } else {
+      value_t a = rng.NextInRange(column.min_value(), column.max_value() + 400);
+      value_t b = rng.NextInRange(column.min_value(), column.max_value() + 400);
+      if (b < a) std::swap(a, b);
+      const RangeQuery q{a, b};
+      const serve::Response r = server.Submit(q);
+      EXPECT_FALSE(r.rejected);
+      QueryResult want;
+      for (const value_t v : oracle) {
+        if (v >= q.low && v <= q.high) {
+          want.sum += v;
+          want.count++;
+        }
+      }
+      EXPECT_EQ(r.result, want) << "op " << i;
+    }
+  }
+  const serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.updates_applied, applied);
+  EXPECT_EQ(stats.updates_rejected, rejected);
+  EXPECT_EQ(applied + rejected, updates);
+  EXPECT_EQ(stats.read_epoch, 0u)
+      << "read epochs must stay force-disabled under updates";
+  EXPECT_EQ(stats.served + stats.degraded, stats.submitted);
+  EXPECT_GT(stats.faults_injected, 0u)
+      << "mode " << fault::ModeName(GetParam()) << " never fired";
+  // Enough updates land (even with fault-refused ones) to cross the
+  // merge threshold: the budgeted merge ran under faults.
+  EXPECT_GE(index.merge_count() + (index.merge_in_progress() ? 1 : 0), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ServeUpdateAllModes, ServeUpdateFaultTest,
                          ::testing::Values(fault::Mode::kBudgetStarvation,
                                            fault::Mode::kWorkerStall,
                                            fault::Mode::kQueueFull,

@@ -29,14 +29,31 @@ TEST(UpdatableIndexTest, AppendsVisibleImmediately) {
   EXPECT_EQ(index.pending_count(), 1u);
 }
 
-TEST(UpdatableIndexTest, MergeTriggersAtThreshold) {
+TEST(UpdatableIndexTest, BudgetedMergeAdvancesOnlyViaQueries) {
   std::vector<value_t> initial(1000, 1);
   UpdatableIndex index(std::move(initial), QuicksortFactory(),
                        /*threshold=*/0.1);
-  for (int i = 0; i < 99; i++) index.Append(2);
+  // Appends are O(1): crossing the threshold does NOT pause to merge.
+  for (int i = 0; i < 100; i++) index.Append(2);
   EXPECT_EQ(index.merge_count(), 0u);
-  EXPECT_EQ(index.pending_count(), 99u);
-  index.Append(2);  // hits 10% of base
+  EXPECT_FALSE(index.merge_in_progress());
+  EXPECT_EQ(index.pending_count(), 100u);
+  EXPECT_EQ(index.base_size(), 1000u);
+  // The next query starts the merge and pays exactly one slice:
+  // ceil(1100 / kMergeSteps) source elements.
+  EXPECT_EQ(index.Query(RangeQuery{2, 2}), (QueryResult{200, 100}));
+  const size_t slice =
+      (1100 + UpdatableIndex::kMergeSteps - 1) / UpdatableIndex::kMergeSteps;
+  EXPECT_TRUE(index.merge_in_progress());
+  EXPECT_EQ(index.merge_cursor(), slice);
+  EXPECT_EQ(index.pending_count(), 100u);  // frozen, not yet merged
+  // Each further query advances one slice and stays exact mid-merge;
+  // the merge completes within kMergeSteps queries total.
+  size_t queries = 1;
+  while (index.merge_in_progress()) {
+    ASSERT_LE(++queries, UpdatableIndex::kMergeSteps);
+    EXPECT_EQ(index.Query(RangeQuery{1, 2}), (QueryResult{1200, 1100}));
+  }
   EXPECT_EQ(index.merge_count(), 1u);
   EXPECT_EQ(index.pending_count(), 0u);
   EXPECT_EQ(index.base_size(), 1100u);
@@ -50,16 +67,18 @@ TEST(UpdatableIndexTest, ConvergesAfterMergeViaQueries) {
   const RangeQuery q{100, 4000};
   for (int i = 0; i < 100 && !index.converged(); i++) index.Query(q);
   ASSERT_TRUE(index.converged());
-  // Appending up to the threshold triggers a merge, which restarts
-  // convergence (the new base must be re-indexed)...
+  // Appending past the threshold un-converges the index, but the merge
+  // itself only runs on query time...
   for (int i = 0; i < 250; i++) index.Append(i);
-  EXPECT_EQ(index.merge_count(), 1u);
-  EXPECT_EQ(index.pending_count(), 0u);
+  EXPECT_EQ(index.merge_count(), 0u);
   EXPECT_FALSE(index.converged());
-  // ...and querying drives the fresh progressive index to convergence
-  // again.
+  // ...where queries first drain the merge slices, then drive the
+  // fresh progressive index over the new base back to convergence.
   for (int i = 0; i < 100 && !index.converged(); i++) index.Query(q);
   EXPECT_TRUE(index.converged());
+  EXPECT_EQ(index.merge_count(), 1u);
+  EXPECT_EQ(index.pending_count(), 0u);
+  EXPECT_EQ(index.base_size(), 5250u);
 }
 
 TEST(UpdatableIndexTest, InterleavedSoakMatchesVectorOracle) {
@@ -71,10 +90,16 @@ TEST(UpdatableIndexTest, InterleavedSoakMatchesVectorOracle) {
   UpdatableIndex index(std::vector<value_t>(oracle), QuicksortFactory(0.1),
                        /*threshold=*/0.08);
   for (int step = 0; step < 600; step++) {
-    if (rng.NextBounded(3) == 0) {
+    const uint64_t roll = rng.NextBounded(4);
+    if (roll == 0) {
       const value_t v = static_cast<value_t>(rng.NextBounded(10000));
       oracle.push_back(v);
       index.Append(v);
+    } else if (roll == 1 && !oracle.empty()) {
+      const size_t at = rng.NextBounded(oracle.size());
+      index.Delete(oracle[at]);
+      oracle[at] = oracle.back();
+      oracle.pop_back();
     } else {
       value_t lo = static_cast<value_t>(rng.NextBounded(11000));
       value_t hi = static_cast<value_t>(rng.NextBounded(11000));

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/predication.h"
+#include "common/rng.h"
+#include "core/budget.h"
+#include "core/updatable_index.h"
+#include "eval/registry.h"
+#include "parallel/thread_pool.h"
+#include "persist/io.h"
+#include "workload/data_generator.h"
+
+// Oracle-differential property test for streaming updates
+// (docs/updates.md): seeded random Append/Delete/Query/QueryBatch
+// interleavings against a plain vector oracle, run in lockstep over
+// one index per lane count T ∈ {1, 2, 4} plus a batch-of-1 variant and
+// an instance restored mid-script from a snapshot. Every answer must
+// be exact at every step, and the full serialized state bit-identical
+// across every instance — the determinism contract of
+// core/updatable_index.h, enforced for all four progressive inners.
+
+namespace progidx {
+namespace {
+
+/// Restores the process lane override on scope exit so suites cannot
+/// leak a forced thread count into each other.
+class ScopedLanes {
+ public:
+  explicit ScopedLanes(size_t lanes) { parallel::SetLanesForTesting(lanes); }
+  ~ScopedLanes() { parallel::SetLanesForTesting(0); }
+};
+
+std::string StatePayload(const IndexBase& index) {
+  persist::Writer w;
+  index.SaveState(&w);
+  return w.payload();
+}
+
+struct Step {
+  enum Kind { kAppend, kDelete, kQuery, kBatch } kind = kQuery;
+  value_t value = 0;
+  std::vector<RangeQuery> queries;
+};
+
+/// A deterministic mixed script. Deletes always target a value present
+/// in the evolving multiset (UpdatableIndex::Delete's precondition);
+/// the generator tracks a shadow multiset to pick them.
+std::vector<Step> MakeScript(uint64_t seed, const Column& column,
+                             size_t steps) {
+  Rng rng(seed);
+  std::vector<value_t> shadow(column.values());
+  const value_t lo = column.min_value();
+  const value_t hi = column.max_value() + 64;
+  auto query = [&] {
+    value_t a = rng.NextInRange(lo, hi);
+    value_t b = rng.NextInRange(lo, hi);
+    if (b < a) std::swap(a, b);
+    return RangeQuery{a, b};
+  };
+  std::vector<Step> script(steps);
+  for (Step& s : script) {
+    const uint64_t roll = rng.NextBounded(10);
+    if (roll < 3 || (roll == 3 && shadow.empty())) {
+      s.kind = Step::kAppend;
+      s.value = rng.NextInRange(lo, hi);
+      shadow.push_back(s.value);
+    } else if (roll == 3) {
+      s.kind = Step::kDelete;
+      const size_t at = rng.NextBounded(shadow.size());
+      s.value = shadow[at];
+      shadow[at] = shadow.back();
+      shadow.pop_back();
+    } else if (roll < 7) {
+      s.kind = Step::kQuery;
+      s.queries = {query()};
+    } else {
+      s.kind = Step::kBatch;
+      s.queries.resize(1 + rng.NextBounded(16));
+      for (RangeQuery& q : s.queries) q = query();
+    }
+  }
+  return script;
+}
+
+/// One lockstep participant: an index pinned to a lane count, with the
+/// single-query steps optionally issued as a batch of one.
+struct Instance {
+  size_t lanes;
+  bool batch_of_one;
+  std::unique_ptr<UpdatableIndex> index;
+};
+
+void Apply(UpdatableIndex* index, const Step& s, bool batch_of_one,
+           std::vector<QueryResult>* out) {
+  out->clear();
+  switch (s.kind) {
+    case Step::kAppend:
+      index->Append(s.value);
+      break;
+    case Step::kDelete:
+      index->Delete(s.value);
+      break;
+    case Step::kQuery:
+      if (batch_of_one) {
+        out->resize(1);
+        index->QueryBatch(s.queries.data(), 1, out->data());
+      } else {
+        out->push_back(index->Query(s.queries[0]));
+      }
+      break;
+    case Step::kBatch:
+      out->resize(s.queries.size());
+      index->QueryBatch(s.queries.data(), s.queries.size(), out->data());
+      break;
+  }
+}
+
+class UpdatePropertyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(UpdatePropertyTest, InterleavingsMatchOracleAndStayBitIdentical) {
+  const std::string id = GetParam();
+  const Column column = MakeUniformColumn(2000, 71);
+  const std::vector<Step> script = MakeScript(73, column, 300);
+  auto make = [&] {
+    return std::make_unique<UpdatableIndex>(
+        std::vector<value_t>(column.values()),
+        [id](const Column& c) {
+          return MakeIndex(id, c, BudgetSpec::FixedDelta(0.1));
+        },
+        /*merge_threshold=*/0.02);
+  };
+  ScopedLanes restore(0);
+  std::vector<Instance> insts;
+  insts.push_back({1, false, make()});
+  insts.push_back({1, true, make()});  // batch-of-1 ≡ Query, bit for bit
+  insts.push_back({2, false, make()});
+  insts.push_back({4, false, make()});
+
+  std::vector<value_t> oracle(column.values());
+  std::vector<QueryResult> want;
+  std::vector<QueryResult> ref;
+  std::vector<QueryResult> got;
+  for (size_t step = 0; step < script.size(); step++) {
+    const Step& s = script[step];
+    // The oracle is authoritative for answers...
+    if (s.kind == Step::kAppend) {
+      oracle.push_back(s.value);
+    } else if (s.kind == Step::kDelete) {
+      auto it = std::find(oracle.begin(), oracle.end(), s.value);
+      ASSERT_NE(it, oracle.end());
+      *it = oracle.back();
+      oracle.pop_back();
+    }
+    want.clear();
+    for (const RangeQuery& q : s.queries) {
+      want.push_back(PredicatedRangeSum(oracle.data(), oracle.size(), q));
+    }
+    // ...and the first instance for state/answer parity of the rest.
+    for (size_t i = 0; i < insts.size(); i++) {
+      parallel::SetLanesForTesting(insts[i].lanes);
+      Apply(insts[i].index.get(), s, insts[i].batch_of_one,
+            i == 0 ? &ref : &got);
+      if (i == 0) {
+        ASSERT_EQ(ref, want) << id << " step " << step;
+      } else {
+        ASSERT_EQ(got, ref) << id << " step " << step << " inst " << i;
+      }
+    }
+    if (step % 16 == 15 || step + 1 == script.size()) {
+      const std::string payload = StatePayload(*insts[0].index);
+      for (size_t i = 1; i < insts.size(); i++) {
+        ASSERT_EQ(StatePayload(*insts[i].index), payload)
+            << id << " step " << step << " inst " << i
+            << ": state diverged across lanes/batching";
+      }
+      // Half-way in, a fifth instance joins from the serialized state
+      // — restart-equivalence must hold mid-merge too.
+      if (step == 159) {
+        insts.push_back({1, false, make()});
+        persist::Reader r = persist::Reader::FromPayload(payload);
+        parallel::SetLanesForTesting(1);
+        ASSERT_TRUE(insts.back().index->LoadState(&r)) << id;
+        ASSERT_EQ(StatePayload(*insts.back().index), payload) << id;
+      }
+    }
+  }
+  // The script must have actually exercised the budgeted merge.
+  EXPECT_GE(insts[0].index->merge_count(), 2u) << id;
+
+  // Quiesce: queries alone drain the running merge and drive the inner
+  // index to convergence, still in lockstep. (A residual delta below
+  // the threshold stays unmerged by design, so full converged() is not
+  // the target here.)
+  const RangeQuery drain{column.min_value(), column.max_value()};
+  auto quiesced = [&] {
+    return !insts[0].index->merge_in_progress() &&
+           insts[0].index->inner().converged();
+  };
+  for (int i = 0; i < 400 && !quiesced(); i++) {
+    QueryResult first{};
+    for (Instance& inst : insts) {
+      parallel::SetLanesForTesting(inst.lanes);
+      const QueryResult r = inst.index->Query(drain);
+      if (&inst == &insts.front()) {
+        first = r;
+      } else {
+        ASSERT_EQ(r, first) << id;
+      }
+    }
+  }
+  EXPECT_TRUE(quiesced()) << id;
+  const std::string final_payload = StatePayload(*insts[0].index);
+  for (size_t i = 1; i < insts.size(); i++) {
+    EXPECT_EQ(StatePayload(*insts[i].index), final_payload) << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UpdatePropertyAllIndexes, UpdatePropertyTest,
+                         ::testing::Values("pq", "pb", "plsd", "pmsd"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           return std::string(i.param);
+                         });
+
+}  // namespace
+}  // namespace progidx

@@ -13,7 +13,11 @@
 //
 // The coordinator runs two kill rounds per trial on the same directory
 // (the second serving child must itself recover first), cycling the
-// four progressive indexes. PROGIDX_CRASH_TRIALS and PROGIDX_SEED
+// four progressive indexes plus their UpdatableIndex-wrapped variants
+// ("pq+u" ...), whose workload mixes appends and deletes into the
+// served queries — so a kill can land mid-delta or mid-budgeted-merge
+// and recovery must reproduce delta, tombstones, and merge cursor byte
+// for byte (docs/updates.md). PROGIDX_CRASH_TRIALS and PROGIDX_SEED
 // override the defaults; PROGIDX_FAULT=crash_* modes compose — the
 // serving child then also damages its own durable state on the way
 // down, and recovery must still hold.
@@ -23,6 +27,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -39,10 +44,12 @@
 #include "core/progressive_quicksort.h"
 #include "core/progressive_radixsort_lsd.h"
 #include "core/progressive_radixsort_msd.h"
+#include "core/updatable_index.h"
 #include "exec/zero_budget_scan.h"
 #include "persist/calibration_store.h"
 #include "persist/io.h"
 #include "persist/wal.h"
+#include "serve/epoch.h"
 #include "serve/recovery.h"
 #include "serve/server.h"
 
@@ -51,7 +58,7 @@ namespace {
 using namespace progidx;  // NOLINT — single-file tool
 
 constexpr size_t kColumnSize = 20000;
-constexpr size_t kWorkloadQueries = 400;
+constexpr size_t kWorkloadOps = 400;
 constexpr double kDelta = 0.05;
 
 Column MakeColumn(uint64_t seed) {
@@ -67,47 +74,86 @@ RangeQuery MakeQuery(Rng* rng) {
   return a <= b ? RangeQuery{a, b} : RangeQuery{b, a};
 }
 
+bool IsUpdatableAlgo(const std::string& algo) {
+  return algo.size() > 2 && algo.compare(algo.size() - 2, 2, "+u") == 0;
+}
+
+std::unique_ptr<IndexBase> MakeInner(const std::string& base,
+                                     const Column& column,
+                                     const MachineConstants* mc) {
+  const BudgetSpec budget = BudgetSpec::FixedDelta(kDelta);
+  ProgressiveOptions opt;
+  opt.machine = mc;
+  if (base == "pq") {
+    return std::unique_ptr<IndexBase>(
+        new ProgressiveQuicksort(column, budget, opt));
+  }
+  if (base == "pb") {
+    return std::unique_ptr<IndexBase>(
+        new ProgressiveBucketsort(column, budget, opt));
+  }
+  if (base == "plsd") {
+    return std::unique_ptr<IndexBase>(
+        new ProgressiveRadixsortLSD(column, budget, opt));
+  }
+  if (base == "pmsd") {
+    return std::unique_ptr<IndexBase>(
+        new ProgressiveRadixsortMSD(column, budget, opt));
+  }
+  std::fprintf(stderr, "crash_harness: unknown algo %s\n", base.c_str());
+  std::exit(2);
+}
+
 /// Builds instances from the machine constants RecoverIndex hands
 /// back — the directory's pinned calibration — never this process's
 /// own measurement, so every run over one persist dir walks the same
-/// budget trajectory (docs/recovery.md, calibration pinning).
+/// budget trajectory (docs/recovery.md, calibration pinning). "<algo>+u"
+/// wraps the progressive index in an UpdatableIndex whose factory
+/// rebuilds the inner index (same constants) after every merge.
 std::function<std::unique_ptr<IndexBase>(const MachineConstants&)> FactoryFor(
     const std::string& algo, const Column& column) {
-  const BudgetSpec budget = BudgetSpec::FixedDelta(kDelta);
-  if (algo == "pq") {
-    return [&column, budget](const MachineConstants& mc) {
-      ProgressiveOptions opt;
-      opt.machine = &mc;
-      return std::unique_ptr<IndexBase>(
-          new ProgressiveQuicksort(column, budget, opt));
+  if (!IsUpdatableAlgo(algo)) {
+    return [&column, algo](const MachineConstants& mc) {
+      return MakeInner(algo, column, &mc);
     };
   }
-  if (algo == "pb") {
-    return [&column, budget](const MachineConstants& mc) {
-      ProgressiveOptions opt;
-      opt.machine = &mc;
-      return std::unique_ptr<IndexBase>(
-          new ProgressiveBucketsort(column, budget, opt));
+  const std::string base = algo.substr(0, algo.size() - 2);
+  return [&column, base](const MachineConstants& mc) {
+    // The inner factory outlives this call (it re-fires on every
+    // merge), so it owns a copy of the constants.
+    auto pinned = std::make_shared<MachineConstants>(mc);
+    UpdatableIndex::IndexFactory inner = [base, pinned](const Column& c) {
+      return MakeInner(base, c, pinned.get());
     };
+    return std::unique_ptr<IndexBase>(new UpdatableIndex(
+        std::vector<value_t>(column.values()), std::move(inner)));
+  };
+}
+
+/// The seeded mixed workload of one serving round: ~70% queries, the
+/// rest appends and deletes (updatable algos only). Deletes target only
+/// values this run appended earlier, so the Delete precondition —
+/// value present — holds no matter where a previous kill landed: the
+/// blocking Submit orders the WAL, so any durable delete's append is in
+/// the durable prefix too.
+ServeRequest NextOp(Rng* rng, bool updatable, std::vector<value_t>* pool) {
+  if (updatable) {
+    const uint64_t roll = rng->NextBounded(10);
+    if (roll >= 7) {
+      const bool del = roll == 9 && !pool->empty();
+      if (del) {
+        const size_t at = rng->NextBounded(pool->size());
+        const value_t v = (*pool)[at];
+        (*pool)[at] = pool->back();
+        pool->pop_back();
+        return ServeRequest::Delete(v);
+      }
+      const value_t v = rng->NextInRange(0, 1 << 20);
+      pool->push_back(v);
+      return ServeRequest::Append(v);
+    }
   }
-  if (algo == "plsd") {
-    return [&column, budget](const MachineConstants& mc) {
-      ProgressiveOptions opt;
-      opt.machine = &mc;
-      return std::unique_ptr<IndexBase>(
-          new ProgressiveRadixsortLSD(column, budget, opt));
-    };
-  }
-  if (algo == "pmsd") {
-    return [&column, budget](const MachineConstants& mc) {
-      ProgressiveOptions opt;
-      opt.machine = &mc;
-      return std::unique_ptr<IndexBase>(
-          new ProgressiveRadixsortMSD(column, budget, opt));
-    };
-  }
-  std::fprintf(stderr, "crash_harness: unknown algo %s\n", algo.c_str());
-  std::exit(2);
+  return ServeRequest(MakeQuery(rng));
 }
 
 std::string StatePayload(const IndexBase& index) {
@@ -128,13 +174,15 @@ int RunServe(const std::string& dir, const std::string& algo,
   serve::ServerConfig cfg;
   cfg.queue_capacity = 16;
   cfg.batch_size = 4;
-  cfg.enable_read_epochs = false;  // keep every query in the durable log
+  cfg.enable_read_epochs = false;  // keep every op in the durable log
   cfg.persist_dir = dir;
   cfg.checkpoint_every = 3;
   serve::Server server(index.get(), column, cfg);
   Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
-  for (size_t i = 0; i < kWorkloadQueries; i++) {
-    (void)server.Submit(MakeQuery(&rng));
+  const bool updatable = IsUpdatableAlgo(algo);
+  std::vector<value_t> pool;
+  for (size_t i = 0; i < kWorkloadOps; i++) {
+    (void)server.Submit(NextOp(&rng, updatable, &pool));
   }
   return 0;
 }
@@ -152,7 +200,7 @@ int RunVerify(const std::string& dir, const std::string& algo,
   // recovery time went, per serve::RecoveryStats (and the matching
   // recovery.* trace spans when PROGIDX_TRACE is set).
   std::printf(
-      "recovery %-4s: wal_read=%.2fms snapshot_load=%.2fms replay=%.2fms "
+      "recovery %-6s: wal_read=%.2fms snapshot_load=%.2fms replay=%.2fms "
       "(snapshot=%s seq=%llu rejected=%zu replayed=%llu/%llu)\n",
       algo.c_str(), rec.wal_read_ms, rec.snapshot_load_ms, rec.replay_ms,
       rec.snapshot_loaded ? "yes" : "no",
@@ -176,9 +224,9 @@ int RunVerify(const std::string& dir, const std::string& algo,
   std::unique_ptr<IndexBase> cold = make_fresh(pinned);
   std::vector<QueryResult> sink;
   for (const persist::WalEpoch& e : epochs) {
-    if (e.queries.empty()) continue;
-    sink.resize(e.queries.size());
-    cold->QueryBatch(e.queries.data(), e.queries.size(), sink.data());
+    if (e.ops.empty()) continue;
+    sink.resize(e.ops.size());
+    serve::ExecuteEpoch(cold.get(), e.ops.data(), e.ops.size(), sink.data());
   }
 
   if (StatePayload(*recovered) != StatePayload(*cold)) {
@@ -193,12 +241,37 @@ int RunVerify(const std::string& dir, const std::string& algo,
     return 1;
   }
 
-  // Post-recovery answers must match the scan oracle exactly.
+  // Post-recovery answers must match a scan oracle exactly. Under
+  // updates the original column is stale, so the oracle is the durable
+  // log applied to a plain multiset: appends push, deletes remove one
+  // occurrence.
+  std::vector<value_t> oracle(column.values());
+  for (const persist::WalEpoch& e : epochs) {
+    for (const ServeRequest& op : e.ops) {
+      if (op.op == OpKind::kAppend) {
+        oracle.push_back(op.value);
+      } else if (op.op == OpKind::kDelete) {
+        auto it = std::find(oracle.begin(), oracle.end(), op.value);
+        if (it == oracle.end()) {
+          std::fprintf(stderr, "verify: durable delete of absent value\n");
+          return 1;
+        }
+        *it = oracle.back();
+        oracle.pop_back();
+      }
+    }
+  }
   Rng rng(seed ^ 0x7f4a7c159e3779b9ull);
   for (int i = 0; i < 16; i++) {
     const RangeQuery q = MakeQuery(&rng);
     const QueryResult got = recovered->Query(q);
-    const QueryResult want = exec::ZeroBudgetScan(column, q);
+    QueryResult want;
+    for (const value_t v : oracle) {
+      if (v >= q.low && v <= q.high) {
+        want.sum += v;
+        want.count++;
+      }
+    }
     if (!(got == want)) {
       std::fprintf(stderr, "verify: wrong answer after recovery (algo=%s)\n",
                    algo.c_str());
@@ -231,7 +304,10 @@ int RunCoordinator(const char* self) {
       "PROGIDX_SEED", 0, SIZE_MAX, 42, "crash harness seed", nullptr);
   const size_t trials = env::BoundedSizeFromEnv(
       "PROGIDX_CRASH_TRIALS", 1, 1000, 10, "crash trials", nullptr);
-  const char* algos[] = {"pq", "pb", "plsd", "pmsd"};
+  // Interleaved so the default 10 trials cover both halves: plain
+  // then updatable for each algorithm.
+  const char* algos[] = {"pq",   "pq+u",   "pb",   "pb+u",
+                         "plsd", "plsd+u", "pmsd", "pmsd+u"};
   Rng rng(seed);
   char dir_template[] = "/tmp/progidx_crash_XXXXXX";
   const char* tmp_root = ::mkdtemp(dir_template);
@@ -241,7 +317,7 @@ int RunCoordinator(const char* self) {
   }
   int failures = 0;
   for (size_t t = 0; t < trials; t++) {
-    const std::string algo = algos[t % 4];
+    const std::string algo = algos[t % 8];
     const uint64_t trial_seed = seed + t;
     const std::string dir =
         std::string(tmp_root) + "/trial" + std::to_string(t);
@@ -256,7 +332,7 @@ int RunCoordinator(const char* self) {
       const pid_t verifier =
           SpawnSelf(self, "--verify", dir, algo, trial_seed);
       const int rc = WaitFor(verifier);
-      std::printf("trial %zu round %d algo=%-4s serve_rc=%4d verify=%s\n", t,
+      std::printf("trial %zu round %d algo=%-6s serve_rc=%4d verify=%s\n", t,
                   round, algo.c_str(), serve_rc, rc == 0 ? "OK" : "FAIL");
       if (rc != 0) failures++;
     }
