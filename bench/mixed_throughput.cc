@@ -33,6 +33,7 @@
 
 #include "bench/bench_util.h"
 #include "bench/json_store.h"
+#include "common/env.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/updatable_index.h"
@@ -196,14 +197,14 @@ int main(int argc, char** argv) {
   const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed"));
   const double delta = cli.GetDouble("delta");
   double merge_threshold = cli.GetDouble("merge-threshold");
-  if (const char* env = std::getenv("PROGIDX_MERGE_THRESHOLD")) {
+  if (const char* env = env::Get("PROGIDX_MERGE_THRESHOLD")) {
     const double v = std::atof(env);
     if (v > 0) merge_threshold = v;
   }
 
   std::vector<Mix> mixes;
   std::string mix_list = cli.GetString("mixes");
-  if (const char* env = std::getenv("PROGIDX_UPDATE_MIX")) {
+  if (const char* env = env::Get("PROGIDX_UPDATE_MIX")) {
     mix_list = env;  // single-mix override for ad-hoc runs
   }
   size_t start = 0;

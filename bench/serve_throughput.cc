@@ -87,7 +87,7 @@ ServeRow RunThroughput(const std::string& index_id, const Column& column,
         const RangeQuery& q = queries[(c * per_client + i) % queries.size()];
         Timer t;
         server.Submit(q);
-        lat[c].RecordNs(t.ElapsedNanos());
+        lat[c].RecordNs(static_cast<uint64_t>(t.ElapsedNanos()));
       }
     });
   }

@@ -21,10 +21,12 @@ bool WarnOnce(const char* key) {
   return true;
 }
 
+const char* Get(const char* name) { return std::getenv(name); }
+
 size_t BoundedSizeFromEnv(const char* name, size_t lo, size_t hi,
                           size_t fallback, const char* what,
                           const char* fallback_note) {
-  const char* v = std::getenv(name);
+  const char* v = Get(name);
   if (v == nullptr || v[0] == '\0') return fallback;
   char* end = nullptr;
   const unsigned long long parsed = std::strtoull(v, &end, 10);
@@ -46,7 +48,7 @@ size_t BoundedSizeFromEnv(const char* name, size_t lo, size_t hi,
 }
 
 bool FlagFromEnv(const char* name) {
-  const char* v = std::getenv(name);
+  const char* v = Get(name);
   return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
 }
 

@@ -28,6 +28,12 @@ bool FlagFromEnv(const char* name);
 /// no seam carries its own racy `static bool warned`.
 bool WarnOnce(const char* key);
 
+/// The one std::getenv call in the tree: every PROGIDX_* read routes
+/// through here (or the typed parsers above) so the determinism linter
+/// (tools/lint, rule `getenv`) can audit environment seams in one
+/// file. Returns nullptr when unset, exactly like std::getenv.
+const char* Get(const char* name);
+
 }  // namespace env
 }  // namespace progidx
 

@@ -21,7 +21,7 @@ std::atomic<uint64_t> g_injected{0};
 std::atomic<uint64_t> g_site_counters[8];
 
 Mode ParseModeOrWarn() {
-  const char* raw = std::getenv("PROGIDX_FAULT");
+  const char* raw = env::Get("PROGIDX_FAULT");
   if (raw == nullptr || raw[0] == '\0') return Mode::kNone;
   if (std::strcmp(raw, "budget_starvation") == 0) {
     return Mode::kBudgetStarvation;

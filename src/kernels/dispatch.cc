@@ -144,7 +144,7 @@ const KernelOps& ResolveKernels(const char* force, bool force_scalar,
 
 const KernelOps& Dispatch() {
   static const KernelOps* const selected =
-      &ResolveKernels(std::getenv("PROGIDX_FORCE_KERNEL"),
+      &ResolveKernels(env::Get("PROGIDX_FORCE_KERNEL"),
                       env::FlagFromEnv("PROGIDX_FORCE_SCALAR"),
                       /*warn_on_fallback=*/true);
   return *selected;

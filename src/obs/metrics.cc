@@ -5,6 +5,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "common/env.h"
+
 namespace progidx {
 namespace obs {
 
@@ -48,7 +50,7 @@ struct Shard {
 std::atomic<bool> g_metrics_enabled{true};
 
 bool InitEnabledFromEnv() {
-  const char* v = std::getenv("PROGIDX_METRICS");
+  const char* v = env::Get("PROGIDX_METRICS");
   const bool enabled = !(v != nullptr && std::strcmp(v, "0") == 0);
   g_metrics_enabled.store(enabled, std::memory_order_relaxed);
   return enabled;
@@ -65,7 +67,7 @@ void SetMetricsEnabledForTesting(bool enabled) {
 }
 
 const char* MetricsDumpPathFromEnv() {
-  const char* v = std::getenv("PROGIDX_METRICS");
+  const char* v = env::Get("PROGIDX_METRICS");
   if (v == nullptr || v[0] == '\0' || std::strcmp(v, "0") == 0) return nullptr;
   return v;
 }

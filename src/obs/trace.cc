@@ -9,6 +9,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/env.h"
+
 namespace progidx {
 namespace obs {
 
@@ -78,12 +80,12 @@ Ring* RingForThisThread() {
 
 void FlushAtExit() { FlushTrace(); }
 
-// PROGIDX_TRACE picked up once at static-init time (same pattern as
-// the other PROGIDX_* seams in common/env.h, kept local because obs
-// sits below common consumers).
+// PROGIDX_TRACE picked up once at static-init time through the shared
+// env::Get seam, like every other PROGIDX_* read (tools/lint enforces
+// this).
 struct EnvInit {
   EnvInit() {
-    const char* v = std::getenv("PROGIDX_TRACE");
+    const char* v = env::Get("PROGIDX_TRACE");
     if (v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0) {
       EnableTracing(v);
     }

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstring>
 
@@ -33,8 +34,8 @@ constexpr char kMagic[8] = {'P', 'I', 'D', 'X', 'S', 'N', 'P', '1'};
 constexpr size_t kMaxFrame = size_t{1} << 20;
 
 const uint32_t* CrcTable() {
-  static const auto table = [] {
-    static uint32_t t[256];
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
     for (uint32_t i = 0; i < 256; i++) {
       uint32_t c = i;
       for (int k = 0; k < 8; k++) {
@@ -44,7 +45,7 @@ const uint32_t* CrcTable() {
     }
     return t;
   }();
-  return table;
+  return table.data();
 }
 
 /// Fsyncs the directory containing `path` so the rename itself is

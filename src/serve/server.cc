@@ -62,7 +62,7 @@ ServerConfig ServerConfig::FromEnv() {
       "PROGIDX_DEADLINE_US", 0, static_cast<size_t>(1) << 40, SIZE_MAX,
       "per-query deadline in microseconds", "no deadline");
   cfg.deadline_us = us == SIZE_MAX ? kNoDeadline : static_cast<uint64_t>(us);
-  const char* dir = std::getenv("PROGIDX_PERSIST_DIR");
+  const char* dir = env::Get("PROGIDX_PERSIST_DIR");
   if (dir != nullptr && dir[0] != '\0') cfg.persist_dir = dir;
   cfg.checkpoint_every = env::BoundedSizeFromEnv(
       "PROGIDX_CHECKPOINT_EVERY", 1, static_cast<size_t>(1) << 20, 8,

@@ -94,7 +94,7 @@ TEST_P(AllIndexesTest, TwoDistinctValues) {
 
 INSTANTIATE_TEST_SUITE_P(AllIds, AllIndexesTest,
                          ::testing::ValuesIn(AllIndexIds()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& pinfo) { return pinfo.param; });
 
 class ProgressiveExtremeBudgetTest
     : public ::testing::TestWithParam<std::string> {};
@@ -139,7 +139,7 @@ TEST_P(ProgressiveExtremeBudgetTest, DeltaOneConvergesQuickly) {
 
 INSTANTIATE_TEST_SUITE_P(Progressive, ProgressiveExtremeBudgetTest,
                          ::testing::ValuesIn(ProgressiveIndexIds()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& pinfo) { return pinfo.param; });
 
 }  // namespace
 }  // namespace progidx

@@ -19,6 +19,7 @@
 #include "eval/experiment.h"
 #include "eval/registry.h"
 #include "exec/query_batch.h"
+#include "common/env.h"
 #include "exec/shared_scan.h"
 #include "parallel/thread_pool.h"
 #include "workload/data_generator.h"
@@ -271,7 +272,7 @@ TEST(MergePosRangesTest, SortsAndCoalesces) {
 class ScopedBatchEnv {
  public:
   ScopedBatchEnv() {
-    const char* old = std::getenv("PROGIDX_BATCH");
+    const char* old = env::Get("PROGIDX_BATCH");
     had_ = old != nullptr;
     if (had_) saved_ = old;
   }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "kernels/kernels.h"
@@ -71,7 +72,7 @@ TEST(KernelDispatchTest, Avx512ResolvesToItselfOrScalar) {
 TEST(KernelDispatchTest, DispatchHonorsForceScalarEnv) {
   // The ctest suite runs twice, once with PROGIDX_FORCE_SCALAR=1; under
   // that env the process-wide dispatch must have pinned scalar.
-  const char* forced = std::getenv("PROGIDX_FORCE_SCALAR");
+  const char* forced = env::Get("PROGIDX_FORCE_SCALAR");
   if (forced != nullptr && std::strcmp(forced, "0") != 0) {
     EXPECT_STREQ(kernels::ActiveKernelName(), "scalar");
   }

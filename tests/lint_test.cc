@@ -1,0 +1,370 @@
+// Rule-by-rule fixtures for the determinism linter (tools/lint,
+// docs/static-analysis.md): every rule has at least one known-bad
+// snippet that must fire and known-good snippets that must not,
+// plus coverage of the NOLINT-PROGIDX suppression comment forms,
+// path scoping, and the comment/string-literal blanking that keeps
+// fixtures like these from flagging themselves.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace progidx {
+namespace {
+
+using lint::Finding;
+using lint::ScanFile;
+
+std::vector<std::string> RuleNames(const std::vector<Finding>& findings) {
+  std::vector<std::string> names;
+  names.reserve(findings.size());
+  for (const Finding& f : findings) names.push_back(f.rule);
+  return names;
+}
+
+// Scans `snippet` as if it lived at `path` and expects exactly the
+// given rules to fire (empty = must be clean).
+void ExpectRules(const std::string& path, const std::string& snippet,
+                 const std::vector<std::string>& expected) {
+  const std::vector<Finding> findings = ScanFile(path, snippet);
+  EXPECT_EQ(RuleNames(findings), expected)
+      << "path=" << path << "\nsnippet:\n"
+      << snippet;
+}
+
+TEST(LintRegistryTest, RuleNamesAreUniqueAndNonEmpty) {
+  std::set<std::string> seen;
+  for (const lint::RuleInfo& r : lint::Rules()) {
+    EXPECT_NE(std::string(r.name), "");
+    EXPECT_NE(std::string(r.summary), "");
+    EXPECT_TRUE(seen.insert(r.name).second) << "duplicate rule " << r.name;
+  }
+  EXPECT_GE(seen.size(), 9u);
+}
+
+// --- getenv ----------------------------------------------------------
+
+TEST(LintGetenvTest, FlagsDirectGetenv) {
+  ExpectRules("src/serve/server.cc",
+              "const char* v = std::getenv(\"PROGIDX_X\");\n", {"getenv"});
+  ExpectRules("bench/foo.cc", "const char* v = getenv(\"X\");\n", {"getenv"});
+  ExpectRules("tests/foo_test.cc", "if (::getenv(\"X\")) {}\n", {"getenv"});
+}
+
+TEST(LintGetenvTest, AllowsTheEnvSeamItself) {
+  ExpectRules("src/common/env.cc",
+              "const char* Get(const char* n) { return std::getenv(n); }\n",
+              {});
+  ExpectRules("src/common/env.h", "// wraps getenv\nint x;\n", {});
+}
+
+TEST(LintGetenvTest, AllowsEnvGetAndSetenv) {
+  ExpectRules("src/serve/server.cc",
+              "const char* v = env::Get(\"PROGIDX_X\");\n", {});
+  ExpectRules("tests/foo_test.cc", "setenv(\"PROGIDX_X\", \"1\", 1);\n", {});
+}
+
+TEST(LintGetenvTest, IgnoresCommentsAndStrings) {
+  ExpectRules("src/core/foo.cc", "// std::getenv(\"X\") would be wrong\n",
+              {});
+  ExpectRules("src/core/foo.cc", "/* getenv */ int x;\n", {});
+  ExpectRules("src/core/foo.cc",
+              "const char* s = \"calls getenv(\\\"X\\\") inside\";\n", {});
+}
+
+// --- raw-rng ---------------------------------------------------------
+
+TEST(LintRawRngTest, FlagsRandAndRandomDeviceAndStdEngines) {
+  ExpectRules("src/workload/foo.cc", "int r = rand();\n", {"raw-rng"});
+  ExpectRules("src/workload/foo.cc", "srand(42);\n", {"raw-rng"});
+  ExpectRules("bench/foo.cc", "std::random_device rd;\n", {"raw-rng"});
+  ExpectRules("tests/foo_test.cc", "std::mt19937 gen(seed);\n", {"raw-rng"});
+  ExpectRules("tests/foo_test.cc", "std::default_random_engine e;\n",
+              {"raw-rng"});
+}
+
+TEST(LintRawRngTest, AllowsTheRngHeaderAndProjectRng) {
+  ExpectRules("src/common/rng.h", "uint64_t Next(); // not rand()\n", {});
+  ExpectRules("src/workload/foo.cc", "Rng rng(42); use(rng.Next());\n", {});
+}
+
+TEST(LintRawRngTest, DoesNotFlagIdentifiersContainingRand) {
+  ExpectRules("src/core/foo.cc", "int operand = Operand(); strand(s);\n", {});
+}
+
+// --- unordered-iter --------------------------------------------------
+
+TEST(LintUnorderedIterTest, FlagsRangeForOverUnorderedInResultPaths) {
+  const std::string snippet =
+      "std::unordered_map<uint32_t, size_t> counts_;\n"
+      "void Walk() {\n"
+      "  for (const auto& kv : counts_) { sum += kv.second; }\n"
+      "}\n";
+  ExpectRules("src/core/foo.cc", snippet, {"unordered-iter"});
+  ExpectRules("src/exec/foo.cc", snippet, {"unordered-iter"});
+  ExpectRules("src/serve/foo.cc", snippet, {"unordered-iter"});
+}
+
+TEST(LintUnorderedIterTest, FlagsExplicitBeginWalks) {
+  ExpectRules("src/core/foo.cc",
+              "std::unordered_set<uint64_t> seen_;\n"
+              "auto it = seen_.begin();\n",
+              {"unordered-iter"});
+}
+
+TEST(LintUnorderedIterTest, AllowsLookupsAndOutOfScopeDirs) {
+  // Point lookups are order-independent — only iteration is banned.
+  ExpectRules("src/core/foo.cc",
+              "std::unordered_map<uint32_t, size_t> counts_;\n"
+              "if (counts_.find(k) != counts_.end()) {}\n"
+              "counts_[k]++;\n",
+              {});
+  // src/obs (and everything outside core/exec/serve) is out of scope.
+  ExpectRules("src/obs/foo.cc",
+              "std::unordered_set<std::string> names_;\n"
+              "for (const auto& n : names_) { dump(n); }\n",
+              {});
+}
+
+TEST(LintUnorderedIterTest, DoesNotConfuseOrderedContainers) {
+  ExpectRules("src/core/foo.cc",
+              "std::map<uint32_t, size_t> counts_;\n"
+              "for (const auto& kv : counts_) { sum += kv.second; }\n",
+              {});
+}
+
+// --- local-static ----------------------------------------------------
+
+TEST(LintLocalStaticTest, FlagsMutableStatics) {
+  ExpectRules("src/core/foo.cc",
+              "void F() {\n  static bool warned = false;\n}\n",
+              {"local-static"});
+  ExpectRules("src/persist/foo.cc",
+              "void F() {\n  static uint32_t table[256];\n}\n",
+              {"local-static"});
+  ExpectRules("src/core/foo.cc", "static size_t g_count = 0;\n",
+              {"local-static"});
+}
+
+TEST(LintLocalStaticTest, AllowsConstConstexprThreadLocalAndFunctions) {
+  ExpectRules("src/core/foo.cc", "  static const int kTable[4] = {1};\n", {});
+  ExpectRules("src/core/foo.cc", "  static constexpr double kPi = 3.14;\n",
+              {});
+  ExpectRules("src/parallel/foo.cc",
+              "  static thread_local std::vector<int> scratch;\n", {});
+  ExpectRules("src/serve/foo.h", "  static ServerConfig FromEnv();\n", {});
+  ExpectRules("src/obs/foo.cc",
+              "  static size_t IndexFor(uint64_t v) { return v; }\n", {});
+}
+
+TEST(LintLocalStaticTest, AllowsLeakSingletonsAndTheWarnOnceGate) {
+  // `T* const x = new T` is immutable after its thread-safe
+  // magic-static initialization — the registry/pool singleton pattern.
+  ExpectRules("src/obs/foo.cc",
+              "  static Registry* const g = new Registry();\n", {});
+  // The warn-once gate owns the process-wide warned set.
+  ExpectRules("src/common/env.cc", "  static std::mutex m;\n", {});
+}
+
+TEST(LintLocalStaticTest, OutOfScopeOutsideSrc) {
+  ExpectRules("tests/foo_test.cc", "  static bool warned = false;\n", {});
+  ExpectRules("bench/foo.cc", "  static int calls = 0;\n", {});
+}
+
+// --- naked-thread ----------------------------------------------------
+
+TEST(LintNakedThreadTest, FlagsStdThreadOutsideParallelAndServe) {
+  ExpectRules("src/core/foo.cc", "std::thread t(Work);\n", {"naked-thread"});
+  ExpectRules("src/exec/foo.cc", "std::jthread t(Work);\n", {"naked-thread"});
+}
+
+TEST(LintNakedThreadTest, AllowsParallelServeTestsAndThisThread) {
+  ExpectRules("src/parallel/thread_pool.cc", "std::thread t(Work);\n", {});
+  ExpectRules("src/serve/server.cc", "std::thread scheduler_(Run);\n", {});
+  ExpectRules("tests/foo_test.cc", "std::thread client(Run);\n", {});
+  ExpectRules("src/core/foo.cc",
+              "std::this_thread::sleep_for(std::chrono::seconds(1));\n", {});
+  ExpectRules("src/core/foo.cc", "thread_local int x;\n", {});
+}
+
+// --- atomic-rmw-obs --------------------------------------------------
+
+TEST(LintAtomicRmwObsTest, FlagsRmwInObs) {
+  ExpectRules("src/obs/metrics.cc", "shard->hits.fetch_add(1);\n",
+              {"atomic-rmw-obs"});
+  ExpectRules("src/obs/trace.cc",
+              "count_.compare_exchange_weak(expected, next);\n",
+              {"atomic-rmw-obs"});
+  ExpectRules("src/obs/metrics.h", "old = flag_.exchange(true);\n",
+              {"atomic-rmw-obs"});
+}
+
+TEST(LintAtomicRmwObsTest, AllowsPlainLoadStoreAndOtherDirs) {
+  ExpectRules("src/obs/metrics.cc",
+              "shard->hits.store(shard->hits.load(std::memory_order_relaxed) "
+              "+ 1, std::memory_order_relaxed);\n",
+              {});
+  // std::exchange (a free function) is not an atomic RMW.
+  ExpectRules("src/obs/metrics.cc", "auto old = std::exchange(v, next);\n",
+              {});
+  // The parallel layer legitimately claims chunks with fetch_add.
+  ExpectRules("src/parallel/primitives.cc", "next_.fetch_add(grain);\n", {});
+}
+
+// --- eval-order ------------------------------------------------------
+
+TEST(LintEvalOrderTest, FlagsTwoSideEffectingCallsInOneExpression) {
+  // The PR 5 LSD candidate-mask bug: two out-param calls in one
+  // full expression, with unsequenced argument evaluation.
+  ExpectRules("src/core/foo.cc",
+              "mask |= Mask(CandidateDigits(q, p, &f, &l), f, l) | "
+              "Mask(CandidateDigits(q, p2, &f, &l), f, l);\n",
+              {"eval-order"});
+  ExpectRules("src/workload/foo.cc", "use(rng.Next() + rng.Next());\n",
+              {"eval-order"});
+  ExpectRules("src/workload/foo.cc",
+              "Point p{rng.NextBounded(n), rng.NextBounded(n)};\n",
+              {"eval-order"});
+}
+
+TEST(LintEvalOrderTest, AllowsSeparateStatements) {
+  ExpectRules("src/core/foo.cc",
+              "const bool old_pruned = CandidateDigits(q, p - 1, &f, &l);\n"
+              "old_mask |= Mask(old_pruned, f, l);\n"
+              "const bool new_pruned = CandidateDigits(q, p, &f, &l);\n"
+              "new_mask |= Mask(new_pruned, f, l);\n",
+              {});
+  ExpectRules("src/workload/foo.cc",
+              "const uint64_t lo = rng.Next();\nconst uint64_t hi = "
+              "rng.Next();\n",
+              {});
+}
+
+TEST(LintEvalOrderTest, MemberOnlyNamesNeedMemberCalls) {
+  // A free function named Next (e.g. an iterator helper) is not the
+  // RNG; only member calls count for the short name.
+  ExpectRules("src/core/foo.cc", "a = Next(x); b = Next(y);\n", {});
+}
+
+// --- wall-clock ------------------------------------------------------
+
+TEST(LintWallClockTest, FlagsWallClockInBudgetPersistServe) {
+  ExpectRules("src/persist/wal.cc",
+              "auto now = std::chrono::system_clock::now();\n",
+              {"wall-clock"});
+  ExpectRules("src/core/budget.cc", "time_t t = time(nullptr);\n",
+              {"wall-clock"});
+  ExpectRules("src/serve/recovery.cc", "gettimeofday(&tv, nullptr);\n",
+              {"wall-clock"});
+}
+
+TEST(LintWallClockTest, AllowsSteadyClockAndOtherDirs) {
+  ExpectRules("src/persist/wal.cc",
+              "auto t0 = std::chrono::steady_clock::now();\n", {});
+  ExpectRules("src/serve/server.cc", "Timer t; use(t.ElapsedSeconds());\n",
+              {});
+  // Benchmark drivers and the eval harness may read wall clocks.
+  ExpectRules("bench/foo.cc", "time_t t = time(nullptr);\n", {});
+  ExpectRules("src/eval/experiment.cc",
+              "auto now = std::chrono::system_clock::now();\n", {});
+}
+
+TEST(LintWallClockTest, DoesNotFlagIdentifiersContainingTime) {
+  ExpectRules("src/persist/wal.cc",
+              "double secs = timer.ElapsedSeconds(); RecordTime(secs);\n",
+              {});
+}
+
+// --- suppressions ----------------------------------------------------
+
+TEST(LintSuppressionTest, SameLineSuppresses) {
+  ExpectRules("src/core/foo.cc",
+              "const char* v = std::getenv(\"X\");  // NOLINT-PROGIDX(getenv)"
+              " -- bootstrap before env:: is linked\n",
+              {});
+}
+
+TEST(LintSuppressionTest, NextLineSuppresses) {
+  ExpectRules("src/core/foo.cc",
+              "// NOLINT-PROGIDX-NEXTLINE(getenv)\n"
+              "const char* v = std::getenv(\"X\");\n",
+              {});
+  // ...but only the next line, not the one after.
+  ExpectRules("src/core/foo.cc",
+              "// NOLINT-PROGIDX-NEXTLINE(getenv)\n"
+              "int y;\n"
+              "const char* v = std::getenv(\"X\");\n",
+              {"getenv"});
+}
+
+TEST(LintSuppressionTest, WildcardAndMultiRuleLists) {
+  ExpectRules("src/core/foo.cc",
+              "static bool warned = Check(std::getenv(\"X\"));  "
+              "// NOLINT-PROGIDX(*)\n",
+              {});
+  ExpectRules("src/core/foo.cc",
+              "static bool warned = Check(std::getenv(\"X\"));  "
+              "// NOLINT-PROGIDX(getenv, local-static)\n",
+              {});
+}
+
+TEST(LintSuppressionTest, SuppressionOnlyCoversNamedRules) {
+  ExpectRules("src/core/foo.cc",
+              "static bool warned = Check(std::getenv(\"X\"));  "
+              "// NOLINT-PROGIDX(getenv)\n",
+              {"local-static"});
+}
+
+TEST(LintSuppressionTest, UnknownRuleNameIsItselfAFinding) {
+  ExpectRules("src/core/foo.cc",
+              "int x;  // NOLINT-PROGIDX(no-such-rule)\n",
+              {"bad-suppression"});
+}
+
+TEST(LintSuppressionTest, PlaceholderDocsDoNotParseAsSuppressions) {
+  ExpectRules("src/core/foo.cc",
+              "// suppress with NOLINT-PROGIDX(<rule>) on the line\n", {});
+}
+
+// --- lexical handling ------------------------------------------------
+
+TEST(LintLexerTest, BlockCommentsSpanLines) {
+  ExpectRules("src/core/foo.cc",
+              "/*\n * std::getenv(\"X\") inside a block comment\n */\n"
+              "int x;\n",
+              {});
+}
+
+TEST(LintLexerTest, RawStringsAreBlanked) {
+  ExpectRules("src/core/foo.cc",
+              "const char* s = R\"(calls std::getenv(\"X\"))\";\n", {});
+  ExpectRules("src/core/foo.cc",
+              "const char* s = R\"x(srand(42); rand();)x\";\n", {});
+}
+
+TEST(LintLexerTest, FindingsCarryPathLineAndMessage) {
+  const std::vector<Finding> findings =
+      ScanFile("src/core/foo.cc", "int a;\nint r = rand();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "src/core/foo.cc");
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[0].rule, "raw-rng");
+  EXPECT_NE(findings[0].message.find("progidx::Rng"), std::string::npos);
+}
+
+TEST(LintLexerTest, MultipleFindingsAreOrderedByLine) {
+  const std::vector<Finding> findings = ScanFile(
+      "src/core/foo.cc",
+      "int r = rand();\nstd::thread t(Work);\nint s = rand();\n");
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_EQ(findings[1].line, 2u);
+  EXPECT_EQ(findings[2].line, 3u);
+}
+
+}  // namespace
+}  // namespace progidx

@@ -122,9 +122,9 @@ std::vector<SoakParam> SoakParams() {
 
 INSTANTIATE_TEST_SUITE_P(AllIndexes, DifferentialSoakTest,
                          ::testing::ValuesIn(SoakParams()),
-                         [](const auto& info) {
-                           return std::get<0>(info.param) + "_seed" +
-                                  std::to_string(std::get<1>(info.param));
+                         [](const auto& pinfo) {
+                           return std::get<0>(pinfo.param) + "_seed" +
+                                  std::to_string(std::get<1>(pinfo.param));
                          });
 
 class RepeatedQueryTest : public ::testing::TestWithParam<std::string> {};
@@ -143,7 +143,7 @@ TEST_P(RepeatedQueryTest, IdenticalQueriesIdenticalAnswers) {
 
 INSTANTIATE_TEST_SUITE_P(AllIds, RepeatedQueryTest,
                          ::testing::ValuesIn(AllIndexIds()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& pinfo) { return pinfo.param; });
 
 }  // namespace
 }  // namespace progidx

@@ -83,8 +83,8 @@ TEST_P(PatternTest, Reproducible) {
 
 INSTANTIATE_TEST_SUITE_P(AllPatterns, PatternTest,
                          ::testing::ValuesIn(AllWorkloadPatterns()),
-                         [](const auto& info) {
-                           return WorkloadPatternName(info.param);
+                         [](const auto& pinfo) {
+                           return WorkloadPatternName(pinfo.param);
                          });
 
 TEST(PatternSemanticsTest, PointQueriesArePoints) {

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Formats the tree with clang-format per the repo-root .clang-format
+# (docs/static-analysis.md).
+#
+#   tools/format.sh          reformat every tracked C++ source in place
+#   tools/format.sh --check  list files whose formatting drifts; exit 1
+#                            if any (the format-check CI job runs this)
+#
+# Formatting output differs slightly across clang-format major
+# versions; CI pins one version, and locally any >= 14 is close enough
+# to keep drift near zero.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FMT=""
+for candidate in clang-format-18 clang-format-17 clang-format-16 \
+                 clang-format-15 clang-format-14 clang-format; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    FMT="$candidate"
+    break
+  fi
+done
+if [ -z "$FMT" ]; then
+  echo "tools/format.sh: clang-format not found on PATH" >&2
+  echo "  (install clang-format >= 14, or rely on the format-check CI job)" >&2
+  exit 2
+fi
+
+FILES=$(git ls-files 'src/*.cc' 'src/*.h' 'tests/*.cc' 'bench/*.cc' \
+                     'bench/*.h' 'tools/*.cc' 'tools/*.h' \
+                     'examples/*.cpp')
+
+if [ "${1:-}" = "--check" ]; then
+  status=0
+  for f in $FILES; do
+    if ! "$FMT" --dry-run -Werror "$f" >/dev/null 2>&1; then
+      echo "needs formatting: $f"
+      status=1
+    fi
+  done
+  if [ "$status" -eq 0 ]; then
+    echo "format.sh: clean ($FMT)"
+  fi
+  exit "$status"
+fi
+
+# shellcheck disable=SC2086
+"$FMT" -i $FILES
+echo "format.sh: formatted $(echo "$FILES" | wc -w) files ($FMT)"

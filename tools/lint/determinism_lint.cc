@@ -1,0 +1,52 @@
+// Determinism linter CLI (docs/static-analysis.md): scans the tree's
+// source directories for violations of the project's determinism and
+// seam rules and exits nonzero when any are found. Registered as the
+// `lint_determinism` ctest lane, so a violation fails the default
+// `ctest` run — and runs as a cheap pre-step in the sanitizer CI jobs.
+//
+// Usage:
+//   determinism_lint [root]   lint src/tests/bench/tools/examples under
+//                             `root` (default: current directory)
+//   determinism_lint --list   print every rule and its rationale
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+int main(int argc, char** argv) {
+  using progidx::lint::Finding;
+  using progidx::lint::RuleInfo;
+
+  std::string root = ".";
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--list") == 0) {
+      for (const RuleInfo& r : progidx::lint::Rules()) {
+        std::printf("%-16s %s\n", r.name, r.summary);
+      }
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: determinism_lint [root | --list]\n");
+      return 0;
+    }
+    root = argv[i];
+  }
+
+  const std::vector<Finding> findings = progidx::lint::ScanTree(root);
+  for (const Finding& f : findings) {
+    std::printf("%s:%zu: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (findings.empty()) {
+    std::fprintf(stderr, "determinism_lint: clean\n");
+    return 0;
+  }
+  std::fprintf(stderr,
+               "determinism_lint: %zu finding(s); suppress a justified one "
+               "with // NOLINT-PROGIDX(<rule>) — see docs/static-analysis.md\n",
+               findings.size());
+  return 1;
+}

@@ -1,0 +1,685 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace progidx {
+namespace lint {
+namespace {
+
+// ---------------------------------------------------------------------
+// Lexical pass: split every line into a code view (comments removed,
+// string/char-literal contents blanked so banned tokens inside literals
+// never fire) and a comment view (where NOLINT-PROGIDX suppressions
+// live). Block comments and raw strings carry state across lines.
+
+struct LineView {
+  std::string code;
+  std::string comment;
+};
+
+bool IsIdent(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<LineView> SplitViews(const std::string& contents) {
+  std::vector<LineView> views;
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_terminator;  // ")delim\"" for the active raw string
+  LineView cur;
+  size_t i = 0;
+  const size_t n = contents.size();
+  auto flush_line = [&]() {
+    views.push_back(cur);
+    cur = LineView{};
+  };
+  while (i < n) {
+    const char c = contents[i];
+    if (c == '\n') {
+      // Line comments end at the newline; every other state survives it
+      // (block comments, raw strings) or is malformed anyway (plain
+      // string/char literals — treat the newline as terminating them so
+      // a typo cannot swallow the rest of the file).
+      if (state == State::kString || state == State::kChar) {
+        state = State::kCode;
+      }
+      flush_line();
+      i++;
+      continue;
+    }
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && i + 1 < n && contents[i + 1] == '/') {
+          // Line comment: capture to end of line as comment text.
+          size_t j = i;
+          while (j < n && contents[j] != '\n') {
+            cur.comment.push_back(contents[j]);
+            j++;
+          }
+          i = j;
+          continue;
+        }
+        if (c == '/' && i + 1 < n && contents[i + 1] == '*') {
+          state = State::kBlockComment;
+          cur.code.append("  ");
+          i += 2;
+          continue;
+        }
+        if (c == 'R' && i + 1 < n && contents[i + 1] == '"' &&
+            (i == 0 || !IsIdent(contents[i - 1]))) {
+          // Raw string R"delim( ... )delim" — blank the whole payload.
+          size_t j = i + 2;
+          std::string delim;
+          while (j < n && contents[j] != '(' && contents[j] != '\n' &&
+                 delim.size() < 16) {
+            delim.push_back(contents[j]);
+            j++;
+          }
+          if (j < n && contents[j] == '(') {
+            state = State::kRawString;
+            raw_terminator = ")" + delim + "\"";
+            cur.code.append("R\"");
+            i = j + 1;
+            continue;
+          }
+          // Not actually a raw string; fall through as ordinary code.
+        }
+        if (c == '"') {
+          state = State::kString;
+          cur.code.push_back('"');
+          i++;
+          continue;
+        }
+        if (c == '\'') {
+          state = State::kChar;
+          cur.code.push_back('\'');
+          i++;
+          continue;
+        }
+        cur.code.push_back(c);
+        i++;
+        continue;
+      }
+      case State::kBlockComment: {
+        if (c == '*' && i + 1 < n && contents[i + 1] == '/') {
+          state = State::kCode;
+          i += 2;
+          continue;
+        }
+        cur.comment.push_back(c);
+        i++;
+        continue;
+      }
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\' && i + 1 < n) {
+          cur.code.push_back(' ');
+          cur.code.push_back(' ');
+          i += 2;
+          continue;
+        }
+        if (c == quote) {
+          state = State::kCode;
+          cur.code.push_back(quote);
+          i++;
+          continue;
+        }
+        cur.code.push_back(' ');
+        i++;
+        continue;
+      }
+      case State::kRawString: {
+        if (contents.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          state = State::kCode;
+          cur.code.push_back('"');
+          i += raw_terminator.size();
+          continue;
+        }
+        cur.code.push_back(' ');
+        i++;
+        continue;
+      }
+    }
+  }
+  flush_line();
+  return views;
+}
+
+// ---------------------------------------------------------------------
+// Matching helpers over the blanked code view.
+
+/// True when `tok` occurs with non-identifier characters on both sides.
+bool HasToken(const std::string& code, const std::string& tok) {
+  size_t pos = 0;
+  while ((pos = code.find(tok, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdent(code[pos - 1]);
+    const size_t end = pos + tok.size();
+    const bool right_ok = end >= code.size() || !IsIdent(code[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// Number of call-shaped occurrences of `name`: token boundary on the
+/// left, optional whitespace then '(' on the right. When `member_only`
+/// is set the name must additionally be reached through '.' or '->'
+/// (used for short method names like Next that would otherwise collide
+/// with free functions).
+size_t CountCalls(const std::string& code, const std::string& name,
+                  bool member_only) {
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdent(code[pos - 1]);
+    size_t end = pos + name.size();
+    while (end < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[end])) != 0) {
+      end++;
+    }
+    const bool is_call = end < code.size() && code[end] == '(';
+    bool via_member = false;
+    if (pos >= 1 && code[pos - 1] == '.') via_member = true;
+    if (pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>') {
+      via_member = true;
+    }
+    if (left_ok && is_call && (!member_only || via_member)) count++;
+    pos += 1;
+  }
+  return count;
+}
+
+bool HasCall(const std::string& code, const std::string& name) {
+  return CountCalls(code, name, /*member_only=*/false) > 0;
+}
+
+bool HasMemberCall(const std::string& code, const std::string& name) {
+  return CountCalls(code, name, /*member_only=*/true) > 0;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool InAny(const std::string& path, std::initializer_list<const char*> dirs) {
+  for (const char* d : dirs) {
+    if (StartsWith(path, d)) return true;
+  }
+  return false;
+}
+
+std::string Trimmed(const std::string& s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b])) != 0) {
+    b++;
+  }
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    e--;
+  }
+  return s.substr(b, e - b);
+}
+
+// ---------------------------------------------------------------------
+// Rules. Each rule sees one blanked code line plus the file path; the
+// unordered-iter rule additionally gets the set of identifiers the file
+// declares with unordered container types.
+
+constexpr char kGetenvRule[] = "getenv";
+constexpr char kRawRngRule[] = "raw-rng";
+constexpr char kUnorderedIterRule[] = "unordered-iter";
+constexpr char kLocalStaticRule[] = "local-static";
+constexpr char kNakedThreadRule[] = "naked-thread";
+constexpr char kAtomicRmwObsRule[] = "atomic-rmw-obs";
+constexpr char kEvalOrderRule[] = "eval-order";
+constexpr char kWallClockRule[] = "wall-clock";
+constexpr char kBadSuppressionRule[] = "bad-suppression";
+
+const std::vector<RuleInfo>& RuleTable() {
+  static const std::vector<RuleInfo> kRules = {
+      {kGetenvRule,
+       "getenv outside src/common/env.* — route environment reads through "
+       "progidx::env so every seam is audited in one place"},
+      {kRawRngRule,
+       "rand()/srand()/std::random_device/<random> engines outside "
+       "src/common/rng.h — use progidx::Rng for cross-stdlib reproducibility"},
+      {kUnorderedIterRule,
+       "iterating an unordered container in src/core, src/exec, or "
+       "src/serve — iteration order is implementation-defined, so anything "
+       "built from it is nondeterministic"},
+      {kLocalStaticRule,
+       "mutable static state in src/ — races and hides cross-query state; "
+       "use env::WarnOnce, const/constexpr, or thread_local scratch"},
+      {kNakedThreadRule,
+       "std::thread outside src/parallel + src/serve — spawn through "
+       "parallel::ThreadPool so lane counts stay seamed (PROGIDX_THREADS) "
+       "and deterministic"},
+      {kAtomicRmwObsRule,
+       "atomic read-modify-write in src/obs — metric shards are "
+       "single-writer by design; RMW reintroduces the cross-core "
+       "contention the sharding exists to avoid"},
+      {kEvalOrderRule,
+       "two side-effecting helper calls in one expression — C++ function "
+       "arguments are unsequenced, so results depend on evaluation order "
+       "(the PR 5 LSD candidate-mask bug); split into statements"},
+      {kWallClockRule,
+       "wall-clock time in budget/persist/serve paths — replay must be "
+       "bit-identical across runs; use common/timer.h (steady_clock) or "
+       "recorded values"},
+      {kBadSuppressionRule,
+       "NOLINT-PROGIDX comment naming an unknown rule — stale or "
+       "misspelled suppressions must not rot silently"},
+  };
+  return kRules;
+}
+
+/// Side-effecting helpers for the eval-order rule: calling any two of
+/// these (or one of them twice) in a single expression reproduces the
+/// unspecified-evaluation-order class that corrupted the LSD candidate
+/// masks — each call mutates state (RNG words, budget counters) or
+/// writes out-params that the same full-expression then reads.
+struct FlaggedHelper {
+  const char* name;
+  bool member_only;
+};
+constexpr FlaggedHelper kEvalOrderHelpers[] = {
+    {"CandidateDigits", false}, {"NextBounded", false},
+    {"NextInRange", false},     {"NextDouble", false},
+    {"NextGaussian", false},    {"SplitMix", false},
+    {"DeltaForQuery", false},   {"Next", true},
+};
+
+void CheckGetenv(const std::string& path, const std::string& code,
+                 std::vector<Finding>* out, size_t line) {
+  if (StartsWith(path, "src/common/env.")) return;
+  if (HasToken(code, "getenv") || HasToken(code, "secure_getenv")) {
+    out->push_back({path, line, kGetenvRule,
+                    "call env::Get (src/common/env.h) instead of getenv so "
+                    "every environment seam is audited in one place"});
+  }
+}
+
+void CheckRawRng(const std::string& path, const std::string& code,
+                 std::vector<Finding>* out, size_t line) {
+  if (StartsWith(path, "src/common/rng.h")) return;
+  const char* hit = nullptr;
+  if (HasCall(code, "rand") || HasCall(code, "srand")) hit = "rand()/srand()";
+  if (HasToken(code, "random_device")) hit = "std::random_device";
+  if (HasToken(code, "mt19937") || HasToken(code, "mt19937_64") ||
+      HasToken(code, "minstd_rand") || HasToken(code, "minstd_rand0") ||
+      HasToken(code, "default_random_engine") || HasToken(code, "ranlux24") ||
+      HasToken(code, "ranlux48")) {
+    hit = "a <random> engine";
+  }
+  if (hit != nullptr) {
+    out->push_back(
+        {path, line, kRawRngRule,
+         std::string(hit) +
+             " is not reproducible across runs or standard libraries; use "
+             "progidx::Rng (src/common/rng.h) with an explicit seed"});
+  }
+}
+
+/// Identifiers this file declares with std::unordered_{map,set,multimap,
+/// multiset} types, collected in a pre-pass so the iteration check can
+/// flag range-fors and .begin() walks over them by name.
+std::vector<std::string> CollectUnorderedNames(
+    const std::vector<LineView>& views) {
+  std::vector<std::string> names;
+  for (const LineView& v : views) {
+    const std::string& code = v.code;
+    size_t pos = 0;
+    while ((pos = code.find("unordered_", pos)) != std::string::npos) {
+      if (pos > 0 && IsIdent(code[pos - 1])) {
+        pos++;
+        continue;
+      }
+      size_t j = pos;
+      while (j < code.size() && IsIdent(code[j])) j++;
+      // Template argument list: balance angle brackets on this line.
+      while (j < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[j])) != 0) {
+        j++;
+      }
+      if (j >= code.size() || code[j] != '<') {
+        pos++;
+        continue;
+      }
+      int depth = 0;
+      while (j < code.size()) {
+        if (code[j] == '<') depth++;
+        if (code[j] == '>') {
+          depth--;
+          if (depth == 0) {
+            j++;
+            break;
+          }
+        }
+        j++;
+      }
+      if (depth != 0) break;  // declaration continues on the next line
+      while (j < code.size() &&
+             (std::isspace(static_cast<unsigned char>(code[j])) != 0 ||
+              code[j] == '&' || code[j] == '*')) {
+        j++;
+      }
+      std::string name;
+      while (j < code.size() && IsIdent(code[j])) {
+        name.push_back(code[j]);
+        j++;
+      }
+      if (!name.empty()) names.push_back(name);
+      pos = j;
+    }
+  }
+  return names;
+}
+
+void CheckUnorderedIter(const std::string& path, const std::string& code,
+                        const std::vector<std::string>& unordered_names,
+                        std::vector<Finding>* out, size_t line) {
+  if (!InAny(path, {"src/core/", "src/exec/", "src/serve/"})) return;
+  for (const std::string& name : unordered_names) {
+    bool iterates = false;
+    // Range-for over the container: `for (... : name)`.
+    const size_t for_pos = code.find("for");
+    if (for_pos != std::string::npos && HasToken(code, "for")) {
+      const size_t colon = code.find(':', for_pos);
+      if (colon != std::string::npos) {
+        const std::string range = code.substr(colon + 1);
+        if (HasToken(range, name)) iterates = true;
+      }
+    }
+    // Explicit iterator walks. `.end()` alone is not flagged — the
+    // `find(k) != container.end()` lookup idiom is order-independent.
+    for (const char* method : {"begin", "cbegin", "rbegin"}) {
+      size_t p = code.find(name);
+      while (p != std::string::npos) {
+        const size_t after = p + name.size();
+        const std::string rest = code.substr(after);
+        const std::string dot = "." + std::string(method);
+        const std::string arrow = "->" + std::string(method);
+        if (StartsWith(rest, dot + "(") || StartsWith(rest, arrow + "(")) {
+          iterates = true;
+        }
+        p = code.find(name, p + 1);
+      }
+    }
+    if (iterates) {
+      out->push_back(
+          {path, line, kUnorderedIterRule,
+           "iterating unordered container '" + name +
+               "' — the order is implementation-defined, so results or "
+               "state built from this walk are nondeterministic; iterate "
+               "a sorted copy or switch to an ordered container"});
+      return;
+    }
+  }
+}
+
+void CheckLocalStatic(const std::string& path, const std::string& code,
+                      std::vector<Finding>* out, size_t line) {
+  if (!StartsWith(path, "src/")) return;
+  // The warn-once gate itself owns the process-wide warned set.
+  if (StartsWith(path, "src/common/env.cc")) return;
+  if (!HasToken(code, "static")) return;
+  if (HasToken(code, "static_assert") && code.find("static ") == std::string::npos) {
+    return;
+  }
+  const size_t pos = code.find("static");
+  const std::string decl = Trimmed(code.substr(pos));
+  if (!StartsWith(decl, "static ")) return;
+  // Immutable or per-thread state is fine: constants fold away,
+  // thread_local scratch is single-owner, and `T* const x = new T`
+  // leak-singletons are immutable after their (thread-safe) magic-static
+  // initialization.
+  const size_t eq = decl.find('=');
+  const std::string head = eq == std::string::npos ? decl : decl.substr(0, eq);
+  if (HasToken(head, "const") || HasToken(head, "constexpr") ||
+      HasToken(head, "thread_local")) {
+    return;
+  }
+  // Static member/free function declarations and definitions: a '('
+  // opening an argument list before any initializer.
+  const size_t paren = decl.find('(');
+  if (paren != std::string::npos &&
+      (eq == std::string::npos || paren < eq)) {
+    return;
+  }
+  out->push_back(
+      {path, line, kLocalStaticRule,
+       "mutable static state — this is the racing `static bool warned` "
+       "class; use env::WarnOnce for warn-once gates, const/constexpr "
+       "for tables, or `static thread_local` for per-thread scratch"});
+}
+
+void CheckNakedThread(const std::string& path, const std::string& code,
+                      std::vector<Finding>* out, size_t line) {
+  if (!StartsWith(path, "src/")) return;
+  if (InAny(path, {"src/parallel/", "src/serve/"})) return;
+  if (HasToken(code, "std::thread") || HasToken(code, "std::jthread")) {
+    out->push_back(
+        {path, line, kNakedThreadRule,
+         "naked std::thread — spawn through parallel::ThreadPool (or the "
+         "serve layer) so concurrency honors the PROGIDX_THREADS seam and "
+         "the determinism parity lanes cover it"});
+  }
+}
+
+void CheckAtomicRmwObs(const std::string& path, const std::string& code,
+                       std::vector<Finding>* out, size_t line) {
+  if (!StartsWith(path, "src/obs/")) return;
+  const char* rmw[] = {"fetch_add",        "fetch_sub",
+                       "fetch_or",         "fetch_and",
+                       "fetch_xor",        "compare_exchange_weak",
+                       "compare_exchange_strong"};
+  bool hit = false;
+  for (const char* m : rmw) {
+    if (HasCall(code, m)) hit = true;
+  }
+  // Plain std::exchange is fine; only the atomic member form is RMW.
+  if (HasMemberCall(code, "exchange")) hit = true;
+  if (hit) {
+    out->push_back(
+        {path, line, kAtomicRmwObsRule,
+         "atomic read-modify-write in the telemetry layer — hot-path "
+         "shards are single-writer (plain relaxed load+store bumps, "
+         "docs/observability.md); RMW reintroduces cross-core contention"});
+  }
+}
+
+void CheckEvalOrder(const std::string& path, const std::string& code,
+                    std::vector<Finding>* out, size_t line) {
+  if (!StartsWith(path, "src/")) return;
+  size_t calls = 0;
+  for (const FlaggedHelper& h : kEvalOrderHelpers) {
+    calls += CountCalls(code, h.name, h.member_only);
+  }
+  if (calls >= 2) {
+    out->push_back(
+        {path, line, kEvalOrderRule,
+         "multiple side-effecting helper calls in one expression — "
+         "argument evaluation is unsequenced (the PR 5 LSD candidate-mask "
+         "bug); give each call its own statement"});
+  }
+}
+
+void CheckWallClock(const std::string& path, const std::string& code,
+                    std::vector<Finding>* out, size_t line) {
+  if (!InAny(path, {"src/core/budget.", "src/persist/", "src/serve/"})) {
+    return;
+  }
+  const char* hit = nullptr;
+  if (HasToken(code, "system_clock")) hit = "std::chrono::system_clock";
+  if (HasCall(code, "time")) hit = "time()";
+  if (HasCall(code, "gettimeofday")) hit = "gettimeofday()";
+  if (HasCall(code, "clock_gettime")) hit = "clock_gettime()";
+  if (HasCall(code, "localtime") || HasCall(code, "gmtime")) {
+    hit = "calendar-time conversion";
+  }
+  if (hit != nullptr) {
+    out->push_back(
+        {path, line, kWallClockRule,
+         std::string(hit) +
+             " in a budget/replay path — recovery replays the admitted "
+             "log bit-identically, and wall-clock reads differ per run; "
+             "use common/timer.h (steady_clock) or a recorded value"});
+  }
+}
+
+// ---------------------------------------------------------------------
+// Suppressions: `// NOLINT-PROGIDX(rule[,rule...])` or `(*)` on the
+// offending line, or the -NEXTLINE form on the line above.
+
+struct Suppression {
+  std::vector<std::string> rules;  // "*" means all
+  bool next_line = false;
+};
+
+std::vector<Suppression> ParseSuppressions(const std::string& comment) {
+  std::vector<Suppression> result;
+  const std::string tag = "NOLINT-PROGIDX";
+  size_t pos = 0;
+  while ((pos = comment.find(tag, pos)) != std::string::npos) {
+    size_t j = pos + tag.size();
+    Suppression s;
+    const std::string next = "-NEXTLINE";
+    if (comment.compare(j, next.size(), next) == 0) {
+      s.next_line = true;
+      j += next.size();
+    }
+    if (j < comment.size() && comment[j] == '(') {
+      const size_t close = comment.find(')', j);
+      if (close != std::string::npos) {
+        std::string inside = comment.substr(j + 1, close - j - 1);
+        std::stringstream ss(inside);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+          const std::string t = Trimmed(item);
+          // Real rule names are kebab-case (or the `*` wildcard);
+          // anything else — `<rule>` placeholders in documentation
+          // comments about the syntax — is not a suppression.
+          const bool name_like =
+              !t.empty() &&
+              std::all_of(t.begin(), t.end(), [](char c) {
+                return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                       c == '-' || c == '*';
+              });
+          if (name_like) s.rules.push_back(t);
+        }
+      }
+    }
+    result.push_back(s);
+    pos = j;
+  }
+  return result;
+}
+
+bool Suppresses(const std::vector<std::string>& rules,
+                const std::string& rule) {
+  for (const std::string& r : rules) {
+    if (r == "*" || r == rule) return true;
+  }
+  return false;
+}
+
+bool KnownRule(const std::string& name) {
+  for (const RuleInfo& r : RuleTable()) {
+    if (name == r.name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() { return RuleTable(); }
+
+std::vector<Finding> ScanFile(const std::string& path,
+                              const std::string& contents) {
+  const std::vector<LineView> views = SplitViews(contents);
+  const std::vector<std::string> unordered_names =
+      CollectUnorderedNames(views);
+
+  // Per-line active suppressions (same-line + carried -NEXTLINE).
+  std::vector<std::vector<std::string>> active(views.size());
+  std::vector<Finding> findings;
+  for (size_t i = 0; i < views.size(); i++) {
+    for (const Suppression& s : ParseSuppressions(views[i].comment)) {
+      const size_t target = s.next_line ? i + 1 : i;
+      if (target < views.size()) {
+        active[target].insert(active[target].end(), s.rules.begin(),
+                              s.rules.end());
+      }
+      for (const std::string& r : s.rules) {
+        if (r != "*" && !KnownRule(r)) {
+          findings.push_back(
+              {path, i + 1, kBadSuppressionRule,
+               "suppression names unknown rule '" + r +
+                   "' — see determinism_lint --list for valid names"});
+        }
+      }
+    }
+  }
+
+  for (size_t i = 0; i < views.size(); i++) {
+    const std::string& code = views[i].code;
+    if (code.empty()) continue;
+    std::vector<Finding> line_findings;
+    const size_t line = i + 1;
+    CheckGetenv(path, code, &line_findings, line);
+    CheckRawRng(path, code, &line_findings, line);
+    CheckUnorderedIter(path, code, unordered_names, &line_findings, line);
+    CheckLocalStatic(path, code, &line_findings, line);
+    CheckNakedThread(path, code, &line_findings, line);
+    CheckAtomicRmwObs(path, code, &line_findings, line);
+    CheckEvalOrder(path, code, &line_findings, line);
+    CheckWallClock(path, code, &line_findings, line);
+    for (Finding& f : line_findings) {
+      if (!Suppresses(active[i], f.rule)) {
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+std::vector<Finding> ScanTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const char* dir : {"src", "tests", "bench", "tools", "examples"}) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cc" && ext != ".h" && ext != ".cpp" && ext != ".hpp") {
+        continue;
+      }
+      files.push_back(fs::relative(entry.path(), root).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> findings;
+  for (const std::string& rel : files) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::vector<Finding> file_findings = ScanFile(rel, buf.str());
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+}  // namespace lint
+}  // namespace progidx

@@ -1,0 +1,51 @@
+#ifndef PROGIDX_TOOLS_LINT_LINT_H_
+#define PROGIDX_TOOLS_LINT_LINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace progidx {
+namespace lint {
+
+/// One determinism-rule violation. `path` is the repo-relative path the
+/// file was scanned under (forward slashes), `line` is 1-based.
+struct Finding {
+  std::string path;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// A registered rule: the name accepted by `NOLINT-PROGIDX(<name>)`
+/// suppression comments plus a one-line summary (printed by
+/// `determinism_lint --list` and mirrored in docs/static-analysis.md).
+struct RuleInfo {
+  const char* name;
+  const char* summary;
+};
+
+/// Every rule the linter enforces, in reporting order. Names are stable
+/// API: suppression comments and docs refer to them.
+const std::vector<RuleInfo>& Rules();
+
+/// Lints one file. `path` must be repo-relative with forward slashes
+/// ("src/core/budget.cc") — several rules scope by path prefix.
+/// Comments and string/character-literal contents never trigger rules;
+/// a `// NOLINT-PROGIDX(<rule>[,<rule>...])` or `// NOLINT-PROGIDX(*)`
+/// comment suppresses findings on its own line, and the
+/// `NOLINT-PROGIDX-NEXTLINE(...)` form suppresses the line after it.
+/// A suppression naming an unknown rule is itself reported (rule
+/// "bad-suppression") so stale suppressions cannot rot silently.
+std::vector<Finding> ScanFile(const std::string& path,
+                              const std::string& contents);
+
+/// Walks `root`'s source directories (src, tests, bench, tools,
+/// examples; .h/.cc/.cpp files) and lints every file. Findings are
+/// ordered by path then line.
+std::vector<Finding> ScanTree(const std::string& root);
+
+}  // namespace lint
+}  // namespace progidx
+
+#endif  // PROGIDX_TOOLS_LINT_LINT_H_
